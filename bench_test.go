@@ -1,0 +1,122 @@
+package opaquebench_test
+
+import (
+	"testing"
+
+	"opaquebench/internal/figures"
+)
+
+// One benchmark per paper table/figure: each iteration regenerates the
+// experiment end to end (design -> simulated campaign -> offline analysis)
+// and reports its headline check values as custom metrics. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The absolute bandwidths/latencies are properties of the simulated
+// substrate, not of the host; the *shapes* are what EXPERIMENTS.md compares
+// against the paper.
+
+func benchFigure(b *testing.B, id string, metrics ...string) {
+	g, err := figures.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *figures.Figure
+	for i := 0; i < b.N; i++ {
+		// Vary the seed across iterations so the benchmark measures the
+		// generator, not one memoizable draw.
+		f, err := g.Make(20170529 + uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = f
+	}
+	for _, m := range metrics {
+		if v, ok := last.Checks[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+func BenchmarkFig03MyrinetPiecewise(b *testing.B) {
+	benchFigure(b, "fig03", "openmpi/auto_breaks", "gm/auto_breaks")
+}
+
+func BenchmarkFig04TaurusLogGP(b *testing.B) {
+	benchFigure(b, "fig04", "auto_break_count", "recv_cv_mid_max")
+}
+
+func BenchmarkFig05MachineTable(b *testing.B) {
+	benchFigure(b, "fig05", "machines")
+}
+
+func BenchmarkFig07OpteronPlateaus(b *testing.B) {
+	benchFigure(b, "fig07", "L2_stride2_over_stride4", "L1_stride2_over_stride8")
+}
+
+func BenchmarkFig08PentiumNoise(b *testing.B) {
+	benchFigure(b, "fig08", "mean_per_size_cv")
+}
+
+func BenchmarkFig09VectorUnroll(b *testing.B) {
+	benchFigure(b, "fig09", "width_8B_over_4B", "avx_anomaly_unroll_over_plain", "drop_4B_nounroll")
+}
+
+func BenchmarkFig10OndemandDVFS(b *testing.B) {
+	benchFigure(b, "fig10", "low_plateau_over_high")
+}
+
+func BenchmarkFig11RTScheduling(b *testing.B) {
+	benchFigure(b, "fig11", "mode_ratio", "low_mode_fraction", "contiguity")
+}
+
+func BenchmarkFig12ARMPaging(b *testing.B) {
+	benchFigure(b, "fig12", "distinct_drop_points")
+}
+
+func BenchmarkFig13FactorDiagram(b *testing.B) {
+	benchFigure(b, "fig13", "factor_groups")
+}
+
+func BenchmarkPitfallPerturbation(b *testing.B) {
+	benchFigure(b, "pitfall-III.1", "opaque_spurious_breaks", "whitebox_breaks")
+}
+
+func BenchmarkPitfallSizeBias(b *testing.B) {
+	benchFigure(b, "pitfall-III.2", "pow2_bias_factor", "detected_penalty")
+}
+
+func BenchmarkPitfallBreakAssumption(b *testing.B) {
+	benchFigure(b, "pitfall-III.3", "neutral_break_count", "assumed_sse_over_neutral_sse")
+}
+
+func BenchmarkPagingFix(b *testing.B) {
+	benchFigure(b, "pitfall-IV.4-fix", "pool_cross_run_cv", "arena_cross_run_cv")
+}
+
+// Ablation benches: each removes one ingredient of the methodology or the
+// substrate and reports what it cost (see DESIGN.md).
+
+func BenchmarkAblationRandomization(b *testing.B) {
+	benchFigure(b, "ablation-randomization", "ordered_spread", "randomized_spread")
+}
+
+func BenchmarkAblationWeighting(b *testing.B) {
+	benchFigure(b, "ablation-weighting", "unweighted_spurious_breaks", "weighted_spurious_breaks")
+}
+
+func BenchmarkAblationReplacement(b *testing.B) {
+	benchFigure(b, "ablation-replacement", "lru_worst_slowdown", "random_worst_slowdown")
+}
+
+func BenchmarkAblationExtrapolation(b *testing.B) {
+	benchFigure(b, "ablation-extrapolation", "max_rel_error")
+}
+
+func BenchmarkAblationTLB(b *testing.B) {
+	benchFigure(b, "ablation-tlb", "stride1024_tlb_over_plain")
+}
+
+func BenchmarkExtStream(b *testing.B) {
+	benchFigure(b, "ext-stream", "mem_copy_over_sum", "mem_triad_over_copy")
+}

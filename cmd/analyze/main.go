@@ -1,0 +1,129 @@
+// Command analyze performs the third methodology stage on a raw-results CSV
+// produced by membench or netbench: per-level summaries, supervised or
+// neutral piecewise-linear fits, mode diagnosis with temporal contiguity,
+// and per-group variability — everything computed offline from the complete
+// raw record set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/report"
+	"opaquebench/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	inPath := fs.String("i", "", "raw results CSV (required)")
+	xFactor := fs.String("x", "size", "numeric factor for regressions and summaries")
+	breaksCSV := fs.String("breaks", "", "comma-separated analyst breakpoints for the supervised fit")
+	auto := fs.Int("auto", 0, "max breakpoints for the neutral segmented search (0 = off)")
+	modes := fs.Bool("modes", true, "run the bimodality / temporal-contiguity diagnosis")
+	filterKey := fs.String("filter", "", "only analyze records with factor=level, e.g. op=recv")
+	fullReport := fs.Bool("report", false, "emit the full campaign report with pitfall warnings instead of the individual analyses")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("-i results.csv is required")
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	res, err := core.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if *filterKey != "" {
+		parts := strings.SplitN(*filterKey, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -filter %q, want factor=level", *filterKey)
+		}
+		res = res.Filter(func(r core.RawRecord) bool { return r.Point.Get(parts[0]) == parts[1] })
+	}
+	if res.Len() == 0 {
+		return fmt.Errorf("no records after filtering")
+	}
+	if *fullReport {
+		rep, err := report.Build(res, report.Options{XFactor: *xFactor, MaxBreaks: *auto})
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprint(out, rep.Render())
+		return err
+	}
+	fmt.Fprintf(out, "records: %d\n\n", res.Len())
+
+	fmt.Fprintf(out, "summary by %s:\n", *xFactor)
+	fmt.Fprintf(out, "%12s %6s %12s %12s %12s %12s %8s\n", *xFactor, "n", "min", "median", "mean", "max", "cv")
+	for _, g := range core.SummarizeBy(res, *xFactor) {
+		cv := g.Summary.Stddev / g.Summary.Mean
+		fmt.Fprintf(out, "%12s %6d %12.5g %12.5g %12.5g %12.5g %8.3f\n",
+			g.Level, g.Summary.N, g.Summary.Min, g.Summary.Median, g.Summary.Mean, g.Summary.Max, cv)
+	}
+	fmt.Fprintln(out)
+
+	if *breaksCSV != "" {
+		var breaks []float64
+		for _, tok := range strings.Split(*breaksCSV, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return fmt.Errorf("bad breakpoint %q: %w", tok, err)
+			}
+			breaks = append(breaks, v)
+		}
+		pf, err := core.FitPiecewise(res, *xFactor, breaks)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "supervised piecewise fit (breaks %v):\n%s\n", breaks, pf.String())
+	}
+
+	if *auto > 0 {
+		xs, ys := res.XY(*xFactor)
+		pf, err := stats.SelectSegmentedRelative(xs, ys, *auto, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "neutral segmented search (up to %d breaks):\nbreaks: %v\n%s\n", *auto, pf.Breaks, pf.String())
+	}
+
+	if *modes {
+		d, err := core.DiagnoseModes(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "mode diagnosis:\n%s\n", d.String())
+	}
+
+	cv := core.VariabilityByGroup(res, *xFactor)
+	levels := make([]string, 0, len(cv))
+	for k := range cv {
+		levels = append(levels, k)
+	}
+	sort.Strings(levels)
+	worst, worstLevel := 0.0, ""
+	for _, k := range levels {
+		if cv[k] > worst {
+			worst, worstLevel = cv[k], k
+		}
+	}
+	fmt.Fprintf(out, "highest per-level CV: %s = %.3f\n", worstLevel, worst)
+	return nil
+}

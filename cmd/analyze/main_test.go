@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+)
+
+// writeResults creates a results CSV with a two-regime curve.
+func writeResults(t *testing.T) string {
+	t.Helper()
+	res := &core.Results{}
+	seq := 0
+	for rep := 0; rep < 6; rep++ {
+		for s := 1000; s <= 20000; s += 1000 {
+			v := 1.0 + 0.001*float64(s)
+			if s > 10000 {
+				v = 1.0 + 0.001*10000 + 0.01*float64(s-10000)
+			}
+			rec := core.RawRecord{
+				Seq:   seq,
+				Rep:   rep,
+				Point: doe.Point{"size": doe.Level(itoa(s)), "op": "pingpong"},
+				Value: v, Seconds: v, At: float64(seq),
+			}
+			res.Records = append(res.Records, rec)
+			seq++
+		}
+	}
+	path := filepath.Join(t.TempDir(), "results.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := res.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func itoa(v int) string {
+	b := []byte{}
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestSummaryAndSupervisedFit(t *testing.T) {
+	path := writeResults(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-i", path, "-x", "size", "-breaks", "10500", "-auto", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "summary by size") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "supervised piecewise fit") {
+		t.Fatalf("missing supervised fit:\n%s", out)
+	}
+	if !strings.Contains(out, "neutral segmented search") {
+		t.Fatalf("missing neutral search:\n%s", out)
+	}
+	if !strings.Contains(out, "mode diagnosis") {
+		t.Fatalf("missing modes:\n%s", out)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	path := writeResults(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-i", path, "-filter", "op=pingpong"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-i", path, "-filter", "op=send"}, &buf); err == nil {
+		t.Fatal("empty filter result accepted")
+	}
+	if err := run([]string{"-i", path, "-filter", "malformed"}, &buf); err == nil {
+		t.Fatal("malformed filter accepted")
+	}
+}
+
+func TestFullReport(t *testing.T) {
+	path := writeResults(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-i", path, "-report", "-auto", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "campaign report") {
+		t.Fatalf("missing report header:\n%s", out)
+	}
+	if !strings.Contains(out, "bootstrap CI") {
+		t.Fatalf("missing CI section:\n%s", out)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Fatal("missing -i accepted")
+	}
+	if err := run([]string{"-i", "/nonexistent.csv"}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeResults(t)
+	if err := run([]string{"-i", path, "-breaks", "xyz"}, &buf); err == nil {
+		t.Fatal("bad breaks accepted")
+	}
+}

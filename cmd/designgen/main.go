@@ -1,0 +1,142 @@
+// Command designgen emits a randomized experimental design as CSV — the
+// first methodology stage as a standalone artifact that can be inspected,
+// versioned, and handed to a benchmark engine.
+//
+// Memory designs cross buffer sizes, strides, element widths, nloops and
+// unrolling; network designs cross log-uniform message sizes (Equation 1)
+// with the three Section V.A operations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"opaquebench/internal/doe"
+	"opaquebench/internal/membench"
+	"opaquebench/internal/memsim"
+	"opaquebench/internal/netbench"
+	"opaquebench/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "designgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("designgen", flag.ContinueOnError)
+	kind := fs.String("type", "mem", "design type: mem or net")
+	seed := fs.Uint64("seed", 1, "randomization seed")
+	reps := fs.Int("reps", 42, "replicates per factor combination")
+	randomize := fs.Bool("randomize", true, "shuffle the execution order")
+	outPath := fs.String("o", "", "output file (default stdout)")
+
+	sizes := fs.String("sizes", "", "mem: comma-separated buffer sizes in bytes (default a 4KB-4MB ladder)")
+	strides := fs.String("strides", "1", "mem: comma-separated strides")
+	elems := fs.String("elems", "4", "mem: comma-separated element sizes in bytes")
+	nloops := fs.String("nloops", "100", "mem: comma-separated nloops values")
+	unroll := fs.Bool("unroll-levels", false, "mem: include both unroll levels")
+	kernels := fs.String("kernels", "", "mem: comma-separated STREAM kernels (sum,copy,triad)")
+
+	nSizes := fs.Int("n", 100, "net: number of log-uniform sizes")
+	minSize := fs.Int("min", 16, "net: minimum message size")
+	maxSize := fs.Int("max", 1<<20, "net: maximum message size")
+	pow2 := fs.Bool("pow2", false, "net: use the biased power-of-two grid instead of Equation (1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var design *doe.Design
+	var err error
+	switch *kind {
+	case "mem":
+		sz, err := parseInts(*sizes)
+		if err != nil {
+			return err
+		}
+		if len(sz) == 0 {
+			for s := 4 << 10; s <= 4<<20; s *= 2 {
+				sz = append(sz, s)
+			}
+		}
+		st, err := parseInts(*strides)
+		if err != nil {
+			return err
+		}
+		el, err := parseInts(*elems)
+		if err != nil {
+			return err
+		}
+		nl, err := parseInts(*nloops)
+		if err != nil {
+			return err
+		}
+		var un []bool
+		if *unroll {
+			un = []bool{false, true}
+		}
+		factors := membench.Factors(sz, st, el, nl, un)
+		if strings.TrimSpace(*kernels) != "" {
+			var ks []string
+			for _, k := range strings.Split(*kernels, ",") {
+				k = strings.TrimSpace(k)
+				if !memsim.StreamKind(k).Valid() {
+					return fmt.Errorf("unknown kernel %q (sum, copy, triad)", k)
+				}
+				ks = append(ks, k)
+			}
+			factors = append(factors, doe.NewFactor(membench.FactorKernel, ks...))
+		}
+		design, err = doe.FullFactorial(factors, doe.Options{
+			Replicates: *reps, Seed: *seed, Randomize: *randomize,
+		})
+		if err != nil {
+			return err
+		}
+	case "net":
+		if *pow2 {
+			design, err = netbench.PowerOfTwoDesign(*minSize, *maxSize, *reps, nil)
+		} else {
+			design, err = netbench.Design(*seed, *nSizes, *minSize, *maxSize, *reps, []netsim.Op{
+				netsim.OpSend, netsim.OpRecv, netsim.OpPingPong,
+			}, *randomize)
+		}
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown design type %q (mem or net)", *kind)
+	}
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return design.WriteCSV(w)
+}
+
+func parseInts(csv string) ([]int, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", tok, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

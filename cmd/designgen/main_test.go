@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opaquebench/internal/doe"
+)
+
+func TestMemDesignDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "mem", "-reps", "2", "-seed", "9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := doe.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() == 0 {
+		t.Fatal("empty design")
+	}
+	if _, err := d.Trials[0].Point.Int("size"); err != nil {
+		t.Fatal("size factor missing")
+	}
+}
+
+func TestMemDesignExplicitFactors(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-type", "mem", "-sizes", "1024,2048", "-strides", "1,2",
+		"-elems", "4,8", "-nloops", "10", "-unroll-levels", "-reps", "1"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := doe.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 2*2*2*1*2 {
+		t.Fatalf("size = %d, want 16", d.Size())
+	}
+}
+
+func TestNetDesignLogUniform(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "net", "-n", "30", "-reps", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := doe.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonPow2 := 0
+	for _, tr := range d.Trials {
+		if s, err := tr.Point.Int("size"); err == nil && s&(s-1) != 0 {
+			nonPow2++
+		}
+	}
+	if nonPow2 == 0 {
+		t.Fatal("log-uniform design produced only powers of two")
+	}
+}
+
+func TestNetDesignPow2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "net", "-pow2", "-min", "64", "-max", "1024", "-reps", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		cols := strings.Split(line, ",")
+		size := cols[len(cols)-1]
+		switch size {
+		case "64", "128", "256", "512", "1024":
+		default:
+			t.Fatalf("unexpected size %q", size)
+		}
+	}
+}
+
+func TestWriteToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "design.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "mem", "-sizes", "1024", "-reps", "1", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("wrote to stdout despite -o")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-type", "alien"}, &buf); err == nil {
+		t.Fatal("bad type accepted")
+	}
+	if err := run([]string{"-type", "mem", "-sizes", "abc"}, &buf); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestMemDesignKernels(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-type", "mem", "-sizes", "8192", "-kernels", "sum,copy,triad", "-reps", "1"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := doe.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3 {
+		t.Fatalf("size = %d, want 3", d.Size())
+	}
+	if err := run([]string{"-type", "mem", "-kernels", "saxpy"}, &buf); err == nil {
+		t.Fatal("bad kernel accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Command figures regenerates the paper's tables and figures from the
+// simulated substrate, rendering each as an ASCII chart plus the fitted
+// models and check values recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"opaquebench/internal/figures"
+	"opaquebench/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	id := fs.String("id", "", "single figure id (e.g. fig07); empty = all")
+	seed := fs.Uint64("seed", 20170529, "base seed for all campaigns")
+	outDir := fs.String("outdir", "", "write one .txt per figure into this directory")
+	list := fs.Bool("list", false, "list available figure ids and exit")
+	robust := fs.Int("robust", 0, "rerun the figure across N seeds and report per-check min/median/max (requires -id)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *robust > 0 {
+		if *id == "" {
+			return fmt.Errorf("-robust requires -id")
+		}
+		g, err := figures.ByID(*id)
+		if err != nil {
+			return err
+		}
+		return robustSweep(out, g, *seed, *robust)
+	}
+
+	gens := figures.All()
+	if *list {
+		for _, g := range gens {
+			fmt.Fprintf(out, "%-18s %s\n", g.ID, g.Title)
+		}
+		return nil
+	}
+	if *id != "" {
+		g, err := figures.ByID(*id)
+		if err != nil {
+			return err
+		}
+		gens = []figures.Generator{g}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, g := range gens {
+		fig, err := g.Make(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.ID, err)
+		}
+		text := fig.Render()
+		if *outDir != "" {
+			path := filepath.Join(*outDir, g.ID+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+			continue
+		}
+		fmt.Fprintln(out, text)
+	}
+	return nil
+}
+
+// robustSweep reruns one figure across n consecutive seeds and prints, per
+// check value, the min / median / max — the quantitative answer to "is this
+// reproduction a lucky seed?". Checks tied to a single observed episode
+// (e.g. whether an interference window fired) are expected to spread; the
+// shape checks should stay tight.
+func robustSweep(out io.Writer, g figures.Generator, baseSeed uint64, n int) error {
+	values := map[string][]float64{}
+	for i := 0; i < n; i++ {
+		fig, err := g.Make(baseSeed + uint64(i))
+		if err != nil {
+			return fmt.Errorf("%s seed %d: %w", g.ID, baseSeed+uint64(i), err)
+		}
+		for k, v := range fig.Checks {
+			values[k] = append(values[k], v)
+		}
+	}
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(out, "%s across %d seeds (base %d):\n", g.ID, n, baseSeed)
+	fmt.Fprintf(out, "%-42s %12s %12s %12s\n", "check", "min", "median", "max")
+	for _, k := range keys {
+		vs := values[k]
+		fmt.Fprintf(out, "%-42s %12.6g %12.6g %12.6g\n",
+			k, stats.Min(vs), stats.Median(vs), stats.Max(vs))
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"fig03", "fig07", "fig12", "pitfall-III.1"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleFigureToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "fig05"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Opteron") {
+		t.Fatalf("fig05 output:\n%s", buf.String())
+	}
+}
+
+func TestOutDir(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "fig13", "-outdir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig13.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Operating system") {
+		t.Fatal("figure file incomplete")
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "fig99"}, &buf); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if err := run([]string{"-zzz"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRobustSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "pitfall-III.3", "-robust", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "across 3 seeds") || !strings.Contains(out, "median") {
+		t.Fatalf("sweep output:\n%s", out)
+	}
+	if !strings.Contains(out, "neutral_break_count") {
+		t.Fatalf("missing check rows:\n%s", out)
+	}
+	if err := run([]string{"-robust", "2"}, &buf); err == nil {
+		t.Fatal("-robust without -id accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Command membench runs a white-box memory campaign against one of the
+// simulated Figure 5 machines: it reads (or generates) a randomized design,
+// executes every trial in design order through the membench engine, and
+// writes the full raw results plus the captured environment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/cpusim"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/membench"
+	"opaquebench/internal/memsim"
+	"opaquebench/internal/ossim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "membench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("membench", flag.ContinueOnError)
+	machine := fs.String("machine", "i7", "machine: opteron, p4, i7, snowball")
+	designPath := fs.String("design", "", "design CSV (from designgen); empty generates a default ladder")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	governor := fs.String("governor", "performance", "DVFS governor: performance, powersave, ondemand, conservative")
+	alloc := fs.String("alloc", "contiguous", "allocation: contiguous, pool, arena")
+	policy := fs.String("policy", "other", "scheduling policy: other, rt")
+	reps := fs.Int("reps", 42, "replicates when generating the default design")
+	outPath := fs.String("o", "", "raw results CSV (default stdout)")
+	envPath := fs.String("env", "", "environment JSON output (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := memsim.MachineByName(*machine)
+	if err != nil {
+		return err
+	}
+	var gov cpusim.Governor
+	switch *governor {
+	case "performance":
+		gov = cpusim.Performance{}
+	case "powersave":
+		gov = cpusim.Powersave{}
+	case "ondemand":
+		gov = cpusim.Ondemand{}
+	case "conservative":
+		gov = cpusim.Conservative{}
+	default:
+		return fmt.Errorf("unknown governor %q", *governor)
+	}
+	var pol ossim.Policy
+	switch *policy {
+	case "other":
+		pol = ossim.PolicyOther
+	case "rt":
+		pol = ossim.PolicyRT
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	var design *doe.Design
+	if *designPath != "" {
+		f, err := os.Open(*designPath)
+		if err != nil {
+			return err
+		}
+		design, err = doe.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		var sizes []int
+		for s := 1 << 10; s <= m.Levels[len(m.Levels)-1].SizeBytes*4; s *= 2 {
+			sizes = append(sizes, s)
+		}
+		design, err = doe.FullFactorial(membench.Factors(sizes, nil, nil, []int{100}, nil),
+			doe.Options{Replicates: *reps, Seed: *seed, Randomize: true})
+		if err != nil {
+			return err
+		}
+	}
+
+	eng, err := membench.NewEngine(membench.Config{
+		Machine:    m,
+		Seed:       *seed,
+		Governor:   gov,
+		Allocation: *alloc,
+		Sched:      ossim.Config{Policy: pol},
+	})
+	if err != nil {
+		return err
+	}
+	res, err := (&core.Campaign{Design: design, Engine: eng}).Run()
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := res.WriteCSV(w); err != nil {
+		return err
+	}
+	if *envPath != "" {
+		f, err := os.Create(*envPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Env.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/meta"
+)
+
+func TestDefaultCampaign(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machine", "opteron", "-reps", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("no records")
+	}
+	for _, rec := range res.Records {
+		if rec.Value <= 0 {
+			t.Fatalf("bandwidth %v", rec.Value)
+		}
+	}
+}
+
+func TestDesignFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	designPath := filepath.Join(dir, "design.csv")
+	design := "seq,rep,nloops,size,stride\n0,0,50,4096,1\n1,0,50,8192,1\n"
+	if err := os.WriteFile(designPath, []byte(design), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.csv")
+	envPath := filepath.Join(dir, "env.json")
+	var buf bytes.Buffer
+	err := run([]string{"-machine", "p4", "-design", designPath, "-o", outPath, "-env", envPath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := core.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("records = %d, want 2", res.Len())
+	}
+	ef, err := os.Open(envPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	env, err := meta.ReadJSON(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Get("machine") != "Pentium 4" {
+		t.Fatalf("env machine = %q", env.Get("machine"))
+	}
+}
+
+func TestGovernorAndPolicyFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machine", "i7", "-governor", "ondemand", "-policy", "rt", "-reps", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-machine", "i7", "-governor", "powersave", "-reps", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"-machine", "cray"},
+		{"-machine", "i7", "-governor", "warp"},
+		{"-machine", "i7", "-policy", "fifo99"},
+		{"-machine", "i7", "-alloc", "slab"},
+		{"-design", "/nonexistent/design.csv"},
+		{"-wat"},
+	}
+	for _, c := range cases {
+		if err := run(c, &buf); err == nil {
+			t.Fatalf("args %v accepted", c)
+		}
+	}
+}

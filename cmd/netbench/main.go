@@ -1,0 +1,115 @@
+// Command netbench runs a white-box network campaign against a simulated
+// network profile: randomized log-uniform message sizes (Equation 1), the
+// three Section V.A operations, raw per-measurement logging, and an optional
+// temporal perturbation for pitfall studies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/netbench"
+	"opaquebench/internal/netsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("netbench", flag.ContinueOnError)
+	profile := fs.String("profile", "taurus", "network profile: taurus, myrinet-openmpi, myrinet-gm")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	nSizes := fs.Int("n", 200, "number of log-uniform message sizes")
+	minSize := fs.Int("min", 16, "minimum message size (bytes)")
+	maxSize := fs.Int("max", 2<<20, "maximum message size (bytes)")
+	reps := fs.Int("reps", 4, "replicates per (size, op)")
+	randomize := fs.Bool("randomize", true, "randomize execution order")
+	perturbFactor := fs.Float64("perturb-factor", 0, "temporal perturbation stretch factor (0 = none)")
+	perturbStart := fs.Float64("perturb-start", 0, "perturbation window start (virtual seconds)")
+	perturbEnd := fs.Float64("perturb-end", 0, "perturbation window end (virtual seconds)")
+	outPath := fs.String("o", "", "raw results CSV (default stdout)")
+	envPath := fs.String("env", "", "environment JSON output (optional)")
+	fitBreaks := fs.Bool("fit", false, "after the campaign, print the supervised LogGP fit using the profile's true breakpoints")
+	collective := fs.Bool("collective", false, "measure collectives (bcast, allreduce, barrier) instead of point-to-point operations")
+	ranks := fs.Int("ranks", 8, "communicator size for collective campaigns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := netsim.ProfileByName(*profile)
+	if err != nil {
+		return err
+	}
+	var design *doe.Design
+	var engine core.Engine
+	if *collective {
+		design, err = netbench.CollectiveDesign(*seed, *nSizes, *minSize, *maxSize, *reps,
+			[]string{netbench.OpBcast, netbench.OpAllreduce, netbench.OpBarrier}, *randomize)
+		if err != nil {
+			return err
+		}
+		engine, err = netbench.NewCollectiveEngine(netbench.CollectiveConfig{
+			Profile: p, Ranks: *ranks, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		var perturber *netsim.Perturber
+		if *perturbFactor > 1 {
+			perturber = netsim.NewPerturber(*perturbFactor,
+				netsim.Window{Start: *perturbStart, End: *perturbEnd})
+		}
+		design, err = netbench.Design(*seed, *nSizes, *minSize, *maxSize, *reps, nil, *randomize)
+		if err != nil {
+			return err
+		}
+		engine, err = netbench.NewEngine(netbench.Config{Profile: p, Seed: *seed, Perturber: perturber})
+		if err != nil {
+			return err
+		}
+	}
+	res, err := (&core.Campaign{Design: design, Engine: engine}).Run()
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := res.WriteCSV(w); err != nil {
+		return err
+	}
+	if *envPath != "" {
+		f, err := os.Create(*envPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Env.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	if *fitBreaks && !*collective {
+		model, err := netbench.FitLogGP(res, p.Breakpoints())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "LogGP model (breakpoints %v):\n%s", p.Breakpoints(), model.String())
+	}
+	return nil
+}

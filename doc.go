@@ -1,0 +1,24 @@
+// Package opaquebench is a Go reproduction of Stanisic, Schnorr, Degomme,
+// Heinrich, Legrand and Videau, "Characterizing the Performance of Modern
+// Architectures Through Opaque Benchmarks: Pitfalls Learned the Hard Way"
+// (IPDPS 2017 RepPar workshop, hal-01470399).
+//
+// The repository builds, from scratch and on the standard library only:
+//
+//   - the paper's contribution — a three-stage white-box benchmarking
+//     methodology (internal/doe design + internal/core engine orchestration
+//     and raw-record logging + internal/stats offline analysis);
+//   - every substrate the paper's experiments ran on, as deterministic
+//     seedable simulators: the Figure 5 machines with set-associative
+//     physically-indexed caches and page allocation (internal/memsim), DVFS
+//     governors over virtual time (internal/cpusim), OS scheduling and
+//     interference (internal/ossim), and LogGP-family piecewise network
+//     models with protocol regimes and planted quirks (internal/netsim);
+//   - the criticized opaque benchmarks — PMB, MultiMAPS, NetGauge's online
+//     detector, PLogP's adaptive probe (internal/opaque);
+//   - a generator per paper figure/table (internal/figures), exercised by
+//     the benchmarks in bench_test.go and the cmd/figures tool.
+//
+// See DESIGN.md for the system inventory and the per-experiment index, and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package opaquebench

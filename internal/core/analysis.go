@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"opaquebench/internal/stats"
+)
+
+// This file is the third methodology stage: supervised offline analysis of
+// raw campaign results. Everything operates on the complete record set —
+// mode detection, temporal-contiguity diagnosis, and piecewise fits with
+// analyst-provided or automatically searched breakpoints.
+
+// GroupSummary is the per-level summary of one factor, with the raw values
+// retained alongside the aggregates (the aggregates never replace them).
+type GroupSummary struct {
+	// Level is the factor level (textual).
+	Level string
+	// X is the numeric value of the level, NaN when non-numeric.
+	X float64
+	// Summary holds descriptive statistics.
+	Summary stats.Summary
+	// Values are the raw observations of the group.
+	Values []float64
+}
+
+// SummarizeBy groups values by a factor and summarizes each group, sorted by
+// numeric level where possible.
+func SummarizeBy(r *Results, factor string) []GroupSummary {
+	groups := map[string][]float64{}
+	xs := map[string]float64{}
+	for _, rec := range r.Records {
+		k := rec.Point.Get(factor)
+		groups[k] = append(groups[k], rec.Value)
+		if x, err := rec.Point.Float(factor); err == nil {
+			xs[k] = x
+		}
+	}
+	out := make([]GroupSummary, 0, len(groups))
+	for k, vs := range groups {
+		g := GroupSummary{Level: k, Summary: stats.Summarize(vs), Values: vs}
+		if x, ok := xs[k]; ok {
+			g.X = x
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Level < out[j].Level
+	})
+	return out
+}
+
+// FitPiecewise fits a piecewise-linear model of value against a numeric
+// factor with analyst-provided breakpoints — the supervised fit of
+// Section V.A.
+func FitPiecewise(r *Results, factor string, breaks []float64) (stats.PiecewiseFit, error) {
+	xs, ys := r.XY(factor)
+	if len(xs) == 0 {
+		return stats.PiecewiseFit{}, fmt.Errorf("core: factor %q has no numeric levels", factor)
+	}
+	return stats.FitPiecewise(xs, ys, breaks)
+}
+
+// FitSegmented searches for up to maxBreaks breakpoints with BIC selection —
+// the "initial neutral look regarding the number of breakpoints" of
+// Figure 4.
+func FitSegmented(r *Results, factor string, maxBreaks, minSeg int) (stats.PiecewiseFit, error) {
+	xs, ys := r.XY(factor)
+	if len(xs) == 0 {
+		return stats.PiecewiseFit{}, fmt.Errorf("core: factor %q has no numeric levels", factor)
+	}
+	return stats.SelectSegmented(xs, ys, maxBreaks, minSeg)
+}
+
+// ModeDiagnosis is the offline bimodality analysis that exposed the
+// scheduler pitfall of Figure 11.
+type ModeDiagnosis struct {
+	// Split is the two-cluster decomposition of all values.
+	Split stats.ModeSplit
+	// LowModeFraction is the share of observations in the low cluster.
+	LowModeFraction float64
+	// Contiguity is the fraction of low-mode observations contained in
+	// the single longest run of execution order; values near 1 implicate
+	// one temporal episode (an external process), values near 0 suggest
+	// independent noise.
+	Contiguity float64
+	// LowRunStart and LowRunLength locate the longest low-mode run in
+	// execution order.
+	LowRunStart, LowRunLength int
+}
+
+// DiagnoseModes clusters all values into two modes and measures how
+// temporally contiguous the low mode is. Records must be in execution order
+// (as Run produces them).
+func DiagnoseModes(r *Results) (ModeDiagnosis, error) {
+	vals := r.Values()
+	split, err := stats.SplitModes(vals)
+	if err != nil {
+		return ModeDiagnosis{}, err
+	}
+	flags := make([]bool, len(vals))
+	for i, v := range vals {
+		flags[i] = v <= split.Boundary
+	}
+	start, length := stats.LongestRun(flags)
+	d := ModeDiagnosis{
+		Split:           split,
+		LowModeFraction: float64(split.LowN) / float64(len(vals)),
+		Contiguity:      stats.RunsContiguity(flags),
+		LowRunStart:     start,
+		LowRunLength:    length,
+	}
+	return d, nil
+}
+
+// String renders the diagnosis.
+func (d ModeDiagnosis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "modes: low=%.4g (n=%d) high=%.4g (n=%d) ratio=%.2f sep=%.1f\n",
+		d.Split.LowMean, d.Split.LowN, d.Split.HighMean, d.Split.HighN, d.Split.Ratio(), d.Split.Separation)
+	fmt.Fprintf(&b, "low-mode fraction=%.2f contiguity=%.2f longest-run=[%d, +%d)\n",
+		d.LowModeFraction, d.Contiguity, d.LowRunStart, d.LowRunLength)
+	return b.String()
+}
+
+// VariabilityByGroup returns, per level of the grouping factor, the
+// coefficient of variation of the group — the Figure 4 diagnostic that
+// flagged the medium-size receive variability.
+func VariabilityByGroup(r *Results, factor string) map[string]float64 {
+	out := map[string]float64{}
+	for k, vs := range r.GroupBy(factor) {
+		out[k] = stats.CV(vs)
+	}
+	return out
+}
+
+// MainEffects ranks the campaign's factors by how much response variance
+// their levels explain (one-way ANOVA eta-squared) — the quantitative form
+// of the Figure 13 cause-and-effect question.
+func MainEffects(r *Results) ([]stats.FactorEffect, error) {
+	obs := make([]stats.Observation, 0, len(r.Records))
+	for _, rec := range r.Records {
+		levels := make(map[string]string, len(rec.Point))
+		for k, v := range rec.Point {
+			levels[k] = string(v)
+		}
+		obs = append(obs, stats.Observation{Levels: levels, Value: rec.Value})
+	}
+	return stats.MainEffects(obs)
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"opaquebench/internal/doe"
+	"opaquebench/internal/xrand"
+)
+
+// synthetic builds results with value = f(x) + noise for factor "size".
+func synthetic(t *testing.T, sizes []int, reps int, f func(x float64, rep int) float64) *Results {
+	t.Helper()
+	res := &Results{}
+	seq := 0
+	for rep := 0; rep < reps; rep++ {
+		for _, s := range sizes {
+			res.Records = append(res.Records, RawRecord{
+				Seq:   seq,
+				Rep:   rep,
+				Point: doe.Point{"size": doe.Level(itoa(s))},
+				Value: f(float64(s), rep),
+			})
+			seq++
+		}
+	}
+	return res
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func TestSummarizeBySortedNumerically(t *testing.T) {
+	res := synthetic(t, []int{100, 2, 30}, 3, func(x float64, _ int) float64 { return x })
+	gs := SummarizeBy(res, "size")
+	if len(gs) != 3 {
+		t.Fatalf("groups = %d", len(gs))
+	}
+	if gs[0].X != 2 || gs[1].X != 30 || gs[2].X != 100 {
+		t.Fatalf("order = %v %v %v", gs[0].X, gs[1].X, gs[2].X)
+	}
+	if gs[0].Summary.N != 3 {
+		t.Fatalf("group size = %d", gs[0].Summary.N)
+	}
+	if len(gs[0].Values) != 3 {
+		t.Fatal("raw values not retained")
+	}
+}
+
+func TestFitPiecewiseSupervised(t *testing.T) {
+	sizes := make([]int, 50)
+	for i := range sizes {
+		sizes[i] = (i + 1) * 10
+	}
+	res := synthetic(t, sizes, 2, func(x float64, _ int) float64 {
+		if x < 250 {
+			return 1 + 0.1*x
+		}
+		return 1 + 0.1*250 + 0.5*(x-250)
+	})
+	pf, err := FitPiecewise(res, "size", []float64{250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Segments) != 2 {
+		t.Fatalf("segments = %d", len(pf.Segments))
+	}
+	if math.Abs(pf.Segments[0].Fit.Slope-0.1) > 0.01 {
+		t.Fatalf("slope0 = %v", pf.Segments[0].Fit.Slope)
+	}
+	if math.Abs(pf.Segments[1].Fit.Slope-0.5) > 0.01 {
+		t.Fatalf("slope1 = %v", pf.Segments[1].Fit.Slope)
+	}
+}
+
+func TestFitSegmentedAuto(t *testing.T) {
+	sizes := make([]int, 80)
+	for i := range sizes {
+		sizes[i] = (i + 1) * 10
+	}
+	r := xrand.New(3)
+	res := synthetic(t, sizes, 2, func(x float64, _ int) float64 {
+		y := 1 + 0.1*x
+		if x >= 400 {
+			y = 1 + 0.1*400 + 0.9*(x-400)
+		}
+		return y + r.NormFloat64()*0.5
+	})
+	pf, err := FitSegmented(res, "size", 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Breaks) != 1 {
+		t.Fatalf("breaks = %v, want one", pf.Breaks)
+	}
+	if math.Abs(pf.Breaks[0]-400) > 30 {
+		t.Fatalf("break = %v, want ~400", pf.Breaks[0])
+	}
+}
+
+func TestFitErrorsOnNonNumericFactor(t *testing.T) {
+	res := &Results{Records: []RawRecord{{Point: doe.Point{"op": "send"}, Value: 1}}}
+	if _, err := FitPiecewise(res, "op", nil); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := FitSegmented(res, "op", 2, 2); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDiagnoseModesBimodalContiguous(t *testing.T) {
+	// 100 measurements; a contiguous block [40, 65) runs 5x slower —
+	// the Figure 11 scenario.
+	res := &Results{}
+	for i := 0; i < 100; i++ {
+		v := 1500.0
+		if i >= 40 && i < 65 {
+			v = 300
+		}
+		res.Records = append(res.Records, RawRecord{Seq: i, Value: v, Point: doe.Point{}})
+	}
+	d, err := DiagnoseModes(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Split.Bimodal(0.1, 3) {
+		t.Fatalf("bimodality missed: %+v", d.Split)
+	}
+	if math.Abs(d.Split.Ratio()-5) > 0.5 {
+		t.Fatalf("ratio = %v, want ~5", d.Split.Ratio())
+	}
+	if d.Contiguity != 1 {
+		t.Fatalf("contiguity = %v, want 1", d.Contiguity)
+	}
+	if d.LowRunStart != 40 || d.LowRunLength != 25 {
+		t.Fatalf("run = [%d, +%d)", d.LowRunStart, d.LowRunLength)
+	}
+	if d.String() == "" {
+		t.Fatal("empty diagnosis string")
+	}
+}
+
+func TestDiagnoseModesScatteredNoise(t *testing.T) {
+	// Independent scattered lows have low contiguity.
+	res := &Results{}
+	for i := 0; i < 100; i++ {
+		v := 1500.0
+		if i%10 == 0 {
+			v = 300
+		}
+		res.Records = append(res.Records, RawRecord{Seq: i, Value: v, Point: doe.Point{}})
+	}
+	d, err := DiagnoseModes(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Contiguity > 0.3 {
+		t.Fatalf("scattered noise should have low contiguity: %v", d.Contiguity)
+	}
+}
+
+func TestDiagnoseModesEmpty(t *testing.T) {
+	if _, err := DiagnoseModes(&Results{}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestVariabilityByGroup(t *testing.T) {
+	res := &Results{}
+	// Group "a": constant; group "b": spread.
+	for i := 0; i < 10; i++ {
+		res.Records = append(res.Records,
+			RawRecord{Point: doe.Point{"g": "a"}, Value: 5},
+			RawRecord{Point: doe.Point{"g": "b"}, Value: float64(1 + i)},
+		)
+	}
+	cv := VariabilityByGroup(res, "g")
+	if cv["a"] != 0 {
+		t.Fatalf("cv[a] = %v", cv["a"])
+	}
+	if cv["b"] <= 0.3 {
+		t.Fatalf("cv[b] = %v, want substantial", cv["b"])
+	}
+}
+
+func TestMainEffectsFromResults(t *testing.T) {
+	// "size" drives the value; "rep-ish" factor does not.
+	res := &Results{}
+	r := xrand.New(71)
+	for i := 0; i < 200; i++ {
+		size := []string{"1024", "65536"}[i%2]
+		v := 100.0
+		if size == "65536" {
+			v = 50
+		}
+		res.Records = append(res.Records, RawRecord{
+			Point: doe.Point{"size": doe.Level(size), "noise": doe.Level([]string{"a", "b"}[r.IntN(2)])},
+			Value: v + r.NormFloat64(),
+		})
+	}
+	effects, err := MainEffects(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if effects[0].Factor != "size" || effects[0].EtaSquared < 0.9 {
+		t.Fatalf("effects = %+v", effects)
+	}
+}

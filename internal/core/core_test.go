@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"opaquebench/internal/doe"
+	"opaquebench/internal/meta"
+)
+
+// fakeEngine returns value = size*2 + rep, annotated.
+type fakeEngine struct {
+	calls int
+	fail  bool
+}
+
+func (f *fakeEngine) Execute(t doe.Trial) (RawRecord, error) {
+	f.calls++
+	if f.fail {
+		return RawRecord{}, fmt.Errorf("boom")
+	}
+	size, err := t.Point.Int("size")
+	if err != nil {
+		return RawRecord{}, err
+	}
+	rec := RawRecord{Value: float64(size*2 + t.Rep), Seconds: 0.001, At: float64(f.calls)}
+	rec.Annotate("note", "ok")
+	return rec, nil
+}
+
+func (f *fakeEngine) Environment() *meta.Environment {
+	return meta.New().Set("engine", "fake")
+}
+
+func testDesign(t *testing.T, reps int) *doe.Design {
+	t.Helper()
+	d, err := doe.FullFactorial([]doe.Factor{
+		doe.IntFactor("size", 10, 20, 30),
+		doe.IntFactor("stride", 1, 2),
+	}, doe.Options{Replicates: reps, Seed: 42, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func runCampaign(t *testing.T, reps int) *Results {
+	t.Helper()
+	c := Campaign{Design: testDesign(t, reps), Engine: &fakeEngine{}}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCampaignRunsAllTrialsInOrder(t *testing.T) {
+	res := runCampaign(t, 3)
+	if res.Len() != 18 {
+		t.Fatalf("records = %d, want 18", res.Len())
+	}
+	for i, rec := range res.Records {
+		if rec.Seq != i {
+			t.Fatalf("record %d has Seq %d: execution order broken", i, rec.Seq)
+		}
+	}
+}
+
+func TestCampaignCapturesEnvironment(t *testing.T) {
+	res := runCampaign(t, 1)
+	if res.Env.Get("engine") != "fake" {
+		t.Fatal("engine environment lost")
+	}
+	if res.Env.Get("design/trials") != "6" {
+		t.Fatalf("trials = %q", res.Env.Get("design/trials"))
+	}
+	if res.Env.Get("design/randomized") != "true" {
+		t.Fatal("randomization flag not captured")
+	}
+}
+
+func TestCampaignPropagatesErrors(t *testing.T) {
+	c := Campaign{Design: testDesign(t, 1), Engine: &fakeEngine{fail: true}}
+	if _, err := c.Run(); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestCampaignNilParts(t *testing.T) {
+	if _, err := (&Campaign{}).Run(); err == nil {
+		t.Fatal("want error for empty campaign")
+	}
+}
+
+func TestResultsGroupBy(t *testing.T) {
+	res := runCampaign(t, 2)
+	groups := res.GroupBy("size")
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	// size 10 -> values 20 + rep for both strides and 2 reps = 4 records.
+	if len(groups["10"]) != 4 {
+		t.Fatalf("size-10 group = %d records", len(groups["10"]))
+	}
+}
+
+func TestResultsXY(t *testing.T) {
+	res := runCampaign(t, 1)
+	xs, ys := res.XY("size")
+	if len(xs) != res.Len() || len(ys) != res.Len() {
+		t.Fatal("XY dropped records")
+	}
+}
+
+func TestResultsFilter(t *testing.T) {
+	res := runCampaign(t, 1)
+	sub := res.Filter(func(r RawRecord) bool { return r.Point.Get("stride") == "1" })
+	if sub.Len() != 3 {
+		t.Fatalf("filtered = %d, want 3", sub.Len())
+	}
+}
+
+func TestResultsValuesOrder(t *testing.T) {
+	res := runCampaign(t, 1)
+	vals := res.Values()
+	if len(vals) != res.Len() {
+		t.Fatal("values length")
+	}
+	for i, rec := range res.Records {
+		if vals[i] != rec.Value {
+			t.Fatal("values out of order")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	res := runCampaign(t, 2)
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != res.Len() {
+		t.Fatalf("round trip %d != %d", got.Len(), res.Len())
+	}
+	for i := range res.Records {
+		a, b := res.Records[i], got.Records[i]
+		if a.Seq != b.Seq || a.Value != b.Value || a.Point.Key() != b.Point.Key() {
+			t.Fatalf("record %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+		if b.Extra["note"] != "ok" {
+			t.Fatalf("extras lost: %+v", b.Extra)
+		}
+	}
+}
+
+func TestReadCSVBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b,c\n",
+		"seq,rep,value,seconds,at\nx,0,1,1,1\n",
+		"seq,rep,value,seconds,at\n0,0,notanumber,1,1\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("want error for %q", c)
+		}
+	}
+}
+
+func TestAnnotateNilMap(t *testing.T) {
+	var r RawRecord
+	r.Annotate("k", "v")
+	if r.Extra["k"] != "v" {
+		t.Fatal("annotate on zero record failed")
+	}
+}

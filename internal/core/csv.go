@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"opaquebench/internal/doe"
+)
+
+// Raw results travel as CSV so the analysis stage (and any external tool)
+// can consume them long after the campaign: columns seq, rep, value,
+// seconds, at, then factors (sorted), then extras (sorted, prefixed "x_").
+
+// WriteCSV serializes the raw records.
+func (r *Results) WriteCSV(w io.Writer) error {
+	factorSet := map[string]bool{}
+	extraSet := map[string]bool{}
+	for _, rec := range r.Records {
+		for k := range rec.Point {
+			factorSet[k] = true
+		}
+		for k := range rec.Extra {
+			extraSet[k] = true
+		}
+	}
+	factors := sortedKeys(factorSet)
+	extras := sortedKeys(extraSet)
+
+	cw := csv.NewWriter(w)
+	header := []string{"seq", "rep", "value", "seconds", "at"}
+	header = append(header, factors...)
+	for _, e := range extras {
+		header = append(header, "x_"+e)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("core: write header: %w", err)
+	}
+	for _, rec := range r.Records {
+		row := []string{
+			strconv.Itoa(rec.Seq),
+			strconv.Itoa(rec.Rep),
+			strconv.FormatFloat(rec.Value, 'g', -1, 64),
+			strconv.FormatFloat(rec.Seconds, 'g', -1, 64),
+			strconv.FormatFloat(rec.At, 'g', -1, 64),
+		}
+		for _, f := range factors {
+			row = append(row, rec.Point.Get(f))
+		}
+		for _, e := range extras {
+			row = append(row, rec.Extra[e])
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("core: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses results written by WriteCSV.
+func ReadCSV(r io.Reader) (*Results, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("core: read csv: %w", err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("core: empty csv")
+	}
+	header := rows[0]
+	if len(header) < 5 || header[0] != "seq" || header[1] != "rep" || header[2] != "value" {
+		return nil, fmt.Errorf("core: bad header %v", header)
+	}
+	res := &Results{}
+	for ri, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("core: row %d has %d columns, want %d", ri+1, len(row), len(header))
+		}
+		var rec RawRecord
+		var err error
+		if rec.Seq, err = strconv.Atoi(row[0]); err != nil {
+			return nil, fmt.Errorf("core: row %d seq: %w", ri+1, err)
+		}
+		if rec.Rep, err = strconv.Atoi(row[1]); err != nil {
+			return nil, fmt.Errorf("core: row %d rep: %w", ri+1, err)
+		}
+		if rec.Value, err = strconv.ParseFloat(row[2], 64); err != nil {
+			return nil, fmt.Errorf("core: row %d value: %w", ri+1, err)
+		}
+		if rec.Seconds, err = strconv.ParseFloat(row[3], 64); err != nil {
+			return nil, fmt.Errorf("core: row %d seconds: %w", ri+1, err)
+		}
+		if rec.At, err = strconv.ParseFloat(row[4], 64); err != nil {
+			return nil, fmt.Errorf("core: row %d at: %w", ri+1, err)
+		}
+		rec.Point = make(doe.Point)
+		for ci := 5; ci < len(header); ci++ {
+			name := header[ci]
+			if len(name) > 2 && name[:2] == "x_" {
+				rec.Annotate(name[2:], row[ci])
+			} else {
+				rec.Point[name] = doe.Level(row[ci])
+			}
+		}
+		res.Records = append(res.Records, rec)
+	}
+	return res, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

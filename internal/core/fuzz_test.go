@@ -1,0 +1,36 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the raw-results parser with arbitrary input: never
+// panic, and accepted inputs must round-trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("seq,rep,value,seconds,at\n0,0,1.5,0.001,0\n")
+	f.Add("seq,rep,value,seconds,at,size,x_note\n0,0,1,1,1,1024,hello\n")
+	f.Add("")
+	f.Add("seq,rep,value,seconds,at\nNaN,x,y,z,w\n")
+	f.Add("a,b\n1,2\n")
+	f.Add("seq,rep,value,seconds,at\n0,0,1e309,0,0\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		res, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted results failed to serialize: %v", err)
+		}
+		res2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if res2.Len() != res.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", res.Len(), res2.Len())
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package cpusim
+
+import "fmt"
+
+// Clock is a virtual-time CPU clock with governor-driven frequency scaling.
+//
+// The zero value is not usable; construct with NewClock. The clock keeps
+// virtual time in seconds and work in cycles. Governor evaluations happen at
+// fixed sampling-period boundaries regardless of what the workload does,
+// which is exactly why short workloads can complete entirely at the idle
+// frequency (Figure 10, small nloops).
+type Clock struct {
+	table  FreqTable
+	gov    Governor
+	period float64 // governor sampling period, seconds
+
+	now      float64 // virtual time
+	nextEval float64 // next governor evaluation boundary
+	lastEval float64 // previous evaluation boundary
+	cur      float64 // current frequency, Hz
+	busy     float64 // busy seconds within the current window
+}
+
+// NewClock builds a clock. phase is the delay (seconds, in [0, period))
+// until the first governor evaluation; callers randomize it per measurement
+// to model the arbitrary alignment between benchmark starts and governor
+// sampling. The initial frequency is the governor's decision for an idle
+// window (load 0), i.e. the minimum for ondemand/powersave and the maximum
+// for performance.
+func NewClock(table FreqTable, gov Governor, period, phase float64) (*Clock, error) {
+	if err := table.Validate(); err != nil {
+		return nil, err
+	}
+	if gov == nil {
+		return nil, fmt.Errorf("cpusim: nil governor")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("cpusim: sampling period must be positive, got %v", period)
+	}
+	if phase < 0 || phase >= period {
+		phase = 0
+	}
+	c := &Clock{table: table, gov: gov, period: period}
+	c.cur = gov.Next(table.Min(), 0, table)
+	c.nextEval = phase
+	if phase == 0 {
+		c.nextEval = period
+	}
+	return c, nil
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// FreqHz returns the currently selected frequency.
+func (c *Clock) FreqHz() float64 { return c.cur }
+
+// ExecuteCycles runs `cycles` cycles of busy work, advancing virtual time
+// through governor evaluations, and returns the elapsed virtual seconds.
+func (c *Clock) ExecuteCycles(cycles float64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	start := c.now
+	remaining := cycles
+	for remaining > 0 {
+		dt := c.nextEval - c.now
+		canDo := dt * c.cur
+		if canDo >= remaining {
+			step := remaining / c.cur
+			c.now += step
+			c.busy += step
+			remaining = 0
+			break
+		}
+		remaining -= canDo
+		c.now = c.nextEval
+		c.busy += dt
+		c.evaluate()
+	}
+	return c.now - start
+}
+
+// Idle advances virtual time by d seconds of idleness (no busy work),
+// letting the governor ramp the frequency back down at each boundary.
+func (c *Clock) Idle(d float64) {
+	target := c.now + d
+	for c.nextEval <= target {
+		c.now = c.nextEval
+		c.evaluate()
+	}
+	c.now = target
+}
+
+// evaluate applies the governor at a sampling boundary. Load is measured
+// over the actual window since the previous evaluation (the first window may
+// be shorter than the period because of the phase offset).
+func (c *Clock) evaluate() {
+	window := c.now - c.lastEval
+	if window <= 0 {
+		window = c.period
+	}
+	load := c.busy / window
+	if load > 1 {
+		load = 1
+	}
+	c.cur = c.gov.Next(c.cur, load, c.table)
+	c.busy = 0
+	c.lastEval = c.now
+	c.nextEval += c.period
+}
+
+// TimeForCycles is a convenience for frequency-invariant estimates: the time
+// `cycles` would take at a fixed frequency, with no governor involved.
+func TimeForCycles(cycles, freqHz float64) float64 {
+	if freqHz <= 0 {
+		return 0
+	}
+	return cycles / freqHz
+}

@@ -1,0 +1,321 @@
+package cpusim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opaquebench/internal/xrand"
+)
+
+var sandyBridge = FreqTable{1.6e9, 2.0e9, 2.6e9, 3.0e9, 3.4e9}
+
+func TestFreqTableValidate(t *testing.T) {
+	if err := sandyBridge.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []FreqTable{
+		{},
+		{2e9, 1e9},
+		{0, 1e9},
+		{1e9, 1e9},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("table %v should be invalid", b)
+		}
+	}
+}
+
+func TestFreqTableAtLeast(t *testing.T) {
+	if got := sandyBridge.AtLeast(1.7e9); got != 2.0e9 {
+		t.Fatalf("AtLeast = %v", got)
+	}
+	if got := sandyBridge.AtLeast(9e9); got != 3.4e9 {
+		t.Fatalf("AtLeast above max = %v", got)
+	}
+	if got := sandyBridge.AtLeast(0); got != 1.6e9 {
+		t.Fatalf("AtLeast(0) = %v", got)
+	}
+}
+
+func TestGovernorNames(t *testing.T) {
+	cases := map[string]Governor{
+		"performance": Performance{},
+		"powersave":   Powersave{},
+		"userspace":   Userspace{},
+		"ondemand":    Ondemand{},
+	}
+	for want, g := range cases {
+		if g.Name() != want {
+			t.Fatalf("name = %q, want %q", g.Name(), want)
+		}
+	}
+}
+
+func TestPerformancePinsMax(t *testing.T) {
+	g := Performance{}
+	if got := g.Next(1.6e9, 0, sandyBridge); got != 3.4e9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPowersavePinsMin(t *testing.T) {
+	g := Powersave{}
+	if got := g.Next(3.4e9, 1, sandyBridge); got != 1.6e9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUserspaceClamped(t *testing.T) {
+	if got := (Userspace{TargetHz: 2.5e9}).Next(0, 0, sandyBridge); got != 2.6e9 {
+		t.Fatalf("got %v", got)
+	}
+	if got := (Userspace{TargetHz: 0}).Next(0, 0, sandyBridge); got != 1.6e9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConservativeStepsOneState(t *testing.T) {
+	g := Conservative{}
+	if got := g.Next(1.6e9, 1.0, sandyBridge); got != 2.0e9 {
+		t.Fatalf("step up = %v, want one P-state (2.0 GHz)", got)
+	}
+	if got := g.Next(3.4e9, 0.05, sandyBridge); got != 3.0e9 {
+		t.Fatalf("step down = %v, want 3.0 GHz", got)
+	}
+	if got := g.Next(3.4e9, 1.0, sandyBridge); got != 3.4e9 {
+		t.Fatalf("saturated up = %v", got)
+	}
+	if got := g.Next(1.6e9, 0.0, sandyBridge); got != 1.6e9 {
+		t.Fatalf("saturated down = %v", got)
+	}
+	if got := g.Next(1.6e9, 0.5, sandyBridge); got != 1.6e9 {
+		t.Fatalf("mid load should hold = %v", got)
+	}
+	if g.Name() != "conservative" {
+		t.Fatal("name")
+	}
+}
+
+func TestConservativeRampSlowerThanOndemand(t *testing.T) {
+	// The same long workload takes strictly longer under conservative,
+	// because it climbs the ladder one state per sampling period.
+	work := 3.4e9 * 0.2
+	run := func(g Governor) float64 {
+		c, err := NewClock(sandyBridge, g, 0.01, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.ExecuteCycles(work)
+	}
+	if cons, ond := run(Conservative{}), run(Ondemand{}); cons <= ond {
+		t.Fatalf("conservative %v should ramp slower than ondemand %v", cons, ond)
+	}
+}
+
+func TestOndemandJumpsToMaxOnHighLoad(t *testing.T) {
+	g := Ondemand{}
+	if got := g.Next(1.6e9, 1.0, sandyBridge); got != 3.4e9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOndemandScalesDownOnIdle(t *testing.T) {
+	g := Ondemand{}
+	if got := g.Next(3.4e9, 0, sandyBridge); got != 1.6e9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestOndemandProportional(t *testing.T) {
+	g := Ondemand{UpThreshold: 0.95}
+	// load 0.5 -> target 0.5*3.4/0.95 ~ 1.79 GHz -> next P-state 2.0 GHz
+	if got := g.Next(3.4e9, 0.5, sandyBridge); got != 2.0e9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNewClockErrors(t *testing.T) {
+	if _, err := NewClock(FreqTable{}, Performance{}, 1, 0); err == nil {
+		t.Fatal("want table error")
+	}
+	if _, err := NewClock(sandyBridge, nil, 1, 0); err == nil {
+		t.Fatal("want governor error")
+	}
+	if _, err := NewClock(sandyBridge, Performance{}, 0, 0); err == nil {
+		t.Fatal("want period error")
+	}
+}
+
+func TestClockPerformanceExact(t *testing.T) {
+	c, err := NewClock(sandyBridge, Performance{}, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := c.ExecuteCycles(3.4e9) // one second of work at max
+	if math.Abs(elapsed-1.0) > 1e-9 {
+		t.Fatalf("elapsed = %v, want 1.0", elapsed)
+	}
+}
+
+func TestClockOndemandShortRunStaysSlow(t *testing.T) {
+	// A run much shorter than the sampling period completes at min freq.
+	c, err := NewClock(sandyBridge, Ondemand{}, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := 1.6e9 * 0.001 // 1 ms of work at min freq
+	elapsed := c.ExecuteCycles(cycles)
+	if math.Abs(elapsed-0.001) > 1e-9 {
+		t.Fatalf("elapsed = %v, want 0.001 (min-frequency execution)", elapsed)
+	}
+}
+
+func TestClockOndemandLongRunRampsUp(t *testing.T) {
+	// A run lasting many periods executes almost entirely at max frequency.
+	c, err := NewClock(sandyBridge, Ondemand{}, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := 3.4e9 * 1.0 // one second of work at max freq
+	elapsed := c.ExecuteCycles(cycles)
+	ideal := 1.0
+	if elapsed < ideal {
+		t.Fatalf("faster than max frequency: %v", elapsed)
+	}
+	// Only the first window runs at 1.6 GHz; overhead is bounded.
+	if elapsed > ideal*1.02 {
+		t.Fatalf("elapsed = %v, want ~%v", elapsed, ideal)
+	}
+}
+
+func TestClockIdleRampsDown(t *testing.T) {
+	c, err := NewClock(sandyBridge, Ondemand{}, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ExecuteCycles(3.4e9 * 0.1) // ramp up
+	if c.FreqHz() != 3.4e9 {
+		t.Fatalf("freq after busy = %v", c.FreqHz())
+	}
+	c.Idle(0.05)
+	if c.FreqHz() != 1.6e9 {
+		t.Fatalf("freq after idle = %v, want min", c.FreqHz())
+	}
+}
+
+func TestClockPhaseChangesOutcome(t *testing.T) {
+	// The same medium-length workload lands at different bandwidths
+	// depending on the phase: the Figure 10 bimodality mechanism.
+	work := 1.6e9 * 0.008 // 8 ms at min frequency
+	run := func(phase float64) float64 {
+		c, err := NewClock(sandyBridge, Ondemand{}, 0.01, phase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.ExecuteCycles(work)
+	}
+	slow := run(0)        // whole run inside one window at min freq
+	fast := run(0.000001) // boundary almost immediately: jumps to max
+	if fast >= slow {
+		t.Fatalf("phase should matter: fast=%v slow=%v", fast, slow)
+	}
+	if slow/fast < 1.5 {
+		t.Fatalf("mode separation too small: %v vs %v", slow, fast)
+	}
+}
+
+func TestClockRandomPhaseBimodal(t *testing.T) {
+	// Across random phases, elapsed times cluster into distinct modes.
+	r := xrand.New(99)
+	work := 1.6e9 * 0.008
+	var times []float64
+	for i := 0; i < 200; i++ {
+		c, err := NewClock(sandyBridge, Ondemand{}, 0.01, r.Float64()*0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, c.ExecuteCycles(work))
+	}
+	lo, hi := times[0], times[0]
+	for _, v := range times {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi/lo < 1.3 {
+		t.Fatalf("expected spread across modes, got [%v, %v]", lo, hi)
+	}
+}
+
+func TestClockZeroCycles(t *testing.T) {
+	c, _ := NewClock(sandyBridge, Performance{}, 0.01, 0)
+	if got := c.ExecuteCycles(0); got != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := c.ExecuteCycles(-5); got != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestClockNowAdvances(t *testing.T) {
+	c, _ := NewClock(sandyBridge, Performance{}, 0.01, 0)
+	c.ExecuteCycles(3.4e9)
+	if math.Abs(c.Now()-1.0) > 1e-9 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Idle(0.5)
+	if math.Abs(c.Now()-1.5) > 1e-9 {
+		t.Fatalf("Now after idle = %v", c.Now())
+	}
+}
+
+func TestTimeForCycles(t *testing.T) {
+	if got := TimeForCycles(2e9, 1e9); got != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got := TimeForCycles(1, 0); got != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Property: elapsed time is bounded by execution entirely at min and max
+// frequency.
+func TestClockElapsedBoundsProperty(t *testing.T) {
+	f := func(rawCycles, rawPhase float64) bool {
+		cycles := 1e6 + math.Abs(math.Mod(rawCycles, 1e10))
+		phase := math.Abs(math.Mod(rawPhase, 0.01))
+		c, err := NewClock(sandyBridge, Ondemand{}, 0.01, phase)
+		if err != nil {
+			return false
+		}
+		elapsed := c.ExecuteCycles(cycles)
+		minT := cycles / sandyBridge.Max()
+		maxT := cycles / sandyBridge.Min()
+		return elapsed >= minT*(1-1e-9) && elapsed <= maxT*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: work is conserved — splitting a workload into two ExecuteCycles
+// calls (with no idle between) under Performance takes the same total time.
+func TestClockWorkConservationProperty(t *testing.T) {
+	f := func(rawA, rawB float64) bool {
+		a := 1e5 + math.Abs(math.Mod(rawA, 1e9))
+		b := 1e5 + math.Abs(math.Mod(rawB, 1e9))
+		c1, _ := NewClock(sandyBridge, Performance{}, 0.01, 0)
+		t1 := c1.ExecuteCycles(a + b)
+		c2, _ := NewClock(sandyBridge, Performance{}, 0.01, 0)
+		t2 := c2.ExecuteCycles(a) + c2.ExecuteCycles(b)
+		return math.Abs(t1-t2) < 1e-9*(1+t1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package cpusim models the processor frequency behaviour that Section IV.2
+// of the paper identifies as a major benchmarking pitfall: Dynamic Voltage
+// and Frequency Scaling driven by an operating-system governor.
+//
+// The model is a virtual-time clock. Work is expressed in core cycles; the
+// clock converts cycles to seconds at the currently selected P-state and
+// re-evaluates the governor at every sampling-period boundary, exactly like
+// the Linux ondemand governor the paper studied. Because the phase between
+// the start of a measurement and the next governor evaluation is arbitrary
+// in practice, the clock accepts an initial phase; randomizing it reproduces
+// the run-to-run bimodality of Figure 10.
+package cpusim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FreqTable is the set of available P-state frequencies in Hz, ascending.
+type FreqTable []float64
+
+// Validate checks that the table is non-empty, positive and ascending.
+func (t FreqTable) Validate() error {
+	if len(t) == 0 {
+		return fmt.Errorf("cpusim: empty frequency table")
+	}
+	prev := 0.0
+	for _, f := range t {
+		if f <= prev {
+			return fmt.Errorf("cpusim: frequency table must be positive ascending, got %v", []float64(t))
+		}
+		prev = f
+	}
+	return nil
+}
+
+// Min returns the lowest available frequency.
+func (t FreqTable) Min() float64 { return t[0] }
+
+// Max returns the highest available frequency.
+func (t FreqTable) Max() float64 { return t[len(t)-1] }
+
+// AtLeast returns the lowest table frequency >= hz, or Max if none.
+func (t FreqTable) AtLeast(hz float64) float64 {
+	i := sort.SearchFloat64s(t, hz)
+	if i >= len(t) {
+		return t.Max()
+	}
+	return t[i]
+}
+
+// Governor decides the next frequency given the load observed over the last
+// sampling window (0..1) and the current frequency.
+type Governor interface {
+	Name() string
+	Next(cur, load float64, table FreqTable) float64
+}
+
+// Performance always selects the highest frequency.
+type Performance struct{}
+
+// Name implements Governor.
+func (Performance) Name() string { return "performance" }
+
+// Next implements Governor.
+func (Performance) Next(_, _ float64, t FreqTable) float64 { return t.Max() }
+
+// Powersave always selects the lowest frequency.
+type Powersave struct{}
+
+// Name implements Governor.
+func (Powersave) Name() string { return "powersave" }
+
+// Next implements Governor.
+func (Powersave) Next(_, _ float64, t FreqTable) float64 { return t.Min() }
+
+// Userspace pins the frequency to a user-chosen target (clamped to the
+// table), the "full control" workaround the paper notes requires superuser
+// rights and expertise.
+type Userspace struct {
+	TargetHz float64
+}
+
+// Name implements Governor.
+func (Userspace) Name() string { return "userspace" }
+
+// Next implements Governor.
+func (u Userspace) Next(_, _ float64, t FreqTable) float64 {
+	if u.TargetHz <= t.Min() {
+		return t.Min()
+	}
+	return t.AtLeast(u.TargetHz)
+}
+
+// Conservative reproduces the Linux conservative policy: like ondemand it
+// reacts to load, but it moves one P-state at a time instead of jumping to
+// the maximum, so ramps are slower and medium-length workloads see even
+// more intermediate frequencies.
+type Conservative struct {
+	// UpThreshold is the load above which the governor steps up;
+	// DownThreshold the load below which it steps down. Zeros mean the
+	// Linux defaults 0.8 and 0.2.
+	UpThreshold, DownThreshold float64
+}
+
+// Name implements Governor.
+func (Conservative) Name() string { return "conservative" }
+
+// Next implements Governor.
+func (c Conservative) Next(cur, load float64, t FreqTable) float64 {
+	up := c.UpThreshold
+	if up <= 0 || up > 1 {
+		up = 0.8
+	}
+	down := c.DownThreshold
+	if down <= 0 || down >= up {
+		down = 0.2
+	}
+	idx := 0
+	for i, f := range t {
+		if f == cur {
+			idx = i
+			break
+		}
+		if f > cur {
+			idx = i
+			break
+		}
+	}
+	switch {
+	case load >= up && idx < len(t)-1:
+		idx++
+	case load <= down && idx > 0:
+		idx--
+	}
+	return t[idx]
+}
+
+// Ondemand reproduces the classic Linux ondemand policy: if the load of the
+// last window exceeds UpThreshold the frequency jumps straight to the
+// maximum; otherwise it is set to the lowest P-state able to serve the
+// observed load with headroom.
+type Ondemand struct {
+	// UpThreshold is the load above which the governor jumps to the
+	// maximum frequency. Zero means the Linux default, 0.95.
+	UpThreshold float64
+}
+
+// Name implements Governor.
+func (Ondemand) Name() string { return "ondemand" }
+
+// Next implements Governor.
+func (o Ondemand) Next(cur, load float64, t FreqTable) float64 {
+	up := o.UpThreshold
+	if up <= 0 || up > 1 {
+		up = 0.95
+	}
+	if load >= up {
+		return t.Max()
+	}
+	// Proportional target with the same headroom factor.
+	target := load * t.Max() / up
+	return t.AtLeast(target)
+}

@@ -1,0 +1,94 @@
+package doe
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// The design travels between methodology stages as a CSV artifact: the
+// design generator writes it, the benchmark engine reads it, and the analyst
+// can inspect it. Columns: seq, rep, then one column per factor (sorted by
+// name for stability).
+
+// WriteCSV serializes the design schedule.
+func (d *Design) WriteCSV(w io.Writer) error {
+	names := make([]string, 0, len(d.Factors))
+	for _, f := range d.Factors {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"seq", "rep"}, names...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("doe: write header: %w", err)
+	}
+	for _, t := range d.Trials {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.Itoa(t.Seq), strconv.Itoa(t.Rep))
+		for _, n := range names {
+			row = append(row, t.Point.Get(n))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("doe: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a design schedule produced by WriteCSV. Factor levels are
+// reconstructed from the observed values; level order within a factor is
+// sorted lexically (the schedule order is what matters for execution).
+func ReadCSV(r io.Reader) (*Design, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("doe: read csv: %w", err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("doe: empty csv")
+	}
+	header := rows[0]
+	if len(header) < 3 || header[0] != "seq" || header[1] != "rep" {
+		return nil, fmt.Errorf("doe: bad header %v", header)
+	}
+	names := header[2:]
+
+	d := &Design{}
+	levelSets := make([]map[string]bool, len(names))
+	for i := range levelSets {
+		levelSets[i] = make(map[string]bool)
+	}
+	for ri, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("doe: row %d has %d columns, want %d", ri+1, len(row), len(header))
+		}
+		seq, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("doe: row %d seq: %w", ri+1, err)
+		}
+		rep, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("doe: row %d rep: %w", ri+1, err)
+		}
+		p := make(Point, len(names))
+		for ci, n := range names {
+			p[n] = Level(row[2+ci])
+			levelSets[ci][row[2+ci]] = true
+		}
+		d.Trials = append(d.Trials, Trial{Seq: seq, Rep: rep, Point: p})
+	}
+	for i, n := range names {
+		var ls []string
+		for l := range levelSets[i] {
+			ls = append(ls, l)
+		}
+		sort.Strings(ls)
+		d.Factors = append(d.Factors, NewFactor(n, ls...))
+	}
+	return d, nil
+}

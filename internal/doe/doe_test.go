@@ -1,0 +1,306 @@
+package doe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testFactors() []Factor {
+	return []Factor{
+		IntFactor("size", 1024, 2048, 4096),
+		IntFactor("stride", 1, 2),
+		NewFactor("governor", "ondemand", "performance"),
+	}
+}
+
+func TestFullFactorialSize(t *testing.T) {
+	d, err := FullFactorial(testFactors(), Options{Replicates: 5, Seed: 1, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3*2*2*5 {
+		t.Fatalf("size = %d, want 60", d.Size())
+	}
+	if d.Combinations() != 12 {
+		t.Fatalf("combinations = %d, want 12", d.Combinations())
+	}
+}
+
+func TestFullFactorialCoversAllCombinations(t *testing.T) {
+	d, err := FullFactorial(testFactors(), Options{Replicates: 2, Seed: 3, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, tr := range d.Trials {
+		counts[tr.Point.Key()]++
+	}
+	if len(counts) != 12 {
+		t.Fatalf("distinct combinations = %d, want 12", len(counts))
+	}
+	for k, c := range counts {
+		if c != 2 {
+			t.Fatalf("combination %s has %d replicates, want 2", k, c)
+		}
+	}
+}
+
+func TestFullFactorialSeqAssigned(t *testing.T) {
+	d, err := FullFactorial(testFactors(), Options{Replicates: 2, Seed: 4, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range d.Trials {
+		if tr.Seq != i {
+			t.Fatalf("trial %d has Seq %d", i, tr.Seq)
+		}
+	}
+}
+
+func TestRandomizeActuallyShuffles(t *testing.T) {
+	ordered, err := FullFactorial(testFactors(), Options{Replicates: 4, Seed: 5, Randomize: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := FullFactorial(testFactors(), Options{Replicates: 4, Seed: 5, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range ordered.Trials {
+		if ordered.Trials[i].Point.Key() == shuffled.Trials[i].Point.Key() &&
+			ordered.Trials[i].Rep == shuffled.Trials[i].Rep {
+			same++
+		}
+	}
+	if same == len(ordered.Trials) {
+		t.Fatal("randomized design identical to sequential design")
+	}
+}
+
+func TestRandomizeDeterministicInSeed(t *testing.T) {
+	a, _ := FullFactorial(testFactors(), Options{Replicates: 3, Seed: 6, Randomize: true})
+	b, _ := FullFactorial(testFactors(), Options{Replicates: 3, Seed: 6, Randomize: true})
+	for i := range a.Trials {
+		if a.Trials[i].Point.Key() != b.Trials[i].Point.Key() || a.Trials[i].Rep != b.Trials[i].Rep {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+}
+
+func TestGroupReplicatesOrdering(t *testing.T) {
+	d, err := FullFactorial([]Factor{IntFactor("size", 1, 2, 3)},
+		Options{Replicates: 4, GroupReplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All replicates of one size must be contiguous: size sequence is
+	// 1,1,1,1,2,2,2,2,3,3,3,3.
+	for i, tr := range d.Trials {
+		wantSize := []string{"1", "2", "3"}[i/4]
+		if tr.Point.Get("size") != wantSize {
+			t.Fatalf("trial %d size = %s, want %s", i, tr.Point.Get("size"), wantSize)
+		}
+		if tr.Rep != i%4 {
+			t.Fatalf("trial %d rep = %d, want %d", i, tr.Rep, i%4)
+		}
+	}
+}
+
+func TestGroupReplicatesIgnoredWhenRandomized(t *testing.T) {
+	a, err := FullFactorial(testFactors(), Options{Replicates: 3, Seed: 6, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FullFactorial(testFactors(), Options{Replicates: 3, Seed: 6, Randomize: true, GroupReplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Trials {
+		if a.Trials[i].Point.Key() != b.Trials[i].Point.Key() {
+			t.Fatal("GroupReplicates changed a randomized schedule")
+		}
+	}
+}
+
+func TestFullFactorialErrors(t *testing.T) {
+	if _, err := FullFactorial(nil, Options{}); err == nil {
+		t.Fatal("want error for no factors")
+	}
+	if _, err := FullFactorial([]Factor{{Name: "x"}}, Options{}); err == nil {
+		t.Fatal("want error for empty levels")
+	}
+	if _, err := FullFactorial([]Factor{NewFactor("", "a")}, Options{}); err == nil {
+		t.Fatal("want error for unnamed factor")
+	}
+}
+
+func TestReplicatesDefaultToOne(t *testing.T) {
+	d, err := FullFactorial(testFactors(), Options{Replicates: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 12 {
+		t.Fatalf("size = %d, want 12", d.Size())
+	}
+}
+
+func TestPointAccessors(t *testing.T) {
+	p := Point{"size": "1024", "ratio": "2.5", "name": "foo"}
+	if v, err := p.Int("size"); err != nil || v != 1024 {
+		t.Fatalf("Int: %v %v", v, err)
+	}
+	if v, err := p.Float("ratio"); err != nil || v != 2.5 {
+		t.Fatalf("Float: %v %v", v, err)
+	}
+	if p.Get("name") != "foo" {
+		t.Fatalf("Get: %q", p.Get("name"))
+	}
+	if _, err := p.Int("missing"); err == nil {
+		t.Fatal("want error for missing factor")
+	}
+	if _, err := p.Int("name"); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := p.Float("name"); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestPointKeyCanonical(t *testing.T) {
+	a := Point{"b": "2", "a": "1"}
+	b := Point{"a": "1", "b": "2"}
+	if a.Key() != b.Key() {
+		t.Fatal("keys differ for equal points")
+	}
+	if a.Key() != "a=1;b=2" {
+		t.Fatalf("key = %q", a.Key())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d, err := FullFactorial(testFactors(), Options{Replicates: 3, Seed: 9, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != d.Size() {
+		t.Fatalf("round-trip size = %d, want %d", got.Size(), d.Size())
+	}
+	for i := range d.Trials {
+		if d.Trials[i].Seq != got.Trials[i].Seq ||
+			d.Trials[i].Rep != got.Trials[i].Rep ||
+			d.Trials[i].Point.Key() != got.Trials[i].Point.Key() {
+			t.Fatalf("trial %d mismatch: %+v vs %+v", i, d.Trials[i], got.Trials[i])
+		}
+	}
+	if len(got.Factors) != 3 {
+		t.Fatalf("factors = %d", len(got.Factors))
+	}
+}
+
+func TestReadCSVBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"foo,bar\n1,2\n",
+		"seq,rep,size\nx,0,1\n",
+		"seq,rep,size\n0,y,1\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("want error for %q", c)
+		}
+	}
+}
+
+func TestRandomSizesInRange(t *testing.T) {
+	sizes := RandomSizes(1, 500, 16, 65536)
+	if len(sizes) != 500 {
+		t.Fatalf("len = %d", len(sizes))
+	}
+	for _, s := range sizes {
+		if s < 16 || s > 65536 {
+			t.Fatalf("size %d out of range", s)
+		}
+	}
+}
+
+func TestRandomSizesNotAllPowersOfTwo(t *testing.T) {
+	sizes := RandomSizes(2, 200, 16, 65536)
+	nonPow2 := 0
+	for _, s := range sizes {
+		if s&(s-1) != 0 {
+			nonPow2++
+		}
+	}
+	if nonPow2 < 150 {
+		t.Fatalf("only %d non-power-of-two sizes; sampling looks biased", nonPow2)
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(4, 64)
+	want := []int{4, 8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if got := PowersOfTwo(0, 4); got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSizeFactor(t *testing.T) {
+	f := SizeFactor("size", []int{1, 2, 3})
+	if f.Name != "size" || len(f.Levels) != 3 {
+		t.Fatalf("factor = %+v", f)
+	}
+}
+
+// Property: the design size always equals combinations x replicates.
+func TestDesignSizeProperty(t *testing.T) {
+	f := func(nLevels uint8, reps uint8) bool {
+		n := int(nLevels%6) + 1
+		r := int(reps%5) + 1
+		levels := make([]int, n)
+		for i := range levels {
+			levels[i] = i
+		}
+		d, err := FullFactorial([]Factor{IntFactor("a", levels...), IntFactor("b", 1, 2)},
+			Options{Replicates: r, Seed: uint64(nLevels) + 1, Randomize: true})
+		if err != nil {
+			return false
+		}
+		return d.Size() == n*2*r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Level("x").String() != "x" {
+		t.Fatal("Level.String")
+	}
+}
+
+func TestFloatFactor(t *testing.T) {
+	f := FloatFactor("f", 0.5, 1.5)
+	v, err := f.Levels[0].Float()
+	if err != nil || v != 0.5 {
+		t.Fatalf("%v %v", v, err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package doe implements the first stage of the paper's methodology: the
+// Design of Experiments. It provides explicit factor declarations, full
+// factorial crossing, replication, thorough randomization of both factor
+// values and measurement order, and a CSV representation so the design can
+// be handed to a dumb benchmark engine (the second stage).
+//
+// Randomization is the paper's central precaution: it "guarantees that the
+// presence of temporal anomalies in the setup remains independent of the
+// factors' values" (Section V).
+package doe
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Level is one value a factor can take. Levels are stored as strings in the
+// design (the design is a text artifact) with typed accessors.
+type Level string
+
+// Int parses the level as an integer.
+func (l Level) Int() (int, error) {
+	v, err := strconv.Atoi(string(l))
+	if err != nil {
+		return 0, fmt.Errorf("doe: level %q is not an int: %w", string(l), err)
+	}
+	return v, nil
+}
+
+// Float parses the level as a float64.
+func (l Level) Float() (float64, error) {
+	v, err := strconv.ParseFloat(string(l), 64)
+	if err != nil {
+		return 0, fmt.Errorf("doe: level %q is not a float: %w", string(l), err)
+	}
+	return v, nil
+}
+
+// String returns the raw level text.
+func (l Level) String() string { return string(l) }
+
+// Factor is one experimental factor with its admissible levels, e.g.
+// "stride" in {1, 2, 4, 8} or "governor" in {ondemand, performance}.
+type Factor struct {
+	Name   string
+	Levels []Level
+}
+
+// NewFactor builds a factor from string levels.
+func NewFactor(name string, levels ...string) Factor {
+	f := Factor{Name: name}
+	for _, l := range levels {
+		f.Levels = append(f.Levels, Level(l))
+	}
+	return f
+}
+
+// IntFactor builds a factor from integer levels.
+func IntFactor(name string, levels ...int) Factor {
+	f := Factor{Name: name}
+	for _, l := range levels {
+		f.Levels = append(f.Levels, Level(strconv.Itoa(l)))
+	}
+	return f
+}
+
+// FloatFactor builds a factor from float levels.
+func FloatFactor(name string, levels ...float64) Factor {
+	f := Factor{Name: name}
+	for _, l := range levels {
+		f.Levels = append(f.Levels, Level(strconv.FormatFloat(l, 'g', -1, 64)))
+	}
+	return f
+}
+
+// Point is one factor combination: a mapping factor name -> chosen level.
+type Point map[string]Level
+
+// Clone returns a deep copy of the point.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	return q
+}
+
+// Int returns the integer value of the named factor.
+func (p Point) Int(name string) (int, error) {
+	l, ok := p[name]
+	if !ok {
+		return 0, fmt.Errorf("doe: point has no factor %q", name)
+	}
+	return l.Int()
+}
+
+// Float returns the float value of the named factor.
+func (p Point) Float(name string) (float64, error) {
+	l, ok := p[name]
+	if !ok {
+		return 0, fmt.Errorf("doe: point has no factor %q", name)
+	}
+	return l.Float()
+}
+
+// Get returns the raw level of the named factor, or "" if absent.
+func (p Point) Get(name string) string {
+	return string(p[name])
+}
+
+// Key returns a canonical string identifying the factor combination,
+// independent of map iteration order. Useful for grouping replicates.
+func (p Point) Key() string {
+	names := make([]string, 0, len(p))
+	for k := range p {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	s := ""
+	for i, k := range names {
+		if i > 0 {
+			s += ";"
+		}
+		s += k + "=" + string(p[k])
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+package doe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the design parser with arbitrary input: it must
+// never panic, and anything it accepts must survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("seq,rep,size\n0,0,1024\n1,0,2048\n")
+	f.Add("seq,rep\n0,0\n")
+	f.Add("")
+	f.Add("seq,rep,size,op\n0,0,16,send\nnot,a,number,row\n")
+	f.Add("seq,rep,size\n" + strings.Repeat("0,0,1\n", 50))
+	f.Add("garbage")
+	f.Add("seq,rep,size\n9999999999999999999999,0,1\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted design failed to serialize: %v", err)
+		}
+		d2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if d2.Size() != d.Size() {
+			t.Fatalf("round trip changed size: %d -> %d", d.Size(), d2.Size())
+		}
+		for i := range d.Trials {
+			if d.Trials[i].Point.Key() != d2.Trials[i].Point.Key() {
+				t.Fatalf("round trip changed trial %d", i)
+			}
+		}
+	})
+}

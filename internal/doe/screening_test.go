@@ -1,0 +1,124 @@
+package doe
+
+import "testing"
+
+func pbFactors(n int) []Factor {
+	names := []string{"size", "stride", "elem", "unroll", "governor", "policy", "alloc",
+		"pin", "nloops", "machine", "order"}
+	var out []Factor
+	for i := 0; i < n; i++ {
+		out = append(out, NewFactor(names[i%len(names)]+itoa2(i), "lo", "hi"))
+	}
+	return out
+}
+
+func itoa2(v int) string {
+	return string(rune('a' + v%26))
+}
+
+func TestPlackettBurmanRunCounts(t *testing.T) {
+	cases := []struct{ factors, runs int }{
+		{3, 8}, {7, 8}, {8, 12}, {11, 12}, {12, 16}, {18, 20}, {23, 24},
+	}
+	for _, c := range cases {
+		d, err := PlackettBurman(pbFactors(c.factors), Options{Replicates: 1})
+		if err != nil {
+			t.Fatalf("%d factors: %v", c.factors, err)
+		}
+		if d.Size() != c.runs {
+			t.Fatalf("%d factors: runs = %d, want %d", c.factors, d.Size(), c.runs)
+		}
+	}
+}
+
+func TestPlackettBurmanBalance(t *testing.T) {
+	// Each factor must appear at each level exactly runs/2 times.
+	fs := pbFactors(7)
+	d, err := PlackettBurman(fs, Options{Replicates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		hi := 0
+		for _, tr := range d.Trials {
+			if tr.Point.Get(f.Name) == "hi" {
+				hi++
+			}
+		}
+		if hi != d.Size()/2 {
+			t.Fatalf("factor %s: hi count = %d, want %d", f.Name, hi, d.Size()/2)
+		}
+	}
+}
+
+func TestPlackettBurmanOrthogonality(t *testing.T) {
+	for _, n := range []int{7, 11, 15, 19, 23} {
+		fs := pbFactors(n)
+		d, err := PlackettBurman(fs, Options{Replicates: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(fs); i++ {
+			for j := i + 1; j < len(fs); j++ {
+				if !d.Orthogonal(fs[i].Name, fs[j].Name) {
+					t.Fatalf("n=%d: factors %s and %s not orthogonal", n, fs[i].Name, fs[j].Name)
+				}
+			}
+		}
+	}
+}
+
+func TestPlackettBurmanErrors(t *testing.T) {
+	if _, err := PlackettBurman(nil, Options{}); err == nil {
+		t.Fatal("no factors accepted")
+	}
+	if _, err := PlackettBurman([]Factor{NewFactor("x", "a", "b", "c")}, Options{}); err == nil {
+		t.Fatal("3-level factor accepted")
+	}
+	if _, err := PlackettBurman([]Factor{NewFactor("", "a", "b")}, Options{}); err == nil {
+		t.Fatal("unnamed factor accepted")
+	}
+	if _, err := PlackettBurman(pbFactors(24), Options{}); err == nil {
+		t.Fatal("24 factors accepted")
+	}
+}
+
+func TestPlackettBurmanRandomizeAndReplicate(t *testing.T) {
+	d, err := PlackettBurman(pbFactors(7), Options{Replicates: 3, Seed: 5, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 24 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	for i, tr := range d.Trials {
+		if tr.Seq != i {
+			t.Fatal("seq not assigned")
+		}
+	}
+	ordered, err := PlackettBurman(pbFactors(7), Options{Replicates: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range d.Trials {
+		if d.Trials[i].Point.Key() == ordered.Trials[i].Point.Key() {
+			same++
+		}
+	}
+	if same == len(d.Trials) {
+		t.Fatal("randomization had no effect")
+	}
+}
+
+func TestOrthogonalDetectsImbalance(t *testing.T) {
+	// A deliberately confounded design: f1 == f2 always.
+	d := &Design{}
+	for i := 0; i < 8; i++ {
+		l := Level([]string{"lo", "hi"}[i%2])
+		d.Trials = append(d.Trials, Trial{Point: Point{"f1": l, "f2": l}})
+	}
+	if d.Orthogonal("f1", "f2") {
+		t.Fatal("confounded design declared orthogonal")
+	}
+}

@@ -1,0 +1,67 @@
+package figures
+
+import "testing"
+
+func TestAblationRandomizationShape(t *testing.T) {
+	f := gen(t, "ablation-randomization")
+	if f.Checks["ordered_spread"] < 2 {
+		t.Fatalf("ordered spread = %v, want the interference to fake a size effect", f.Checks["ordered_spread"])
+	}
+	if f.Checks["randomized_spread"] > 1.5 {
+		t.Fatalf("randomized spread = %v, want ~1", f.Checks["randomized_spread"])
+	}
+}
+
+func TestAblationWeightingShape(t *testing.T) {
+	f := gen(t, "ablation-weighting")
+	if f.Checks["weighted_spurious_breaks"] != 0 {
+		t.Fatalf("weighted search found %v spurious breaks", f.Checks["weighted_spurious_breaks"])
+	}
+	if f.Checks["unweighted_spurious_breaks"] < 1 {
+		t.Fatalf("unweighted search found %v breaks; the ablation should show the failure",
+			f.Checks["unweighted_spurious_breaks"])
+	}
+}
+
+func TestAblationReplacementShape(t *testing.T) {
+	f := gen(t, "ablation-replacement")
+	if f.Checks["lru_worst_slowdown"] < 1.2 {
+		t.Fatalf("LRU worst slowdown = %v, want a visible cliff", f.Checks["lru_worst_slowdown"])
+	}
+	if f.Checks["random_worst_slowdown"] >= f.Checks["lru_worst_slowdown"] {
+		t.Fatalf("random replacement (%v) should soften the LRU cliff (%v)",
+			f.Checks["random_worst_slowdown"], f.Checks["lru_worst_slowdown"])
+	}
+}
+
+func TestAblationExtrapolationShape(t *testing.T) {
+	f := gen(t, "ablation-extrapolation")
+	if f.Checks["max_rel_error"] > 0.01 {
+		t.Fatalf("extrapolation error = %v, want < 1%%", f.Checks["max_rel_error"])
+	}
+}
+
+func TestAblationTLBShape(t *testing.T) {
+	f := gen(t, "ablation-tlb")
+	// Small strides: TLB nearly free (few pages per traversal step reuse).
+	if r := f.Checks["stride16_tlb_over_plain"]; r < 0.8 {
+		t.Fatalf("small-stride TLB ratio = %v, want near 1", r)
+	}
+	// Page-sized strides: the walk dominates.
+	if r := f.Checks["stride1024_tlb_over_plain"]; r > 0.5 {
+		t.Fatalf("page-stride TLB ratio = %v, want collapse", r)
+	}
+}
+
+func TestExtStreamShape(t *testing.T) {
+	f := gen(t, "ext-stream")
+	if r := f.Checks["l1_copy_over_sum"]; r < 0.9 || r > 1.1 {
+		t.Fatalf("L1 copy/sum = %v, want ~1", r)
+	}
+	if r := f.Checks["mem_copy_over_sum"]; r > 0.9 {
+		t.Fatalf("memory copy/sum = %v, want < 0.9 (write traffic)", r)
+	}
+	if r := f.Checks["mem_triad_over_copy"]; r < 1.0 {
+		t.Fatalf("memory triad/copy = %v, want > 1", r)
+	}
+}

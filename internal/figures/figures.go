@@ -1,0 +1,108 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from the simulated substrate. Each generator runs a genuine
+// campaign (design -> engine -> analysis) — the phenomena are emergent
+// properties of the simulators, not hard-coded curves — and returns the
+// series, a textual rendering, and a set of named check values that
+// EXPERIMENTS.md records against the paper's qualitative claims.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"opaquebench/internal/plot"
+)
+
+// Figure is one reproduced table or figure.
+type Figure struct {
+	// ID is the experiment identifier ("fig07", "pitfall-III.1", ...).
+	ID string
+	// Title describes the figure.
+	Title string
+	// Series holds the plotted data (may be empty for pure tables).
+	Series []plot.Series
+	// PlotOptions configures the ASCII rendering of Series.
+	PlotOptions plot.Options
+	// Text holds tables, fitted models, and notes.
+	Text string
+	// Checks are named quantitative indicators, recorded in
+	// EXPERIMENTS.md and asserted (in looser form) by tests.
+	Checks map[string]float64
+}
+
+// Render returns the full textual form of the figure.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) > 0 {
+		opt := f.PlotOptions
+		opt.Title = ""
+		b.WriteString(plot.Scatter(f.Series, opt))
+	}
+	if f.Text != "" {
+		b.WriteString(f.Text)
+		if !strings.HasSuffix(f.Text, "\n") {
+			b.WriteString("\n")
+		}
+	}
+	if len(f.Checks) > 0 {
+		keys := make([]string, 0, len(f.Checks))
+		for k := range f.Checks {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("checks:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-40s %.6g\n", k, f.Checks[k])
+		}
+	}
+	return b.String()
+}
+
+// Generator produces one figure for a given base seed.
+type Generator struct {
+	ID    string
+	Title string
+	Make  func(seed uint64) (*Figure, error)
+}
+
+// All returns every figure generator in paper order.
+func All() []Generator {
+	return []Generator{
+		{"fig03", "Time vs message size, OpenMPI vs Myrinet/GM (piecewise LogGP)", Fig03},
+		{"fig04", "Taurus network modeling: overheads, latency/bandwidth, breakpoints", Fig04},
+		{"fig05", "CPU characteristics table", Fig05},
+		{"fig07", "MultiMAPS plateaus on the Opteron (strides 2/4/8)", Fig07},
+		{"fig08", "Noisy replication attempt on the Pentium 4", Fig08},
+		{"fig09", "Vectorization x loop unrolling on the i7-2600", Fig09},
+		{"fig10", "Ondemand DVFS: bandwidth vs buffer size across nloops", Fig10},
+		{"fig11", "Real-time scheduling on the ARM: two modes, contiguous in time", Fig11},
+		{"fig12", "ARM paging: the drop point moves between identical reruns", Fig12},
+		{"fig13", "Cause-and-effect factor diagram", Fig13},
+		{"pitfall-III.1", "Temporal perturbation vs online break detection; randomization to the rescue", PitfallPerturbation},
+		{"pitfall-III.2", "Power-of-two size bias vs log-uniform sampling", PitfallSizeBias},
+		{"pitfall-III.3", "Fixed-breakpoint assumption vs neutral segmented search", PitfallBreakAssumption},
+		{"pitfall-IV.4-fix", "Physical address randomization restores reproducibility", PagingFix},
+		{"ablation-randomization", "Ablation: ordered vs randomized execution under interference", AblationRandomization},
+		{"ablation-weighting", "Ablation: unweighted vs relative-error segmented search", AblationWeighting},
+		{"ablation-replacement", "Ablation: LRU vs random replacement on the paging cliff", AblationReplacement},
+		{"ablation-extrapolation", "Ablation: steady-state loop extrapolation accuracy", AblationExtrapolation},
+		{"ablation-tlb", "Ablation: free translation vs a 64-entry TLB on strided sweeps", AblationTLB},
+		{"ext-stream", "Extension: the STREAM kernel family across the hierarchy", ExtStream},
+	}
+}
+
+// ByID returns the generator with the given ID.
+func ByID(id string) (Generator, error) {
+	for _, g := range All() {
+		if g.ID == id {
+			return g, nil
+		}
+	}
+	var names []string
+	for _, g := range All() {
+		names = append(names, g.ID)
+	}
+	return Generator{}, fmt.Errorf("figures: unknown id %q (have %s)", id, strings.Join(names, ", "))
+}

@@ -1,0 +1,242 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// The figure generators are the reproduction harness; these tests assert
+// the *shape* claims of DESIGN.md section 5 on the generated check values.
+
+const testSeed = 20170529 // IPDPS 2017 RepPar workshop date
+
+func gen(t *testing.T, id string) *Figure {
+	t.Helper()
+	g, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := g.Make(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != id {
+		t.Fatalf("figure ID = %q, want %q", f.ID, id)
+	}
+	if r := f.Render(); !strings.Contains(r, id) {
+		t.Fatal("render missing ID")
+	}
+	return f
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestAllHaveDistinctIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range All() {
+		if seen[g.ID] {
+			t.Fatalf("duplicate id %s", g.ID)
+		}
+		seen[g.ID] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("generators = %d, want 20", len(seen))
+	}
+}
+
+func TestFig03Shape(t *testing.T) {
+	f := gen(t, "fig03")
+	// OpenMPI's rendezvous slope must exceed its eager slope.
+	if r := f.Checks["openmpi/slope_ratio_last_vs_first"]; r < 1.1 {
+		t.Fatalf("openmpi slope ratio = %v, want > 1.1", r)
+	}
+	// The neutral search must see MORE than the one documented break.
+	if n := f.Checks["openmpi/auto_breaks"]; n < 2 {
+		t.Fatalf("openmpi auto breaks = %v, want >= 2 (the hidden 16 KB break)", n)
+	}
+	// Raw GM has no protocol changes.
+	if n := f.Checks["gm/auto_breaks"]; n != 0 {
+		t.Fatalf("gm auto breaks = %v, want 0", n)
+	}
+}
+
+func TestFig04Shape(t *testing.T) {
+	f := gen(t, "fig04")
+	if n := f.Checks["auto_break_count"]; n < 1 {
+		t.Fatalf("auto breaks = %v, want >= 1", n)
+	}
+	// Medium-size recv variability exceeds large-size variability.
+	if f.Checks["recv_cv_mid_max"] <= f.Checks["recv_cv_last"] {
+		t.Fatalf("mid CV %v should exceed last CV %v",
+			f.Checks["recv_cv_mid_max"], f.Checks["recv_cv_last"])
+	}
+	// Supervised G within 25% of truth.
+	g, truth := f.Checks["rendezvous_G_fit"], f.Checks["rendezvous_G_truth"]
+	if g < truth*0.75 || g > truth*1.25 {
+		t.Fatalf("G fit = %v, truth %v", g, truth)
+	}
+}
+
+func TestFig05Table(t *testing.T) {
+	f := gen(t, "fig05")
+	for _, want := range []string{"Opteron", "Pentium 4", "Core i7-2600", "ARMv7"} {
+		if !strings.Contains(f.Text, want) {
+			t.Fatalf("table missing %s", want)
+		}
+	}
+}
+
+func TestFig07Shape(t *testing.T) {
+	f := gen(t, "fig07")
+	// Plateaus strictly ordered for every stride.
+	for _, s := range []string{"stride2", "stride4", "stride8"} {
+		if f.Checks[s+"/L1_over_L2"] < 1.2 {
+			t.Fatalf("%s L1/L2 = %v", s, f.Checks[s+"/L1_over_L2"])
+		}
+		if f.Checks[s+"/L2_over_mem"] < 1.2 {
+			t.Fatalf("%s L2/mem = %v", s, f.Checks[s+"/L2_over_mem"])
+		}
+	}
+	// Stride doubling halves L2-plateau bandwidth...
+	for _, k := range []string{"L2_stride2_over_stride4", "L2_stride4_over_stride8"} {
+		if r := f.Checks[k]; r < 1.6 || r > 2.4 {
+			t.Fatalf("%s = %v, want ~2", k, r)
+		}
+	}
+	// ...but has no effect inside L1.
+	if r := f.Checks["L1_stride2_over_stride8"]; r < 0.93 || r > 1.07 {
+		t.Fatalf("L1 stride effect = %v, want ~1", r)
+	}
+}
+
+func TestFig08Shape(t *testing.T) {
+	f := gen(t, "fig08")
+	if cv := f.Checks["mean_per_size_cv"]; cv < 0.1 {
+		t.Fatalf("mean CV = %v, want >= 0.1 (the paper's 'enormous noise')", cv)
+	}
+	// The stride influence is ambiguous: nothing like the clean factor 2.
+	if r := f.Checks["stride2_over_stride8_mean"]; r > 1.9 {
+		t.Fatalf("stride mean ratio = %v; too clean for Figure 8", r)
+	}
+}
+
+func TestFig09Shape(t *testing.T) {
+	f := gen(t, "fig09")
+	if r := f.Checks["width_8B_over_4B"]; r < 1.7 || r > 2.3 {
+		t.Fatalf("8B/4B = %v, want ~2", r)
+	}
+	if g := f.Checks["unroll_gain_8B"]; g < 1.5 {
+		t.Fatalf("unroll gain = %v, want >= 1.5", g)
+	}
+	if a := f.Checks["avx_anomaly_unroll_over_plain"]; a > 0.4 {
+		t.Fatalf("AVX anomaly = %v, want collapse (< 0.4)", a)
+	}
+	if d := f.Checks["drop_4B_nounroll"]; d < 0.93 {
+		t.Fatalf("4B no-unroll drop = %v, want ~1 (no drop)", d)
+	}
+	if d := f.Checks["drop_16B_unroll"]; d > 0.8 {
+		t.Fatalf("16B unroll drop = %v, want < 0.8", d)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	f := gen(t, "fig10")
+	if r := f.Checks["low_plateau_over_high"]; r > 0.7 {
+		t.Fatalf("nloops plateau separation = %v, want < 0.7", r)
+	}
+	// Some middle facet must be noticeably more variable than the extremes.
+	midMax := f.Checks["cv_nloops_200"]
+	if f.Checks["cv_nloops_2000"] > midMax {
+		midMax = f.Checks["cv_nloops_2000"]
+	}
+	extremes := f.Checks["cv_nloops_20000"]
+	if midMax <= extremes {
+		t.Fatalf("middle facets CV %v should exceed large-nloops CV %v", midMax, extremes)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	f := gen(t, "fig11")
+	if r := f.Checks["mode_ratio"]; r < 3 || r > 7 {
+		t.Fatalf("mode ratio = %v, want ~5", r)
+	}
+	if fr := f.Checks["low_mode_fraction"]; fr < 0.08 || fr > 0.45 {
+		t.Fatalf("low-mode fraction = %v, want ~0.2-0.25", fr)
+	}
+	if c := f.Checks["contiguity"]; c < 0.4 {
+		t.Fatalf("contiguity = %v, want >= 0.4", c)
+	}
+	if s := f.Checks["sizes_hit_fraction"]; s < 0.5 {
+		t.Fatalf("sizes hit = %v, want majority (uniform across sizes)", s)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	f := gen(t, "fig12")
+	if n := f.Checks["distinct_drop_points"]; n < 2 {
+		t.Fatalf("distinct drop points = %v, want >= 2 across reruns", n)
+	}
+	// Every observed drop lies between 50% of L1 and just past L1.
+	for run := 1; run <= 4; run++ {
+		k := "run" + string(rune('0'+run)) + "/drop_frac_of_L1"
+		if frac, ok := f.Checks[k]; ok && (frac < 0.4 || frac > 1.7) {
+			t.Fatalf("%s = %v, want within [0.4, 1.7]", k, frac)
+		}
+	}
+}
+
+func TestFig13Diagram(t *testing.T) {
+	f := gen(t, "fig13")
+	if !strings.Contains(f.Text, "Operating system") {
+		t.Fatal("diagram incomplete")
+	}
+}
+
+func TestPitfallPerturbationShape(t *testing.T) {
+	f := gen(t, "pitfall-III.1")
+	if f.Checks["opaque_spurious_breaks"] < 1 {
+		t.Fatal("opaque detector should report a spurious break")
+	}
+	if f.Checks["whitebox_breaks"] != 0 {
+		t.Fatalf("white-box found %v breaks on a single-regime network", f.Checks["whitebox_breaks"])
+	}
+	if f.Checks["whitebox_perturbed_fraction"] <= 0 {
+		t.Fatal("perturbation window missed the campaign entirely")
+	}
+}
+
+func TestPitfallSizeBiasShape(t *testing.T) {
+	f := gen(t, "pitfall-III.2")
+	if b := f.Checks["pow2_bias_factor"]; b < 1.1 {
+		t.Fatalf("pow2 bias = %v, want > 1.1", b)
+	}
+	if p := f.Checks["detected_penalty"]; p < 1.1 || p > 1.5 {
+		t.Fatalf("detected penalty = %v, want ~1.25", p)
+	}
+}
+
+func TestPitfallBreakAssumptionShape(t *testing.T) {
+	f := gen(t, "pitfall-III.3")
+	if n := f.Checks["neutral_break_count"]; n < 2 {
+		t.Fatalf("neutral breaks = %v, want >= 2", n)
+	}
+	if r := f.Checks["assumed_sse_over_neutral_sse"]; r < 1.05 {
+		t.Fatalf("SSE ratio = %v; the assumed model should fit worse", r)
+	}
+}
+
+func TestPagingFixShape(t *testing.T) {
+	f := gen(t, "pitfall-IV.4-fix")
+	if f.Checks["pool_cross_run_cv"] <= f.Checks["arena_cross_run_cv"]*1.5 {
+		t.Fatalf("pool cross-run CV %v should far exceed arena %v",
+			f.Checks["pool_cross_run_cv"], f.Checks["arena_cross_run_cv"])
+	}
+	if f.Checks["arena_within_run_cv"] <= f.Checks["pool_within_run_cv"] {
+		t.Fatalf("arena within-run CV %v should exceed pool %v (honest variability)",
+			f.Checks["arena_within_run_cv"], f.Checks["pool_within_run_cv"])
+	}
+}

@@ -1,0 +1,327 @@
+// Package membench is the white-box memory benchmark engine (second
+// methodology stage) for the Figure 6 kernel. It executes trials from a
+// doe.Design against the simulated substrate — cache hierarchy (memsim),
+// DVFS clock (cpusim), and OS scheduler (ossim) — in exactly the designed
+// order, logging one raw record per measurement.
+//
+// The factor set is the cause-and-effect diagram of Figure 13: experiment
+// plan (size, stride, cycles/nloops, repetitions, sequence order), memory
+// allocation (element type, allocation technique), operating system
+// (scheduling priority, CPU frequency governor, core pinning, dedication),
+// compilation (loop unrolling), and architecture (the machine).
+package membench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/cpusim"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/memsim"
+	"opaquebench/internal/meta"
+	"opaquebench/internal/ossim"
+	"opaquebench/internal/xrand"
+)
+
+// Factor names understood by the engine.
+const (
+	FactorSize   = "size"   // buffer size in bytes
+	FactorStride = "stride" // access stride in elements
+	FactorElem   = "elem"   // element size in bytes
+	FactorNLoops = "nloops" // kernel repetition count
+	FactorUnroll = "unroll" // 0 or 1
+	FactorKernel = "kernel" // sum | copy | triad (STREAM family)
+)
+
+// Allocation strategies.
+const (
+	AllocContiguous = "contiguous"
+	AllocPool       = "pool"
+	AllocArena      = "arena"
+)
+
+// Config describes a memory campaign's fixed environment (everything not
+// varied by the design).
+type Config struct {
+	// Machine is the simulated processor. Required.
+	Machine *memsim.Machine
+	// Seed drives every stochastic component.
+	Seed uint64
+	// Governor is the DVFS governor; nil means cpusim.Performance.
+	Governor cpusim.Governor
+	// SamplingPeriodSec is the governor sampling period (default 10 ms).
+	SamplingPeriodSec float64
+	// Sched configures the OS scheduler model; the zero value is a pinned
+	// run under the default policy on a dedicated machine.
+	Sched ossim.Config
+	// Allocation selects the buffer allocation strategy (default
+	// AllocContiguous).
+	Allocation string
+	// PoolPages is the physical page pool size for AllocPool (default
+	// 4096 pages = 16 MB).
+	PoolPages int
+	// ArenaBytes is the arena size for AllocArena (default 2 MB).
+	ArenaBytes int
+	// GapSec is the idle time between measurements (logging, allocation
+	// — default 5 ms); it lets the ondemand governor ramp down and the
+	// virtual timeline advance.
+	GapSec float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Machine == nil {
+		return c, fmt.Errorf("membench: config needs a machine")
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return c, err
+	}
+	if c.Governor == nil {
+		c.Governor = cpusim.Performance{}
+	}
+	if c.SamplingPeriodSec <= 0 {
+		c.SamplingPeriodSec = 0.01
+	}
+	if c.Allocation == "" {
+		c.Allocation = AllocContiguous
+	}
+	if c.PoolPages <= 0 {
+		c.PoolPages = 4096
+	}
+	if c.ArenaBytes <= 0 {
+		c.ArenaBytes = 2 << 20
+	}
+	if c.GapSec <= 0 {
+		c.GapSec = 0.005
+	}
+	c.Sched.Seed = xrand.Derive(c.Seed, "membench/sched")
+	return c, nil
+}
+
+// Engine implements core.Engine for memory campaigns.
+type Engine struct {
+	cfg       Config
+	hierarchy *memsim.Hierarchy
+	clock     *cpusim.Clock
+	sched     *ossim.Scheduler
+	alloc     memsim.Allocator
+	noise     *rand.Rand
+	phase     *rand.Rand
+}
+
+// NewEngine builds an engine; the substrate state (caches, clock, page
+// pool) persists across all trials of the campaign, as it would in a real
+// process.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	h, err := cfg.Machine.NewHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	phase := xrand.NewDerived(cfg.Seed, "membench/phase")
+	clock, err := cpusim.NewClock(cfg.Machine.FreqTable, cfg.Governor,
+		cfg.SamplingPeriodSec, phase.Float64()*cfg.SamplingPeriodSec)
+	if err != nil {
+		return nil, err
+	}
+	var alloc memsim.Allocator
+	switch cfg.Allocation {
+	case AllocContiguous:
+		alloc = memsim.NewContiguousAllocator(cfg.Machine.PageBytes)
+	case AllocPool:
+		alloc, err = memsim.NewPoolAllocator(cfg.Machine.PageBytes, cfg.PoolPages,
+			xrand.Derive(cfg.Seed, "membench/pool"))
+	case AllocArena:
+		alloc, err = memsim.NewArenaAllocator(cfg.Machine.PageBytes, cfg.ArenaBytes, 8,
+			xrand.Derive(cfg.Seed, "membench/arena"))
+	default:
+		return nil, fmt.Errorf("membench: unknown allocation strategy %q", cfg.Allocation)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:       cfg,
+		hierarchy: h,
+		clock:     clock,
+		sched:     ossim.New(cfg.Sched),
+		alloc:     alloc,
+		noise:     xrand.NewDerived(cfg.Seed, "membench/noise"),
+		phase:     phase,
+	}, nil
+}
+
+// ParseParams extracts kernel parameters from a design point. Missing
+// factors default to stride 1, 4-byte elements, 100 loops, no unrolling;
+// size is required.
+func ParseParams(p doe.Point) (memsim.KernelParams, error) {
+	kp := memsim.KernelParams{Stride: 1, ElemBytes: 4, NLoops: 100}
+	size, err := p.Int(FactorSize)
+	if err != nil {
+		return kp, err
+	}
+	kp.SizeBytes = size
+	if _, ok := p[FactorStride]; ok {
+		if kp.Stride, err = p.Int(FactorStride); err != nil {
+			return kp, err
+		}
+	}
+	if _, ok := p[FactorElem]; ok {
+		if kp.ElemBytes, err = p.Int(FactorElem); err != nil {
+			return kp, err
+		}
+	}
+	if _, ok := p[FactorNLoops]; ok {
+		if kp.NLoops, err = p.Int(FactorNLoops); err != nil {
+			return kp, err
+		}
+	}
+	if v, ok := p[FactorUnroll]; ok {
+		kp.Unroll = v == "1" || strings.EqualFold(string(v), "true")
+	}
+	return kp, nil
+}
+
+// ParseKind extracts the STREAM kernel kind from a design point; missing
+// means the Figure 6 read-only sum kernel.
+func ParseKind(p doe.Point) (memsim.StreamKind, error) {
+	v, ok := p[FactorKernel]
+	if !ok || v == "" {
+		return memsim.StreamSum, nil
+	}
+	k := memsim.StreamKind(v)
+	if !k.Valid() {
+		return "", fmt.Errorf("membench: unknown kernel %q", string(v))
+	}
+	return k, nil
+}
+
+// Execute implements core.Engine: one measurement of the Figure 6 kernel
+// (or a STREAM-family variant when the design carries a kernel factor).
+func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
+	kp, err := ParseParams(t.Point)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	kind, err := ParseKind(t.Point)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	bufs := make([]*memsim.Buffer, kind.Buffers())
+	for i := range bufs {
+		if bufs[i], err = e.alloc.Alloc(kp.SizeBytes); err != nil {
+			return core.RawRecord{}, err
+		}
+		if e.cfg.Allocation == AllocContiguous && i+1 < len(bufs) {
+			// Stagger multi-array kernels by one page, as real STREAM
+			// implementations pad, to avoid power-of-two set collisions.
+			pad, err := e.alloc.Alloc(e.cfg.Machine.PageBytes * (i + 1))
+			if err != nil {
+				return core.RawRecord{}, err
+			}
+			defer e.alloc.Free(pad)
+		}
+	}
+	defer func() {
+		for _, b := range bufs {
+			e.alloc.Free(b)
+		}
+	}()
+
+	res, err := memsim.RunStream(e.cfg.Machine, e.hierarchy, bufs, kp, kind)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+
+	at := e.clock.Now()
+	freqStart := e.clock.FreqHz()
+	seconds := e.clock.ExecuteCycles(res.Cycles)
+
+	slowdown := e.sched.SlowdownAt(at)
+	seconds *= slowdown
+	seconds = e.cfg.Machine.ApplyNoise(e.noise, seconds)
+
+	// Idle gap before the next measurement (allocation, logging).
+	e.clock.Idle(e.cfg.GapSec)
+
+	rec := core.RawRecord{
+		Point:   t.Point,
+		Value:   res.BandwidthMBps(kp.ElemBytes, seconds),
+		Seconds: seconds,
+		At:      at,
+	}
+	rec.Annotate("bound_by", res.BoundBy)
+	rec.Annotate("freq_start_hz", fmt.Sprintf("%.0f", freqStart))
+	rec.Annotate("slowdown", fmt.Sprintf("%.3g", slowdown))
+	return rec, nil
+}
+
+// Environment implements core.Engine.
+func (e *Engine) Environment() *meta.Environment {
+	env := meta.New()
+	env.Set("machine", e.cfg.Machine.Name)
+	env.Setf("machine/l1_bytes", "%d", e.cfg.Machine.L1().SizeBytes)
+	env.Setf("machine/page_bytes", "%d", e.cfg.Machine.PageBytes)
+	env.Set("governor", e.cfg.Governor.Name())
+	env.Setf("governor/period_s", "%g", e.cfg.SamplingPeriodSec)
+	env.Set("alloc", e.alloc.Name())
+	env.Set("sched", e.sched.String())
+	env.Setf("seed", "%d", e.cfg.Seed)
+	return env
+}
+
+// Factors builds the standard factor list for a memory campaign from
+// explicit level sets; nil slices get a single default level.
+func Factors(sizes, strides, elems, nloops []int, unrolls []bool) []doe.Factor {
+	if len(strides) == 0 {
+		strides = []int{1}
+	}
+	if len(elems) == 0 {
+		elems = []int{4}
+	}
+	if len(nloops) == 0 {
+		nloops = []int{100}
+	}
+	fs := []doe.Factor{
+		doe.IntFactor(FactorSize, sizes...),
+		doe.IntFactor(FactorStride, strides...),
+		doe.IntFactor(FactorElem, elems...),
+		doe.IntFactor(FactorNLoops, nloops...),
+	}
+	if len(unrolls) > 0 {
+		levels := make([]int, len(unrolls))
+		for i, u := range unrolls {
+			if u {
+				levels[i] = 1
+			}
+		}
+		fs = append(fs, doe.IntFactor(FactorUnroll, levels...))
+	}
+	return fs
+}
+
+// FactorDiagram renders the Figure 13 cause-and-effect diagram of the
+// factors the engine controls.
+func FactorDiagram() string {
+	var b strings.Builder
+	b.WriteString("Influential factors (Figure 13):\n")
+	groups := []struct {
+		name    string
+		factors []string
+	}{
+		{"Experiment plan", []string{"size", "stride", "cycles (nloops)", "repetitions", "sequence order"}},
+		{"Memory allocation", []string{"element type", "allocation technique"}},
+		{"Operating system", []string{"scheduling priority", "CPU frequency governor", "core pinning", "dedication"}},
+		{"Compilation", []string{"optimization", "loop unrolling"}},
+		{"Architecture", []string{"Intel", "ARM", "word size"}},
+	}
+	for _, g := range groups {
+		fmt.Fprintf(&b, "  %-18s -> %s\n", g.name, strings.Join(g.factors, ", "))
+	}
+	b.WriteString("  all of the above   -> Time / Bandwidth\n")
+	return b.String()
+}

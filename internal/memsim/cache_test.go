@@ -1,0 +1,278 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tinyCache(t *testing.T) *Cache {
+	t.Helper()
+	// 4 sets x 2 ways x 16B lines = 128 B.
+	c, err := NewCache(CacheConfig{Name: "T", SizeBytes: 128, Ways: 2, LineBytes: 16, FillBytesPerCycle: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheConfigSets(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 32 << 10, Ways: 4, LineBytes: 32}
+	if got := cfg.Sets(); got != 256 {
+		t.Fatalf("sets = %d, want 256", got)
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 0, Ways: 1, LineBytes: 16, FillBytesPerCycle: 1},
+		{SizeBytes: 100, Ways: 3, LineBytes: 16, FillBytesPerCycle: 1}, // not divisible
+		{SizeBytes: 128, Ways: 2, LineBytes: 16, FillBytesPerCycle: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %+v should be invalid", cfg)
+		}
+	}
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c := tinyCache(t)
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(15) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(16) {
+		t.Fatal("next line should miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := tinyCache(t)
+	// Set 0 holds lines with line%4==0: line addresses 0, 64, 128 bytes x4...
+	// Lines mapping to set 0: byte addrs 0, 64, 128 (line = addr/16; set = line%4).
+	c.Access(0)   // set 0, way A
+	c.Access(64)  // set 0, way B
+	c.Access(0)   // touch A (now B is LRU)
+	c.Access(128) // evicts B (64)
+	if !c.Contains(0) {
+		t.Fatal("recently used line evicted")
+	}
+	if c.Contains(64) {
+		t.Fatal("LRU line not evicted")
+	}
+	if !c.Contains(128) {
+		t.Fatal("new line not installed")
+	}
+}
+
+func TestCacheContainsDoesNotPerturb(t *testing.T) {
+	c := tinyCache(t)
+	c.Access(0)
+	h, m := c.Hits(), c.Misses()
+	c.Contains(0)
+	c.Contains(999)
+	if c.Hits() != h || c.Misses() != m {
+		t.Fatal("Contains changed counters")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := tinyCache(t)
+	c.Access(0)
+	c.Flush()
+	if c.Contains(0) {
+		t.Fatal("flush kept a line")
+	}
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("flush kept counters")
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	c := tinyCache(t) // 128 B total
+	// Touch all 8 lines twice; second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 128; a += 16 {
+			c.Access(a)
+		}
+	}
+	if c.Misses() != 8 {
+		t.Fatalf("misses = %d, want 8 (cold only)", c.Misses())
+	}
+	if c.Hits() != 8 {
+		t.Fatalf("hits = %d, want 8", c.Hits())
+	}
+}
+
+func TestCacheThrashingSet(t *testing.T) {
+	c := tinyCache(t)
+	// Three lines mapping to the same 2-way set, accessed round-robin,
+	// must miss every time (LRU worst case).
+	addrs := []uint64{0, 64, 128}
+	for i := 0; i < 9; i++ {
+		c.Access(addrs[i%3])
+	}
+	if c.Hits() != 0 {
+		t.Fatalf("hits = %d, want 0 under thrashing", c.Hits())
+	}
+}
+
+func TestRandomReplacementBasics(t *testing.T) {
+	c, err := NewCache(CacheConfig{Name: "R", SizeBytes: 128, Ways: 2, LineBytes: 16,
+		FillBytesPerCycle: 1, Replacement: RandomReplacement})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0) {
+		t.Fatal("cold hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("warm miss")
+	}
+	if c.Hits()+c.Misses() != 2 {
+		t.Fatal("counters")
+	}
+}
+
+func TestRandomReplacementSoftensThrashing(t *testing.T) {
+	// Round-robin over 3 lines in a 2-way set: LRU always misses, random
+	// replacement hits sometimes.
+	run := func(repl Replacement) uint64 {
+		c, err := NewCache(CacheConfig{Name: "R", SizeBytes: 128, Ways: 2, LineBytes: 16,
+			FillBytesPerCycle: 1, Replacement: repl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := []uint64{0, 64, 128} // all map to set 0
+		for i := 0; i < 300; i++ {
+			c.Access(addrs[i%3])
+		}
+		return c.Hits()
+	}
+	if h := run(LRU); h != 0 {
+		t.Fatalf("LRU hits = %d, want 0", h)
+	}
+	if h := run(RandomReplacement); h == 0 {
+		t.Fatal("random replacement should break the LRU worst case")
+	}
+}
+
+func TestRandomReplacementDeterministic(t *testing.T) {
+	run := func() uint64 {
+		c, err := NewCache(CacheConfig{Name: "R", SizeBytes: 128, Ways: 2, LineBytes: 16,
+			FillBytesPerCycle: 1, Replacement: RandomReplacement})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			c.Access(uint64(i*48) % 512)
+		}
+		return c.Hits()
+	}
+	if run() != run() {
+		t.Fatal("random replacement not reproducible")
+	}
+}
+
+func TestHierarchyDepths(t *testing.T) {
+	h, err := NewHierarchy([]CacheConfig{
+		{Name: "L1", SizeBytes: 128, Ways: 2, LineBytes: 16, FillBytesPerCycle: 4},
+		{Name: "L2", SizeBytes: 1024, Ways: 4, LineBytes: 16, FillBytesPerCycle: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := h.Access(0); d != 2 {
+		t.Fatalf("cold depth = %d, want 2 (memory)", d)
+	}
+	if d := h.Access(0); d != 0 {
+		t.Fatalf("warm depth = %d, want 0 (L1)", d)
+	}
+	// Evict from L1 by filling its sets, then re-access: should hit L2.
+	for a := uint64(16); a <= 256; a += 16 {
+		h.Access(a)
+	}
+	if d := h.Access(0); d != 1 {
+		t.Fatalf("depth = %d, want 1 (L2)", d)
+	}
+}
+
+func TestHierarchyFillsAccounting(t *testing.T) {
+	h, err := NewHierarchy([]CacheConfig{
+		{Name: "L1", SizeBytes: 128, Ways: 2, LineBytes: 16, FillBytesPerCycle: 4},
+		{Name: "L2", SizeBytes: 1024, Ways: 4, LineBytes: 16, FillBytesPerCycle: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0) // misses both
+	h.Access(0) // L1 hit
+	fills := h.Fills()
+	if fills[0] != 1 || fills[1] != 1 || fills[2] != 1 {
+		t.Fatalf("fills = %v", fills)
+	}
+	if h.Accesses() != 2 {
+		t.Fatalf("accesses = %d", h.Accesses())
+	}
+	h.ResetStats()
+	if h.Accesses() != 0 || h.Fills()[0] != 0 {
+		t.Fatal("reset failed")
+	}
+	// Contents survived the stats reset.
+	if d := h.Access(0); d != 0 {
+		t.Fatalf("depth after reset = %d, want 0", d)
+	}
+}
+
+func TestHierarchyEmpty(t *testing.T) {
+	if _, err := NewHierarchy(nil); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+// Property: hits + misses == total accesses for any access sequence.
+func TestCacheCountersProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := &Cache{}
+		var err error
+		c, err = NewCache(CacheConfig{Name: "q", SizeBytes: 256, Ways: 2, LineBytes: 16, FillBytesPerCycle: 1})
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		return c.Hits()+c.Misses() == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: immediately re-accessing any address is always a hit.
+func TestCacheRepeatHitProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c, err := NewCache(CacheConfig{Name: "q", SizeBytes: 256, Ways: 2, LineBytes: 16, FillBytesPerCycle: 1})
+		if err != nil {
+			return false
+		}
+		for _, a := range addrs {
+			c.Access(uint64(a))
+			if !c.Access(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

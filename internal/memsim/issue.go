@@ -1,0 +1,70 @@
+package memsim
+
+import "math"
+
+// IssueModel captures how fast the core can issue loads, as a function of
+// element width and loop unrolling — the Section IV.1 factors. Without
+// unrolling, each access pays loop bookkeeping (index update, compare,
+// branch); with unrolling that overhead amortizes away. Elements wider than
+// the widest native load split into several load micro-operations.
+type IssueModel struct {
+	// LoadsPerCycle is the peak load issue rate (e.g. 2 on Sandy Bridge).
+	LoadsPerCycle float64
+	// MaxLoadBytes is the widest single load the core supports.
+	MaxLoadBytes int
+	// LoopOverheadCycles is the extra per-access cost without unrolling.
+	LoopOverheadCycles float64
+	// UnrolledOverheadCycles is the residual per-access cost with unrolling.
+	UnrolledOverheadCycles float64
+	// Quirks lists configuration-specific anomalies.
+	Quirks []IssueQuirk
+}
+
+// IssueQuirk is a machine-specific anomaly: a multiplier applied to the
+// issue cost of one (element size, unroll) configuration. The paper observed
+// one on the i7-2600: four-double vectors *with* unrolling collapse instead
+// of being fastest ("we did not fully investigate the reasons behind this
+// anomaly").
+type IssueQuirk struct {
+	ElemBytes  int
+	Unroll     bool
+	Multiplier float64
+	Reason     string
+}
+
+// CyclesPerAccess returns the average issue cycles for one element access.
+func (m IssueModel) CyclesPerAccess(elemBytes int, unroll bool) float64 {
+	if elemBytes <= 0 {
+		elemBytes = 4
+	}
+	maxLoad := m.MaxLoadBytes
+	if maxLoad <= 0 {
+		maxLoad = 8
+	}
+	lpc := m.LoadsPerCycle
+	if lpc <= 0 {
+		lpc = 1
+	}
+	uops := math.Ceil(float64(elemBytes) / float64(maxLoad))
+	c := uops / lpc
+	if unroll {
+		c += m.UnrolledOverheadCycles
+	} else {
+		c += m.LoopOverheadCycles
+	}
+	for _, q := range m.Quirks {
+		if q.ElemBytes == elemBytes && q.Unroll == unroll && q.Multiplier > 0 {
+			c *= q.Multiplier
+		}
+	}
+	return c
+}
+
+// PeakBandwidthBytesPerCycle is the demand rate of the kernel for the given
+// configuration, in useful bytes per cycle, before any cache limits.
+func (m IssueModel) PeakBandwidthBytesPerCycle(elemBytes int, unroll bool) float64 {
+	if elemBytes <= 0 {
+		elemBytes = 4
+	}
+	return float64(elemBytes) / m.CyclesPerAccess(elemBytes, unroll)
+}

@@ -1,0 +1,190 @@
+package memsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"opaquebench/internal/xrand"
+)
+
+// KernelParams parametrizes the Figure 6 access kernel:
+//
+//	for rep in (1..nloops)
+//	    for i in (0..size/stride)
+//	        access buffer[stride*i]
+//
+// Size is in bytes, Stride in elements, ElemBytes is the element width
+// (the int vs long long int vs vector factor of Section IV.1), and Unroll
+// selects the manually unrolled loop body.
+type KernelParams struct {
+	SizeBytes int
+	Stride    int
+	ElemBytes int
+	NLoops    int
+	Unroll    bool
+}
+
+// Validate checks the kernel parameters against the buffer.
+func (p KernelParams) Validate(buf *Buffer) error {
+	if p.SizeBytes <= 0 {
+		return fmt.Errorf("memsim: kernel size %d", p.SizeBytes)
+	}
+	if buf != nil && p.SizeBytes > buf.Size() {
+		return fmt.Errorf("memsim: kernel size %d exceeds buffer %d", p.SizeBytes, buf.Size())
+	}
+	if p.Stride < 1 {
+		return fmt.Errorf("memsim: stride %d", p.Stride)
+	}
+	if p.ElemBytes < 1 {
+		return fmt.Errorf("memsim: element size %d", p.ElemBytes)
+	}
+	if p.NLoops < 1 {
+		return fmt.Errorf("memsim: nloops %d", p.NLoops)
+	}
+	if p.SizeBytes/p.ElemBytes/p.Stride < 1 {
+		return fmt.Errorf("memsim: buffer of %d bytes holds no stride-%d element", p.SizeBytes, p.Stride)
+	}
+	return nil
+}
+
+// Accesses returns the total number of element accesses the kernel makes.
+func (p KernelParams) Accesses() uint64 {
+	iters := uint64(p.SizeBytes / p.ElemBytes / p.Stride)
+	return iters * uint64(p.NLoops)
+}
+
+// KernelResult is the simulated outcome of one kernel execution.
+type KernelResult struct {
+	// Accesses is the number of element loads performed.
+	Accesses uint64
+	// Cycles is the total execution time in core cycles (roofline of the
+	// issue time and every transfer interface).
+	Cycles float64
+	// IssueCycles is the pure load-issue component.
+	IssueCycles float64
+	// TransferCycles[i] is the line-transfer time of the interface that
+	// fills cache level i.
+	TransferCycles []float64
+	// Fills[i] is the number of lines installed into level i; the final
+	// entry counts lines fetched from memory.
+	Fills []uint64
+	// BoundBy names the binding resource: "issue", a level name, or "mem".
+	BoundBy string
+	// TLBMisses counts translation misses (0 when the machine's TLB model
+	// is disabled).
+	TLBMisses uint64
+}
+
+// Seconds converts the cycle count at a fixed core frequency.
+func (r KernelResult) Seconds(freqHz float64) float64 {
+	if freqHz <= 0 {
+		return 0
+	}
+	return r.Cycles / freqHz
+}
+
+// BandwidthMBps returns the kernel-visible bandwidth — useful bytes moved
+// per second, the metric of Figures 7-12 — given the elapsed seconds.
+func (r KernelResult) BandwidthMBps(elemBytes int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(r.Accesses) * float64(elemBytes) / seconds / 1e6
+}
+
+// RunKernel simulates the kernel on machine m against hierarchy h and buffer
+// buf. The hierarchy's pre-existing contents represent whatever the previous
+// measurement left behind, exactly like a real benchmark process.
+//
+// Loop iterations beyond the third traversal are extrapolated from the
+// steady-state traversal: the access pattern repeats identically, so with
+// LRU replacement the per-traversal miss pattern is periodic after warm-up.
+func RunKernel(m *Machine, h *Hierarchy, buf *Buffer, p KernelParams) (KernelResult, error) {
+	if err := p.Validate(buf); err != nil {
+		return KernelResult{}, err
+	}
+	iters := p.SizeBytes / p.ElemBytes / p.Stride
+	strideBytes := p.Stride * p.ElemBytes
+
+	simLoops := p.NLoops
+	extrapolate := false
+	if p.NLoops > 3 {
+		simLoops = 3
+		extrapolate = true
+	}
+
+	nLevels := len(h.Levels())
+	cpa := m.Issue.CyclesPerAccess(p.ElemBytes, p.Unroll)
+	issuePerLoop := float64(iters) * cpa
+
+	// The roofline applies per traversal: the cold traversal may be bound by
+	// the memory interface while steady-state traversals are issue-bound.
+	repCycles := make([]float64, simLoops)
+	repBound := make([]string, simLoops)
+	perLoopFills := make([][]uint64, simLoops)
+	for rep := 0; rep < simLoops; rep++ {
+		h.ResetStats()
+		off := 0
+		for i := 0; i < iters; i++ {
+			h.Access(buf.Translate(off))
+			off += strideBytes
+		}
+		perLoopFills[rep] = h.Fills()
+		repCycles[rep] = issuePerLoop
+		repBound[rep] = "issue"
+		for i := 0; i < nLevels; i++ {
+			cfg := h.Levels()[i].Config()
+			tc := float64(perLoopFills[rep][i]) * float64(cfg.LineBytes) / cfg.FillBytesPerCycle
+			if tc > repCycles[rep] {
+				repCycles[rep] = tc
+				repBound[rep] = cfg.Name
+				if i == nLevels-1 {
+					repBound[rep] = "mem"
+				}
+			}
+		}
+	}
+
+	totalFills := make([]uint64, nLevels+1)
+	var totalCycles float64
+	for rep := 0; rep < simLoops; rep++ {
+		for i := range totalFills {
+			totalFills[i] += perLoopFills[rep][i]
+		}
+		totalCycles += repCycles[rep]
+	}
+	if extrapolate {
+		steady := perLoopFills[simLoops-1]
+		extra := uint64(p.NLoops - simLoops)
+		for i := range totalFills {
+			totalFills[i] += steady[i] * extra
+		}
+		totalCycles += repCycles[simLoops-1] * float64(extra)
+	}
+
+	res := KernelResult{
+		Accesses: uint64(iters) * uint64(p.NLoops),
+		Fills:    totalFills,
+		Cycles:   totalCycles,
+		// BoundBy reports the steady-state traversal's binding resource,
+		// which is what the bandwidth plateaus of Figure 7 reflect.
+		BoundBy:     repBound[simLoops-1],
+		IssueCycles: float64(iters) * float64(p.NLoops) * cpa,
+	}
+	res.TransferCycles = make([]float64, nLevels)
+	for i := 0; i < nLevels; i++ {
+		cfg := h.Levels()[i].Config()
+		res.TransferCycles[i] = float64(totalFills[i]) * float64(cfg.LineBytes) / cfg.FillBytesPerCycle
+	}
+	return res, nil
+}
+
+// ApplyNoise perturbs a simulated duration with the machine's measurement
+// noise profile: multiplicative log-normal jitter plus occasional spikes.
+func (m *Machine) ApplyNoise(r *rand.Rand, seconds float64) float64 {
+	out := xrand.Jitter(r, seconds, m.NoiseSigma)
+	if m.SpikeProb > 0 && xrand.Bernoulli(r, m.SpikeProb) {
+		out *= 1 + r.Float64()*m.SpikeAmp
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+
+	"opaquebench/internal/xrand"
+)
+
+// runOn is a test helper: cold hierarchy, contiguous buffer, fixed machine.
+func runOn(t *testing.T, m *Machine, p KernelParams) KernelResult {
+	t.Helper()
+	h, err := m.NewHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := NewContiguousAllocator(m.PageBytes).Alloc(p.SizeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunKernel(m, h, buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func bandwidth(t *testing.T, m *Machine, p KernelParams) float64 {
+	t.Helper()
+	res := runOn(t, m, p)
+	return res.BandwidthMBps(p.ElemBytes, res.Seconds(m.FreqTable.Max()))
+}
+
+func TestKernelParamsValidate(t *testing.T) {
+	good := KernelParams{SizeBytes: 4096, Stride: 1, ElemBytes: 4, NLoops: 1}
+	if err := good.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+	bad := []KernelParams{
+		{SizeBytes: 0, Stride: 1, ElemBytes: 4, NLoops: 1},
+		{SizeBytes: 4096, Stride: 0, ElemBytes: 4, NLoops: 1},
+		{SizeBytes: 4096, Stride: 1, ElemBytes: 0, NLoops: 1},
+		{SizeBytes: 4096, Stride: 1, ElemBytes: 4, NLoops: 0},
+		{SizeBytes: 4, Stride: 4, ElemBytes: 4, NLoops: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(nil); err == nil {
+			t.Fatalf("params %+v should be invalid", p)
+		}
+	}
+	big := KernelParams{SizeBytes: 8192, Stride: 1, ElemBytes: 4, NLoops: 1}
+	a := NewContiguousAllocator(4096)
+	buf, _ := a.Alloc(4096)
+	if err := big.Validate(buf); err == nil {
+		t.Fatal("kernel larger than buffer should be invalid")
+	}
+}
+
+func TestKernelAccessCount(t *testing.T) {
+	p := KernelParams{SizeBytes: 1024, Stride: 2, ElemBytes: 4, NLoops: 3}
+	// 1024/4 = 256 elements, /2 stride = 128 iterations x 3 loops.
+	if got := p.Accesses(); got != 384 {
+		t.Fatalf("accesses = %d, want 384", got)
+	}
+	res := runOn(t, Opteron(), p)
+	if res.Accesses != 384 {
+		t.Fatalf("simulated accesses = %d, want 384", res.Accesses)
+	}
+}
+
+func TestKernelL1ResidentIssueBound(t *testing.T) {
+	m := Opteron()
+	p := KernelParams{SizeBytes: 16 << 10, Stride: 1, ElemBytes: 4, NLoops: 500}
+	res := runOn(t, m, p)
+	if res.BoundBy != "issue" {
+		t.Fatalf("L1-resident kernel bound by %q, want issue", res.BoundBy)
+	}
+}
+
+func TestKernelPlateausOrdered(t *testing.T) {
+	// Figure 7: bandwidth forms descending plateaus L1 > L2 > memory.
+	m := Opteron()
+	l1 := bandwidth(t, m, KernelParams{SizeBytes: 32 << 10, Stride: 2, ElemBytes: 4, NLoops: 500})
+	l2 := bandwidth(t, m, KernelParams{SizeBytes: 256 << 10, Stride: 2, ElemBytes: 4, NLoops: 500})
+	mem := bandwidth(t, m, KernelParams{SizeBytes: 4 << 20, Stride: 2, ElemBytes: 4, NLoops: 100})
+	if !(l1 > l2*1.2 && l2 > mem*1.2) {
+		t.Fatalf("plateaus not ordered: L1=%v L2=%v mem=%v", l1, l2, mem)
+	}
+}
+
+func TestKernelStrideNoEffectInsideL1(t *testing.T) {
+	// Figure 7: "Strides have no impact when all accesses are done inside L1."
+	m := Opteron()
+	b2 := bandwidth(t, m, KernelParams{SizeBytes: 32 << 10, Stride: 2, ElemBytes: 4, NLoops: 500})
+	b8 := bandwidth(t, m, KernelParams{SizeBytes: 32 << 10, Stride: 8, ElemBytes: 4, NLoops: 500})
+	if math.Abs(b2-b8)/b2 > 0.05 {
+		t.Fatalf("stride changed L1 bandwidth: %v vs %v", b2, b8)
+	}
+}
+
+func TestKernelStrideHalvesOutsideL1(t *testing.T) {
+	// Figure 7: "bandwidth is almost reduced by a factor 2" per stride
+	// doubling once the array exceeds L1.
+	m := Opteron()
+	b2 := bandwidth(t, m, KernelParams{SizeBytes: 256 << 10, Stride: 2, ElemBytes: 4, NLoops: 500})
+	b4 := bandwidth(t, m, KernelParams{SizeBytes: 256 << 10, Stride: 4, ElemBytes: 4, NLoops: 500})
+	b8 := bandwidth(t, m, KernelParams{SizeBytes: 256 << 10, Stride: 8, ElemBytes: 4, NLoops: 500})
+	if r := b2 / b4; r < 1.6 || r > 2.4 {
+		t.Fatalf("stride 2->4 ratio = %v, want ~2", r)
+	}
+	if r := b4 / b8; r < 1.6 || r > 2.4 {
+		t.Fatalf("stride 4->8 ratio = %v, want ~2", r)
+	}
+}
+
+func TestKernelElementWidthDoublesBandwidth(t *testing.T) {
+	// Section IV.1: switching int -> long long int "essentially doubles the
+	// bandwidth" for L1-resident buffers.
+	m := CoreI7()
+	b4 := bandwidth(t, m, KernelParams{SizeBytes: 16 << 10, Stride: 1, ElemBytes: 4, NLoops: 500})
+	b8 := bandwidth(t, m, KernelParams{SizeBytes: 16 << 10, Stride: 1, ElemBytes: 8, NLoops: 500})
+	if r := b8 / b4; r < 1.7 || r > 2.3 {
+		t.Fatalf("8B/4B ratio = %v, want ~2", r)
+	}
+}
+
+func TestKernelUnrollHelps(t *testing.T) {
+	m := CoreI7()
+	plain := bandwidth(t, m, KernelParams{SizeBytes: 16 << 10, Stride: 1, ElemBytes: 8, NLoops: 500})
+	unrolled := bandwidth(t, m, KernelParams{SizeBytes: 16 << 10, Stride: 1, ElemBytes: 8, NLoops: 500, Unroll: true})
+	if unrolled <= plain*1.5 {
+		t.Fatalf("unrolling should help substantially: %v vs %v", unrolled, plain)
+	}
+}
+
+func TestKernelAVXUnrollAnomaly(t *testing.T) {
+	// Figure 9: the widest vector WITH unrolling collapses instead of being
+	// fastest.
+	m := CoreI7()
+	noUnroll := bandwidth(t, m, KernelParams{SizeBytes: 16 << 10, Stride: 1, ElemBytes: 32, NLoops: 500})
+	unrolled := bandwidth(t, m, KernelParams{SizeBytes: 16 << 10, Stride: 1, ElemBytes: 32, NLoops: 500, Unroll: true})
+	if unrolled >= noUnroll/3 {
+		t.Fatalf("AVX+unroll anomaly missing: unrolled=%v noUnroll=%v", unrolled, noUnroll)
+	}
+}
+
+func TestKernelNoL1DropAtLowDemand(t *testing.T) {
+	// Figure 9: "for the 4B element type there is no drop at all when buffer
+	// size surpasses the cache size" (without unrolling, demand stays below
+	// the L2 interface bandwidth).
+	m := CoreI7()
+	in := bandwidth(t, m, KernelParams{SizeBytes: 16 << 10, Stride: 1, ElemBytes: 4, NLoops: 500})
+	out := bandwidth(t, m, KernelParams{SizeBytes: 96 << 10, Stride: 1, ElemBytes: 4, NLoops: 500})
+	if math.Abs(in-out)/in > 0.05 {
+		t.Fatalf("low-demand config should show no L1 drop: in=%v out=%v", in, out)
+	}
+}
+
+func TestKernelL1DropAtHighDemand(t *testing.T) {
+	// ...whereas the high-demand (wide element, unrolled) configuration
+	// drops visibly past L1.
+	m := CoreI7()
+	in := bandwidth(t, m, KernelParams{SizeBytes: 16 << 10, Stride: 1, ElemBytes: 16, NLoops: 500, Unroll: true})
+	out := bandwidth(t, m, KernelParams{SizeBytes: 96 << 10, Stride: 1, ElemBytes: 16, NLoops: 500, Unroll: true})
+	if out > in*0.8 {
+		t.Fatalf("high-demand config should drop past L1: in=%v out=%v", in, out)
+	}
+}
+
+func TestKernelExtrapolationMatchesFullSimulation(t *testing.T) {
+	// nloops > 3 uses steady-state extrapolation; verify it agrees with the
+	// exact simulation on a case where we can afford both.
+	m := Opteron()
+	p := KernelParams{SizeBytes: 8 << 10, Stride: 1, ElemBytes: 4, NLoops: 8}
+
+	extra := runOn(t, m, p)
+
+	// Exact: simulate 8 separate single traversals on one hierarchy.
+	h, err := m.NewHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := NewContiguousAllocator(m.PageBytes).Alloc(p.SizeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalFills uint64
+	for rep := 0; rep < p.NLoops; rep++ {
+		single := p
+		single.NLoops = 1
+		res, err := RunKernel(m, h, buf, single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalFills += res.Fills[0]
+	}
+	if extra.Fills[0] != totalFills {
+		t.Fatalf("extrapolated fills = %d, exact = %d", extra.Fills[0], totalFills)
+	}
+}
+
+func TestKernelARMPagingUnluckyVsLucky(t *testing.T) {
+	// Section IV.4: on the ARM, pool-allocated physical pages sometimes
+	// oversubscribe L1 sets for buffers between 50% and 100% of L1 size.
+	// Across seeds (= reruns of the experiment) both behaviours must occur.
+	m := ARMSnowball()
+	p := KernelParams{SizeBytes: 24 << 10, Stride: 1, ElemBytes: 4, NLoops: 500}
+
+	sawClean, sawThrash := false, false
+	for seed := uint64(0); seed < 40 && !(sawClean && sawThrash); seed++ {
+		alloc, err := NewPoolAllocator(m.PageBytes, 512, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := m.NewHierarchy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := alloc.Alloc(p.SizeBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunKernel(m, h, buf, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Steady-state L1 fills: subtract the cold traversal estimate.
+		if res.BoundBy == "issue" {
+			sawClean = true
+		} else {
+			sawThrash = true
+		}
+		alloc.Free(buf)
+	}
+	if !sawClean || !sawThrash {
+		t.Fatalf("expected both clean and thrashing runs across seeds: clean=%v thrash=%v", sawClean, sawThrash)
+	}
+}
+
+func TestKernelARMContiguousAlwaysClean(t *testing.T) {
+	// Contiguous (color-balanced) pages never thrash at 24 KB.
+	m := ARMSnowball()
+	p := KernelParams{SizeBytes: 24 << 10, Stride: 1, ElemBytes: 4, NLoops: 500}
+	res := runOn(t, m, p)
+	if res.BoundBy != "issue" {
+		t.Fatalf("contiguous 24KB buffer should be L1-resident, bound by %q", res.BoundBy)
+	}
+}
+
+func TestKernelResultSecondsAndBandwidth(t *testing.T) {
+	res := KernelResult{Accesses: 1000, Cycles: 2000}
+	if got := res.Seconds(1000); got != 2 {
+		t.Fatalf("seconds = %v", got)
+	}
+	if got := res.Seconds(0); got != 0 {
+		t.Fatalf("seconds at 0 Hz = %v", got)
+	}
+	if got := res.BandwidthMBps(4, 2); got != 4000/2.0/1e6*1.0 {
+		t.Fatalf("bandwidth = %v", got)
+	}
+	if got := res.BandwidthMBps(4, 0); got != 0 {
+		t.Fatalf("bandwidth at 0s = %v", got)
+	}
+}
+
+func TestApplyNoiseDeterministic(t *testing.T) {
+	m := PentiumIV()
+	r1 := xrand.New(5)
+	r2 := xrand.New(5)
+	a := m.ApplyNoise(r1, 1.0)
+	b := m.ApplyNoise(r2, 1.0)
+	if a != b {
+		t.Fatal("noise not deterministic per seed")
+	}
+	if a <= 0 {
+		t.Fatalf("noisy time non-positive: %v", a)
+	}
+}
+
+func TestApplyNoiseSpread(t *testing.T) {
+	// The P4 profile must be visibly noisier than the i7 profile (Fig. 8).
+	r := xrand.New(6)
+	spread := func(m *Machine) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 300; i++ {
+			v := m.ApplyNoise(r, 1.0)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return hi / lo
+	}
+	if p4, i7 := spread(PentiumIV()), spread(CoreI7()); p4 < i7*2 {
+		t.Fatalf("P4 spread %v should far exceed i7 spread %v", p4, i7)
+	}
+}
+
+func BenchmarkKernelL1Resident(b *testing.B) {
+	m := Opteron()
+	h, err := m.NewHierarchy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := NewContiguousAllocator(m.PageBytes).Alloc(32 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := KernelParams{SizeBytes: 32 << 10, Stride: 1, ElemBytes: 4, NLoops: 500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKernel(m, h, buf, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelMemoryBound(b *testing.B) {
+	m := Opteron()
+	h, err := m.NewHierarchy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := NewContiguousAllocator(m.PageBytes).Alloc(4 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := KernelParams{SizeBytes: 4 << 20, Stride: 2, ElemBytes: 4, NLoops: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKernel(m, h, buf, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

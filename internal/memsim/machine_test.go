@@ -1,0 +1,143 @@
+package memsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllMachinesValidate(t *testing.T) {
+	for name, m := range Machines() {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	m, err := MachineByName("i7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "Core i7-2600" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	if _, err := MachineByName("cray"); err == nil {
+		t.Fatal("want error for unknown machine")
+	}
+}
+
+func TestFigure5Geometry(t *testing.T) {
+	// Paper's Figure 5 numbers.
+	op := Opteron()
+	if op.L1().SizeBytes != 64<<10 || op.L1().Ways != 2 {
+		t.Fatalf("Opteron L1 = %+v", op.L1())
+	}
+	if op.Levels[1].SizeBytes != 1<<20 || op.Levels[1].Ways != 16 {
+		t.Fatalf("Opteron L2 = %+v", op.Levels[1])
+	}
+	p4 := PentiumIV()
+	if p4.L1().SizeBytes != 16<<10 || p4.L1().Ways != 8 {
+		t.Fatalf("P4 L1 = %+v", p4.L1())
+	}
+	i7 := CoreI7()
+	if len(i7.Levels) != 3 || i7.Levels[2].SizeBytes != 8<<20 {
+		t.Fatalf("i7 levels = %+v", i7.Levels)
+	}
+	arm := ARMSnowball()
+	if arm.L1().SizeBytes != 32<<10 || arm.L1().Ways != 4 || arm.WordBits != 32 {
+		t.Fatalf("ARM L1 = %+v", arm.L1())
+	}
+	if !arm.PagedL1 {
+		t.Fatal("ARM must be flagged PagedL1")
+	}
+}
+
+func TestARMPagingGeometryIsCritical(t *testing.T) {
+	// The Section IV.4 condition: way size (size/ways) spans more than one
+	// page, so the page color selects the set group.
+	arm := ARMSnowball()
+	waySize := arm.L1().SizeBytes / arm.L1().Ways
+	if waySize <= arm.PageBytes {
+		t.Fatalf("way size %d must exceed page size %d for the paging pitfall", waySize, arm.PageBytes)
+	}
+}
+
+func TestFigure5TableRendering(t *testing.T) {
+	table := Figure5Table()
+	for _, want := range []string{"Opteron", "Pentium 4", "Core i7-2600", "ARMv7 Snowball", "64KB 2-way", "8MB 16-way"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	if lines := strings.Count(table, "\n"); lines != 5 {
+		t.Fatalf("table has %d lines, want 5", lines)
+	}
+}
+
+func TestMachineValidateCatchesBadConfigs(t *testing.T) {
+	m := Opteron()
+	m.Name = ""
+	if err := m.Validate(); err == nil {
+		t.Fatal("unnamed machine accepted")
+	}
+	m = Opteron()
+	m.Levels = nil
+	if err := m.Validate(); err == nil {
+		t.Fatal("levelless machine accepted")
+	}
+	m = Opteron()
+	m.MemFillBytesPerCycle = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero memory bandwidth accepted")
+	}
+	m = Opteron()
+	m.PageBytes = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero page size accepted")
+	}
+}
+
+func TestIssueModelWidthScaling(t *testing.T) {
+	im := CoreI7().Issue
+	c4 := im.CyclesPerAccess(4, false)
+	c8 := im.CyclesPerAccess(8, false)
+	if c4 != c8 {
+		t.Fatalf("4B and 8B loads should cost the same issue slots: %v vs %v", c4, c8)
+	}
+	c32 := im.CyclesPerAccess(32, false)
+	if c32 <= c4 {
+		t.Fatalf("32B loads must cost more: %v vs %v", c32, c4)
+	}
+}
+
+func TestIssueModelUnrollLowersCost(t *testing.T) {
+	im := Opteron().Issue
+	if im.CyclesPerAccess(4, true) >= im.CyclesPerAccess(4, false) {
+		t.Fatal("unroll should lower per-access cost")
+	}
+}
+
+func TestIssueModelQuirkApplies(t *testing.T) {
+	im := CoreI7().Issue
+	normal := im.CyclesPerAccess(32, false)
+	quirky := im.CyclesPerAccess(32, true)
+	if quirky < normal*5 {
+		t.Fatalf("quirk multiplier not applied: %v vs %v", quirky, normal)
+	}
+}
+
+func TestIssueModelDefaults(t *testing.T) {
+	im := IssueModel{}
+	if got := im.CyclesPerAccess(0, false); got <= 0 {
+		t.Fatalf("defaulted cost = %v", got)
+	}
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	im := CoreI7().Issue
+	b4 := im.PeakBandwidthBytesPerCycle(4, false)
+	b8 := im.PeakBandwidthBytesPerCycle(8, false)
+	if b8 <= b4 {
+		t.Fatal("wider elements must raise peak demand")
+	}
+}

@@ -1,0 +1,213 @@
+package memsim
+
+import (
+	"fmt"
+
+	"opaquebench/internal/xrand"
+)
+
+// This file models physical page allocation, the mechanism behind the ARM
+// pitfall of Section IV.4: "operating systems allocate nonconsecutive 4 KB
+// physical memory pages, choosing them randomly from a pool of available
+// pages"; with a 32 KB 4-way L1 and no page coloring, an unlucky draw makes
+// some cache sets oversubscribed and the drop point of the bandwidth curve
+// moves between reruns — while malloc/free page reuse makes each individual
+// run eerily stable.
+
+// Buffer is an allocated virtual buffer with its virtual-to-physical page
+// mapping.
+type Buffer struct {
+	size      int
+	pageBytes int
+	// pages[i] is the physical page number backing virtual page i.
+	pages []uint64
+	// offset is the byte offset of the buffer start within its first page
+	// (non-zero for arena sub-buffers).
+	offset int
+}
+
+// Size returns the buffer length in bytes.
+func (b *Buffer) Size() int { return b.size }
+
+// Translate maps a byte offset within the buffer to a physical address.
+// Offsets outside [0, Size) panic: the kernel executor must never wander.
+func (b *Buffer) Translate(off int) uint64 {
+	if off < 0 || off >= b.size {
+		panic(fmt.Sprintf("memsim: offset %d out of buffer [0, %d)", off, b.size))
+	}
+	abs := off + b.offset
+	page := abs / b.pageBytes
+	return b.pages[page]*uint64(b.pageBytes) + uint64(abs%b.pageBytes)
+}
+
+// PhysicalPages returns a copy of the physical page numbers backing the
+// buffer, in virtual order.
+func (b *Buffer) PhysicalPages() []uint64 {
+	return append([]uint64(nil), b.pages...)
+}
+
+// Allocator hands out physical pages for buffers.
+type Allocator interface {
+	// Alloc returns a buffer of the given byte size.
+	Alloc(size int) (*Buffer, error)
+	// Free releases the buffer's pages back to the allocator.
+	Free(*Buffer)
+	// Name identifies the allocation strategy for metadata capture.
+	Name() string
+}
+
+// ContiguousAllocator backs each buffer with physically contiguous pages —
+// the idealized behaviour implicitly assumed by naive benchmarks, and a good
+// model for large-page x86 setups where set indices never collide unluckily.
+type ContiguousAllocator struct {
+	pageBytes int
+	next      uint64
+}
+
+// NewContiguousAllocator returns an allocator with the given page size.
+func NewContiguousAllocator(pageBytes int) *ContiguousAllocator {
+	if pageBytes <= 0 {
+		pageBytes = 4096
+	}
+	return &ContiguousAllocator{pageBytes: pageBytes}
+}
+
+// Name implements Allocator.
+func (a *ContiguousAllocator) Name() string { return "contiguous" }
+
+// Alloc implements Allocator.
+func (a *ContiguousAllocator) Alloc(size int) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("memsim: invalid buffer size %d", size)
+	}
+	n := (size + a.pageBytes - 1) / a.pageBytes
+	pages := make([]uint64, n)
+	for i := range pages {
+		pages[i] = a.next
+		a.next++
+	}
+	return &Buffer{size: size, pageBytes: a.pageBytes, pages: pages}, nil
+}
+
+// Free implements Allocator. Contiguous pages are never reused.
+func (a *ContiguousAllocator) Free(*Buffer) {}
+
+// PoolAllocator models the OS behaviour of Section IV.4: physical pages are
+// drawn from a randomly-ordered pool, and freed pages go back on top of the
+// free list, so a malloc/free loop keeps reusing the same physical pages —
+// each experiment run sees one fixed, randomly-drawn page set.
+type PoolAllocator struct {
+	pageBytes int
+	free      []uint64 // LIFO free list
+}
+
+// NewPoolAllocator creates a pool of poolPages physical pages in an order
+// randomized by seed (a fresh boot / fresh process gets a fresh seed).
+func NewPoolAllocator(pageBytes, poolPages int, seed uint64) (*PoolAllocator, error) {
+	if pageBytes <= 0 {
+		pageBytes = 4096
+	}
+	if poolPages <= 0 {
+		return nil, fmt.Errorf("memsim: pool needs pages, got %d", poolPages)
+	}
+	pages := make([]uint64, poolPages)
+	for i := range pages {
+		pages[i] = uint64(i)
+	}
+	r := xrand.NewDerived(seed, "memsim/pool")
+	xrand.Shuffle(r, len(pages), func(i, j int) { pages[i], pages[j] = pages[j], pages[i] })
+	return &PoolAllocator{pageBytes: pageBytes, free: pages}, nil
+}
+
+// Name implements Allocator.
+func (a *PoolAllocator) Name() string { return "pool-reuse" }
+
+// Alloc implements Allocator.
+func (a *PoolAllocator) Alloc(size int) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("memsim: invalid buffer size %d", size)
+	}
+	n := (size + a.pageBytes - 1) / a.pageBytes
+	if n > len(a.free) {
+		return nil, fmt.Errorf("memsim: pool exhausted: need %d pages, have %d", n, len(a.free))
+	}
+	pages := make([]uint64, n)
+	copy(pages, a.free[len(a.free)-n:])
+	a.free = a.free[:len(a.free)-n]
+	return &Buffer{size: size, pageBytes: a.pageBytes, pages: pages}, nil
+}
+
+// Free implements Allocator: pages return to the top of the free list, so
+// the next Alloc of a similar size reuses exactly the same pages.
+func (a *PoolAllocator) Free(b *Buffer) {
+	a.free = append(a.free, b.pages...)
+}
+
+// ArenaAllocator implements the paper's corrective technique: one large
+// block is allocated up-front from the (randomly ordered) page pool, and
+// each experiment buffer is carved at a random element-aligned offset within
+// it. Different measurements therefore exercise different physical pages,
+// turning the hidden page-placement factor into visible, honest variability.
+type ArenaAllocator struct {
+	pageBytes int
+	arena     []uint64
+	r         interface{ IntN(int) int }
+	align     int
+}
+
+// NewArenaAllocator builds an arena of arenaBytes backed by random pool
+// pages. align is the alignment of carved buffers (e.g. the element size).
+func NewArenaAllocator(pageBytes, arenaBytes, align int, seed uint64) (*ArenaAllocator, error) {
+	if pageBytes <= 0 {
+		pageBytes = 4096
+	}
+	if align <= 0 {
+		align = 1
+	}
+	n := (arenaBytes + pageBytes - 1) / pageBytes
+	if n <= 0 {
+		return nil, fmt.Errorf("memsim: invalid arena size %d", arenaBytes)
+	}
+	pool, err := NewPoolAllocator(pageBytes, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	block, err := pool.Alloc(n * pageBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &ArenaAllocator{
+		pageBytes: pageBytes,
+		arena:     block.pages,
+		r:         xrand.NewDerived(seed, "memsim/arena-offsets"),
+		align:     align,
+	}, nil
+}
+
+// Name implements Allocator.
+func (a *ArenaAllocator) Name() string { return "arena-random-offset" }
+
+// Alloc implements Allocator: the buffer is a window into the arena at a
+// random aligned offset.
+func (a *ArenaAllocator) Alloc(size int) (*Buffer, error) {
+	arenaBytes := len(a.arena) * a.pageBytes
+	if size <= 0 || size > arenaBytes {
+		return nil, fmt.Errorf("memsim: buffer size %d exceeds arena %d", size, arenaBytes)
+	}
+	maxStart := arenaBytes - size
+	start := 0
+	if maxStart > 0 {
+		start = a.r.IntN(maxStart/a.align+1) * a.align
+	}
+	firstPage := start / a.pageBytes
+	lastPage := (start + size - 1) / a.pageBytes
+	return &Buffer{
+		size:      size,
+		pageBytes: a.pageBytes,
+		pages:     a.arena[firstPage : lastPage+1],
+		offset:    start % a.pageBytes,
+	}, nil
+}
+
+// Free implements Allocator. Arena windows need no release.
+func (a *ArenaAllocator) Free(*Buffer) {}

@@ -1,0 +1,227 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestContiguousAllocatorSequentialPages(t *testing.T) {
+	a := NewContiguousAllocator(4096)
+	b1, err := a.Alloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b1.PhysicalPages()
+	if len(p) != 2 || p[0] != 0 || p[1] != 1 {
+		t.Fatalf("pages = %v", p)
+	}
+	b2, err := a.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.PhysicalPages()[0] != 2 {
+		t.Fatalf("second alloc pages = %v", b2.PhysicalPages())
+	}
+}
+
+func TestContiguousTranslate(t *testing.T) {
+	a := NewContiguousAllocator(4096)
+	b, err := a.Alloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Translate(0); got != 0 {
+		t.Fatalf("Translate(0) = %d", got)
+	}
+	if got := b.Translate(4097); got != 4097 {
+		t.Fatalf("Translate(4097) = %d", got)
+	}
+}
+
+func TestTranslateOutOfRangePanics(t *testing.T) {
+	a := NewContiguousAllocator(4096)
+	b, _ := a.Alloc(4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Translate(4096)
+}
+
+func TestAllocInvalidSize(t *testing.T) {
+	a := NewContiguousAllocator(4096)
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("want error")
+	}
+	p, err := NewPoolAllocator(4096, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(-1); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestPoolAllocatorReusesFreedPages(t *testing.T) {
+	a, err := NewPoolAllocator(4096, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := a.Alloc(3 * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := b1.PhysicalPages()
+	a.Free(b1)
+	b2, err := a.Alloc(3 * 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := b2.PhysicalPages()
+	same := map[uint64]bool{}
+	for _, p := range first {
+		same[p] = true
+	}
+	for _, p := range second {
+		if !same[p] {
+			t.Fatalf("alloc after free used fresh page %d (first=%v second=%v)", p, first, second)
+		}
+	}
+}
+
+func TestPoolAllocatorSeedChangesPages(t *testing.T) {
+	pagesFor := func(seed uint64) []uint64 {
+		a, err := NewPoolAllocator(4096, 256, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := a.Alloc(6 * 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.PhysicalPages()
+	}
+	a := pagesFor(1)
+	b := pagesFor(2)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical page placement")
+	}
+}
+
+func TestPoolAllocatorExhaustion(t *testing.T) {
+	a, err := NewPoolAllocator(4096, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(3 * 4096); err == nil {
+		t.Fatal("want exhaustion error")
+	}
+}
+
+func TestPoolAllocatorBadPool(t *testing.T) {
+	if _, err := NewPoolAllocator(4096, 0, 1); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestArenaAllocatorOffsetsVary(t *testing.T) {
+	a, err := NewArenaAllocator(4096, 2<<20, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := a.Alloc(24 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.Alloc(24 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Translate(0) == b2.Translate(0) {
+		t.Fatal("two arena allocations started at the same physical address")
+	}
+}
+
+func TestArenaAllocatorAligned(t *testing.T) {
+	a, err := NewArenaAllocator(4096, 1<<20, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		b, err := a.Alloc(10 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Translate(0)%8 != 0 {
+			t.Fatalf("allocation %d misaligned at %d", i, b.Translate(0))
+		}
+	}
+}
+
+func TestArenaAllocatorTooBig(t *testing.T) {
+	a, err := NewArenaAllocator(4096, 64<<10, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(128 << 10); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestArenaAllocatorBadSize(t *testing.T) {
+	if _, err := NewArenaAllocator(4096, 0, 4, 1); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestAllocatorNames(t *testing.T) {
+	if NewContiguousAllocator(0).Name() != "contiguous" {
+		t.Fatal("contiguous name")
+	}
+	p, _ := NewPoolAllocator(0, 4, 1)
+	if p.Name() != "pool-reuse" {
+		t.Fatal("pool name")
+	}
+	ar, _ := NewArenaAllocator(0, 64<<10, 4, 1)
+	if ar.Name() != "arena-random-offset" {
+		t.Fatal("arena name")
+	}
+}
+
+// Property: Translate is injective within a buffer and consistent with page
+// granularity (same page offset within a 4 KB window).
+func TestTranslateConsistencyProperty(t *testing.T) {
+	f := func(seed uint64, rawSize uint16) bool {
+		size := 4096 + int(rawSize)%65536
+		a, err := NewPoolAllocator(4096, 64, seed)
+		if err != nil {
+			return false
+		}
+		b, err := a.Alloc(size)
+		if err != nil {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for off := 0; off < size; off += 4096 {
+			p := b.Translate(off)
+			if p%4096 != uint64(off%4096) {
+				return false
+			}
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

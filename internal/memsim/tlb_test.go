@@ -1,0 +1,140 @@
+package memsim
+
+import "testing"
+
+func TestNilTLBAlwaysHits(t *testing.T) {
+	var tlb *TLB
+	if !tlb.Access(5) {
+		t.Fatal("nil TLB missed")
+	}
+	if tlb.Misses() != 0 || tlb.Hits() != 0 {
+		t.Fatal("nil TLB counters")
+	}
+	tlb.Reset() // must not panic
+	if NewTLB(0) != nil {
+		t.Fatal("zero entries should return nil")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(4)
+	if tlb.Access(1) {
+		t.Fatal("cold hit")
+	}
+	if !tlb.Access(1) {
+		t.Fatal("warm miss")
+	}
+	if tlb.Hits() != 1 || tlb.Misses() != 1 {
+		t.Fatalf("counters %d/%d", tlb.Hits(), tlb.Misses())
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Access(1)
+	tlb.Access(2)
+	tlb.Access(1) // 2 is now LRU
+	tlb.Access(3) // evicts 2
+	if !tlb.Access(1) {
+		t.Fatal("recently used entry evicted")
+	}
+	if tlb.Access(2) {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestTLBWorkingSetFits(t *testing.T) {
+	tlb := NewTLB(8)
+	for pass := 0; pass < 3; pass++ {
+		for p := uint64(0); p < 8; p++ {
+			tlb.Access(p)
+		}
+	}
+	if tlb.Misses() != 8 {
+		t.Fatalf("misses = %d, want 8 (cold only)", tlb.Misses())
+	}
+}
+
+func TestTLBThrashing(t *testing.T) {
+	// Cyclic access to entries+1 pages with LRU misses every time.
+	tlb := NewTLB(4)
+	for i := 0; i < 50; i++ {
+		tlb.Access(uint64(i % 5))
+	}
+	if tlb.Hits() != 0 {
+		t.Fatalf("hits = %d, want 0", tlb.Hits())
+	}
+}
+
+func TestTLBReset(t *testing.T) {
+	tlb := NewTLB(2)
+	tlb.Access(1)
+	tlb.Reset()
+	if tlb.Hits() != 0 || tlb.Misses() != 0 {
+		t.Fatal("counters survive reset")
+	}
+	if tlb.Access(1) {
+		t.Fatal("contents survive reset")
+	}
+}
+
+func TestStreamWithTLBPenalty(t *testing.T) {
+	// A page-strided traversal over more pages than the TLB holds pays a
+	// walk per access; the same machine without a TLB model does not.
+	base := CoreI7()
+	withTLB := CoreI7()
+	withTLB.TLBEntries = 64
+	withTLB.TLBMissCycles = 30
+
+	run := func(m *Machine) KernelResult {
+		h, err := m.NewHierarchy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 1 MB buffer, stride of one page: 256 pages > 64 entries.
+		buf, err := NewContiguousAllocator(m.PageBytes).Alloc(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := KernelParams{SizeBytes: 1 << 20, Stride: 1024, ElemBytes: 4, NLoops: 20}
+		res, err := RunStream(m, h, []*Buffer{buf}, p, StreamSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(base)
+	tlbed := run(withTLB)
+	if plain.TLBMisses != 0 {
+		t.Fatalf("disabled TLB reported %d misses", plain.TLBMisses)
+	}
+	if tlbed.TLBMisses == 0 {
+		t.Fatal("TLB misses missing")
+	}
+	if tlbed.Cycles <= plain.Cycles {
+		t.Fatalf("TLB penalty missing: %v <= %v", tlbed.Cycles, plain.Cycles)
+	}
+}
+
+func TestStreamTLBResidentNoPenalty(t *testing.T) {
+	m := CoreI7()
+	m.TLBEntries = 64
+	m.TLBMissCycles = 30
+	h, err := m.NewHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 KB buffer = 16 pages: fits the TLB; only cold misses.
+	buf, err := NewContiguousAllocator(m.PageBytes).Alloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := KernelParams{SizeBytes: 64 << 10, Stride: 1024, ElemBytes: 4, NLoops: 20}
+	res, err := RunStream(m, h, []*Buffer{buf}, p, StreamSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TLBMisses != 16 {
+		t.Fatalf("TLB misses = %d, want 16 cold misses", res.TLBMisses)
+	}
+}

@@ -1,0 +1,120 @@
+// Package meta implements the environment-capture half of the paper's second
+// methodology stage: every campaign's output carries "a lot of meta-data
+// about the measurements and the environment (machine information, operating
+// system and compiler versions, compilation command, benchmark parameters,
+// network configuration, etc.)".
+//
+// Because the substrate here is simulated, the captured environment describes
+// the simulated machine configuration exactly; comparing the metadata of two
+// campaigns with "similar inputs and completely different outputs" is what
+// lets an analyst spot, e.g., a governor or scheduling-policy difference.
+package meta
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Environment is a flat, ordered set of key/value descriptors recorded with
+// every campaign.
+type Environment struct {
+	// CapturedAt is the wall-clock capture time.
+	CapturedAt time.Time `json:"captured_at"`
+	// Fields holds the descriptors.
+	Fields map[string]string `json:"fields"`
+}
+
+// New returns an Environment pre-populated with the host toolchain facts
+// that a real campaign would record (Go version stands in for the compiler
+// version the paper logs).
+func New() *Environment {
+	return &Environment{
+		CapturedAt: time.Now().UTC(),
+		Fields: map[string]string{
+			"toolchain": runtime.Version(),
+			"goos":      runtime.GOOS,
+			"goarch":    runtime.GOARCH,
+		},
+	}
+}
+
+// Set records one descriptor, overwriting any previous value.
+func (e *Environment) Set(key, value string) *Environment {
+	if e.Fields == nil {
+		e.Fields = make(map[string]string)
+	}
+	e.Fields[key] = value
+	return e
+}
+
+// Setf records one formatted descriptor.
+func (e *Environment) Setf(key, format string, args ...any) *Environment {
+	return e.Set(key, fmt.Sprintf(format, args...))
+}
+
+// Get returns the value for key, or "".
+func (e *Environment) Get(key string) string {
+	return e.Fields[key]
+}
+
+// Keys returns the descriptor keys in sorted order.
+func (e *Environment) Keys() []string {
+	ks := make([]string, 0, len(e.Fields))
+	for k := range e.Fields {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// WriteJSON serializes the environment.
+func (e *Environment) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// ReadJSON parses an environment written by WriteJSON.
+func ReadJSON(r io.Reader) (*Environment, error) {
+	var e Environment
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("meta: decode: %w", err)
+	}
+	return &e, nil
+}
+
+// String renders "key=value" pairs, one per line, sorted by key.
+func (e *Environment) String() string {
+	var b strings.Builder
+	for _, k := range e.Keys() {
+		fmt.Fprintf(&b, "%s=%s\n", k, e.Fields[k])
+	}
+	return b.String()
+}
+
+// Diff returns the keys whose values differ between e and other (including
+// keys present in only one of them), sorted. This supports the paper's
+// use-case of "comparing two experimental campaigns that have similar inputs
+// and completely different outputs".
+func (e *Environment) Diff(other *Environment) []string {
+	seen := map[string]bool{}
+	var out []string
+	for k, v := range e.Fields {
+		seen[k] = true
+		if other.Fields[k] != v {
+			out = append(out, k)
+		}
+	}
+	for k := range other.Fields {
+		if !seen[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

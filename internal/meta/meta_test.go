@@ -1,0 +1,94 @@
+package meta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewHasToolchain(t *testing.T) {
+	e := New()
+	if e.Get("toolchain") == "" {
+		t.Fatal("missing toolchain")
+	}
+	if e.CapturedAt.IsZero() {
+		t.Fatal("missing capture time")
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	e := New().Set("machine", "i7-2600").Setf("freq_mhz", "%d", 3400)
+	if e.Get("machine") != "i7-2600" {
+		t.Fatalf("machine = %q", e.Get("machine"))
+	}
+	if e.Get("freq_mhz") != "3400" {
+		t.Fatalf("freq = %q", e.Get("freq_mhz"))
+	}
+	if e.Get("absent") != "" {
+		t.Fatal("absent key should be empty")
+	}
+}
+
+func TestSetOnNilMap(t *testing.T) {
+	e := &Environment{}
+	e.Set("a", "b")
+	if e.Get("a") != "b" {
+		t.Fatal("Set on zero-value Environment failed")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	e := &Environment{}
+	e.Set("zz", "1").Set("aa", "2").Set("mm", "3")
+	ks := e.Keys()
+	if len(ks) != 3 || ks[0] != "aa" || ks[2] != "zz" {
+		t.Fatalf("keys = %v", ks)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	e := New().Set("governor", "ondemand").Set("policy", "rt")
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get("governor") != "ondemand" || got.Get("policy") != "rt" {
+		t.Fatalf("round trip lost fields: %v", got.Fields)
+	}
+}
+
+func TestReadJSONBad(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	e := &Environment{}
+	e.Set("b", "2").Set("a", "1")
+	s := e.String()
+	if !strings.Contains(s, "a=1\n") || !strings.Contains(s, "b=2\n") {
+		t.Fatalf("string = %q", s)
+	}
+	if strings.Index(s, "a=1") > strings.Index(s, "b=2") {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := &Environment{}
+	a.Set("governor", "ondemand").Set("machine", "arm").Set("same", "x")
+	b := &Environment{}
+	b.Set("governor", "performance").Set("machine", "arm").Set("same", "x").Set("extra", "y")
+	d := a.Diff(b)
+	if len(d) != 2 || d[0] != "extra" || d[1] != "governor" {
+		t.Fatalf("diff = %v", d)
+	}
+	if len(a.Diff(a)) != 0 {
+		t.Fatal("self-diff should be empty")
+	}
+}

@@ -1,0 +1,177 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"opaquebench/internal/netsim"
+	"opaquebench/internal/xrand"
+)
+
+// Group is an N-rank communicator for collective operations, generalizing
+// the two-rank Comm. PMB — the opaque suite of Section II.B — measures
+// exactly such collectives; implementing them over the same regime
+// parameters lets campaigns characterize them white-box style.
+type Group struct {
+	profile *netsim.Profile
+	clocks  []float64
+	queues  map[[2]int][]message
+	noisy   bool
+	seed    uint64
+}
+
+// NewGroup builds an n-rank communicator.
+func NewGroup(profile *netsim.Profile, n int, seed uint64) (*Group, error) {
+	if profile == nil {
+		return nil, fmt.Errorf("mpisim: nil profile")
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("mpisim: group needs >= 2 ranks, got %d", n)
+	}
+	return &Group{
+		profile: profile,
+		clocks:  make([]float64, n),
+		queues:  map[[2]int][]message{},
+		seed:    seed,
+	}, nil
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return len(g.clocks) }
+
+// Now returns a rank's virtual clock.
+func (g *Group) Now(rank int) float64 { return g.clocks[rank] }
+
+// MaxClock returns the latest rank clock (the makespan so far).
+func (g *Group) MaxClock() float64 {
+	m := g.clocks[0]
+	for _, c := range g.clocks[1:] {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// send moves size bytes from -> to using the regime protocol semantics.
+func (g *Group) send(from, to, size int) error {
+	if from < 0 || from >= len(g.clocks) || to < 0 || to >= len(g.clocks) || from == to {
+		return fmt.Errorf("mpisim: bad endpoints %d -> %d", from, to)
+	}
+	reg := g.profile.RegimeFor(size)
+	cpu := reg.SendOverhead(size)
+	sendEnd := g.clocks[from] + cpu
+	arrive := sendEnd + reg.Latency + reg.GapPerByte*float64(size)
+	k := [2]int{from, to}
+	g.queues[k] = append(g.queues[k], message{from: Rank(from), size: size, arriveAt: arrive})
+	g.clocks[from] = sendEnd
+	return nil
+}
+
+// recv blocks rank `to` on the oldest message from `from`.
+func (g *Group) recv(to, from int) error {
+	k := [2]int{from, to}
+	q := g.queues[k]
+	if len(q) == 0 {
+		return fmt.Errorf("mpisim: rank %d has no message from %d", to, from)
+	}
+	msg := q[0]
+	g.queues[k] = q[1:]
+	if msg.arriveAt > g.clocks[to] {
+		g.clocks[to] = msg.arriveAt
+	}
+	reg := g.profile.RegimeFor(msg.size)
+	g.clocks[to] += reg.RecvOverhead(msg.size)
+	return nil
+}
+
+// syncClocks raises every rank clock to the maximum — the state after a
+// semantically synchronizing collective.
+func (g *Group) syncClocks() {
+	m := g.MaxClock()
+	for i := range g.clocks {
+		g.clocks[i] = m
+	}
+}
+
+// Bcast broadcasts size bytes from root to every rank along a binomial
+// tree (the classic MPI implementation) and returns the collective's
+// completion time span: max clock advance over all ranks.
+func (g *Group) Bcast(root, size int) (float64, error) {
+	n := len(g.clocks)
+	if root < 0 || root >= n {
+		return 0, fmt.Errorf("mpisim: bad root %d", root)
+	}
+	start := g.MaxClock()
+	// Relabel so the root is rank 0 in tree space.
+	abs := func(r int) int { return (r + root) % n }
+	// Binomial tree: in round k, ranks < 2^k send to rank + 2^k.
+	for stride := 1; stride < n; stride *= 2 {
+		for r := 0; r < stride && r+stride < n; r++ {
+			if err := g.send(abs(r), abs(r+stride), size); err != nil {
+				return 0, err
+			}
+			if err := g.recv(abs(r+stride), abs(r)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return g.MaxClock() - start, nil
+}
+
+// Barrier synchronizes all ranks with a zero-byte gather to rank 0 followed
+// by a zero-byte broadcast, and returns its duration.
+func (g *Group) Barrier() (float64, error) {
+	n := len(g.clocks)
+	start := g.MaxClock()
+	for r := 1; r < n; r++ {
+		if err := g.send(r, 0, 0); err != nil {
+			return 0, err
+		}
+		if err := g.recv(0, r); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := g.Bcast(0, 0); err != nil {
+		return 0, err
+	}
+	g.syncClocks()
+	return g.MaxClock() - start, nil
+}
+
+// RingAllreduce reduces size bytes across all ranks with the bandwidth-
+// optimal ring algorithm (2*(n-1) steps of size/n-byte chunks) and returns
+// its duration.
+func (g *Group) RingAllreduce(size int) (float64, error) {
+	n := len(g.clocks)
+	if size < n {
+		size = n
+	}
+	chunk := size / n
+	start := g.MaxClock()
+	for step := 0; step < 2*(n-1); step++ {
+		for r := 0; r < n; r++ {
+			if err := g.send(r, (r+1)%n, chunk); err != nil {
+				return 0, err
+			}
+		}
+		for r := 0; r < n; r++ {
+			if err := g.recv(r, (r-1+n)%n); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return g.MaxClock() - start, nil
+}
+
+// Jitter perturbs every rank clock with small independent offsets, modelling
+// the process skew real collectives start from. It uses the group's seed so
+// experiments stay reproducible.
+func (g *Group) Jitter(scale float64) {
+	r := xrand.NewDerived(g.seed, "mpisim/group-jitter")
+	for i := range g.clocks {
+		g.clocks[i] += r.Float64() * scale
+	}
+}

@@ -1,0 +1,149 @@
+package mpisim
+
+import (
+	"math"
+	"testing"
+
+	"opaquebench/internal/netsim"
+)
+
+func newGroup(t *testing.T, n int) *Group {
+	t.Helper()
+	g, err := NewGroup(netsim.MyrinetGM(), n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGroupValidates(t *testing.T) {
+	if _, err := NewGroup(nil, 4, 1); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	if _, err := NewGroup(netsim.MyrinetGM(), 1, 1); err == nil {
+		t.Fatal("1-rank group accepted")
+	}
+}
+
+func TestBcastReachesEveryRank(t *testing.T) {
+	g := newGroup(t, 8)
+	d, err := g.Bcast(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("duration = %v", d)
+	}
+	// Every non-root rank's clock must have advanced (it received data).
+	for r := 1; r < g.Size(); r++ {
+		if g.Now(r) <= 0 {
+			t.Fatalf("rank %d never received", r)
+		}
+	}
+}
+
+func TestBcastLogarithmicRounds(t *testing.T) {
+	// A binomial tree completes in ceil(log2(n)) rounds: doubling the rank
+	// count should add roughly one one-way time, not double the duration.
+	dur := func(n int) float64 {
+		g := newGroup(t, n)
+		d, err := g.Bcast(0, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d4, d8, d16 := dur(4), dur(8), dur(16)
+	oneWay := netsim.MyrinetGM().RegimeFor(8192).OneWay(8192)
+	if inc := d8 - d4; inc < oneWay*0.5 || inc > oneWay*1.5 {
+		t.Fatalf("4->8 ranks added %v, want ~%v (one round)", inc, oneWay)
+	}
+	if inc := d16 - d8; inc < oneWay*0.5 || inc > oneWay*1.5 {
+		t.Fatalf("8->16 ranks added %v, want ~%v (one round)", inc, oneWay)
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	g := newGroup(t, 6)
+	if _, err := g.Bcast(3, 1024); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < g.Size(); r++ {
+		if r != 3 && g.Now(r) <= 0 {
+			t.Fatalf("rank %d missed the broadcast from root 3", r)
+		}
+	}
+	if _, err := g.Bcast(99, 1024); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	g := newGroup(t, 5)
+	g.Jitter(0.001) // skewed start
+	if _, err := g.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	ref := g.Now(0)
+	for r := 1; r < g.Size(); r++ {
+		if math.Abs(g.Now(r)-ref) > 1e-12 {
+			t.Fatalf("rank %d clock %v != %v after barrier", r, g.Now(r), ref)
+		}
+	}
+}
+
+func TestRingAllreduceBandwidthOptimal(t *testing.T) {
+	// For large messages the ring moves 2*(n-1)/n of the data per rank:
+	// duration should grow far slower than linearly with n, and scale
+	// roughly linearly with size.
+	dur := func(n, size int) float64 {
+		g := newGroup(t, n)
+		d, err := g.RingAllreduce(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d1M4 := dur(4, 1<<20)
+	d1M8 := dur(8, 1<<20)
+	if d1M8 > d1M4*1.6 {
+		t.Fatalf("ring allreduce not bandwidth-optimal: n=4 %v, n=8 %v", d1M4, d1M8)
+	}
+	d2M4 := dur(4, 2<<20)
+	if r := d2M4 / d1M4; r < 1.6 || r > 2.4 {
+		t.Fatalf("size scaling ratio = %v, want ~2", r)
+	}
+}
+
+func TestRingAllreduceTinyMessage(t *testing.T) {
+	g := newGroup(t, 4)
+	if _, err := g.RingAllreduce(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupSendRecvErrors(t *testing.T) {
+	g := newGroup(t, 3)
+	if err := g.send(0, 0, 10); err == nil {
+		t.Fatal("self-send accepted")
+	}
+	if err := g.send(0, 9, 10); err == nil {
+		t.Fatal("bad destination accepted")
+	}
+	if err := g.recv(1, 0); err == nil {
+		t.Fatal("recv without send accepted")
+	}
+}
+
+func TestGroupMaxClock(t *testing.T) {
+	g := newGroup(t, 3)
+	if g.MaxClock() != 0 {
+		t.Fatal("fresh group clock")
+	}
+	if err := g.send(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxClock() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}

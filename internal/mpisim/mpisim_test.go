@@ -1,0 +1,230 @@
+package mpisim
+
+import (
+	"math"
+	"testing"
+
+	"opaquebench/internal/netsim"
+	"opaquebench/internal/stats"
+)
+
+func newComm(t *testing.T, p *netsim.Profile) *Comm {
+	t.Helper()
+	c, err := NewComm(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCommValidates(t *testing.T) {
+	if _, err := NewComm(nil, 1); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	bad := &netsim.Profile{Name: "x"}
+	if _, err := NewComm(bad, 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestSendAdvancesSenderOnly(t *testing.T) {
+	c := newComm(t, netsim.Taurus())
+	cpu, err := c.Send(Rank0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu <= 0 {
+		t.Fatalf("cpu = %v", cpu)
+	}
+	if c.Now(Rank0) != cpu {
+		t.Fatalf("sender clock = %v, want %v", c.Now(Rank0), cpu)
+	}
+	if c.Now(Rank1) != 0 {
+		t.Fatal("receiver clock moved on a send")
+	}
+	if c.Pending(Rank1) != 1 {
+		t.Fatalf("pending = %d", c.Pending(Rank1))
+	}
+}
+
+func TestRecvWithoutMessageErrors(t *testing.T) {
+	c := newComm(t, netsim.Taurus())
+	if _, _, err := c.Recv(Rank1); err == nil {
+		t.Fatal("recv on empty queue accepted")
+	}
+}
+
+func TestRecvWaitsForArrival(t *testing.T) {
+	c := newComm(t, netsim.Taurus())
+	if _, err := c.Send(Rank0, 4000); err != nil {
+		t.Fatal(err)
+	}
+	_, wait, err := c.Recv(Rank1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait <= 0 {
+		t.Fatal("immediate recv should have waited for the wire")
+	}
+}
+
+func TestRecvAfterArrivalNoWait(t *testing.T) {
+	c := newComm(t, netsim.Taurus())
+	if _, err := c.Send(Rank0, 4000); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(Rank1, 1) // a full second: certainly arrived
+	_, wait, err := c.Recv(Rank1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait != 0 {
+		t.Fatalf("wait = %v, want 0", wait)
+	}
+}
+
+func TestNegativeSizeRejected(t *testing.T) {
+	c := newComm(t, netsim.Taurus())
+	if _, err := c.Send(Rank0, -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+// The central consistency check: the protocol-level simulation reproduces
+// the closed-form regime costs used by netsim/netbench.
+func TestSendOverheadMatchesClosedForm(t *testing.T) {
+	p := netsim.Taurus()
+	c := newComm(t, p)
+	for _, size := range []int{100, 2000, 20000, 200000} {
+		want := p.RegimeFor(size).SendOverhead(size)
+		got, err := c.MeasureSendOverhead(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("size %d: send overhead %v, closed form %v", size, got, want)
+		}
+	}
+}
+
+func TestRecvOverheadMatchesClosedForm(t *testing.T) {
+	p := netsim.Taurus()
+	c := newComm(t, p)
+	for _, size := range []int{100, 2000, 20000, 200000} {
+		want := p.RegimeFor(size).RecvOverhead(size)
+		got, err := c.MeasureRecvOverhead(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("size %d: recv overhead %v, closed form %v", size, got, want)
+		}
+	}
+}
+
+func TestPingPongMatchesClosedForm(t *testing.T) {
+	p := netsim.Taurus()
+	for _, size := range []int{100, 2000, 20000, 200000} {
+		c := newComm(t, p)
+		want := p.RegimeFor(size).RTT(size)
+		got, err := c.PingPong(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("size %d: RTT %v, closed form %v", size, got, want)
+		}
+	}
+}
+
+func TestPingPongMonotoneInSize(t *testing.T) {
+	c := newComm(t, netsim.MyrinetGM())
+	prev := 0.0
+	for _, size := range []int{64, 512, 4096, 32768, 262144} {
+		rtt, err := c.PingPong(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rtt <= prev {
+			t.Fatalf("RTT not increasing at %d: %v <= %v", size, rtt, prev)
+		}
+		prev = rtt
+	}
+}
+
+func TestRendezvousCostsMoreThanEager(t *testing.T) {
+	// Same payload cost parameters, different protocol: the handshake must
+	// show up in the sender's time.
+	p := netsim.Taurus()
+	c := newComm(t, p)
+	eagerSize := 1000
+	rdvSize := 100000
+	eagerCPU, err := c.MeasureSendOverhead(eagerSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdvCPU, err := c.MeasureSendOverhead(rdvSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdvReg := p.RegimeFor(rdvSize)
+	if rdvCPU < 2*rdvReg.Latency {
+		t.Fatalf("rendezvous send %v should include the %v handshake", rdvCPU, 2*rdvReg.Latency)
+	}
+	if rdvCPU <= eagerCPU {
+		t.Fatal("rendezvous should cost more than eager here")
+	}
+}
+
+func TestNoisyMode(t *testing.T) {
+	p := netsim.Taurus()
+	c := newComm(t, p)
+	c.Noisy = true
+	var vals []float64
+	for i := 0; i < 50; i++ {
+		v, err := c.MeasureSendOverhead(2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, v)
+	}
+	if stats.CV(vals) <= 0 {
+		t.Fatal("noisy mode produced constant values")
+	}
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatalf("non-positive noisy cost %v", v)
+		}
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	c := newComm(t, netsim.Taurus())
+	if _, err := c.Send(Rank0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Send(Rank0, 50000); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(Rank1, 1)
+	// First recv must match the first (small) send.
+	cpu1, _, err := c.Recv(Rank1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu2, _, err := c.Recv(Rank1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu1 >= cpu2 {
+		t.Fatalf("FIFO violated: first recv cost %v >= second %v", cpu1, cpu2)
+	}
+}
+
+func TestAdvanceNegativeIgnored(t *testing.T) {
+	c := newComm(t, netsim.Taurus())
+	c.Advance(Rank0, -5)
+	if c.Now(Rank0) != 0 {
+		t.Fatal("negative advance moved the clock")
+	}
+}

@@ -1,0 +1,136 @@
+package netbench
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/meta"
+	"opaquebench/internal/mpisim"
+	"opaquebench/internal/netsim"
+	"opaquebench/internal/xrand"
+)
+
+// Collective operation factor levels. PMB — the suite of Section II.B —
+// "provides a framework to measure a subset of MPI operations"; the
+// white-box engine covers the same ground with randomized sizes and raw
+// logging, executing each collective on the protocol-level mpisim.Group.
+const (
+	OpBcast     = "bcast"
+	OpAllreduce = "allreduce"
+	OpBarrier   = "barrier"
+)
+
+// CollectiveConfig describes a collective campaign's fixed environment.
+type CollectiveConfig struct {
+	// Profile is the simulated network. Required.
+	Profile *netsim.Profile
+	// Ranks is the communicator size (default 8).
+	Ranks int
+	// Seed drives the noise stream.
+	Seed uint64
+	// SkewSec is the per-measurement random start skew across ranks
+	// (real collectives never start synchronized). Default 2 us.
+	SkewSec float64
+}
+
+// CollectiveEngine implements core.Engine for collective campaigns. Each
+// measurement runs on a fresh communicator (warm groups would entangle
+// consecutive measurements through their rank clocks).
+type CollectiveEngine struct {
+	cfg   CollectiveConfig
+	noise *rand.Rand
+	seq   uint64
+}
+
+// NewCollectiveEngine builds the engine.
+func NewCollectiveEngine(cfg CollectiveConfig) (*CollectiveEngine, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("netbench: collective config needs a profile")
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 8
+	}
+	if cfg.Ranks < 2 {
+		return nil, fmt.Errorf("netbench: collectives need >= 2 ranks, got %d", cfg.Ranks)
+	}
+	if cfg.SkewSec <= 0 {
+		cfg.SkewSec = 2e-6
+	}
+	return &CollectiveEngine{
+		cfg:   cfg,
+		noise: xrand.NewDerived(cfg.Seed, "netbench/collective"),
+	}, nil
+}
+
+// Execute implements core.Engine: one timed collective.
+func (e *CollectiveEngine) Execute(t doe.Trial) (core.RawRecord, error) {
+	size, err := t.Point.Int(FactorSize)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	op := t.Point.Get(FactorOp)
+	g, err := mpisim.NewGroup(e.cfg.Profile, e.cfg.Ranks, xrand.Derive(e.cfg.Seed, fmt.Sprintf("grp/%d", e.seq)))
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	e.seq++
+	g.Jitter(e.cfg.SkewSec)
+
+	var dur float64
+	switch op {
+	case OpBcast:
+		dur, err = g.Bcast(0, size)
+	case OpAllreduce:
+		dur, err = g.RingAllreduce(size)
+	case OpBarrier:
+		dur, err = g.Barrier()
+	default:
+		return core.RawRecord{}, fmt.Errorf("netbench: unknown collective %q", op)
+	}
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	// The regime noise applies once to the whole collective: OS jitter and
+	// stack variability scale with the end-to-end duration.
+	dur = e.cfg.Profile.RegimeFor(size).RTTNoise.Apply(e.noise, dur)
+
+	rec := core.RawRecord{Point: t.Point, Value: dur, Seconds: dur}
+	rec.Annotate("ranks", fmt.Sprintf("%d", e.cfg.Ranks))
+	return rec, nil
+}
+
+// Environment implements core.Engine.
+func (e *CollectiveEngine) Environment() *meta.Environment {
+	env := meta.New()
+	env.Set("network", e.cfg.Profile.Name)
+	env.Setf("ranks", "%d", e.cfg.Ranks)
+	env.Setf("seed", "%d", e.cfg.Seed)
+	env.Set("engine", "collective")
+	return env
+}
+
+// CollectiveDesign builds a randomized collective campaign: log-uniform
+// sizes crossed with the requested operations.
+func CollectiveDesign(seed uint64, nSizes, minSize, maxSize, reps int, ops []string, randomize bool) (*doe.Design, error) {
+	if len(ops) == 0 {
+		ops = []string{OpBcast, OpAllreduce}
+	}
+	for _, op := range ops {
+		switch op {
+		case OpBcast, OpAllreduce, OpBarrier:
+		default:
+			return nil, fmt.Errorf("netbench: unknown collective %q", op)
+		}
+	}
+	sizes := doe.RandomSizes(seed, nSizes, minSize, maxSize)
+	factors := []doe.Factor{
+		doe.SizeFactor(FactorSize, sizes),
+		doe.NewFactor(FactorOp, ops...),
+	}
+	return doe.FullFactorial(factors, doe.Options{Replicates: reps, Seed: seed, Randomize: randomize})
+}

@@ -1,0 +1,132 @@
+package netbench
+
+import (
+	"testing"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/netsim"
+	"opaquebench/internal/stats"
+)
+
+func collectiveCampaign(t *testing.T, cfg CollectiveConfig, nSizes, reps int, ops []string) *core.Results {
+	t.Helper()
+	d, err := CollectiveDesign(cfg.Seed, nSizes, 64, 1<<20, reps, ops, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewCollectiveEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&core.Campaign{Design: d, Engine: e}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNewCollectiveEngineValidates(t *testing.T) {
+	if _, err := NewCollectiveEngine(CollectiveConfig{}); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	if _, err := NewCollectiveEngine(CollectiveConfig{Profile: netsim.Taurus(), Ranks: 1}); err == nil {
+		t.Fatal("1 rank accepted")
+	}
+	e, err := NewCollectiveEngine(CollectiveConfig{Profile: netsim.Taurus()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.Ranks != 8 {
+		t.Fatalf("default ranks = %d", e.cfg.Ranks)
+	}
+}
+
+func TestCollectiveDesignRejectsUnknownOp(t *testing.T) {
+	if _, err := CollectiveDesign(1, 10, 64, 1024, 1, []string{"alltoallw"}, true); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestCollectiveCampaignProducesBothOps(t *testing.T) {
+	res := collectiveCampaign(t, CollectiveConfig{Profile: netsim.MyrinetGM(), Seed: 1}, 40, 2, nil)
+	byOp := res.GroupBy(FactorOp)
+	if len(byOp[OpBcast]) == 0 || len(byOp[OpAllreduce]) == 0 {
+		t.Fatalf("ops = %v", len(byOp))
+	}
+	for _, rec := range res.Records {
+		if rec.Value <= 0 {
+			t.Fatalf("duration %v", rec.Value)
+		}
+		if rec.Extra["ranks"] != "8" {
+			t.Fatalf("ranks annotation %q", rec.Extra["ranks"])
+		}
+	}
+}
+
+func TestBcastTimeGrowsWithSize(t *testing.T) {
+	res := collectiveCampaign(t, CollectiveConfig{Profile: netsim.MyrinetGM(), Seed: 2}, 120, 2, []string{OpBcast})
+	xs, ys := res.XY(FactorSize)
+	fit, err := stats.FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope <= 0 {
+		t.Fatalf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.8 {
+		t.Fatalf("R2 = %v; bcast time should be strongly size-driven", fit.R2)
+	}
+}
+
+func TestAllreduceCheaperPerByteThanNaive(t *testing.T) {
+	// The ring algorithm's per-byte cost must be far below n sequential
+	// point-to-point transfers of the full payload.
+	profile := netsim.MyrinetGM()
+	res := collectiveCampaign(t, CollectiveConfig{Profile: profile, Seed: 3, Ranks: 8}, 80, 2, []string{OpAllreduce})
+	xs, ys := res.XY(FactorSize)
+	fit, err := stats.FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naivePerByte := 8 * profile.Regimes[0].GapPerByte
+	if fit.Slope >= naivePerByte {
+		t.Fatalf("allreduce per-byte %v should beat naive %v", fit.Slope, naivePerByte)
+	}
+}
+
+func TestBarrierSizeInvariant(t *testing.T) {
+	res := collectiveCampaign(t, CollectiveConfig{Profile: netsim.MyrinetGM(), Seed: 4}, 60, 2, []string{OpBarrier})
+	xs, ys := res.XY(FactorSize)
+	r, err := stats.Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 0.3 || r < -0.3 {
+		t.Fatalf("barrier time correlates with size: r=%v", r)
+	}
+}
+
+func TestCollectiveExecuteErrors(t *testing.T) {
+	e, err := NewCollectiveEngine(CollectiveConfig{Profile: netsim.Taurus(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(doe.Trial{Point: doe.Point{"size": "abc"}}); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	if _, err := e.Execute(doe.Trial{Point: doe.Point{"size": "1024", "op": "gatherv"}}); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+func TestCollectiveEnvironment(t *testing.T) {
+	e, err := NewCollectiveEngine(CollectiveConfig{Profile: netsim.Taurus(), Ranks: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := e.Environment()
+	if env.Get("ranks") != "16" || env.Get("engine") != "collective" {
+		t.Fatalf("env = %v", env.Fields)
+	}
+}

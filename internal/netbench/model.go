@@ -1,0 +1,207 @@
+package netbench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/netsim"
+	"opaquebench/internal/stats"
+)
+
+// RegimeFit holds the LogGP-style parameters recovered for one size range.
+type RegimeFit struct {
+	// Lo and Hi bound the regime in bytes.
+	Lo, Hi float64
+	// SendBase/SendPerByte are the fitted software send overhead o_s(s).
+	SendBase, SendPerByte float64
+	// RecvBase/RecvPerByte are the fitted software receive overhead o_r(s).
+	RecvBase, RecvPerByte float64
+	// Latency is the recovered one-way latency L.
+	Latency float64
+	// GapPerByte is the recovered per-byte gap G.
+	GapPerByte float64
+	// BandwidthMBps is 1/G in MB/s (0 when G degenerates).
+	BandwidthMBps float64
+}
+
+// LogGPModel is a piecewise LogGP instantiation: the deliverable a
+// simulation framework (Section II.A) consumes.
+type LogGPModel struct {
+	// Breaks are the interior regime boundaries in bytes.
+	Breaks []float64
+	// Regimes are the per-range parameters.
+	Regimes []RegimeFit
+}
+
+// RegimeFor returns the fitted regime governing a message size (the last
+// regime for sizes beyond the campaign's range).
+func (m LogGPModel) RegimeFor(size float64) RegimeFit {
+	for i, r := range m.Regimes {
+		if size < r.Hi || i == len(m.Regimes)-1 {
+			return r
+		}
+	}
+	return m.Regimes[len(m.Regimes)-1]
+}
+
+// SendOverhead evaluates the fitted o_s(s).
+func (r RegimeFit) SendOverhead(size float64) float64 {
+	return r.SendBase + r.SendPerByte*size
+}
+
+// RecvOverhead evaluates the fitted o_r(s).
+func (r RegimeFit) RecvOverhead(size float64) float64 {
+	return r.RecvBase + r.RecvPerByte*size
+}
+
+// Wire evaluates the fitted wire time L + G*s.
+func (r RegimeFit) Wire(size float64) float64 {
+	return r.Latency + r.GapPerByte*size
+}
+
+// String renders the model.
+func (m LogGPModel) String() string {
+	var b strings.Builder
+	for _, r := range m.Regimes {
+		fmt.Fprintf(&b, "[%8.0f, %8.0f): o_s=%.3gs+%.3g*s  o_r=%.3gs+%.3g*s  L=%.3gs  G=%.3gs/B (%.0f MB/s)\n",
+			r.Lo, r.Hi, r.SendBase, r.SendPerByte, r.RecvBase, r.RecvPerByte,
+			r.Latency, r.GapPerByte, r.BandwidthMBps)
+	}
+	return b.String()
+}
+
+// FitLogGP performs the supervised third-stage analysis of a network
+// campaign: per-operation piecewise-linear regressions between the
+// analyst-provided breakpoints, combined into LogGP parameters per regime:
+//
+//	RTT(s)  = 2*(o_s(s) + L + G*s + o_r(s))
+//	=> L    = RTT_base/2 - o_s_base - o_r_base
+//	=> G    = RTT_slope/2 - o_s_slope - o_r_slope
+func FitLogGP(res *core.Results, breaks []float64) (LogGPModel, error) {
+	fits := map[netsim.Op]stats.PiecewiseFit{}
+	for _, op := range []netsim.Op{netsim.OpSend, netsim.OpRecv, netsim.OpPingPong} {
+		sub := res.Filter(func(r core.RawRecord) bool {
+			return r.Point.Get(FactorOp) == string(op)
+		})
+		if sub.Len() == 0 {
+			return LogGPModel{}, fmt.Errorf("netbench: no %s records", op)
+		}
+		xs, ys := sub.XY(FactorSize)
+		pf, err := stats.FitPiecewise(xs, ys, breaks)
+		if err != nil {
+			return LogGPModel{}, fmt.Errorf("netbench: fit %s: %w", op, err)
+		}
+		fits[op] = pf
+	}
+	send, recv, pp := fits[netsim.OpSend], fits[netsim.OpRecv], fits[netsim.OpPingPong]
+	if len(send.Segments) != len(recv.Segments) || len(send.Segments) != len(pp.Segments) {
+		return LogGPModel{}, fmt.Errorf("netbench: operations disagree on segment count (%d/%d/%d); provide explicit breakpoints",
+			len(send.Segments), len(recv.Segments), len(pp.Segments))
+	}
+	model := LogGPModel{Breaks: append([]float64(nil), send.Breaks...)}
+	for i := range send.Segments {
+		s, r, p := send.Segments[i].Fit, recv.Segments[i].Fit, pp.Segments[i].Fit
+		rf := RegimeFit{
+			Lo:          send.Segments[i].Lo,
+			Hi:          send.Segments[i].Hi,
+			SendBase:    s.Intercept,
+			SendPerByte: s.Slope,
+			RecvBase:    r.Intercept,
+			RecvPerByte: r.Slope,
+			Latency:     p.Intercept/2 - s.Intercept - r.Intercept,
+			GapPerByte:  p.Slope/2 - s.Slope - r.Slope,
+		}
+		if rf.GapPerByte > 0 {
+			rf.BandwidthMBps = 1 / rf.GapPerByte / 1e6
+		}
+		model.Regimes = append(model.Regimes, rf)
+	}
+	return model, nil
+}
+
+// SpecialSizeReport quantifies the Section III.2 size bias: it compares the
+// mean duration of quirk-aligned sizes against their non-aligned neighbours
+// within [lo, hi), per operation.
+type SpecialSizeReport struct {
+	Op                   netsim.Op
+	AlignedMean          float64
+	UnalignedMean        float64
+	AlignedN, UnalignedN int
+}
+
+// Penalty returns AlignedMean/UnalignedMean (>1 means aligned sizes are
+// systematically slower).
+func (s SpecialSizeReport) Penalty() float64 {
+	if s.UnalignedMean == 0 {
+		return math.NaN()
+	}
+	return s.AlignedMean / s.UnalignedMean
+}
+
+// DetectSpecialSizes compares aligned and unaligned message sizes within a
+// size window. Only campaigns with randomized (log-uniform) sizes populate
+// the unaligned side — power-of-two campaigns cannot run this analysis,
+// which is exactly the paper's point.
+func DetectSpecialSizes(res *core.Results, op netsim.Op, alignment, lo, hi int) (SpecialSizeReport, error) {
+	rep := SpecialSizeReport{Op: op}
+	var aligned, unaligned []float64
+	for _, rec := range res.Records {
+		if rec.Point.Get(FactorOp) != string(op) {
+			continue
+		}
+		size, err := rec.Point.Int(FactorSize)
+		if err != nil || size < lo || size >= hi {
+			continue
+		}
+		if size%alignment == 0 {
+			aligned = append(aligned, rec.Value)
+		} else {
+			unaligned = append(unaligned, rec.Value)
+		}
+	}
+	if len(aligned) == 0 || len(unaligned) == 0 {
+		return rep, fmt.Errorf("netbench: need both aligned (%d) and unaligned (%d) sizes in [%d, %d)",
+			len(aligned), len(unaligned), lo, hi)
+	}
+	rep.AlignedMean = stats.Mean(aligned)
+	rep.UnalignedMean = stats.Mean(unaligned)
+	rep.AlignedN = len(aligned)
+	rep.UnalignedN = len(unaligned)
+	return rep, nil
+}
+
+// VariabilityBySizeDecile splits records of one operation into size deciles
+// and returns the coefficient of variation per decile — the Figure 4
+// heteroscedasticity diagnostic.
+func VariabilityBySizeDecile(res *core.Results, op netsim.Op) []float64 {
+	type pt struct{ size, val float64 }
+	var pts []pt
+	for _, rec := range res.Records {
+		if rec.Point.Get(FactorOp) != string(op) {
+			continue
+		}
+		s, err := rec.Point.Float(FactorSize)
+		if err != nil {
+			continue
+		}
+		pts = append(pts, pt{s, rec.Value})
+	}
+	if len(pts) < 10 {
+		return nil
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].size < pts[j].size })
+	out := make([]float64, 10)
+	for d := 0; d < 10; d++ {
+		lo := d * len(pts) / 10
+		hi := (d + 1) * len(pts) / 10
+		var vals []float64
+		for _, p := range pts[lo:hi] {
+			vals = append(vals, p.val)
+		}
+		out[d] = stats.CV(vals)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package netbench is the white-box network benchmark engine (second
+// methodology stage) for the Section V.A operations: blocking receive,
+// asynchronous send, and ping-pong — the three measurements sufficient "to
+// calculate all the parameters for any LogP-based model".
+//
+// Message sizes come from the log-uniform distribution of Equation (1)
+// rather than a power-of-two grid, and the execution order is randomized by
+// the design, so temporal perturbations remain independent of the factors.
+package netbench
+
+import (
+	"fmt"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/meta"
+	"opaquebench/internal/netsim"
+)
+
+// Factor names understood by the engine.
+const (
+	FactorSize = "size" // message size in bytes
+	FactorOp   = "op"   // send | recv | pingpong
+)
+
+// Config describes a network campaign's fixed environment.
+type Config struct {
+	// Profile is the simulated network. Required.
+	Profile *netsim.Profile
+	// Seed drives the noise streams.
+	Seed uint64
+	// Perturber optionally injects temporal perturbations (nil = quiet).
+	Perturber *netsim.Perturber
+}
+
+// Engine implements core.Engine for network campaigns.
+type Engine struct {
+	cfg Config
+	net *netsim.Network
+}
+
+// NewEngine builds the engine; the network's virtual clock persists across
+// all trials.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("netbench: config needs a profile")
+	}
+	net, err := netsim.New(cfg.Profile, cfg.Seed, cfg.Perturber)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, net: net}, nil
+}
+
+// ParseOp converts a design level into a netsim operation.
+func ParseOp(level string) (netsim.Op, error) {
+	switch netsim.Op(level) {
+	case netsim.OpSend, netsim.OpRecv, netsim.OpPingPong:
+		return netsim.Op(level), nil
+	}
+	return "", fmt.Errorf("netbench: unknown op %q", level)
+}
+
+// Execute implements core.Engine: one timed network operation.
+func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
+	size, err := t.Point.Int(FactorSize)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	opLevel := t.Point.Get(FactorOp)
+	if opLevel == "" {
+		opLevel = string(netsim.OpPingPong)
+	}
+	op, err := ParseOp(opLevel)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	s, err := e.net.Measure(op, size)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	rec := core.RawRecord{
+		Point:   t.Point,
+		Value:   s.Seconds,
+		Seconds: s.Seconds,
+		At:      s.At,
+	}
+	rec.Annotate("perturbed", fmt.Sprintf("%v", s.Perturbed))
+	return rec, nil
+}
+
+// Environment implements core.Engine.
+func (e *Engine) Environment() *meta.Environment {
+	env := meta.New()
+	env.Set("network", e.cfg.Profile.Name)
+	env.Setf("network/regimes", "%d", len(e.cfg.Profile.Regimes))
+	env.Setf("seed", "%d", e.cfg.Seed)
+	env.Setf("perturbed", "%v", e.cfg.Perturber != nil)
+	return env
+}
+
+// Design builds a randomized network campaign design: nSizes log-uniform
+// sizes in [minSize, maxSize] (Equation 1), crossed with the given
+// operations and replicated reps times. With randomize=false the schedule
+// stays in the conventional ordered sweep (the pitfall configuration).
+func Design(seed uint64, nSizes, minSize, maxSize, reps int, ops []netsim.Op, randomize bool) (*doe.Design, error) {
+	if len(ops) == 0 {
+		ops = []netsim.Op{netsim.OpSend, netsim.OpRecv, netsim.OpPingPong}
+	}
+	sizes := doe.RandomSizes(seed, nSizes, minSize, maxSize)
+	opLevels := make([]string, len(ops))
+	for i, op := range ops {
+		opLevels[i] = string(op)
+	}
+	factors := []doe.Factor{
+		doe.SizeFactor(FactorSize, sizes),
+		doe.NewFactor(FactorOp, opLevels...),
+	}
+	return doe.FullFactorial(factors, doe.Options{
+		Replicates: reps,
+		Seed:       seed,
+		Randomize:  randomize,
+	})
+}
+
+// PowerOfTwoDesign builds the conventional biased design of Figure 2:
+// power-of-two sizes in increasing order, no randomization.
+func PowerOfTwoDesign(minSize, maxSize, reps int, ops []netsim.Op) (*doe.Design, error) {
+	if len(ops) == 0 {
+		ops = []netsim.Op{netsim.OpPingPong}
+	}
+	sizes := doe.PowersOfTwo(minSize, maxSize)
+	opLevels := make([]string, len(ops))
+	for i, op := range ops {
+		opLevels[i] = string(op)
+	}
+	factors := []doe.Factor{
+		doe.SizeFactor(FactorSize, sizes),
+		doe.NewFactor(FactorOp, opLevels...),
+	}
+	return doe.FullFactorial(factors, doe.Options{Replicates: reps})
+}

@@ -1,0 +1,345 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opaquebench/internal/stats"
+	"opaquebench/internal/xrand"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for name, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("taurus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "taurus-openmpi-tcp-10g" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	if _, err := ProfileByName("infiniband"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestProfileValidateRejectsBadShapes(t *testing.T) {
+	bad := &Profile{Name: "x"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("no regimes accepted")
+	}
+	bad = &Profile{Name: "x", Regimes: []Regime{{Protocol: "weird"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	bad = &Profile{Name: "x", Regimes: []Regime{
+		{Protocol: Eager, MaxSize: 100},
+		{Protocol: Rendezvous, MaxSize: 50},
+		{Protocol: Rendezvous},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-increasing bounds accepted")
+	}
+	bad = &Profile{Name: "x", Regimes: []Regime{{Protocol: Eager, MaxSize: 10}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bounded last regime accepted")
+	}
+	bad = Taurus()
+	bad.Quirks = append(bad.Quirks, SizeQuirk{Factor: 0})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero quirk factor accepted")
+	}
+}
+
+func TestRegimeForBoundaries(t *testing.T) {
+	p := Taurus()
+	if got := p.RegimeFor(100).Protocol; got != Eager {
+		t.Fatalf("small message regime = %s", got)
+	}
+	if got := p.RegimeFor(12288).Protocol; got != Detached {
+		t.Fatalf("boundary message regime = %s", got)
+	}
+	if got := p.RegimeFor(1 << 20).Protocol; got != Rendezvous {
+		t.Fatalf("large message regime = %s", got)
+	}
+}
+
+func TestBreakpointsGroundTruth(t *testing.T) {
+	bp := Taurus().Breakpoints()
+	if len(bp) != 2 || bp[0] != 12288 || bp[1] != 65536 {
+		t.Fatalf("breakpoints = %v", bp)
+	}
+	if got := MyrinetGM().Breakpoints(); len(got) != 0 {
+		t.Fatalf("raw GM should have no breakpoints, got %v", got)
+	}
+}
+
+func TestRegimeCostsMonotoneInSize(t *testing.T) {
+	r := Taurus().Regimes[0]
+	if r.SendOverhead(100) >= r.SendOverhead(10000) {
+		t.Fatal("send overhead not increasing")
+	}
+	if r.RTT(100) >= r.RTT(10000) {
+		t.Fatal("RTT not increasing")
+	}
+}
+
+func TestProtocolExtraLatency(t *testing.T) {
+	eager := Regime{Protocol: Eager, SendBase: 1e-6, Latency: 10e-6}
+	rdv := Regime{Protocol: Rendezvous, SendBase: 1e-6, Latency: 10e-6}
+	det := Regime{Protocol: Detached, SendBase: 1e-6, Latency: 10e-6}
+	if rdv.SendOverhead(0) != eager.SendOverhead(0)+2*10e-6 {
+		t.Fatal("rendezvous handshake cost missing")
+	}
+	if det.SendOverhead(0) != eager.SendOverhead(0)+10e-6 {
+		t.Fatal("detached notification cost missing")
+	}
+}
+
+func TestQuirkMatches(t *testing.T) {
+	q := SizeQuirk{AlignedTo: 1024, MinSize: 1024, MaxSize: 8192, Factor: 2}
+	if !q.Matches(2048) {
+		t.Fatal("2048 should match")
+	}
+	if q.Matches(2049) {
+		t.Fatal("2049 should not match")
+	}
+	if q.Matches(512) {
+		t.Fatal("below MinSize should not match")
+	}
+	if q.Matches(16384) {
+		t.Fatal("above MaxSize should not match")
+	}
+	exact := SizeQuirk{ExactSizes: []int{777}, Factor: 2}
+	if !exact.Matches(777) || exact.Matches(778) {
+		t.Fatal("exact size matching broken")
+	}
+}
+
+func TestQuirkAffectsOnlySpecialSizes(t *testing.T) {
+	// The planted pitfall III.2: 1024-aligned eager sizes are slower than
+	// their immediate neighbours.
+	net, err := New(Taurus(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(size, reps int) float64 {
+		var xs []float64
+		for i := 0; i < reps; i++ {
+			s, err := net.Measure(OpSend, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs = append(xs, s.Seconds)
+		}
+		return stats.Mean(xs)
+	}
+	special := mean(4096, 200)
+	neighbour := mean(4095, 200)
+	if special < neighbour*1.1 {
+		t.Fatalf("special size not slower: %v vs %v", special, neighbour)
+	}
+}
+
+func TestDetachedRecvNoisier(t *testing.T) {
+	// Figure 4: medium-size receives show much higher variability.
+	p := Taurus()
+	if p.Regimes[1].RecvNoise.Spread() < 2*p.Regimes[0].RecvNoise.Spread() {
+		t.Fatal("detached recv noise should dominate eager recv noise")
+	}
+}
+
+func TestNoiseModelApply(t *testing.T) {
+	nm := NoiseModel{Sigma: 0.1}
+	r := xrand.New(3)
+	for i := 0; i < 100; i++ {
+		if v := nm.Apply(r, 1.0); v <= 0 {
+			t.Fatalf("non-positive noisy value %v", v)
+		}
+	}
+	zero := NoiseModel{}
+	if v := zero.Apply(r, 2.5); v != 2.5 {
+		t.Fatalf("zero noise changed value: %v", v)
+	}
+}
+
+func TestNetworkMeasureAdvancesClock(t *testing.T) {
+	net, err := New(Taurus(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := net.Measure(OpPingPong, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := net.Measure(OpPingPong, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.At <= s1.At {
+		t.Fatal("clock did not advance")
+	}
+	if s2.Seq != s1.Seq+1 {
+		t.Fatalf("seq = %d after %d", s2.Seq, s1.Seq)
+	}
+}
+
+func TestNetworkMeasureErrors(t *testing.T) {
+	net, err := New(Taurus(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Measure(OpSend, -1); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := net.Measure("broadcast", 10); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := New(nil, 1, nil); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+}
+
+func TestNetworkDeterministicPerSeed(t *testing.T) {
+	run := func() []float64 {
+		net, err := New(Taurus(), 77, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for i := 0; i < 50; i++ {
+			s, err := net.Measure(OpRecv, 1000+i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, s.Seconds)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestMeasureAll(t *testing.T) {
+	net, err := New(Taurus(), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, recv, pp, err := net.MeasureAll(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if send.Op != OpSend || recv.Op != OpRecv || pp.Op != OpPingPong {
+		t.Fatal("ops mislabeled")
+	}
+	if pp.Seconds <= send.Seconds {
+		t.Fatal("ping-pong should dominate a lone send overhead")
+	}
+}
+
+func TestPerturberWindows(t *testing.T) {
+	p := NewPerturber(4, Window{Start: 1, End: 2})
+	if p.FactorAt(0.5) != 1 || p.FactorAt(1.5) != 4 || p.FactorAt(2.0) != 1 {
+		t.Fatal("window logic broken")
+	}
+	var nilP *Perturber
+	if nilP.FactorAt(1) != 1 {
+		t.Fatal("nil perturber should be neutral")
+	}
+	if nilP.Windows() != nil {
+		t.Fatal("nil perturber windows")
+	}
+}
+
+func TestPerturberClampsFactor(t *testing.T) {
+	p := NewPerturber(0.5, Window{Start: 0, End: 1})
+	if p.FactorAt(0.5) != 1 {
+		t.Fatal("factor below 1 should clamp to 1")
+	}
+}
+
+func TestRandomPerturberInHorizon(t *testing.T) {
+	p := NewRandomPerturber(3, 4, 100, 10)
+	ws := p.Windows()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %v", ws)
+	}
+	if ws[0].Start < 0 || ws[0].End > 100 {
+		t.Fatalf("window out of horizon: %+v", ws[0])
+	}
+	if math.Abs((ws[0].End-ws[0].Start)-10) > 1e-9 {
+		t.Fatalf("duration = %v", ws[0].End-ws[0].Start)
+	}
+}
+
+func TestPerturbationMarksSamples(t *testing.T) {
+	// A perturbation window stretches samples and flags them.
+	p := NewPerturber(5, Window{Start: 0, End: 0.001})
+	net, err := New(MyrinetGM(), 6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := net.Measure(OpPingPong, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Perturbed {
+		t.Fatal("sample inside window not flagged")
+	}
+	// Advance past the window.
+	for net.Now() < 0.001 {
+		if _, err := net.Measure(OpPingPong, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := net.Measure(OpPingPong, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Perturbed {
+		t.Fatal("sample outside window flagged")
+	}
+}
+
+func TestRTTScalesWithBandwidthRegime(t *testing.T) {
+	// Large rendezvous messages must be dominated by the per-byte terms
+	// (gap plus copy overheads), not the constant bases.
+	reg := Taurus().Regimes[2]
+	s := 1 << 20
+	rtt := reg.RTT(s)
+	perByte := 2 * float64(s) * (reg.GapPerByte + reg.SendPerByte + reg.RecvPerByte)
+	if rtt < perByte || rtt > perByte*1.05 {
+		t.Fatalf("RTT %v not dominated by per-byte terms %v", rtt, perByte)
+	}
+}
+
+// Property: measured durations are always positive and finite.
+func TestMeasurePositiveProperty(t *testing.T) {
+	net, err := New(Taurus(), 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawSize uint32, opSel uint8) bool {
+		size := int(rawSize % (1 << 22))
+		ops := []Op{OpSend, OpRecv, OpPingPong}
+		s, err := net.Measure(ops[int(opSel)%3], size)
+		if err != nil {
+			return false
+		}
+		return s.Seconds > 0 && !math.IsInf(s.Seconds, 0) && !math.IsNaN(s.Seconds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

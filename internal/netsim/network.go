@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"opaquebench/internal/xrand"
+)
+
+// Op names one of the three measurable operations of Section V.A.
+type Op string
+
+const (
+	// OpSend is the asynchronous send (measures o_s).
+	OpSend Op = "send"
+	// OpRecv is the blocking receive of an already-arrived message
+	// (measures o_r).
+	OpRecv Op = "recv"
+	// OpPingPong is the round trip (measures L and G).
+	OpPingPong Op = "pingpong"
+)
+
+// Sample is one raw network measurement.
+type Sample struct {
+	// Op and Size identify the operation.
+	Op   Op
+	Size int
+	// Seconds is the measured duration.
+	Seconds float64
+	// At is the virtual start time of the measurement.
+	At float64
+	// Seq is the measurement's position in execution order.
+	Seq int
+	// Perturbed records whether a temporal perturbation was active
+	// (ground truth for validating detection; a real benchmark would not
+	// know this).
+	Perturbed bool
+}
+
+// Network is a virtual-time network endpoint pair executing the three
+// benchmark operations against a Profile.
+type Network struct {
+	profile   *Profile
+	perturber *Perturber
+	r         *rand.Rand
+	now       float64
+	seq       int
+	// GapBetweenOps is the virtual idle time between consecutive
+	// measurements (setup, logging); it advances the clock so temporal
+	// perturbations span contiguous ranges of the sequence.
+	GapBetweenOps float64
+}
+
+// New builds a network simulator for the given profile.
+// The perturber may be nil for a quiet system.
+func New(profile *Profile, seed uint64, perturber *Perturber) (*Network, error) {
+	if profile == nil {
+		return nil, fmt.Errorf("netsim: nil profile")
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		profile:       profile,
+		perturber:     perturber,
+		r:             xrand.NewDerived(seed, "netsim/"+profile.Name),
+		GapBetweenOps: 50e-6,
+	}, nil
+}
+
+// Profile returns the underlying profile.
+func (n *Network) Profile() *Profile { return n.profile }
+
+// Now returns the current virtual time.
+func (n *Network) Now() float64 { return n.now }
+
+// Measure executes one operation of the given size and returns the raw
+// sample, advancing virtual time.
+func (n *Network) Measure(op Op, size int) (Sample, error) {
+	if size < 0 {
+		return Sample{}, fmt.Errorf("netsim: negative size %d", size)
+	}
+	reg := n.profile.RegimeFor(size)
+	var base float64
+	var noise NoiseModel
+	switch op {
+	case OpSend:
+		base = reg.SendOverhead(size)
+		noise = reg.SendNoise
+	case OpRecv:
+		base = reg.RecvOverhead(size)
+		noise = reg.RecvNoise
+	case OpPingPong:
+		base = reg.RTT(size)
+		noise = reg.RTTNoise
+	default:
+		return Sample{}, fmt.Errorf("netsim: unknown op %q", op)
+	}
+	base *= n.profile.quirkFactor(size)
+	dur := noise.Apply(n.r, base)
+	pf := n.perturber.FactorAt(n.now)
+	dur *= pf
+
+	s := Sample{
+		Op:        op,
+		Size:      size,
+		Seconds:   dur,
+		At:        n.now,
+		Seq:       n.seq,
+		Perturbed: pf > 1,
+	}
+	n.now += dur + n.GapBetweenOps
+	n.seq++
+	return s, nil
+}
+
+// MeasureAll executes the three operations back-to-back for one size,
+// returning send, recv, and ping-pong samples.
+func (n *Network) MeasureAll(size int) (send, recv, pp Sample, err error) {
+	if send, err = n.Measure(OpSend, size); err != nil {
+		return
+	}
+	if recv, err = n.Measure(OpRecv, size); err != nil {
+		return
+	}
+	pp, err = n.Measure(OpPingPong, size)
+	return
+}

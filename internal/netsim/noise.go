@@ -1,0 +1,46 @@
+// Package netsim simulates the network layer of Section III: a LogGP-family
+// piecewise model with distinct synchronization regimes (eager, detached,
+// rendez-vous), per-regime heteroscedastic noise, special-cased message
+// sizes, and injectable temporal perturbations.
+//
+// The simulator plays the role of the Grid'5000 clusters in the paper: the
+// benchmarks must *discover* the regime boundaries, the special sizes, and
+// the variability structure planted here — and the opaque benchmark replicas
+// must be misled by them in exactly the documented ways.
+package netsim
+
+import (
+	"math/rand/v2"
+
+	"opaquebench/internal/xrand"
+)
+
+// NoiseModel describes the multiplicative noise of one operation in one
+// regime: a log-normal body plus an occasional heavy tail. The paper's
+// Figure 4 shows the receive overhead of medium-sized messages with "much
+// higher variability than for other message sizes"; that is expressed here
+// as a regime-specific HeavyProb/HeavyScale.
+type NoiseModel struct {
+	// Sigma is the log-normal sigma of the noise body.
+	Sigma float64
+	// HeavyProb is the probability of a heavy-tailed draw.
+	HeavyProb float64
+	// HeavyScale is the maximum extra stretch of a heavy draw: heavy
+	// samples are multiplied by a factor in [1, 1+HeavyScale].
+	HeavyScale float64
+}
+
+// Apply perturbs the duration v.
+func (n NoiseModel) Apply(r *rand.Rand, v float64) float64 {
+	out := xrand.Jitter(r, v, n.Sigma)
+	if n.HeavyProb > 0 && xrand.Bernoulli(r, n.HeavyProb) {
+		out *= 1 + r.Float64()*n.HeavyScale
+	}
+	return out
+}
+
+// Spread is a rough indicator of the noise magnitude used for comparing
+// regimes in tests and reports: sigma plus the expected heavy-tail excess.
+func (n NoiseModel) Spread() float64 {
+	return n.Sigma + n.HeavyProb*n.HeavyScale/2
+}

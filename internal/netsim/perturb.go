@@ -1,0 +1,57 @@
+package netsim
+
+import "opaquebench/internal/xrand"
+
+// Perturber injects the temporal perturbations of Section III.1: intervals
+// of virtual time during which every network operation is stretched by a
+// factor, as caused by "external activity in a poorly isolated system".
+type Perturber struct {
+	windows []Window
+	factor  float64
+}
+
+// Window is a half-open virtual-time interval [Start, End) in seconds.
+type Window struct {
+	Start, End float64
+}
+
+// NewPerturber builds a perturber with explicit windows and a stretch
+// factor (> 1).
+func NewPerturber(factor float64, windows ...Window) *Perturber {
+	if factor < 1 {
+		factor = 1
+	}
+	return &Perturber{windows: windows, factor: factor}
+}
+
+// NewRandomPerturber builds a perturber with one random window of the given
+// duration placed uniformly in [0, horizon-duration].
+func NewRandomPerturber(seed uint64, factor, horizon, duration float64) *Perturber {
+	r := xrand.NewDerived(seed, "netsim/perturb")
+	if duration > horizon {
+		duration = horizon
+	}
+	start := r.Float64() * (horizon - duration)
+	return NewPerturber(factor, Window{Start: start, End: start + duration})
+}
+
+// FactorAt returns the stretch factor applying at virtual time t.
+func (p *Perturber) FactorAt(t float64) float64 {
+	if p == nil {
+		return 1
+	}
+	for _, w := range p.windows {
+		if t >= w.Start && t < w.End {
+			return p.factor
+		}
+	}
+	return 1
+}
+
+// Windows returns the perturbation windows.
+func (p *Perturber) Windows() []Window {
+	if p == nil {
+		return nil
+	}
+	return append([]Window(nil), p.windows...)
+}

@@ -1,0 +1,83 @@
+package netsim
+
+import "fmt"
+
+// Protocol names the synchronization mode of a regime (Section II.B).
+type Protocol string
+
+const (
+	// Eager sends copy into a preallocated receive buffer without waiting.
+	Eager Protocol = "eager"
+	// Detached is the intermediate mode: data goes through a bounce
+	// buffer with an asynchronous notification.
+	Detached Protocol = "detached"
+	// Rendezvous fully synchronizes sender and receiver via a handshake.
+	Rendezvous Protocol = "rendezvous"
+)
+
+// Regime holds the LogGP-style parameters of one synchronization mode,
+// valid for message sizes below MaxSize. All times are in seconds, per-byte
+// parameters in seconds/byte.
+type Regime struct {
+	// Protocol labels the synchronization mode.
+	Protocol Protocol
+	// MaxSize is the exclusive upper bound of the regime in bytes; the
+	// last regime of a profile uses MaxSize = 0 meaning "unbounded".
+	MaxSize int
+
+	// SendBase and SendPerByte form the software send overhead o_s(s).
+	SendBase, SendPerByte float64
+	// RecvBase and RecvPerByte form the software receive overhead o_r(s).
+	RecvBase, RecvPerByte float64
+	// Latency is the wire latency L.
+	Latency float64
+	// GapPerByte is the per-byte gap G (inverse bandwidth).
+	GapPerByte float64
+
+	// SendNoise, RecvNoise and RTTNoise describe per-operation noise.
+	SendNoise, RecvNoise, RTTNoise NoiseModel
+}
+
+// Validate checks regime parameters.
+func (r Regime) Validate() error {
+	switch r.Protocol {
+	case Eager, Detached, Rendezvous:
+	default:
+		return fmt.Errorf("netsim: unknown protocol %q", r.Protocol)
+	}
+	if r.SendBase < 0 || r.RecvBase < 0 || r.Latency < 0 || r.GapPerByte < 0 ||
+		r.SendPerByte < 0 || r.RecvPerByte < 0 {
+		return fmt.Errorf("netsim: negative parameter in %s regime", r.Protocol)
+	}
+	return nil
+}
+
+// SendOverhead returns the noiseless o_s(s).
+func (r Regime) SendOverhead(size int) float64 {
+	t := r.SendBase + r.SendPerByte*float64(size)
+	switch r.Protocol {
+	case Rendezvous:
+		// The sender must wait for the handshake round trip.
+		t += 2 * r.Latency
+	case Detached:
+		// Asynchronous notification costs one extra latency.
+		t += r.Latency
+	}
+	return t
+}
+
+// RecvOverhead returns the noiseless o_r(s) for a message that has already
+// arrived (the Section V.A measurement condition).
+func (r Regime) RecvOverhead(size int) float64 {
+	return r.RecvBase + r.RecvPerByte*float64(size)
+}
+
+// OneWay returns the noiseless end-to-end time of one message.
+func (r Regime) OneWay(size int) float64 {
+	return r.SendOverhead(size) + r.Latency + r.GapPerByte*float64(size) + r.RecvOverhead(size)
+}
+
+// RTT returns the noiseless ping-pong round trip of two size-byte messages.
+func (r Regime) RTT(size int) float64 {
+	return 2 * r.OneWay(size)
+}

@@ -1,0 +1,100 @@
+package opaque
+
+import (
+	"fmt"
+
+	"opaquebench/internal/netsim"
+	"opaquebench/internal/stats"
+)
+
+// NetGaugeReport is the output of a NetGauge-style run: the fitted segments
+// and detected protocol changes, with the raw measurements discarded.
+type NetGaugeReport struct {
+	// Breaks are the confirmed protocol-change sizes.
+	Breaks []float64
+	// Probes is the number of measurements taken.
+	Probes int
+}
+
+// RunNetGauge reproduces NetGauge's procedure: linearly increasing message
+// sizes measured in order, with the online least-squares-deviation detector
+// deciding protocol changes as the sweep progresses. A temporal perturbation
+// during the sweep lands on a contiguous block of *sizes* and is
+// indistinguishable from a protocol change (pitfall III.1).
+func RunNetGauge(net *netsim.Network, op netsim.Op, minSize, maxSize, step int, factor float64, confirm int) (NetGaugeReport, error) {
+	if step <= 0 {
+		return NetGaugeReport{}, fmt.Errorf("opaque: step must be positive")
+	}
+	det := stats.NewNetGaugeDetector(factor, confirm)
+	rep := NetGaugeReport{}
+	for size := minSize; size <= maxSize; size += step {
+		s, err := net.Measure(op, size)
+		if err != nil {
+			return NetGaugeReport{}, err
+		}
+		rep.Probes++
+		det.Observe(float64(size), s.Seconds)
+		// Raw sample discarded.
+	}
+	rep.Breaks = det.Breaks()
+	return rep, nil
+}
+
+// PLogPReport is the output of a PLogP-style adaptive probe.
+type PLogPReport struct {
+	Breaks []float64
+	Probes int
+}
+
+// RunPLogP reproduces PLogP's adaptive procedure: power-of-two sizes with
+// linear extrapolation of the previous two points and interval halving on
+// deviation (Section III). A single perturbed measurement steers the whole
+// probe.
+func RunPLogP(net *netsim.Network, op netsim.Op, minSize, maxSize int, tolerance float64) (PLogPReport, error) {
+	var measureErr error
+	probe := stats.PLogPProbe{Tolerance: tolerance}
+	res := probe.Sweep(float64(minSize), float64(maxSize), func(size float64) float64 {
+		s, err := net.Measure(op, int(size))
+		if err != nil {
+			measureErr = err
+			return 0
+		}
+		return s.Seconds
+	})
+	if measureErr != nil {
+		return PLogPReport{}, measureErr
+	}
+	return PLogPReport{Breaks: res.Breaks, Probes: res.Probes}, nil
+}
+
+// LoOgGPReport is the output of a LoOgGP-style offline analysis.
+type LoOgGPReport struct {
+	// Breaks are the sizes flagged as protocol changes.
+	Breaks []float64
+	// Probes is the number of measurements taken.
+	Probes int
+}
+
+// RunLoOgGP reproduces the LoOgGP procedure: linearly increasing message
+// sizes, offline outlier removal, then the neighborhood-maximum rule. The
+// paper notes the mechanism "is sensitive to the neighborhood size and the
+// message size steps during the measurement stage" — callers can observe
+// exactly that by varying halfWidth and step.
+func RunLoOgGP(net *netsim.Network, op netsim.Op, minSize, maxSize, step, halfWidth int, madCutoff float64) (LoOgGPReport, error) {
+	if step <= 0 {
+		return LoOgGPReport{}, fmt.Errorf("opaque: step must be positive")
+	}
+	var xs, ys []float64
+	rep := LoOgGPReport{}
+	for size := minSize; size <= maxSize; size += step {
+		s, err := net.Measure(op, size)
+		if err != nil {
+			return LoOgGPReport{}, err
+		}
+		rep.Probes++
+		xs = append(xs, float64(size))
+		ys = append(ys, s.Seconds)
+	}
+	rep.Breaks = stats.LoOgGPNeighborhood(xs, ys, halfWidth, madCutoff)
+	return rep, nil
+}

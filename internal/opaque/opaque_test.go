@@ -1,0 +1,270 @@
+package opaque
+
+import (
+	"math"
+	"testing"
+
+	"opaquebench/internal/membench"
+	"opaquebench/internal/memsim"
+	"opaquebench/internal/mpisim"
+	"opaquebench/internal/netsim"
+	"opaquebench/internal/ossim"
+)
+
+func quietNet(t *testing.T, seed uint64) *netsim.Network {
+	t.Helper()
+	n, err := netsim.New(netsim.Taurus(), seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRunPMBRows(t *testing.T) {
+	rows, err := RunPMB(quietNet(t, 1), 64, 4096, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (64..4096)", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanSec <= 0 || r.MinSec > r.MeanSec || r.MaxSec < r.MeanSec {
+			t.Fatalf("inconsistent row %+v", r)
+		}
+		if r.MBps <= 0 {
+			t.Fatalf("throughput missing: %+v", r)
+		}
+	}
+}
+
+func TestRunPMBErrors(t *testing.T) {
+	if _, err := RunPMB(quietNet(t, 2), 64, 128, 0, nil); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
+func TestPMBHitsOnlyAlignedSizes(t *testing.T) {
+	// Pitfall III.2 demonstrated structurally: every size PMB measures on
+	// Taurus falls on the planted 1024-aligned slow path once >= 1024, so
+	// the report cannot reveal that those sizes are special.
+	rows, err := RunPMB(quietNet(t, 3), 1024, 8192, 5, []netsim.Op{netsim.OpSend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SizeBytes%1024 != 0 {
+			t.Fatalf("unexpected unaligned size %d", r.SizeBytes)
+		}
+	}
+}
+
+func TestRunMultiMAPSAggregatesOnly(t *testing.T) {
+	eng, err := membench.NewEngine(membench.Config{Machine: memsim.Opteron(), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunMultiMAPS(eng, []int{8 << 10, 32 << 10}, []int{1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanMBps <= 0 {
+			t.Fatalf("bad mean in %+v", r)
+		}
+		if r.StddevMBps < 0 || math.IsNaN(r.StddevMBps) {
+			t.Fatalf("bad stddev in %+v", r)
+		}
+	}
+}
+
+func TestRunMultiMAPSZeroReps(t *testing.T) {
+	eng, err := membench.NewEngine(membench.Config{Machine: memsim.Opteron(), Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMultiMAPS(eng, []int{1024}, nil, 0); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
+func TestMultiMAPSSequentialOrderMisattributesInterference(t *testing.T) {
+	// Pitfall IV.3: measurements run in sequential size order, so a
+	// temporal interference window lands on a contiguous block of sizes and
+	// the opaque per-size means "wrongly suggest poor performance for a
+	// specific subset of buffer sizes".
+	eng, err := membench.NewEngine(membench.Config{
+		Machine: memsim.ARMSnowball(),
+		Seed:    11,
+		Sched: ossim.Config{
+			Policy:          ossim.PolicyRT,
+			DaemonPeriodSec: 6,
+			DaemonDuty:      0.3,
+		},
+		GapSec: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]int, 12)
+	for i := range sizes {
+		sizes[i] = (i + 1) << 10
+	}
+	rows, err := RunMultiMAPS(eng, sizes, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All sizes are L1-resident, so the truth is a flat curve; the artifact
+	// shows up as some sizes appearing far slower than others.
+	minMean, maxMean := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		minMean = math.Min(minMean, r.MeanMBps)
+		maxMean = math.Max(maxMean, r.MeanMBps)
+	}
+	if maxMean/minMean < 1.5 {
+		t.Fatalf("sequential order should misattribute interference to sizes: spread=%v", maxMean/minMean)
+	}
+}
+
+func TestRunNetGaugeCleanTwoRegimes(t *testing.T) {
+	net, err := netsim.New(netsim.MyrinetOpenMPI(), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunNetGauge(net, netsim.OpPingPong, 1024, 65536, 512, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probes != (65536-1024)/512+1 {
+		t.Fatalf("probes = %d", rep.Probes)
+	}
+	if len(rep.Breaks) == 0 {
+		t.Fatal("no protocol change found on a profile with planted breaks")
+	}
+}
+
+func TestRunNetGaugePerturbationFakesBreak(t *testing.T) {
+	// Pitfall III.1: a perturbation window during the ordered sweep is
+	// reported as a protocol change on a single-regime network.
+	perturb := netsim.NewPerturber(4, netsim.Window{Start: 0.004, End: 0.02})
+	net, err := netsim.New(netsim.MyrinetGM(), 6, perturb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunNetGauge(net, netsim.OpPingPong, 1024, 65536, 512, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Breaks) == 0 {
+		t.Fatal("perturbation should have faked a protocol change on the single-regime GM profile")
+	}
+}
+
+func TestRunNetGaugeBadStep(t *testing.T) {
+	if _, err := RunNetGauge(quietNet(t, 7), netsim.OpSend, 1, 10, 0, 2, 5); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestRunPLogPFindsPlantedBreak(t *testing.T) {
+	net, err := netsim.New(netsim.MyrinetOpenMPI(), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunPLogP(net, netsim.OpPingPong, 256, 262144, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Probes == 0 {
+		t.Fatal("no probes")
+	}
+	if len(rep.Breaks) == 0 {
+		t.Fatal("no break found across the rendezvous switch")
+	}
+}
+
+func TestRunPLogPQuietLinearProfileNoBreaks(t *testing.T) {
+	net, err := netsim.New(netsim.MyrinetGM(), 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunPLogP(net, netsim.OpPingPong, 4096, 262144, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Breaks) != 0 {
+		t.Fatalf("spurious breaks on a single-regime profile: %v", rep.Breaks)
+	}
+}
+
+func TestRunPMBCollectives(t *testing.T) {
+	g, err := mpisim.NewGroup(netsim.MyrinetGM(), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunPMBCollectives(g, "bcast", 64, 4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanSec <= 0 || r.MinSec > r.MeanSec || r.MaxSec < r.MeanSec {
+			t.Fatalf("bad row %+v", r)
+		}
+		if r.Ranks != 8 {
+			t.Fatalf("ranks = %d", r.Ranks)
+		}
+	}
+	// Size must dominate over the sweep (adjacent tiny sizes can overlap
+	// through warm-communicator pipelining, so compare the extremes).
+	if rows[len(rows)-1].MeanSec <= rows[0].MeanSec {
+		t.Fatalf("bcast mean not size-driven: %v vs %v", rows[0].MeanSec, rows[len(rows)-1].MeanSec)
+	}
+	if _, err := RunPMBCollectives(g, "allreduce", 64, 256, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPMBCollectives(g, "barrier", 64, 64, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPMBCollectives(g, "scan", 64, 64, 2); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := RunPMBCollectives(g, "bcast", 64, 64, 0); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
+func TestRunLoOgGPSensitivity(t *testing.T) {
+	// The same profile, two neighborhood sizes: different verdicts — the
+	// paper's stated weakness of the method.
+	run := func(halfWidth int) int {
+		net, err := netsim.New(netsim.MyrinetOpenMPI(), 12, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunLoOgGP(net, netsim.OpPingPong, 1024, 65536, 512, halfWidth, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Probes == 0 {
+			t.Fatal("no probes")
+		}
+		return len(rep.Breaks)
+	}
+	narrow := run(1)
+	wide := run(20)
+	if narrow == wide {
+		t.Fatalf("neighborhood size should change the verdict: narrow=%d wide=%d", narrow, wide)
+	}
+}
+
+func TestRunLoOgGPBadStep(t *testing.T) {
+	if _, err := RunLoOgGP(quietNet(t, 13), netsim.OpSend, 1, 10, 0, 3, 3); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Package ossim models the operating-system scheduling effects of Section
+// IV.3: even a pinned, single-threaded benchmark on a quiesced machine
+// shares its core with occasional external processes. Under the default
+// time-sharing policy the scheduler migrates such intruders away almost
+// immediately, but under the real-time (FIFO) policy an intruder that lands
+// on the pinned core steals a fixed share of it for as long as it stays
+// runnable — producing the paper's second mode: bandwidth "almost 5 times
+// lower ... in approximately 20-25% of the measurements", contiguous in time.
+package ossim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"opaquebench/internal/xrand"
+)
+
+// Policy is the scheduling policy of the benchmark process.
+type Policy string
+
+const (
+	// PolicyOther is the default time-sharing policy (Linux SCHED_OTHER).
+	PolicyOther Policy = "other"
+	// PolicyRT is the real-time FIFO policy (Linux SCHED_FIFO).
+	PolicyRT Policy = "rt"
+)
+
+// Config describes the simulated scheduling environment.
+type Config struct {
+	// Policy is the benchmark's scheduling policy.
+	Policy Policy
+	// Unpinned marks a benchmark NOT pinned to one core; unpinned runs
+	// suffer occasional migration penalties. The zero value (pinned) is
+	// the paper's careful default.
+	Unpinned bool
+	// Seed drives the daemon activity process.
+	Seed uint64
+	// DaemonDuty is the long-run fraction of time the external daemon is
+	// runnable on the benchmark core. Zero means the paper-like default
+	// of 0.22.
+	DaemonDuty float64
+	// DaemonPeriodSec is the mean duration of one daemon sleep+busy cycle
+	// in virtual seconds. Zero means 60.
+	DaemonPeriodSec float64
+	// RTShare is the CPU share the benchmark retains while the daemon is
+	// co-scheduled under the RT policy. Zero means 0.2 (5x slowdown).
+	RTShare float64
+	// MigrationProb is the per-measurement probability of a migration
+	// penalty when not pinned. Zero means 0.05.
+	MigrationProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DaemonDuty <= 0 || c.DaemonDuty >= 1 {
+		c.DaemonDuty = 0.22
+	}
+	if c.DaemonPeriodSec <= 0 {
+		c.DaemonPeriodSec = 60
+	}
+	if c.RTShare <= 0 || c.RTShare > 1 {
+		c.RTShare = 0.2
+	}
+	if c.MigrationProb <= 0 {
+		c.MigrationProb = 0.05
+	}
+	if c.Policy == "" {
+		c.Policy = PolicyOther
+	}
+	return c
+}
+
+// Window is a half-open interval of virtual time [Start, End) during which
+// the external daemon is runnable on the benchmark core.
+type Window struct {
+	Start, End float64
+}
+
+// Scheduler answers "how much slower does a measurement starting now run?"
+// for a virtual timeline. Daemon activity windows are generated lazily by an
+// alternating-renewal process (exponential sleep and busy phases).
+type Scheduler struct {
+	cfg     Config
+	r       *rand.Rand
+	migr    *rand.Rand
+	windows []Window
+	horizon float64 // time up to which windows are materialized
+}
+
+// New builds a scheduler from the config.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	return &Scheduler{
+		cfg:  cfg,
+		r:    xrand.NewDerived(cfg.Seed, "ossim/daemon"),
+		migr: xrand.NewDerived(cfg.Seed, "ossim/migration"),
+	}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// extend materializes daemon windows up to time t.
+func (s *Scheduler) extend(t float64) {
+	meanBusy := s.cfg.DaemonPeriodSec * s.cfg.DaemonDuty
+	meanSleep := s.cfg.DaemonPeriodSec - meanBusy
+	for s.horizon <= t {
+		sleep := s.r.ExpFloat64() * meanSleep
+		busy := s.r.ExpFloat64() * meanBusy
+		start := s.horizon + sleep
+		s.windows = append(s.windows, Window{Start: start, End: start + busy})
+		s.horizon = start + busy
+	}
+}
+
+// daemonActive reports whether the daemon is runnable at time t.
+func (s *Scheduler) daemonActive(t float64) bool {
+	s.extend(t)
+	for i := len(s.windows) - 1; i >= 0; i-- {
+		w := s.windows[i]
+		if t >= w.Start && t < w.End {
+			return true
+		}
+		if w.End <= t {
+			return false
+		}
+	}
+	return false
+}
+
+// SlowdownAt returns the multiplicative slowdown (>= 1) for a measurement
+// starting at virtual time t.
+//
+// Under PolicyRT with an active daemon, the benchmark keeps only RTShare of
+// the core. Under PolicyOther the balancer moves the daemon to another core,
+// so co-scheduling costs nothing; unpinned processes instead pay occasional
+// migration penalties.
+func (s *Scheduler) SlowdownAt(t float64) float64 {
+	slow := 1.0
+	if s.cfg.Policy == PolicyRT && s.daemonActive(t) {
+		slow = 1 / s.cfg.RTShare
+	}
+	if s.cfg.Unpinned && xrand.Bernoulli(s.migr, s.cfg.MigrationProb) {
+		slow *= 1 + 0.15*s.migr.Float64()
+	}
+	return slow
+}
+
+// Windows returns the daemon activity windows materialized up to time t.
+func (s *Scheduler) Windows(t float64) []Window {
+	s.extend(t)
+	var out []Window
+	for _, w := range s.windows {
+		if w.Start >= t {
+			break
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// String describes the scheduler setup for metadata capture.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("policy=%s pinned=%v duty=%.2f period=%.0fs rtshare=%.2f",
+		s.cfg.Policy, !s.cfg.Unpinned, s.cfg.DaemonDuty, s.cfg.DaemonPeriodSec, s.cfg.RTShare)
+}

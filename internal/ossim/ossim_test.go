@@ -1,0 +1,140 @@
+package ossim
+
+import (
+	"testing"
+
+	"opaquebench/internal/stats"
+)
+
+func TestDefaultsApplied(t *testing.T) {
+	s := New(Config{})
+	c := s.Config()
+	if c.Policy != PolicyOther || c.DaemonDuty != 0.22 || c.RTShare != 0.2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.DaemonPeriodSec != 60 || c.MigrationProb != 0.05 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestOtherPolicyPinnedNeverSlows(t *testing.T) {
+	s := New(Config{Policy: PolicyOther, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if got := s.SlowdownAt(float64(i) * 0.1); got != 1 {
+			t.Fatalf("slowdown = %v at %d", got, i)
+		}
+	}
+}
+
+func TestRTPolicySlowsDuringWindows(t *testing.T) {
+	s := New(Config{Policy: PolicyRT, Seed: 2})
+	slowed := 0
+	n := 4000
+	for i := 0; i < n; i++ {
+		if s.SlowdownAt(float64(i)*0.1) > 1 {
+			slowed++
+		}
+	}
+	frac := float64(slowed) / float64(n)
+	if frac < 0.08 || frac > 0.45 {
+		t.Fatalf("slowed fraction = %v, want around the 0.22 duty", frac)
+	}
+}
+
+func TestRTSlowdownFactorIsFiveX(t *testing.T) {
+	s := New(Config{Policy: PolicyRT, Seed: 3})
+	for i := 0; i < 10000; i++ {
+		got := s.SlowdownAt(float64(i) * 0.05)
+		if got != 1 && got != 5 {
+			t.Fatalf("slowdown = %v, want 1 or 5", got)
+		}
+	}
+}
+
+func TestRTSlowdownsAreContiguous(t *testing.T) {
+	// The Figure 11 signature: the second mode occupies contiguous stretches
+	// of the sequence, not scattered points.
+	s := New(Config{Policy: PolicyRT, Seed: 4, DaemonPeriodSec: 100})
+	var flags []bool
+	for i := 0; i < 2000; i++ {
+		flags = append(flags, s.SlowdownAt(float64(i)*0.02) > 1)
+	}
+	anySlow := false
+	for _, f := range flags {
+		if f {
+			anySlow = true
+		}
+	}
+	if !anySlow {
+		t.Skip("seed produced no daemon window in the horizon")
+	}
+	if got := stats.RunsContiguity(flags); got < 0.5 {
+		t.Fatalf("contiguity = %v, want >= 0.5 (temporal clustering)", got)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := New(Config{Policy: PolicyRT, Seed: 5})
+	b := New(Config{Policy: PolicyRT, Seed: 5})
+	for i := 0; i < 500; i++ {
+		tm := float64(i) * 0.3
+		if a.SlowdownAt(tm) != b.SlowdownAt(tm) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(Config{Policy: PolicyRT, Seed: 6})
+	b := New(Config{Policy: PolicyRT, Seed: 7})
+	diff := false
+	for i := 0; i < 2000 && !diff; i++ {
+		tm := float64(i) * 0.3
+		if a.SlowdownAt(tm) != b.SlowdownAt(tm) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical schedules")
+	}
+}
+
+func TestUnpinnedMigrationPenalties(t *testing.T) {
+	s := New(Config{Policy: PolicyOther, Unpinned: true, Seed: 8, MigrationProb: 0.3})
+	penalized := 0
+	for i := 0; i < 2000; i++ {
+		if s.SlowdownAt(float64(i)*0.1) > 1 {
+			penalized++
+		}
+	}
+	if penalized == 0 {
+		t.Fatal("unpinned run never migrated")
+	}
+	frac := float64(penalized) / 2000
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("migration fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestWindowsMaterialized(t *testing.T) {
+	s := New(Config{Policy: PolicyRT, Seed: 9})
+	ws := s.Windows(600)
+	if len(ws) == 0 {
+		t.Fatal("no windows over 10 mean periods")
+	}
+	for i, w := range ws {
+		if w.End <= w.Start {
+			t.Fatalf("window %d inverted: %+v", i, w)
+		}
+		if i > 0 && w.Start < ws[i-1].End {
+			t.Fatalf("windows overlap: %+v then %+v", ws[i-1], w)
+		}
+	}
+}
+
+func TestStringDescribes(t *testing.T) {
+	s := New(Config{Policy: PolicyRT, Seed: 1})
+	if got := s.String(); got == "" {
+		t.Fatal("empty description")
+	}
+}

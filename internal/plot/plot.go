@@ -1,0 +1,141 @@
+// Package plot renders small ASCII scatter and line charts for the textual
+// figure reproductions. It intentionally stays tiny: the repository's
+// deliverable is raw data plus regression parameters; the charts only give a
+// reviewer a quick visual check of the curve shapes.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named set of (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// Options configures a chart.
+type Options struct {
+	Width, Height int
+	LogX, LogY    bool
+	XLabel        string
+	YLabel        string
+	Title         string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width < 10 {
+		o.Width = 72
+	}
+	if o.Height < 4 {
+		o.Height = 20
+	}
+	return o
+}
+
+var defaultMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Scatter renders the series into an ASCII grid.
+func Scatter(series []Series, opt Options) string {
+	opt = opt.withDefaults()
+	tx := func(v float64) float64 { return v }
+	ty := func(v float64) float64 { return v }
+	if opt.LogX {
+		tx = safeLog10
+	}
+	if opt.LogY {
+		ty = safeLog10
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(opt.Width-1))
+			row := opt.Height - 1 - int((y-minY)/(maxY-minY)*float64(opt.Height-1))
+			if col >= 0 && col < opt.Width && row >= 0 && row < opt.Height {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	yHi, yLo := maxY, minY
+	if opt.LogY {
+		yHi, yLo = math.Pow(10, maxY), math.Pow(10, minY)
+	}
+	fmt.Fprintf(&b, "%10.4g |%s|\n", yHi, string(grid[0]))
+	for r := 1; r < opt.Height-1; r++ {
+		fmt.Fprintf(&b, "%10s |%s|\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.4g |%s|\n", yLo, string(grid[opt.Height-1]))
+	xLo, xHi := minX, maxX
+	if opt.LogX {
+		xLo, xHi = math.Pow(10, minX), math.Pow(10, maxX)
+	}
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", opt.Width/2, xLo, opt.Width-opt.Width/2, xHi)
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", opt.XLabel, opt.YLabel)
+	}
+	var legend []string
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		if s.Name != "" {
+			legend = append(legend, fmt.Sprintf("%c=%s", marker, s.Name))
+		}
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "  "))
+	}
+	return b.String()
+}
+
+func safeLog10(v float64) float64 {
+	if v <= 0 {
+		return math.NaN()
+	}
+	return math.Log10(v)
+}

@@ -1,0 +1,66 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterBasic(t *testing.T) {
+	s := []Series{{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}}}
+	out := Scatter(s, Options{Width: 40, Height: 10, Title: "squares"})
+	if !strings.Contains(out, "squares") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing markers")
+	}
+	if !strings.Contains(out, "*=a") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	if out := Scatter(nil, Options{}); !strings.Contains(out, "no data") {
+		t.Fatalf("got %q", out)
+	}
+	s := []Series{{X: []float64{-1}, Y: []float64{1}}}
+	if out := Scatter(s, Options{LogX: true}); !strings.Contains(out, "no data") {
+		t.Fatalf("log of negative should yield no data, got %q", out)
+	}
+}
+
+func TestScatterLogScales(t *testing.T) {
+	s := []Series{{X: []float64{1, 10, 100, 1000}, Y: []float64{1, 2, 3, 4}}}
+	out := Scatter(s, Options{Width: 40, Height: 8, LogX: true})
+	// On a log axis, the four points should be evenly spaced: count markers.
+	if got := strings.Count(out, "*"); got < 4 {
+		t.Fatalf("markers = %d, want >= 4", got)
+	}
+}
+
+func TestScatterMultiSeriesMarkers(t *testing.T) {
+	s := []Series{
+		{Name: "one", X: []float64{1}, Y: []float64{1}},
+		{Name: "two", X: []float64{2}, Y: []float64{2}},
+	}
+	out := Scatter(s, Options{Width: 30, Height: 6})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("distinct markers missing:\n%s", out)
+	}
+}
+
+func TestScatterConstantData(t *testing.T) {
+	s := []Series{{X: []float64{5, 5}, Y: []float64{3, 3}}}
+	out := Scatter(s, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant data unplotted:\n%s", out)
+	}
+}
+
+func TestScatterAxisLabels(t *testing.T) {
+	s := []Series{{X: []float64{1, 2}, Y: []float64{1, 2}}}
+	out := Scatter(s, Options{XLabel: "size", YLabel: "bw"})
+	if !strings.Contains(out, "x: size") || !strings.Contains(out, "y: bw") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+}

@@ -1,0 +1,158 @@
+// Package predict implements the end use the paper's benchmarks feed
+// (Section II.A, Figure 1): a PMaC-style performance predictor that
+// convolves an application signature with a machine signature.
+//
+//   - The machine's memory signature (plateau bandwidths per working-set
+//     range) is extracted from a white-box membench campaign — the MAPS role.
+//   - The machine's network signature is the piecewise LogGP model fitted by
+//     netbench — the PMB role.
+//   - The application signature is a list of computation blocks (accesses,
+//     element width, working set) and communication events — the MetaSim /
+//     MPIDtrace role.
+//   - The convolver replays the trace on per-rank virtual clocks — the
+//     DIMEMAS role — and predicts the application's makespan.
+//
+// The package exists to make the paper's argument executable: predictions
+// are only as good as the measurements behind the signatures, so a signature
+// taken under an uncontrolled governor (Section IV.2) visibly corrupts the
+// prediction, while a white-box signature tracks the ground truth.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/membench"
+	"opaquebench/internal/stats"
+)
+
+// MemorySignature is the machine-side memory characterization: bandwidth
+// plateaus per working-set range, as a MAPS/MultiMAPS campaign provides.
+type MemorySignature struct {
+	// UpperBytes[i] is the exclusive upper working-set bound of plateau i;
+	// the last plateau is unbounded (UpperBytes[last] == 0).
+	UpperBytes []int
+	// BandwidthMBps[i] is the sustained bandwidth of plateau i.
+	BandwidthMBps []float64
+}
+
+// Validate checks structural consistency.
+func (s MemorySignature) Validate() error {
+	if len(s.UpperBytes) == 0 || len(s.UpperBytes) != len(s.BandwidthMBps) {
+		return fmt.Errorf("predict: malformed signature (%d bounds, %d bandwidths)",
+			len(s.UpperBytes), len(s.BandwidthMBps))
+	}
+	for i, b := range s.BandwidthMBps {
+		if b <= 0 {
+			return fmt.Errorf("predict: plateau %d has bandwidth %v", i, b)
+		}
+	}
+	for i := 0; i+1 < len(s.UpperBytes); i++ {
+		if s.UpperBytes[i] <= 0 || (s.UpperBytes[i+1] != 0 && s.UpperBytes[i+1] <= s.UpperBytes[i]) {
+			return fmt.Errorf("predict: plateau bounds not increasing: %v", s.UpperBytes)
+		}
+	}
+	if s.UpperBytes[len(s.UpperBytes)-1] != 0 {
+		return fmt.Errorf("predict: last plateau must be unbounded")
+	}
+	return nil
+}
+
+// BandwidthFor returns the plateau bandwidth serving a working set.
+func (s MemorySignature) BandwidthFor(workingSetBytes int) float64 {
+	for i, up := range s.UpperBytes {
+		if up == 0 || workingSetBytes < up {
+			return s.BandwidthMBps[i]
+		}
+	}
+	return s.BandwidthMBps[len(s.BandwidthMBps)-1]
+}
+
+// String renders the signature.
+func (s MemorySignature) String() string {
+	var b strings.Builder
+	lo := 0
+	for i, up := range s.UpperBytes {
+		if up == 0 {
+			fmt.Fprintf(&b, "[%8d,      inf): %8.0f MB/s\n", lo, s.BandwidthMBps[i])
+		} else {
+			fmt.Fprintf(&b, "[%8d, %8d): %8.0f MB/s\n", lo, up, s.BandwidthMBps[i])
+		}
+		lo = up
+	}
+	return b.String()
+}
+
+// ExtractMemorySignature builds a signature from white-box campaign results:
+// per-size median bandwidths, plateau boundaries found by the relative
+// segmented search, and per-plateau median bandwidth.
+func ExtractMemorySignature(res *core.Results, maxPlateaus int) (MemorySignature, error) {
+	groups := core.SummarizeBy(res, membench.FactorSize)
+	if len(groups) < 3 {
+		return MemorySignature{}, fmt.Errorf("predict: need >= 3 sizes, have %d", len(groups))
+	}
+	var xs, ys []float64
+	for _, g := range groups {
+		xs = append(xs, g.X)
+		ys = append(ys, g.Summary.Median)
+	}
+	if maxPlateaus < 1 {
+		maxPlateaus = 3
+	}
+	minSeg := len(xs) / (maxPlateaus + 2)
+	if minSeg < 2 {
+		minSeg = 2
+	}
+	pf, err := stats.SelectSegmentedRelative(xs, ys, maxPlateaus-1, minSeg)
+	if err != nil {
+		return MemorySignature{}, err
+	}
+	var sig MemorySignature
+	edges := append(append([]float64(nil), pf.Breaks...), math.Inf(1))
+	lo := math.Inf(-1)
+	for _, hi := range edges {
+		var vals []float64
+		for i, x := range xs {
+			if x >= lo && x < hi {
+				vals = append(vals, ys[i])
+			}
+		}
+		if len(vals) == 0 {
+			lo = hi
+			continue
+		}
+		up := 0
+		if !math.IsInf(hi, 1) {
+			up = int(hi)
+		}
+		sig.UpperBytes = append(sig.UpperBytes, up)
+		sig.BandwidthMBps = append(sig.BandwidthMBps, stats.Median(vals))
+		lo = hi
+	}
+	if err := sig.Validate(); err != nil {
+		return MemorySignature{}, err
+	}
+	return sig, nil
+}
+
+// Block is one computation block of the application signature.
+type Block struct {
+	// Name labels the block in reports.
+	Name string
+	// Accesses is the number of element loads the block performs.
+	Accesses uint64
+	// ElemBytes is the element width.
+	ElemBytes int
+	// WorkingSetBytes is the block's resident working set, which selects
+	// the serving memory plateau.
+	WorkingSetBytes int
+}
+
+// Seconds predicts the block's duration under the signature: the classic
+// convolution bytes / bandwidth(working set).
+func (s MemorySignature) Seconds(b Block) float64 {
+	bw := s.BandwidthFor(b.WorkingSetBytes) * 1e6 // bytes/s
+	return float64(b.Accesses) * float64(b.ElemBytes) / bw
+}

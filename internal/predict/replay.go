@@ -1,0 +1,119 @@
+package predict
+
+import (
+	"fmt"
+
+	"opaquebench/internal/netbench"
+)
+
+// EventKind discriminates trace events.
+type EventKind string
+
+const (
+	// EvCompute is a computation block on one rank.
+	EvCompute EventKind = "compute"
+	// EvSend is an asynchronous send from Rank to Peer.
+	EvSend EventKind = "send"
+	// EvRecv is a blocking receive on Rank.
+	EvRecv EventKind = "recv"
+)
+
+// Event is one entry of the application's per-rank trace (the MPIDtrace
+// role). Events are listed in program order per rank; the replayer respects
+// message causality between ranks.
+type Event struct {
+	Kind EventKind
+	// Rank executes the event.
+	Rank int
+	// Peer is the other endpoint for send events.
+	Peer int
+	// Block is the computation signature for EvCompute.
+	Block Block
+	// Size is the message size for EvSend/EvRecv.
+	Size int
+}
+
+// Prediction is the replay outcome.
+type Prediction struct {
+	// Makespan is the predicted end-to-end runtime.
+	Makespan float64
+	// RankSeconds is each rank's finish time.
+	RankSeconds []float64
+	// ComputeSeconds and NetworkSeconds decompose the critical path's
+	// aggregate (summed over ranks).
+	ComputeSeconds, NetworkSeconds float64
+}
+
+// Replay convolves the trace with the machine signatures on per-rank
+// virtual clocks — the DIMEMAS role. Messages are matched FIFO per
+// (sender, receiver) pair.
+func Replay(mem MemorySignature, net netbench.LogGPModel, ranks int, trace []Event) (Prediction, error) {
+	if err := mem.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	if len(net.Regimes) == 0 {
+		return Prediction{}, fmt.Errorf("predict: empty network model")
+	}
+	if ranks < 1 {
+		return Prediction{}, fmt.Errorf("predict: ranks = %d", ranks)
+	}
+	clock := make([]float64, ranks)
+	type channel struct{ arrivals []float64 }
+	channels := map[[2]int]*channel{}
+	chanFor := func(from, to int) *channel {
+		k := [2]int{from, to}
+		if channels[k] == nil {
+			channels[k] = &channel{}
+		}
+		return channels[k]
+	}
+
+	var p Prediction
+	for i, ev := range trace {
+		if ev.Rank < 0 || ev.Rank >= ranks {
+			return Prediction{}, fmt.Errorf("predict: event %d rank %d out of range", i, ev.Rank)
+		}
+		switch ev.Kind {
+		case EvCompute:
+			d := mem.Seconds(ev.Block)
+			clock[ev.Rank] += d
+			p.ComputeSeconds += d
+		case EvSend:
+			if ev.Peer < 0 || ev.Peer >= ranks || ev.Peer == ev.Rank {
+				return Prediction{}, fmt.Errorf("predict: event %d peer %d invalid", i, ev.Peer)
+			}
+			reg := net.RegimeFor(float64(ev.Size))
+			os := reg.SendOverhead(float64(ev.Size))
+			clock[ev.Rank] += os
+			p.NetworkSeconds += os
+			ch := chanFor(ev.Rank, ev.Peer)
+			ch.arrivals = append(ch.arrivals, clock[ev.Rank]+reg.Wire(float64(ev.Size)))
+		case EvRecv:
+			if ev.Peer < 0 || ev.Peer >= ranks || ev.Peer == ev.Rank {
+				return Prediction{}, fmt.Errorf("predict: event %d peer %d invalid", i, ev.Peer)
+			}
+			ch := chanFor(ev.Peer, ev.Rank)
+			if len(ch.arrivals) == 0 {
+				return Prediction{}, fmt.Errorf("predict: event %d: recv on rank %d with no matching send from %d (trace causality)", i, ev.Rank, ev.Peer)
+			}
+			arrive := ch.arrivals[0]
+			ch.arrivals = ch.arrivals[1:]
+			if arrive > clock[ev.Rank] {
+				clock[ev.Rank] = arrive
+			}
+			reg := net.RegimeFor(float64(ev.Size))
+			or := reg.RecvOverhead(float64(ev.Size))
+			clock[ev.Rank] += or
+			p.NetworkSeconds += or
+		default:
+			return Prediction{}, fmt.Errorf("predict: event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	p.RankSeconds = clock
+	for _, c := range clock {
+		if c > p.Makespan {
+			p.Makespan = c
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,223 @@
+// Package report generates a coherent, human-readable analysis report from
+// raw campaign results — the paper's stated next step: "the production of a
+// coherent and easily understandable report over a complex set of
+// measurements" (Section VI).
+//
+// A report combines the captured environment, per-factor summaries with
+// bootstrap confidence intervals, mode and temporal-anomaly diagnoses, and
+// a warnings section that cross-checks the environment against the design
+// for the pitfall preconditions documented in the paper (non-randomized
+// order, ondemand governor with varying nloops, real-time priority,
+// power-of-two-only size grids, page-reuse allocation on paged-L1
+// machines).
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/stats"
+)
+
+// Options configures report generation.
+type Options struct {
+	// XFactor is the primary numeric factor (default "size").
+	XFactor string
+	// MaxBreaks bounds the neutral segmented search (default 3; 0
+	// disables the fit section).
+	MaxBreaks int
+	// Seed drives the bootstrap resampling.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.XFactor == "" {
+		o.XFactor = "size"
+	}
+	if o.MaxBreaks == 0 {
+		o.MaxBreaks = 3
+	}
+	return o
+}
+
+// Report is the structured result; Render produces the text form.
+type Report struct {
+	Records  int
+	Factors  []string
+	Groups   []GroupLine
+	Effects  []stats.FactorEffect
+	Fit      *stats.PiecewiseFit
+	Modes    *core.ModeDiagnosis
+	Temporal bool
+	Lag1     float64
+	Warnings []string
+	EnvText  string
+}
+
+// GroupLine is one per-level summary row with a median bootstrap CI.
+type GroupLine struct {
+	Level    string
+	N        int
+	Median   float64
+	MedianCI stats.CI
+	CV       float64
+}
+
+// Build assembles a Report from raw results.
+func Build(res *core.Results, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	if res == nil || res.Len() == 0 {
+		return nil, fmt.Errorf("report: no records")
+	}
+	r := &Report{Records: res.Len()}
+	if res.Env != nil {
+		r.EnvText = res.Env.String()
+	}
+	factorSet := map[string]bool{}
+	for _, rec := range res.Records {
+		for k := range rec.Point {
+			factorSet[k] = true
+		}
+	}
+	for k := range factorSet {
+		r.Factors = append(r.Factors, k)
+	}
+
+	for _, g := range core.SummarizeBy(res, opt.XFactor) {
+		line := GroupLine{
+			Level:  g.Level,
+			N:      g.Summary.N,
+			Median: g.Summary.Median,
+			CV:     g.Summary.Stddev / g.Summary.Mean,
+		}
+		if ci, err := stats.MedianCI(g.Values, 0.95, 400, opt.Seed); err == nil {
+			line.MedianCI = ci
+		}
+		r.Groups = append(r.Groups, line)
+	}
+
+	if effects, err := core.MainEffects(res); err == nil {
+		r.Effects = effects
+	}
+	if opt.MaxBreaks > 0 {
+		if pf, err := core.FitSegmented(res, opt.XFactor, opt.MaxBreaks, 10); err == nil {
+			r.Fit = &pf
+		}
+	}
+	if d, err := core.DiagnoseModes(res); err == nil {
+		r.Modes = &d
+	}
+	vals := res.Values()
+	r.Lag1 = stats.Autocorr(vals, 1)
+	r.Temporal = stats.TemporalAnomaly(vals)
+
+	r.Warnings = warnings(res, r)
+	return r, nil
+}
+
+// warnings cross-checks design, environment and diagnoses against the
+// paper's pitfall preconditions.
+func warnings(res *core.Results, r *Report) []string {
+	var out []string
+	env := res.Env
+	get := func(k string) string {
+		if env == nil {
+			return ""
+		}
+		return env.Get(k)
+	}
+
+	if get("design/randomized") == "false" {
+		out = append(out, "design is NOT randomized: temporal anomalies will correlate with factor levels (Section III.1 / IV.3)")
+	}
+	if get("governor") == "ondemand" {
+		nloops := map[string]bool{}
+		for _, rec := range res.Records {
+			if v := rec.Point.Get("nloops"); v != "" {
+				nloops[v] = true
+			}
+		}
+		if len(nloops) > 1 {
+			out = append(out, "ondemand governor with varying nloops: bandwidth will depend on workload duration (Section IV.2)")
+		} else {
+			out = append(out, "ondemand governor active: frequency selection may vary between measurements (Section IV.2)")
+		}
+	}
+	if strings.Contains(get("sched"), "policy=rt") {
+		out = append(out, "real-time scheduling policy: a co-scheduled process can capture the core for contiguous periods (Section IV.3)")
+	}
+	if get("alloc") == "pool-reuse" {
+		out = append(out, "malloc/free page reuse: each run freezes one random physical page draw; consider arena allocation with random offsets (Section IV.4)")
+	}
+	if pow2Only(res, "size") {
+		out = append(out, "all sizes are powers of two: special-cased sizes in the stack cannot be separated from general behaviour (Section III.2)")
+	}
+	if r.Modes != nil && r.Modes.Split.Bimodal(0.05, 3) {
+		out = append(out, fmt.Sprintf("bimodal values (ratio %.1f, low fraction %.2f): aggregates would hide this", r.Modes.Split.Ratio(), r.Modes.LowModeFraction))
+		if r.Modes.Contiguity > 0.5 {
+			out = append(out, fmt.Sprintf("low mode is temporally contiguous (%.0f%% in one run): suspect an external process or a perturbation window", r.Modes.Contiguity*100))
+		}
+	}
+	if r.Temporal {
+		out = append(out, fmt.Sprintf("significant lag-1 autocorrelation (%.2f) in execution order: a temporal effect leaked into the campaign", r.Lag1))
+	}
+	return out
+}
+
+// pow2Only reports whether every parsed level of the factor is a power of
+// two.
+func pow2Only(res *core.Results, factor string) bool {
+	seen := false
+	for _, rec := range res.Records {
+		v, err := rec.Point.Int(factor)
+		if err != nil || v <= 0 {
+			continue
+		}
+		seen = true
+		if v&(v-1) != 0 {
+			return false
+		}
+	}
+	return seen
+}
+
+// Render produces the textual report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign report: %d raw records\n", r.Records)
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	if r.EnvText != "" {
+		b.WriteString("environment:\n")
+		for _, line := range strings.Split(strings.TrimSpace(r.EnvText), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	b.WriteString("\nper-level summary (median with 95% bootstrap CI):\n")
+	for _, g := range r.Groups {
+		fmt.Fprintf(&b, "  %12s  n=%-4d median=%12.5g  CI=[%.5g, %.5g]  cv=%.3f\n",
+			g.Level, g.N, g.Median, g.MedianCI.Lo, g.MedianCI.Hi, g.CV)
+	}
+	if len(r.Effects) > 0 {
+		b.WriteString("\nfactor main effects (variance explained):\n")
+		for _, e := range r.Effects {
+			fmt.Fprintf(&b, "  %s\n", e.String())
+		}
+	}
+	if r.Fit != nil {
+		fmt.Fprintf(&b, "\nneutral piecewise fit (breaks %v):\n%s", r.Fit.Breaks, r.Fit.String())
+	}
+	if r.Modes != nil {
+		fmt.Fprintf(&b, "\nmode diagnosis:\n%s", r.Modes.String())
+	}
+	fmt.Fprintf(&b, "\nlag-1 autocorrelation in execution order: %.3f\n", r.Lag1)
+	if len(r.Warnings) > 0 {
+		b.WriteString("\nWARNINGS:\n")
+		for _, w := range r.Warnings {
+			fmt.Fprintf(&b, "  ! %s\n", w)
+		}
+	} else {
+		b.WriteString("\nno pitfall preconditions detected\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,228 @@
+// Package stats implements the statistical toolbox of the paper's third
+// methodology stage: descriptive statistics, ordinary least squares,
+// piecewise-linear and segmented regression, LOESS smoothing, outlier
+// filtering, and multimodality diagnostics.
+//
+// The package mirrors the analyses the paper performs in R after a campaign
+// has finished; nothing here aggregates on the fly.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs. It returns NaN on an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (denominator n-1).
+// It returns NaN for samples with fewer than two observations.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func Stddev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CV returns the coefficient of variation (stddev / mean).
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	return Stddev(xs) / m
+}
+
+// Min returns the smallest element of xs, or NaN on an empty sample.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN on an empty sample.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the sample median.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the p-quantile of xs (0 <= p <= 1) using linear
+// interpolation between order statistics (R type-7, the R default the paper's
+// scripts would have used). It returns NaN on an empty sample.
+func Quantile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, p)
+}
+
+// quantileSorted computes a type-7 quantile on already-sorted data.
+func quantileSorted(s []float64, p float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	frac := h - float64(lo)
+	if hi >= n {
+		return s[n-1]
+	}
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary is a five-number-plus summary of one sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	sum := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		sum.Mean, sum.Stddev = nan, nan
+		sum.Min, sum.Q1, sum.Median, sum.Q3, sum.Max = nan, nan, nan, nan, nan
+		return sum
+	}
+	sum.Mean = Mean(xs)
+	sum.Stddev = Stddev(xs)
+	sum.Min = s[0]
+	sum.Q1 = quantileSorted(s, 0.25)
+	sum.Median = quantileSorted(s, 0.5)
+	sum.Q3 = quantileSorted(s, 0.75)
+	sum.Max = s[len(s)-1]
+	return sum
+}
+
+// Boxplot describes the Tukey boxplot of one sample: quartiles, whiskers at
+// the last observation within 1.5 IQR of the box, and points beyond them.
+type Boxplot struct {
+	Q1, Median, Q3          float64
+	LowWhisker, HighWhisker float64
+	Outliers                []float64
+}
+
+// BoxplotStats computes Tukey boxplot statistics for xs.
+func BoxplotStats(xs []float64) (Boxplot, error) {
+	if len(xs) == 0 {
+		return Boxplot{}, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	b := Boxplot{
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.LowWhisker, b.HighWhisker = s[0], s[len(s)-1]
+	for _, v := range s {
+		if v >= loFence {
+			b.LowWhisker = v
+			break
+		}
+	}
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] <= hiFence {
+			b.HighWhisker = s[i]
+			break
+		}
+	}
+	for _, v := range s {
+		if v < loFence || v > hiFence {
+			b.Outliers = append(b.Outliers, v)
+		}
+	}
+	return b, nil
+}
+
+// GeometricMean returns the geometric mean of strictly positive xs; it
+// returns NaN if the sample is empty or contains non-positive values.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sl float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sl += math.Log(x)
+	}
+	return math.Exp(sl / float64(len(xs)))
+}

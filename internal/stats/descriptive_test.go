@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanSimple(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestMeanEmptyIsNaN(t *testing.T) {
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Fatalf("Mean(nil) = %v, want NaN", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	// Known sample: variance of {2,4,4,4,5,5,7,9} with n-1 denominator.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEq(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceSingletonNaN(t *testing.T) {
+	if got := Variance([]float64{1}); !math.IsNaN(got) {
+		t.Fatalf("Variance singleton = %v, want NaN", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+func TestQuantileType7(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	// R: quantile(1:4, .25, type=7) == 1.75
+	if got := Quantile(xs, 0.25); !almostEq(got, 1.75, 1e-12) {
+		t.Fatalf("Q1 = %v, want 1.75", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("Q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("Q1.0 = %v, want 4", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if !almostEq(s.Mean, 3, 1e-12) {
+		t.Fatalf("mean %v", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) || !math.IsNaN(s.Max) {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestBoxplotStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 100}
+	b, err := BoxplotStats(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.HighWhisker != 5 {
+		t.Fatalf("high whisker = %v, want 5", b.HighWhisker)
+	}
+	if b.LowWhisker != 1 {
+		t.Fatalf("low whisker = %v, want 1", b.LowWhisker)
+	}
+}
+
+func TestBoxplotEmpty(t *testing.T) {
+	if _, err := BoxplotStats(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{1, 100}); !almostEq(got, 10, 1e-9) {
+		t.Fatalf("geom mean = %v, want 10", got)
+	}
+	if got := GeometricMean([]float64{1, -1}); !math.IsNaN(got) {
+		t.Fatalf("geom mean with negatives = %v, want NaN", got)
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if got := CV(xs); got != 0 {
+		t.Fatalf("CV of constants = %v, want 0", got)
+	}
+}
+
+// Property: mean is translation-equivariant and within [min, max].
+func TestMeanPropertyBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in p.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		a := clamp01(p1)
+		b := clamp01(p2)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is non-negative.
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 2 {
+			return true
+		}
+		return Variance(xs) >= -1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitize clamps quick-generated floats into a well-behaved range.
+func sanitize(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, math.Mod(v, 1e6))
+	}
+	return out
+}
+
+func clamp01(p float64) float64 {
+	if math.IsNaN(p) {
+		return 0.5
+	}
+	p = math.Abs(math.Mod(p, 1))
+	return p
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 200,
+		Rand:     nil,
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 10_000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(xs)
+	}
+}

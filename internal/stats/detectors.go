@@ -1,0 +1,247 @@
+package stats
+
+import "math"
+
+// This file implements the three online/offline protocol-change detection
+// heuristics the paper describes in Section III (NetGauge, PLogP, LoOgGP).
+// They are faithful re-implementations of the opaque procedures whose
+// pitfalls the paper documents: they are provided so the repository can
+// demonstrate, on controlled simulated data, exactly how temporal
+// perturbations and biased size grids mislead them.
+
+// NetGaugeDetector reproduces NetGauge's online rule: while linearly
+// increasing the message size, track the least-squares slope since the last
+// confirmed protocol change; if a new point changes the fitted slope by more
+// than Factor, wait for Confirm further measurements before declaring a
+// protocol change (the paper: "waits for five new measurements before
+// confirming the protocol change").
+type NetGaugeDetector struct {
+	// Factor is the multiplicative lsq-deviation threshold (> 1).
+	Factor float64
+	// Confirm is the number of consecutive confirming points required.
+	Confirm int
+
+	xs, ys       []float64
+	segLo        int     // first index of the current segment
+	pending      int     // consecutive suspicious points observed
+	pendingStart int     // index where the suspicious run began
+	baseline     float64 // lsq deviation before the suspicious run
+	breaks       []float64
+}
+
+// NewNetGaugeDetector returns a detector with the given threshold factor and
+// confirmation count (the paper's defaults are factor ~2 and 5 confirmations).
+func NewNetGaugeDetector(factor float64, confirm int) *NetGaugeDetector {
+	if factor <= 1 {
+		factor = 2
+	}
+	if confirm < 1 {
+		confirm = 5
+	}
+	return &NetGaugeDetector{Factor: factor, Confirm: confirm}
+}
+
+// Observe feeds one (size, time) measurement in increasing-size order and
+// reports whether a protocol change was confirmed ending at this point.
+//
+// The rule follows the paper's description of NetGauge: fit a least-squares
+// line from the point that started the current slope to the latest
+// measurement; if the mean squared residual deviation grows by more than
+// Factor relative to its pre-suspicion baseline, the point is suspicious, and
+// Confirm consecutive suspicious points confirm a protocol change.
+func (d *NetGaugeDetector) Observe(x, y float64) bool {
+	d.xs = append(d.xs, x)
+	d.ys = append(d.ys, y)
+	n := len(d.xs)
+	if n-d.segLo < 3 {
+		return false
+	}
+	fit, err := FitLinear(d.xs[d.segLo:n], d.ys[d.segLo:n])
+	if err != nil {
+		return false
+	}
+	dev := d.normalizedDev(fit, n)
+	if d.baseline == 0 {
+		d.baseline = dev
+		return false
+	}
+	if dev > d.baseline*d.Factor {
+		if d.pending == 0 {
+			d.pendingStart = n - 1
+		}
+		d.pending++
+		if d.pending >= d.Confirm {
+			at := d.pendingStart
+			if at < 1 {
+				at = 1
+			}
+			d.breaks = append(d.breaks, (d.xs[at-1]+d.xs[at])/2)
+			d.segLo = at
+			d.pending = 0
+			d.baseline = 0
+			return true
+		}
+		return false
+	}
+	d.pending = 0
+	d.baseline = dev
+	return false
+}
+
+// normalizedDev returns the mean squared residual of the segment fit with a
+// scale-relative floor, so that numerically-perfect fits do not produce
+// unstable deviation ratios.
+func (d *NetGaugeDetector) normalizedDev(fit LinearFit, n int) float64 {
+	m := float64(n - d.segLo)
+	dev := fit.SSE / m
+	var scale float64
+	for _, v := range d.ys[d.segLo:n] {
+		scale += v * v
+	}
+	scale /= m
+	floor := scale * 1e-9
+	if floor <= 0 {
+		floor = 1e-300
+	}
+	return math.Max(dev, floor)
+}
+
+// Breaks returns the confirmed protocol-change sizes so far.
+func (d *NetGaugeDetector) Breaks() []float64 {
+	return append([]float64(nil), d.breaks...)
+}
+
+// PLogPProbe reproduces PLogP's adaptive probing: sizes grow in powers of
+// two; after each new measurement the two previous points are extrapolated
+// linearly, and if the new measurement deviates from the extrapolation by
+// more than Tolerance (relative), the interval is bisected and re-measured,
+// halving until the extrapolation matches or MaxAttempts is reached.
+type PLogPProbe struct {
+	// Tolerance is the acceptable relative deviation from extrapolation.
+	Tolerance float64
+	// MaxAttempts bounds the number of halvings per suspicious interval.
+	MaxAttempts int
+}
+
+// PLogPResult is the outcome of a PLogP-style sweep.
+type PLogPResult struct {
+	// Sizes and Times are every size probed, in probe order.
+	Sizes []float64
+	Times []float64
+	// Breaks are the sizes where extrapolation kept failing (declared
+	// protocol changes).
+	Breaks []float64
+	// Probes counts the total number of measurements taken.
+	Probes int
+}
+
+// Sweep runs the adaptive probe over power-of-two sizes in [minSize,
+// maxSize], calling measure for each probed size. measure may be stochastic;
+// the pitfall is precisely that a single perturbed draw steers the probe.
+func (p PLogPProbe) Sweep(minSize, maxSize float64, measure func(size float64) float64) PLogPResult {
+	tol := p.Tolerance
+	if tol <= 0 {
+		tol = 0.25
+	}
+	maxAtt := p.MaxAttempts
+	if maxAtt < 1 {
+		maxAtt = 6
+	}
+	var res PLogPResult
+	take := func(s float64) float64 {
+		t := measure(s)
+		res.Sizes = append(res.Sizes, s)
+		res.Times = append(res.Times, t)
+		res.Probes++
+		return t
+	}
+	type pt struct{ x, y float64 }
+	var hist []pt
+	for s := minSize; s <= maxSize; s *= 2 {
+		y := take(s)
+		if len(hist) >= 2 {
+			a, b := hist[len(hist)-2], hist[len(hist)-1]
+			extrap := extrapolate(a.x, a.y, b.x, b.y, s)
+			if relDev(y, extrap) > tol {
+				// Bisect between the latest two sizes until matched.
+				loX, hiX := b.x, s
+				matched := false
+				for att := 0; att < maxAtt; att++ {
+					mid := (loX + hiX) / 2
+					my := take(mid)
+					mExtrap := extrapolate(a.x, a.y, b.x, b.y, mid)
+					if relDev(my, mExtrap) <= tol {
+						matched = true
+						loX = mid
+					} else {
+						hiX = mid
+					}
+					if hiX-loX <= 1 {
+						break
+					}
+				}
+				if !matched {
+					res.Breaks = append(res.Breaks, b.x)
+				} else {
+					res.Breaks = append(res.Breaks, (loX+hiX)/2)
+				}
+			}
+		}
+		hist = append(hist, pt{s, y})
+	}
+	return res
+}
+
+func extrapolate(x1, y1, x2, y2, x float64) float64 {
+	if x2 == x1 {
+		return y2
+	}
+	slope := (y2 - y1) / (x2 - x1)
+	return y2 + slope*(x-x2)
+}
+
+func relDev(y, ref float64) float64 {
+	den := math.Abs(ref)
+	if den == 0 {
+		den = 1
+	}
+	return math.Abs(y-ref) / den
+}
+
+// LoOgGPNeighborhood reproduces LoOgGP's offline rule: after removing
+// outliers, a point is declared a protocol change if it is the maximum of a
+// local neighborhood of the given half-width (the paper notes the mechanism
+// "is sensitive to the neighborhood size and the message size steps").
+//
+// xs must be sorted by size; the returned slice holds the sizes flagged as
+// protocol changes.
+func LoOgGPNeighborhood(xs, ys []float64, halfWidth int, madCutoff float64) []float64 {
+	if len(xs) != len(ys) || len(xs) == 0 || halfWidth < 1 {
+		return nil
+	}
+	keep := FilterMAD(ys, madCutoff)
+	fx := Select(xs, keep)
+	fy := Select(ys, keep)
+	var breaks []float64
+	for i := range fx {
+		lo := i - halfWidth
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + halfWidth + 1
+		if hi > len(fx) {
+			hi = len(fx)
+		}
+		isMax := true
+		for j := lo; j < hi; j++ {
+			if j != i && fy[j] >= fy[i] {
+				isMax = false
+				break
+			}
+		}
+		if isMax && i > 0 && i < len(fx)-1 {
+			breaks = append(breaks, fx[i])
+		}
+	}
+	return breaks
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// protocolCurve simulates a clean two-regime time curve.
+func protocolCurve(s float64) float64 {
+	if s < 1000 {
+		return 10 + 0.01*s
+	}
+	return 10 + 0.01*1000 + 0.1*(s-1000)
+}
+
+func TestNetGaugeDetectsCleanBreak(t *testing.T) {
+	d := NewNetGaugeDetector(2, 5)
+	for s := 100.0; s <= 3000; s += 50 {
+		d.Observe(s, protocolCurve(s))
+	}
+	breaks := d.Breaks()
+	if len(breaks) == 0 {
+		t.Fatal("no break detected on clean two-regime data")
+	}
+	if math.Abs(breaks[0]-1000) > 400 {
+		t.Fatalf("first break = %v, want near 1000", breaks[0])
+	}
+}
+
+func TestNetGaugeNoBreakOnLinear(t *testing.T) {
+	d := NewNetGaugeDetector(2, 5)
+	for s := 100.0; s <= 3000; s += 50 {
+		d.Observe(s, 5+0.02*s)
+	}
+	if got := d.Breaks(); len(got) != 0 {
+		t.Fatalf("breaks on linear data: %v", got)
+	}
+}
+
+func TestNetGaugeMisledByPerturbation(t *testing.T) {
+	// The paper's pitfall III.1: a temporal perturbation window can fake a
+	// protocol change. Verify that a sustained perturbation injects a break
+	// on data that is truly linear.
+	d := NewNetGaugeDetector(2, 5)
+	r := rand.New(rand.NewPCG(41, 41))
+	i := 0
+	for s := 100.0; s <= 6000; s += 50 {
+		y := 5 + 0.02*s
+		if i >= 60 && i < 90 { // perturbation window
+			y *= 4
+		}
+		y += r.NormFloat64() * 0.01
+		d.Observe(s, y)
+		i++
+	}
+	if got := d.Breaks(); len(got) == 0 {
+		t.Fatal("perturbation should have misled the online detector (pitfall III.1)")
+	}
+}
+
+func TestNetGaugeDefaults(t *testing.T) {
+	d := NewNetGaugeDetector(0, 0)
+	if d.Factor != 2 || d.Confirm != 5 {
+		t.Fatalf("defaults = %v/%v", d.Factor, d.Confirm)
+	}
+}
+
+func TestPLogPSweepCleanBreak(t *testing.T) {
+	p := PLogPProbe{Tolerance: 0.2, MaxAttempts: 8}
+	res := p.Sweep(64, 65536, protocolCurve)
+	if len(res.Breaks) == 0 {
+		t.Fatal("no break found")
+	}
+	found := false
+	for _, b := range res.Breaks {
+		if b >= 256 && b <= 2048 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("breaks = %v, want one near 1000", res.Breaks)
+	}
+	if res.Probes <= 11 {
+		t.Fatalf("expected extra bisection probes, got %d", res.Probes)
+	}
+}
+
+func TestPLogPSweepLinearNoBreaks(t *testing.T) {
+	p := PLogPProbe{Tolerance: 0.2}
+	res := p.Sweep(64, 65536, func(s float64) float64 { return 3 + 0.05*s })
+	if len(res.Breaks) != 0 {
+		t.Fatalf("breaks on linear data: %v", res.Breaks)
+	}
+}
+
+func TestPLogPMisledByNoiseSpike(t *testing.T) {
+	// A single anomalous measurement at one probe is enough to trigger a
+	// spurious bisection cascade — the paper's pitfall III.1 for PLogP.
+	calls := 0
+	measure := func(s float64) float64 {
+		calls++
+		y := 3 + 0.05*s
+		if calls == 6 { // one-off glitch
+			y *= 10
+		}
+		return y
+	}
+	p := PLogPProbe{Tolerance: 0.2, MaxAttempts: 4}
+	res := p.Sweep(64, 65536, measure)
+	if len(res.Breaks) == 0 {
+		t.Fatal("noise spike should have produced a spurious break")
+	}
+}
+
+func TestPLogPDefaultsApplied(t *testing.T) {
+	p := PLogPProbe{}
+	res := p.Sweep(64, 1024, func(s float64) float64 { return s })
+	if res.Probes == 0 {
+		t.Fatal("no probes taken")
+	}
+}
+
+func TestLoOgGPNeighborhoodFindsLocalMax(t *testing.T) {
+	var xs, ys []float64
+	for i := 0; i < 50; i++ {
+		xs = append(xs, float64(i))
+		y := float64(i) * 0.1
+		if i == 25 {
+			y += 5 // pronounced local maximum
+		}
+		ys = append(ys, y)
+	}
+	breaks := LoOgGPNeighborhood(xs, ys, 3, 100) // generous MAD cutoff keeps the peak
+	found := false
+	for _, b := range breaks {
+		if b == 25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("breaks = %v, want to include 25", breaks)
+	}
+}
+
+func TestLoOgGPOutlierRemovalHidesBreak(t *testing.T) {
+	// With a strict MAD cutoff the genuine local max is filtered away as an
+	// outlier before detection — the sensitivity the paper warns about.
+	var xs, ys []float64
+	for i := 0; i < 50; i++ {
+		xs = append(xs, float64(i))
+		y := 1.0
+		if i == 25 {
+			y = 50
+		}
+		ys = append(ys, y)
+	}
+	breaks := LoOgGPNeighborhood(xs, ys, 3, 3)
+	for _, b := range breaks {
+		if b == 25 {
+			t.Fatal("strict outlier removal should have hidden the peak")
+		}
+	}
+}
+
+func TestLoOgGPNeighborhoodSensitivity(t *testing.T) {
+	// Same data, two neighborhood sizes, different verdicts (paper: the
+	// mechanism "is sensitive to the neighborhood size").
+	var xs, ys []float64
+	for i := 0; i < 60; i++ {
+		xs = append(xs, float64(i))
+		y := 1.0
+		if i == 20 {
+			y = 3
+		}
+		if i == 23 {
+			y = 4
+		}
+		ys = append(ys, y)
+	}
+	narrow := LoOgGPNeighborhood(xs, ys, 1, 1e9)
+	wide := LoOgGPNeighborhood(xs, ys, 5, 1e9)
+	if len(narrow) == len(wide) {
+		t.Fatalf("expected neighborhood size to change the verdict: narrow=%v wide=%v", narrow, wide)
+	}
+}
+
+func TestLoOgGPDegenerate(t *testing.T) {
+	if got := LoOgGPNeighborhood(nil, nil, 3, 3); got != nil {
+		t.Fatalf("got %v", got)
+	}
+	if got := LoOgGPNeighborhood([]float64{1}, []float64{1}, 0, 3); got != nil {
+		t.Fatalf("got %v", got)
+	}
+}

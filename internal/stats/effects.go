@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FactorEffect summarizes how much of the response variance one factor's
+// levels explain — the classic fixed-effects ANOVA decomposition over a
+// (possibly fractional) factorial campaign. It is the quantitative form of
+// the paper's Figure 13 question: which of the declared factors actually
+// drive the bandwidth?
+type FactorEffect struct {
+	// Factor is the factor name.
+	Factor string
+	// EtaSquared is SS_between / SS_total in [0, 1].
+	EtaSquared float64
+	// Levels holds the per-level means, keyed by level.
+	Levels map[string]float64
+	// Range is max(level mean) - min(level mean).
+	Range float64
+}
+
+// String renders one effect line.
+func (e FactorEffect) String() string {
+	return fmt.Sprintf("%-10s eta2=%.3f range=%.4g", e.Factor, e.EtaSquared, e.Range)
+}
+
+// Observation is one (factor levels, response) pair for effect estimation.
+type Observation struct {
+	Levels map[string]string
+	Value  float64
+}
+
+// MainEffects computes the one-way ANOVA decomposition for every factor
+// present in the observations, sorted by descending eta-squared. Factors
+// with a single observed level are skipped.
+func MainEffects(obs []Observation) ([]FactorEffect, error) {
+	if len(obs) < 2 {
+		return nil, ErrShape
+	}
+	var values []float64
+	factorSet := map[string]bool{}
+	for _, o := range obs {
+		values = append(values, o.Value)
+		for f := range o.Levels {
+			factorSet[f] = true
+		}
+	}
+	grand := Mean(values)
+	var ssTotal float64
+	for _, v := range values {
+		d := v - grand
+		ssTotal += d * d
+	}
+
+	var out []FactorEffect
+	for f := range factorSet {
+		groups := map[string][]float64{}
+		for _, o := range obs {
+			l, ok := o.Levels[f]
+			if !ok {
+				continue
+			}
+			groups[l] = append(groups[l], o.Value)
+		}
+		if len(groups) < 2 {
+			continue
+		}
+		eff := FactorEffect{Factor: f, Levels: map[string]float64{}}
+		var ssBetween float64
+		minM, maxM := 0.0, 0.0
+		first := true
+		for l, vs := range groups {
+			m := Mean(vs)
+			eff.Levels[l] = m
+			d := m - grand
+			ssBetween += float64(len(vs)) * d * d
+			if first {
+				minM, maxM = m, m
+				first = false
+			} else {
+				if m < minM {
+					minM = m
+				}
+				if m > maxM {
+					maxM = m
+				}
+			}
+		}
+		eff.Range = maxM - minM
+		if ssTotal > 0 {
+			eff.EtaSquared = ssBetween / ssTotal
+		}
+		out = append(out, eff)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EtaSquared != out[j].EtaSquared {
+			return out[i].EtaSquared > out[j].EtaSquared
+		}
+		return out[i].Factor < out[j].Factor
+	})
+	return out, nil
+}
+
+// RenderEffects formats an effect table.
+func RenderEffects(effects []FactorEffect) string {
+	var b strings.Builder
+	for _, e := range effects {
+		fmt.Fprintf(&b, "%s\n", e.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"opaquebench/internal/xrand"
+)
+
+// effectsData builds a 2-factor dataset where "big" drives the response and
+// "null" does not.
+func effectsData(n int) []Observation {
+	r := xrand.New(61)
+	var obs []Observation
+	for i := 0; i < n; i++ {
+		big := "lo"
+		base := 10.0
+		if i%2 == 0 {
+			big = "hi"
+			base = 20.0
+		}
+		nullLevel := []string{"a", "b", "c"}[i%3]
+		obs = append(obs, Observation{
+			Levels: map[string]string{"big": big, "null": nullLevel},
+			Value:  base + r.NormFloat64()*0.5,
+		})
+	}
+	return obs
+}
+
+func TestMainEffectsRanking(t *testing.T) {
+	effects, err := MainEffects(effectsData(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effects) != 2 {
+		t.Fatalf("effects = %d", len(effects))
+	}
+	if effects[0].Factor != "big" {
+		t.Fatalf("strongest factor = %s, want big", effects[0].Factor)
+	}
+	if effects[0].EtaSquared < 0.8 {
+		t.Fatalf("big eta2 = %v, want > 0.8", effects[0].EtaSquared)
+	}
+	if effects[1].EtaSquared > 0.1 {
+		t.Fatalf("null eta2 = %v, want ~0", effects[1].EtaSquared)
+	}
+	if math.Abs(effects[0].Range-10) > 1 {
+		t.Fatalf("big range = %v, want ~10", effects[0].Range)
+	}
+}
+
+func TestMainEffectsLevelMeans(t *testing.T) {
+	effects, err := MainEffects(effectsData(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := effects[0]
+	if math.Abs(big.Levels["hi"]-20) > 0.5 || math.Abs(big.Levels["lo"]-10) > 0.5 {
+		t.Fatalf("level means = %v", big.Levels)
+	}
+}
+
+func TestMainEffectsSingleLevelSkipped(t *testing.T) {
+	obs := []Observation{
+		{Levels: map[string]string{"fixed": "x", "var": "a"}, Value: 1},
+		{Levels: map[string]string{"fixed": "x", "var": "b"}, Value: 2},
+	}
+	effects, err := MainEffects(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range effects {
+		if e.Factor == "fixed" {
+			t.Fatal("single-level factor not skipped")
+		}
+	}
+}
+
+func TestMainEffectsErrors(t *testing.T) {
+	if _, err := MainEffects(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := MainEffects([]Observation{{Value: 1}}); err == nil {
+		t.Fatal("singleton accepted")
+	}
+}
+
+func TestMainEffectsConstantResponse(t *testing.T) {
+	obs := []Observation{
+		{Levels: map[string]string{"f": "a"}, Value: 5},
+		{Levels: map[string]string{"f": "b"}, Value: 5},
+	}
+	effects, err := MainEffects(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effects) != 1 || effects[0].EtaSquared != 0 {
+		t.Fatalf("effects = %+v", effects)
+	}
+}
+
+func TestRenderEffects(t *testing.T) {
+	effects, err := MainEffects(effectsData(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderEffects(effects)
+	if !strings.Contains(out, "big") || !strings.Contains(out, "eta2") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// Property: eta-squared always lies in [0, 1] and effects are sorted.
+func TestEffectsBoundsProperty(t *testing.T) {
+	r := xrand.New(62)
+	for trial := 0; trial < 50; trial++ {
+		var obs []Observation
+		n := 10 + r.IntN(50)
+		for i := 0; i < n; i++ {
+			obs = append(obs, Observation{
+				Levels: map[string]string{
+					"f1": []string{"a", "b"}[r.IntN(2)],
+					"f2": []string{"x", "y", "z"}[r.IntN(3)],
+				},
+				Value: r.NormFloat64() * float64(1+r.IntN(10)),
+			})
+		}
+		effects, err := MainEffects(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := math.Inf(1)
+		for _, e := range effects {
+			if e.EtaSquared < -1e-9 || e.EtaSquared > 1+1e-9 {
+				t.Fatalf("eta2 = %v", e.EtaSquared)
+			}
+			if e.EtaSquared > prev+1e-9 {
+				t.Fatal("not sorted")
+			}
+			prev = e.EtaSquared
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width binned view of one sample.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Width  float64
+}
+
+// NewHistogram bins xs into `bins` equal-width bins spanning [min, max].
+func NewHistogram(xs []float64, bins int) (Histogram, error) {
+	if len(xs) == 0 {
+		return Histogram{}, ErrEmpty
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	lo, hi := Min(xs), Max(xs)
+	if lo == hi {
+		hi = lo + 1
+	}
+	h := Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins), Width: (hi - lo) / float64(bins)}
+	for _, x := range xs {
+		b := int((x - lo) / h.Width)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h, nil
+}
+
+// PeakCount returns the number of local maxima in the histogram after
+// ignoring bins below frac*maxCount; two or more indicates multimodality.
+func (h Histogram) PeakCount(frac float64) int {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return 0
+	}
+	thresh := int(math.Ceil(frac * float64(maxC)))
+	peaks := 0
+	inPeak := false
+	for _, c := range h.Counts {
+		if c >= thresh {
+			if !inPeak {
+				peaks++
+				inPeak = true
+			}
+		} else {
+			inPeak = false
+		}
+	}
+	return peaks
+}
+
+// Render draws a vertical ASCII bar chart (one row per bin), suitable for the
+// textual figure output of cmd/figures.
+func (h Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo := h.Lo + float64(i)*h.Width
+		n := 0
+		if maxC > 0 {
+			n = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%12.4g | %s %d\n", lo, strings.Repeat("#", n), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewHistogramCounts(t *testing.T) {
+	xs := []float64{0, 0.1, 0.9, 1.0, 1.9, 2.0}
+	h, err := NewHistogram(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("total = %d, want %d", total, len(xs))
+	}
+}
+
+func TestNewHistogramEmpty(t *testing.T) {
+	if _, err := NewHistogram(nil, 3); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewHistogramConstantSample(t *testing.T) {
+	h, err := NewHistogram([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestPeakCountBimodal(t *testing.T) {
+	var xs []float64
+	for i := 0; i < 50; i++ {
+		xs = append(xs, 1)
+	}
+	for i := 0; i < 50; i++ {
+		xs = append(xs, 10)
+	}
+	h, err := NewHistogram(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.PeakCount(0.3); got != 2 {
+		t.Fatalf("peaks = %d, want 2", got)
+	}
+}
+
+func TestPeakCountUnimodal(t *testing.T) {
+	var xs []float64
+	for i := 0; i < 100; i++ {
+		xs = append(xs, float64(i%7)) // flat-ish block
+	}
+	h, err := NewHistogram(xs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.PeakCount(0.3); got != 1 {
+		t.Fatalf("peaks = %d, want 1", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render missing bars:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Fatalf("lines = %d, want 3", lines)
+	}
+}
+
+func TestHistogramRenderDefaultWidth(t *testing.T) {
+	h, _ := NewHistogram([]float64{1, 2}, 2)
+	if out := h.Render(0); out == "" {
+		t.Fatal("empty render")
+	}
+}

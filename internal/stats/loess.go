@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Loess performs locally-weighted linear regression (LOESS, degree 1) with a
+// tricube kernel, the smoother drawn as "solid lines" in the paper's Figure 8.
+//
+// span is the fraction of observations used per local fit (0 < span <= 1).
+// The function returns the smoothed value at each of the query points xq.
+func Loess(x, y []float64, span float64, xq []float64) ([]float64, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return nil, ErrShape
+	}
+	if span <= 0 || span > 1 {
+		span = 0.75
+	}
+	cx, cy := sortedCopy(x, y)
+	n := len(cx)
+	window := int(math.Ceil(span * float64(n)))
+	if window < 2 {
+		window = 2
+	}
+	if window > n {
+		window = n
+	}
+	out := make([]float64, len(xq))
+	for qi, q := range xq {
+		// Find the window of the `window` nearest x-neighbours of q.
+		lo := sort.SearchFloat64s(cx, q)
+		if lo > 0 {
+			lo--
+		}
+		hi := lo + 1
+		for hi-lo < window {
+			switch {
+			case lo == 0:
+				hi++
+			case hi == n:
+				lo--
+			case q-cx[lo-1] <= cx[hi]-q:
+				lo--
+			default:
+				hi++
+			}
+		}
+		// Tricube weights over the window.
+		maxd := 0.0
+		for i := lo; i < hi; i++ {
+			if d := math.Abs(cx[i] - q); d > maxd {
+				maxd = d
+			}
+		}
+		if maxd == 0 {
+			maxd = 1
+		}
+		var sw, swx, swy, swxx, swxy float64
+		for i := lo; i < hi; i++ {
+			u := math.Abs(cx[i]-q) / maxd
+			if u >= 1 {
+				u = 1
+			}
+			t := 1 - u*u*u
+			w := t * t * t
+			sw += w
+			swx += w * cx[i]
+			swy += w * cy[i]
+			swxx += w * cx[i] * cx[i]
+			swxy += w * cx[i] * cy[i]
+		}
+		den := sw*swxx - swx*swx
+		if den == 0 || sw == 0 {
+			out[qi] = swy / math.Max(sw, 1e-300)
+			continue
+		}
+		b := (sw*swxy - swx*swy) / den
+		a := (swy - b*swx) / sw
+		out[qi] = a + b*q
+	}
+	return out, nil
+}
+
+// LoessSelf smooths y at the observation points themselves.
+func LoessSelf(x, y []float64, span float64) ([]float64, error) {
+	return Loess(x, y, span, x)
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestLoessRecoversSmoothTrend(t *testing.T) {
+	r := rand.New(rand.NewPCG(31, 31))
+	n := 400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / 10
+		y[i] = math.Sin(x[i]/5)*10 + r.NormFloat64()*0.5
+	}
+	sm, err := Loess(x, y, 0.2, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i := 20; i < n-20; i++ { // ignore edges
+		truth := math.Sin(x[i]/5) * 10
+		if e := math.Abs(sm[i] - truth); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1.0 {
+		t.Fatalf("max interior error %v too large", maxErr)
+	}
+}
+
+func TestLoessLinearDataIsExactish(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 2*x[i] + 1
+	}
+	sm, err := Loess(x, y, 0.5, []float64{4.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sm[0]-10) > 1e-6 {
+		t.Fatalf("Loess(4.5) = %v, want 10", sm[0])
+	}
+}
+
+func TestLoessBadSpanDefaults(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{0, 1, 2, 3}
+	if _, err := Loess(x, y, -1, x); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoessErrShape(t *testing.T) {
+	if _, err := Loess(nil, nil, 0.5, nil); err != ErrShape {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Loess([]float64{1}, []float64{1, 2}, 0.5, nil); err != ErrShape {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoessSelf(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{0, 1, 2, 3, 4}
+	sm, err := LoessSelf(x, y, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sm) != len(x) {
+		t.Fatalf("len = %d", len(sm))
+	}
+}
+
+func TestLoessDuplicateX(t *testing.T) {
+	x := []float64{1, 1, 1, 2, 2, 2}
+	y := []float64{1, 2, 3, 4, 5, 6}
+	sm, err := Loess(x, y, 1, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sm {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("unstable smooth: %v", sm)
+		}
+	}
+}
+
+func BenchmarkLoess(b *testing.B) {
+	n := 2000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = math.Sin(float64(i) / 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Loess(x, y, 0.3, x[:50]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

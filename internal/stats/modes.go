@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ModeSplit describes a two-cluster decomposition of one sample, used to
+// expose the bimodal behaviour of Figures 10 and 11 that "is completely
+// hidden" when only means and variances are reported.
+type ModeSplit struct {
+	// LowMean and HighMean are the means of the two clusters.
+	LowMean, HighMean float64
+	// LowN and HighN are the cluster sizes.
+	LowN, HighN int
+	// Separation is (HighMean-LowMean) / pooled within-cluster stddev;
+	// large values (>~2) indicate genuinely distinct modes.
+	Separation float64
+	// Boundary is the split threshold between the clusters.
+	Boundary float64
+}
+
+// Ratio returns HighMean / LowMean (the paper's "almost 5 times lower"
+// statement corresponds to a ratio near 5). It returns NaN when LowMean is 0.
+func (m ModeSplit) Ratio() float64 {
+	if m.LowMean == 0 {
+		return math.NaN()
+	}
+	return m.HighMean / m.LowMean
+}
+
+// Bimodal reports whether the split looks like two genuine modes: both
+// clusters non-trivial (>= minFrac of the sample each) and well separated.
+func (m ModeSplit) Bimodal(minFrac, minSeparation float64) bool {
+	n := float64(m.LowN + m.HighN)
+	if n == 0 {
+		return false
+	}
+	fl := float64(m.LowN) / n
+	fh := float64(m.HighN) / n
+	return fl >= minFrac && fh >= minFrac && m.Separation >= minSeparation
+}
+
+// SplitModes clusters xs into two groups by exact 1-D 2-means: it scans every
+// threshold between consecutive sorted values and keeps the one minimizing
+// within-cluster sum of squares. This is the offline diagnosis the paper's
+// methodology enables by keeping raw data.
+func SplitModes(xs []float64) (ModeSplit, error) {
+	if len(xs) < 2 {
+		return ModeSplit{}, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := len(s)
+
+	// Prefix sums for O(1) cluster statistics.
+	ps := make([]float64, n+1)
+	pss := make([]float64, n+1)
+	for i, v := range s {
+		ps[i+1] = ps[i] + v
+		pss[i+1] = pss[i] + v*v
+	}
+	wss := func(i, j int) float64 { // within-SS of s[i:j]
+		m := float64(j - i)
+		if m == 0 {
+			return 0
+		}
+		sum := ps[j] - ps[i]
+		ss := pss[j] - pss[i]
+		w := ss - sum*sum/m
+		if w < 0 {
+			w = 0
+		}
+		return w
+	}
+
+	bestCut, bestW := 1, math.Inf(1)
+	for c := 1; c < n; c++ {
+		if w := wss(0, c) + wss(c, n); w < bestW {
+			bestW = w
+			bestCut = c
+		}
+	}
+	lowN := bestCut
+	highN := n - bestCut
+	lowMean := ps[bestCut] / float64(lowN)
+	highMean := (ps[n] - ps[bestCut]) / float64(highN)
+
+	pooledVar := bestW / float64(n)
+	sep := math.Inf(1)
+	if pooledVar > 0 {
+		sep = (highMean - lowMean) / math.Sqrt(pooledVar)
+	} else if highMean == lowMean {
+		sep = 0
+	}
+	return ModeSplit{
+		LowMean:    lowMean,
+		HighMean:   highMean,
+		LowN:       lowN,
+		HighN:      highN,
+		Separation: sep,
+		Boundary:   (s[bestCut-1] + s[bestCut]) / 2,
+	}, nil
+}
+
+// LongestRun returns the start index and length of the longest consecutive
+// run of true values. It quantifies the temporal contiguity of Figure 11's
+// second mode: anomalies caused by an external process cluster in sequence
+// order, unlike independent noise.
+func LongestRun(flags []bool) (start, length int) {
+	bestStart, bestLen := 0, 0
+	curStart, curLen := 0, 0
+	for i, f := range flags {
+		if f {
+			if curLen == 0 {
+				curStart = i
+			}
+			curLen++
+			if curLen > bestLen {
+				bestLen = curLen
+				bestStart = curStart
+			}
+		} else {
+			curLen = 0
+		}
+	}
+	return bestStart, bestLen
+}
+
+// RunsContiguity returns the fraction of flagged observations contained in
+// the single longest run. Values near 1 indicate one contiguous temporal
+// anomaly; values near 1/k indicate k scattered episodes.
+func RunsContiguity(flags []bool) float64 {
+	total := 0
+	for _, f := range flags {
+		if f {
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	_, l := LongestRun(flags)
+	return float64(l) / float64(total)
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitModesBimodal(t *testing.T) {
+	r := rand.New(rand.NewPCG(21, 21))
+	var xs []float64
+	for i := 0; i < 80; i++ {
+		xs = append(xs, 1000+r.NormFloat64()*20)
+	}
+	for i := 0; i < 20; i++ {
+		xs = append(xs, 200+r.NormFloat64()*10)
+	}
+	m, err := SplitModes(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Bimodal(0.1, 3) {
+		t.Fatalf("should detect bimodality: %+v", m)
+	}
+	if math.Abs(m.Ratio()-5) > 0.5 {
+		t.Fatalf("ratio = %v, want ~5", m.Ratio())
+	}
+	if m.LowN != 20 || m.HighN != 80 {
+		t.Fatalf("cluster sizes = %d/%d, want 20/80", m.LowN, m.HighN)
+	}
+}
+
+func TestSplitModesUnimodal(t *testing.T) {
+	r := rand.New(rand.NewPCG(22, 22))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 100 + r.NormFloat64()*5
+	}
+	m, err := SplitModes(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bimodal(0.15, 3) {
+		t.Fatalf("unimodal data flagged bimodal: %+v", m)
+	}
+}
+
+func TestSplitModesTooSmall(t *testing.T) {
+	if _, err := SplitModes([]float64{1}); err == nil {
+		t.Fatal("want error for singleton")
+	}
+}
+
+func TestSplitModesConstant(t *testing.T) {
+	m, err := SplitModes([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bimodal(0.1, 2) {
+		t.Fatalf("constant data flagged bimodal: %+v", m)
+	}
+}
+
+// Property: the two cluster means bracket the overall mean.
+func TestSplitModesBracketProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 2 {
+			return true
+		}
+		m, err := SplitModes(xs)
+		if err != nil {
+			return true
+		}
+		overall := Mean(xs)
+		return m.LowMean <= overall+1e-6 && m.HighMean >= overall-1e-6
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cluster sizes partition the sample.
+func TestSplitModesPartitionProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 2 {
+			return true
+		}
+		m, err := SplitModes(xs)
+		if err != nil {
+			return true
+		}
+		return m.LowN+m.HighN == len(xs) && m.LowN >= 1 && m.HighN >= 1
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongestRun(t *testing.T) {
+	flags := []bool{false, true, true, false, true, true, true, false}
+	start, length := LongestRun(flags)
+	if start != 4 || length != 3 {
+		t.Fatalf("run = (%d, %d), want (4, 3)", start, length)
+	}
+}
+
+func TestLongestRunEmpty(t *testing.T) {
+	if _, l := LongestRun(nil); l != 0 {
+		t.Fatalf("length = %d, want 0", l)
+	}
+	if _, l := LongestRun([]bool{false, false}); l != 0 {
+		t.Fatalf("length = %d, want 0", l)
+	}
+}
+
+func TestRunsContiguity(t *testing.T) {
+	contiguous := []bool{false, true, true, true, true, false, false, false}
+	if got := RunsContiguity(contiguous); got != 1 {
+		t.Fatalf("contiguity = %v, want 1", got)
+	}
+	scattered := []bool{true, false, true, false, true, false, true, false}
+	if got := RunsContiguity(scattered); got != 0.25 {
+		t.Fatalf("contiguity = %v, want 0.25", got)
+	}
+	if got := RunsContiguity([]bool{false}); got != 0 {
+		t.Fatalf("contiguity = %v, want 0", got)
+	}
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MAD returns the median absolute deviation of xs, scaled by 1.4826 so that
+// it estimates the standard deviation under normality.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Median(xs)
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - m)
+	}
+	return 1.4826 * Median(devs)
+}
+
+// MADScores returns the robust z-score of each observation:
+// |x - median| / MAD. When the MAD degenerates to zero (more than half the
+// sample identical), the scale falls back to 1.2533 times the mean absolute
+// deviation; if that is also zero, all scores are zero.
+func MADScores(xs []float64) []float64 {
+	scores := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return scores
+	}
+	m := Median(xs)
+	scale := MAD(xs)
+	if scale == 0 {
+		var mad float64
+		for _, x := range xs {
+			mad += math.Abs(x - m)
+		}
+		scale = 1.2533 * mad / float64(len(xs))
+	}
+	for i, x := range xs {
+		if scale == 0 {
+			scores[i] = 0
+			continue
+		}
+		scores[i] = math.Abs(x-m) / scale
+	}
+	return scores
+}
+
+// FilterMAD returns the indices of observations whose robust z-score is at
+// most cutoff (conventionally 3 or 3.5), i.e. the inliers.
+func FilterMAD(xs []float64, cutoff float64) []int {
+	scores := MADScores(xs)
+	keep := make([]int, 0, len(xs))
+	for i, s := range scores {
+		if s <= cutoff {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// FilterIQR returns the indices of observations within the Tukey fences
+// [Q1 - k*IQR, Q3 + k*IQR] (conventionally k = 1.5).
+func FilterIQR(xs []float64, k float64) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	q1 := quantileSorted(s, 0.25)
+	q3 := quantileSorted(s, 0.75)
+	iqr := q3 - q1
+	lo, hi := q1-k*iqr, q3+k*iqr
+	keep := make([]int, 0, len(xs))
+	for i, x := range xs {
+		if x >= lo && x <= hi {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// Select returns the elements of xs at the given indices.
+func Select(xs []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = xs[j]
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAD(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 4, 6, 9}
+	// median=2, abs devs = {1,1,0,0,2,4,7}, median dev = 1 -> MAD = 1.4826
+	if got := MAD(xs); !almostEq(got, 1.4826, 1e-9) {
+		t.Fatalf("MAD = %v, want 1.4826", got)
+	}
+}
+
+func TestMADEmpty(t *testing.T) {
+	if got := MAD(nil); !math.IsNaN(got) {
+		t.Fatalf("MAD(nil) = %v", got)
+	}
+}
+
+func TestMADScoresZeroMAD(t *testing.T) {
+	scores := MADScores([]float64{3, 3, 3})
+	for _, s := range scores {
+		if s != 0 {
+			t.Fatalf("scores = %v, want zeros", scores)
+		}
+	}
+}
+
+func TestFilterMAD(t *testing.T) {
+	xs := []float64{10, 10, 10, 11, 9, 10, 1000}
+	keep := FilterMAD(xs, 3.5)
+	for _, i := range keep {
+		if xs[i] == 1000 {
+			t.Fatal("outlier survived MAD filter")
+		}
+	}
+	if len(keep) != 6 {
+		t.Fatalf("kept %d, want 6", len(keep))
+	}
+}
+
+func TestFilterIQR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 100}
+	keep := FilterIQR(xs, 1.5)
+	if len(keep) != 5 {
+		t.Fatalf("kept %d, want 5", len(keep))
+	}
+	for _, i := range keep {
+		if xs[i] == 100 {
+			t.Fatal("outlier survived IQR filter")
+		}
+	}
+}
+
+func TestFilterIQREmpty(t *testing.T) {
+	if keep := FilterIQR(nil, 1.5); keep != nil {
+		t.Fatalf("keep = %v, want nil", keep)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	xs := []float64{10, 20, 30}
+	got := Select(xs, []int{2, 0})
+	if len(got) != 2 || got[0] != 30 || got[1] != 10 {
+		t.Fatalf("Select = %v", got)
+	}
+}
+
+// Property: filters only ever keep valid indices, in increasing order.
+func TestFilterIndicesValidProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		keep := FilterMAD(xs, 3)
+		prev := -1
+		for _, i := range keep {
+			if i < 0 || i >= len(xs) || i <= prev {
+				return false
+			}
+			prev = i
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: widening the IQR fence never keeps fewer points.
+func TestIQRMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		narrow := FilterIQR(xs, 1.0)
+		wide := FilterIQR(xs, 3.0)
+		return len(wide) >= len(narrow)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,351 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Segment is one piece of a piecewise-linear model, valid on [Lo, Hi).
+type Segment struct {
+	Lo, Hi float64
+	Fit    LinearFit
+}
+
+// PiecewiseFit is a piecewise-linear regression: independent OLS lines fitted
+// between analyst-provided (or automatically searched) breakpoints. The paper
+// fits such models per synchronization regime (Section V.A).
+type PiecewiseFit struct {
+	Segments []Segment
+	// Breaks are the interior breakpoints separating the segments.
+	Breaks []float64
+	// SSE is the total residual sum of squares across segments.
+	SSE float64
+	// N is the total number of observations.
+	N int
+}
+
+// Eval evaluates the piecewise model at x, using the segment whose interval
+// contains x (the last segment is closed on the right).
+func (p PiecewiseFit) Eval(x float64) float64 {
+	for i, s := range p.Segments {
+		if x < s.Hi || i == len(p.Segments)-1 {
+			return s.Fit.Predict(x)
+		}
+	}
+	return math.NaN()
+}
+
+// String renders the model one segment per line.
+func (p PiecewiseFit) String() string {
+	var b strings.Builder
+	for _, s := range p.Segments {
+		fmt.Fprintf(&b, "[%.6g, %.6g): y = %.6g + %.6g*x (R2=%.3f, n=%d)\n",
+			s.Lo, s.Hi, s.Fit.Intercept, s.Fit.Slope, s.Fit.R2, s.Fit.N)
+	}
+	return b.String()
+}
+
+type byX struct{ x, y []float64 }
+
+func (s byX) Len() int           { return len(s.x) }
+func (s byX) Less(i, j int) bool { return s.x[i] < s.x[j] }
+func (s byX) Swap(i, j int) {
+	s.x[i], s.x[j] = s.x[j], s.x[i]
+	s.y[i], s.y[j] = s.y[j], s.y[i]
+}
+
+// sortedCopy returns copies of x,y sorted by x.
+func sortedCopy(x, y []float64) ([]float64, []float64) {
+	cx := make([]float64, len(x))
+	cy := make([]float64, len(y))
+	copy(cx, x)
+	copy(cy, y)
+	sort.Sort(byX{cx, cy})
+	return cx, cy
+}
+
+type byX3 struct{ x, y, w []float64 }
+
+func (s byX3) Len() int           { return len(s.x) }
+func (s byX3) Less(i, j int) bool { return s.x[i] < s.x[j] }
+func (s byX3) Swap(i, j int) {
+	s.x[i], s.x[j] = s.x[j], s.x[i]
+	s.y[i], s.y[j] = s.y[j], s.y[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// sortedCopy3 returns copies of x,y,w sorted by x.
+func sortedCopy3(x, y, w []float64) ([]float64, []float64, []float64) {
+	cx := make([]float64, len(x))
+	cy := make([]float64, len(y))
+	cw := make([]float64, len(w))
+	copy(cx, x)
+	copy(cy, y)
+	copy(cw, w)
+	sort.Sort(byX3{cx, cy, cw})
+	return cx, cy, cw
+}
+
+// FitPiecewise fits independent OLS lines on the intervals delimited by the
+// supplied interior breakpoints. Breakpoints are sorted and deduplicated;
+// observations with x < breaks[0] form the first segment and so on. This is
+// the "supervised analysis" of Section V.A where breakpoints are manually
+// provided by the analyst.
+func FitPiecewise(x, y []float64, breaks []float64) (PiecewiseFit, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return PiecewiseFit{}, ErrShape
+	}
+	cx, cy := sortedCopy(x, y)
+	bs := append([]float64(nil), breaks...)
+	sort.Float64s(bs)
+	bs = dedupFloats(bs)
+
+	edges := make([]float64, 0, len(bs)+2)
+	edges = append(edges, math.Inf(-1))
+	edges = append(edges, bs...)
+	edges = append(edges, math.Inf(1))
+
+	var pf PiecewiseFit
+	pf.Breaks = bs
+	pf.N = len(cx)
+	i := 0
+	for e := 0; e+1 < len(edges); e++ {
+		lo, hi := edges[e], edges[e+1]
+		j := i
+		for j < len(cx) && cx[j] < hi {
+			j++
+		}
+		if j == i {
+			continue // empty segment
+		}
+		fit, err := FitLinear(cx[i:j], cy[i:j])
+		if err != nil {
+			return PiecewiseFit{}, err
+		}
+		segLo := lo
+		if math.IsInf(segLo, -1) {
+			segLo = cx[i]
+		}
+		segHi := hi
+		if math.IsInf(segHi, 1) {
+			segHi = cx[len(cx)-1]
+		}
+		pf.Segments = append(pf.Segments, Segment{Lo: segLo, Hi: segHi, Fit: fit})
+		pf.SSE += fit.SSE
+		i = j
+	}
+	if len(pf.Segments) == 0 {
+		return PiecewiseFit{}, ErrShape
+	}
+	return pf, nil
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, v := range xs {
+		if i == 0 || v != xs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SegmentedSearch finds the optimal placement of k interior breakpoints
+// minimizing total SSE, by dynamic programming over the sorted observations.
+// minSeg is the minimum number of observations per segment (>= 2).
+//
+// This is the neutral, assumption-free search the paper advocates in §III.3
+// as an alternative to assuming a fixed number of protocol changes: the
+// caller can sweep k and use SelectSegmented to pick the count by BIC.
+func SegmentedSearch(x, y []float64, k, minSeg int) (PiecewiseFit, error) {
+	return SegmentedSearchWeighted(x, y, nil, k, minSeg)
+}
+
+// SegmentedSearchWeighted is SegmentedSearch with per-observation weights
+// for the least-squares objective. Network and memory timings have
+// multiplicative noise (the spread grows with the measured value), so an
+// unweighted search over-fits the large-value region; weights 1/y^2 make
+// the search operate on relative error. nil weights mean all ones.
+func SegmentedSearchWeighted(x, y, w []float64, k, minSeg int) (PiecewiseFit, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return PiecewiseFit{}, ErrShape
+	}
+	if w != nil && len(w) != len(x) {
+		return PiecewiseFit{}, ErrShape
+	}
+	if minSeg < 2 {
+		minSeg = 2
+	}
+	n := len(x)
+	if (k+1)*minSeg > n {
+		return PiecewiseFit{}, fmt.Errorf("stats: %d segments of >=%d points need %d observations, have %d", k+1, minSeg, (k+1)*minSeg, n)
+	}
+	var cx, cy, cw []float64
+	if w == nil {
+		cx, cy = sortedCopy(x, y)
+		cw = make([]float64, n)
+		for i := range cw {
+			cw[i] = 1
+		}
+	} else {
+		cx, cy, cw = sortedCopy3(x, y, w)
+	}
+
+	// Weighted prefix sums for O(1) segment SSE.
+	pw := make([]float64, n+1)
+	px := make([]float64, n+1)
+	py := make([]float64, n+1)
+	pxx := make([]float64, n+1)
+	pxy := make([]float64, n+1)
+	pyy := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		wi := cw[i]
+		pw[i+1] = pw[i] + wi
+		px[i+1] = px[i] + wi*cx[i]
+		py[i+1] = py[i] + wi*cy[i]
+		pxx[i+1] = pxx[i] + wi*cx[i]*cx[i]
+		pxy[i+1] = pxy[i] + wi*cx[i]*cy[i]
+		pyy[i+1] = pyy[i] + wi*cy[i]*cy[i]
+	}
+	// segSSE returns the weighted residual sum of squares for points [i, j).
+	segSSE := func(i, j int) float64 {
+		m := pw[j] - pw[i]
+		if m <= 0 {
+			return 0
+		}
+		sx := px[j] - px[i]
+		sy := py[j] - py[i]
+		sxx := pxx[j] - pxx[i]
+		sxy := pxy[j] - pxy[i]
+		syy := pyy[j] - pyy[i]
+		den := m*sxx - sx*sx
+		if den <= 0 {
+			// Vertical stack of points: best line is mean of y.
+			return syy - sy*sy/m
+		}
+		b := (m*sxy - sx*sy) / den
+		a := (sy - b*sx) / m
+		sse := syy - 2*a*sy - 2*b*sxy + m*a*a + 2*a*b*sx + b*b*sxx
+		if sse < 0 {
+			sse = 0
+		}
+		return sse
+	}
+
+	const inf = math.MaxFloat64
+	// dp[s][j]: best SSE covering [0, j) with s segments; choice[s][j]: split.
+	segs := k + 1
+	dp := make([][]float64, segs+1)
+	choice := make([][]int, segs+1)
+	for s := range dp {
+		dp[s] = make([]float64, n+1)
+		choice[s] = make([]int, n+1)
+		for j := range dp[s] {
+			dp[s][j] = inf
+		}
+	}
+	dp[0][0] = 0
+	for s := 1; s <= segs; s++ {
+		for j := s * minSeg; j <= n; j++ {
+			for i := (s - 1) * minSeg; i+minSeg <= j; i++ {
+				if dp[s-1][i] == inf {
+					continue
+				}
+				c := dp[s-1][i] + segSSE(i, j)
+				if c < dp[s][j] {
+					dp[s][j] = c
+					choice[s][j] = i
+				}
+			}
+		}
+	}
+	if dp[segs][n] == inf {
+		return PiecewiseFit{}, fmt.Errorf("stats: no feasible segmentation")
+	}
+	// Backtrack split indices.
+	cuts := make([]int, 0, k)
+	j := n
+	for s := segs; s >= 1; s-- {
+		i := choice[s][j]
+		if s > 1 {
+			cuts = append(cuts, i)
+		}
+		j = i
+	}
+	sort.Ints(cuts)
+	breaks := make([]float64, 0, len(cuts))
+	for _, c := range cuts {
+		// Break placed midway between the adjacent observations.
+		breaks = append(breaks, (cx[c-1]+cx[c])/2)
+	}
+	return FitPiecewise(cx, cy, breaks)
+}
+
+// SelectSegmented sweeps the number of interior breakpoints from 0 to maxK
+// and returns the fit minimizing the Bayesian information criterion. It is
+// the automated "neutral look regarding the number of breakpoints" of Fig. 4.
+func SelectSegmented(x, y []float64, maxK, minSeg int) (PiecewiseFit, error) {
+	return selectSegmented(x, y, nil, maxK, minSeg)
+}
+
+// SelectSegmentedRelative is SelectSegmented under a relative-error
+// objective: observations are weighted 1/y^2, which is the right noise model
+// for timing data whose spread is proportional to the measured value.
+func SelectSegmentedRelative(x, y []float64, maxK, minSeg int) (PiecewiseFit, error) {
+	w := make([]float64, len(y))
+	for i, v := range y {
+		if v == 0 {
+			w[i] = 0
+			continue
+		}
+		w[i] = 1 / (v * v)
+	}
+	return selectSegmented(x, y, w, maxK, minSeg)
+}
+
+func selectSegmented(x, y, w []float64, maxK, minSeg int) (PiecewiseFit, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return PiecewiseFit{}, ErrShape
+	}
+	n := float64(len(x))
+	best := PiecewiseFit{}
+	bestBIC := math.Inf(1)
+	found := false
+	for k := 0; k <= maxK; k++ {
+		pf, err := SegmentedSearchWeighted(x, y, w, k, minSeg)
+		if err != nil {
+			continue
+		}
+		sse := weightedSSE(pf, x, y, w)
+		if sse <= 0 {
+			sse = 1e-300
+		}
+		params := float64(3*(k+1) - 1) // slope+intercept per segment, plus breaks
+		bic := n*math.Log(sse/n) + params*math.Log(n)
+		if bic < bestBIC {
+			bestBIC = bic
+			best = pf
+			found = true
+		}
+	}
+	if !found {
+		return PiecewiseFit{}, fmt.Errorf("stats: no feasible segmentation up to k=%d", maxK)
+	}
+	return best, nil
+}
+
+// weightedSSE evaluates a fit's residual sum of squares under the weights
+// (all ones when w is nil).
+func weightedSSE(pf PiecewiseFit, x, y, w []float64) float64 {
+	if w == nil {
+		return pf.SSE
+	}
+	var sse float64
+	for i := range x {
+		r := y[i] - pf.Eval(x[i])
+		sse += w[i] * r * r
+	}
+	return sse
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// twoRegime generates data with a slope change at the given break.
+func twoRegime(n int, brk float64, seed uint64, noise float64) (x, y []float64) {
+	r := rand.New(rand.NewPCG(seed, seed))
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64() * 100
+		if x[i] < brk {
+			y[i] = 5 + 1*x[i]
+		} else {
+			y[i] = 5 + 1*brk + 4*(x[i]-brk)
+		}
+		y[i] += r.NormFloat64() * noise
+	}
+	return
+}
+
+func TestFitPiecewiseTwoSegments(t *testing.T) {
+	x, y := twoRegime(400, 50, 1, 0.1)
+	pf, err := FitPiecewise(x, y, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(pf.Segments))
+	}
+	if math.Abs(pf.Segments[0].Fit.Slope-1) > 0.05 {
+		t.Fatalf("seg0 slope = %v, want ~1", pf.Segments[0].Fit.Slope)
+	}
+	if math.Abs(pf.Segments[1].Fit.Slope-4) > 0.05 {
+		t.Fatalf("seg1 slope = %v, want ~4", pf.Segments[1].Fit.Slope)
+	}
+}
+
+func TestFitPiecewiseNoBreaksIsGlobal(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{0, 2, 4, 6}
+	pf, err := FitPiecewise(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(pf.Segments))
+	}
+	if !almostEq(pf.Segments[0].Fit.Slope, 2, 1e-12) {
+		t.Fatalf("slope = %v", pf.Segments[0].Fit.Slope)
+	}
+}
+
+func TestFitPiecewiseEmptySegmentSkipped(t *testing.T) {
+	x := []float64{10, 11, 12, 13}
+	y := []float64{1, 2, 3, 4}
+	// Break at 5 leaves the first interval empty.
+	pf, err := FitPiecewise(x, y, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(pf.Segments))
+	}
+}
+
+func TestFitPiecewiseDuplicateBreaksDeduped(t *testing.T) {
+	x, y := twoRegime(200, 50, 3, 0.1)
+	pf, err := FitPiecewise(x, y, []float64{50, 50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Breaks) != 1 {
+		t.Fatalf("breaks = %v, want one", pf.Breaks)
+	}
+	if len(pf.Segments) != 2 {
+		t.Fatalf("segments = %d", len(pf.Segments))
+	}
+}
+
+func TestPiecewiseEval(t *testing.T) {
+	x, y := twoRegime(400, 50, 4, 0)
+	pf, err := FitPiecewise(x, y, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pf.Eval(10); math.Abs(got-15) > 0.5 {
+		t.Fatalf("Eval(10) = %v, want ~15", got)
+	}
+	if got := pf.Eval(80); math.Abs(got-(55+4*30)) > 1 {
+		t.Fatalf("Eval(80) = %v, want ~175", got)
+	}
+}
+
+func TestSegmentedSearchFindsPlantedBreak(t *testing.T) {
+	x, y := twoRegime(300, 60, 5, 0.2)
+	pf, err := SegmentedSearch(x, y, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Breaks) != 1 {
+		t.Fatalf("breaks = %v", pf.Breaks)
+	}
+	if math.Abs(pf.Breaks[0]-60) > 3 {
+		t.Fatalf("break = %v, want ~60", pf.Breaks[0])
+	}
+}
+
+func TestSegmentedSearchZeroBreaks(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := []float64{0, 1, 2, 3, 4, 5}
+	pf, err := SegmentedSearch(x, y, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Segments) != 1 {
+		t.Fatalf("segments = %d", len(pf.Segments))
+	}
+}
+
+func TestSegmentedSearchInfeasible(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{1, 2, 3}
+	if _, err := SegmentedSearch(x, y, 3, 2); err == nil {
+		t.Fatal("want infeasibility error")
+	}
+}
+
+func TestSegmentedSearchReducesSSE(t *testing.T) {
+	x, y := twoRegime(300, 40, 6, 0.3)
+	flat, err := SegmentedSearch(x, y, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := SegmentedSearch(x, y, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.SSE > flat.SSE {
+		t.Fatalf("adding a break increased SSE: %v > %v", seg.SSE, flat.SSE)
+	}
+	if seg.SSE > flat.SSE*0.2 {
+		t.Fatalf("break should cut SSE drastically: %v vs %v", seg.SSE, flat.SSE)
+	}
+}
+
+func TestSelectSegmentedPicksOneBreak(t *testing.T) {
+	x, y := twoRegime(300, 55, 8, 0.2)
+	pf, err := SelectSegmented(x, y, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Breaks) != 1 {
+		t.Fatalf("BIC chose %d breaks (%v), want 1", len(pf.Breaks), pf.Breaks)
+	}
+	if math.Abs(pf.Breaks[0]-55) > 3 {
+		t.Fatalf("break = %v, want ~55", pf.Breaks[0])
+	}
+}
+
+func TestSelectSegmentedLinearDataNoBreak(t *testing.T) {
+	r := rand.New(rand.NewPCG(11, 11))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 2 + 3*x[i] + r.NormFloat64()
+	}
+	pf, err := SelectSegmented(x, y, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Breaks) != 0 {
+		t.Fatalf("BIC chose %d breaks on linear data (%v), want 0", len(pf.Breaks), pf.Breaks)
+	}
+}
+
+func TestSelectSegmentedThreeRegimes(t *testing.T) {
+	// Three plateaus, like a memory-hierarchy bandwidth curve.
+	r := rand.New(rand.NewPCG(13, 13))
+	var x, y []float64
+	for i := 0; i < 600; i++ {
+		v := r.Float64() * 300
+		var level float64
+		switch {
+		case v < 100:
+			level = 1000
+		case v < 200:
+			level = 500
+		default:
+			level = 100
+		}
+		x = append(x, v)
+		y = append(y, level+r.NormFloat64()*10)
+	}
+	pf, err := SelectSegmented(x, y, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Breaks) != 2 {
+		t.Fatalf("BIC chose %d breaks (%v), want 2", len(pf.Breaks), pf.Breaks)
+	}
+	if math.Abs(pf.Breaks[0]-100) > 10 || math.Abs(pf.Breaks[1]-200) > 10 {
+		t.Fatalf("breaks = %v, want ~[100, 200]", pf.Breaks)
+	}
+}
+
+func TestPiecewiseString(t *testing.T) {
+	x, y := twoRegime(100, 50, 14, 0.1)
+	pf, err := FitPiecewise(x, y, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := pf.String(); len(s) == 0 {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkSegmentedSearch(b *testing.B) {
+	x, y := twoRegime(400, 50, 2, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SegmentedSearch(x, y, 2, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

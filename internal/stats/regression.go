@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrShape is returned when paired samples have mismatched or insufficient
+// lengths.
+var ErrShape = errors.New("stats: mismatched or insufficient sample shape")
+
+// LinearFit is an ordinary-least-squares fit y = Intercept + Slope*x.
+type LinearFit struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// SSE is the residual sum of squares.
+	SSE float64
+	// ResidualSE is the residual standard error sqrt(SSE/(n-2)).
+	ResidualSE float64
+	// N is the number of observations.
+	N int
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 {
+	return f.Intercept + f.Slope*x
+}
+
+// FitLinear fits y = a + b*x by ordinary least squares.
+// With a single observation (or zero x-variance) the slope is zero and the
+// intercept is the mean of y, mirroring a degenerate-segment fit.
+func FitLinear(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return LinearFit{}, ErrShape
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	fit := LinearFit{N: len(x)}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		fit.Slope = 0
+		fit.Intercept = sy / n
+	} else {
+		fit.Slope = (n*sxy - sx*sy) / denom
+		fit.Intercept = (sy - fit.Slope*sx) / n
+	}
+	var sse, sst float64
+	ym := sy / n
+	for i := range x {
+		r := y[i] - fit.Predict(x[i])
+		sse += r * r
+		d := y[i] - ym
+		sst += d * d
+	}
+	fit.SSE = sse
+	if sst > 0 {
+		fit.R2 = 1 - sse/sst
+	} else {
+		fit.R2 = 1
+	}
+	if len(x) > 2 {
+		fit.ResidualSE = math.Sqrt(sse / (n - 2))
+	}
+	return fit, nil
+}
+
+// Residuals returns y[i] - f.Predict(x[i]) for each observation.
+func (f LinearFit) Residuals(x, y []float64) []float64 {
+	rs := make([]float64, len(x))
+	for i := range x {
+		rs[i] = y[i] - f.Predict(x[i])
+	}
+	return rs
+}
+
+// TheilSen fits a robust line using the median of pairwise slopes and the
+// median of the implied intercepts. It tolerates heavy-tailed noise such as
+// the temporal perturbations of Section III.1.
+func TheilSen(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return LinearFit{}, ErrShape
+	}
+	slopes := make([]float64, 0, len(x)*(len(x)-1)/2)
+	for i := 0; i < len(x); i++ {
+		for j := i + 1; j < len(x); j++ {
+			dx := x[j] - x[i]
+			if dx == 0 {
+				continue
+			}
+			slopes = append(slopes, (y[j]-y[i])/dx)
+		}
+	}
+	if len(slopes) == 0 {
+		return LinearFit{}, ErrShape
+	}
+	slope := Median(slopes)
+	inters := make([]float64, len(x))
+	for i := range x {
+		inters[i] = y[i] - slope*x[i]
+	}
+	fit := LinearFit{Slope: slope, Intercept: Median(inters), N: len(x)}
+	var sse, sst float64
+	ym := Mean(y)
+	for i := range x {
+		r := y[i] - fit.Predict(x[i])
+		sse += r * r
+		d := y[i] - ym
+		sst += d * d
+	}
+	fit.SSE = sse
+	if sst > 0 {
+		fit.R2 = 1 - sse/sst
+	}
+	if len(x) > 2 {
+		fit.ResidualSE = math.Sqrt(sse / float64(len(x)-2))
+	}
+	return fit, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, ErrShape
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, ErrShape
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

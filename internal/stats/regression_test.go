@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	f, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Slope, 2, 1e-12) || !almostEq(f.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+	if !almostEq(f.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", f.R2)
+	}
+	if !almostEq(f.SSE, 0, 1e-12) {
+		t.Fatalf("SSE = %v, want 0", f.SSE)
+	}
+}
+
+func TestFitLinearDegenerateX(t *testing.T) {
+	x := []float64{5, 5, 5}
+	y := []float64{1, 2, 3}
+	f, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Slope != 0 || !almostEq(f.Intercept, 2, 1e-12) {
+		t.Fatalf("degenerate fit = %+v", f)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear(nil, nil); err == nil {
+		t.Fatal("want error on empty")
+	}
+	if _, err := FitLinear([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error on mismatched lengths")
+	}
+}
+
+func TestFitLinearNoisyRecovery(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 10 + 0.5*x[i] + r.NormFloat64()*2
+	}
+	f, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-0.5) > 0.01 {
+		t.Fatalf("slope = %v, want ~0.5", f.Slope)
+	}
+	if math.Abs(f.Intercept-10) > 1 {
+		t.Fatalf("intercept = %v, want ~10", f.Intercept)
+	}
+}
+
+func TestTheilSenRobustToOutliers(t *testing.T) {
+	// 20% wild outliers should barely move Theil-Sen.
+	r := rand.New(rand.NewPCG(9, 9))
+	n := 100
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 3 + 2*x[i]
+		if i%5 == 0 {
+			y[i] += 500 + r.Float64()*500
+		}
+	}
+	f, err := TheilSen(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 0.1 {
+		t.Fatalf("TheilSen slope = %v, want ~2", f.Slope)
+	}
+	ols, _ := FitLinear(x, y)
+	if math.Abs(ols.Intercept-3) < math.Abs(f.Intercept-3) {
+		t.Fatalf("OLS intercept (%v) should be more biased than Theil-Sen (%v)", ols.Intercept, f.Intercept)
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Fatalf("r = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	if !almostEq(r, -1, 1e-12) {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	f := LinearFit{Slope: 1, Intercept: 0}
+	rs := f.Residuals([]float64{1, 2}, []float64{2, 2})
+	if rs[0] != 1 || rs[1] != 0 {
+		t.Fatalf("residuals = %v", rs)
+	}
+}
+
+// Property: OLS residuals sum to ~0 when an intercept is fitted.
+func TestOLSResidualSumProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 3 {
+			return true
+		}
+		n := len(xs)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i)
+		}
+		fit, err := FitLinear(x, xs)
+		if err != nil {
+			return true
+		}
+		sum := 0.0
+		for _, r := range fit.Residuals(x, xs) {
+			sum += r
+		}
+		scale := math.Max(1, math.Abs(Sum(xs)))
+		return math.Abs(sum)/scale < 1e-6
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: R2 lies in [0, 1] for OLS with intercept (numerically tolerant).
+func TestOLSR2RangeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 3 {
+			return true
+		}
+		x := make([]float64, len(xs))
+		for i := range x {
+			x[i] = float64(i)
+		}
+		fit, err := FitLinear(x, xs)
+		if err != nil {
+			return true
+		}
+		return fit.R2 >= -1e-6 && fit.R2 <= 1+1e-6
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFitLinear(b *testing.B) {
+	n := 10_000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 2*x[i] + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLinear(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

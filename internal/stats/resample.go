@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+
+	"opaquebench/internal/xrand"
+)
+
+// CI is a two-sided confidence interval.
+type CI struct {
+	Lo, Hi float64
+	// Level is the nominal coverage, e.g. 0.95.
+	Level float64
+}
+
+// Contains reports whether v lies in the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
+
+// Width returns Hi - Lo.
+func (c CI) Width() float64 { return c.Hi - c.Lo }
+
+// BootstrapCI estimates a percentile-bootstrap confidence interval for an
+// arbitrary statistic. Keeping the raw data (stage 3 of the methodology)
+// is what makes resampling possible at all — an aggregate-only report
+// cannot be bootstrapped.
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, reps int, seed uint64) (CI, error) {
+	if len(xs) == 0 {
+		return CI{}, ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	if reps < 10 {
+		reps = 1000
+	}
+	r := xrand.NewDerived(seed, "stats/bootstrap")
+	resample := make([]float64, len(xs))
+	estimates := make([]float64, reps)
+	for b := 0; b < reps; b++ {
+		for i := range resample {
+			resample[i] = xs[r.IntN(len(xs))]
+		}
+		estimates[b] = stat(resample)
+	}
+	alpha := (1 - level) / 2
+	return CI{
+		Lo:    Quantile(estimates, alpha),
+		Hi:    Quantile(estimates, 1-alpha),
+		Level: level,
+	}, nil
+}
+
+// MeanCI is BootstrapCI for the mean.
+func MeanCI(xs []float64, level float64, reps int, seed uint64) (CI, error) {
+	return BootstrapCI(xs, Mean, level, reps, seed)
+}
+
+// MedianCI is BootstrapCI for the median.
+func MedianCI(xs []float64, level float64, reps int, seed uint64) (CI, error) {
+	return BootstrapCI(xs, Median, level, reps, seed)
+}
+
+// Autocorr returns the lag-k sample autocorrelation of xs in its given
+// (execution) order. Under a properly randomized design the values should
+// be exchangeable; significant positive lag-1 autocorrelation flags a
+// temporal effect — a perturbation window, a governor ramp, an intruding
+// process — exactly the anomalies Sections III.1 and IV.3 document.
+func Autocorr(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 1 || n <= lag+1 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+		if i+lag < n {
+			num += d * (xs[i+lag] - m)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// TemporalAnomaly reports whether the sequence-ordered values show
+// significant lag-1 autocorrelation, using the conventional 2/sqrt(n)
+// threshold for a white-noise null.
+func TemporalAnomaly(xs []float64) bool {
+	r := Autocorr(xs, 1)
+	if math.IsNaN(r) {
+		return false
+	}
+	return r > 2/math.Sqrt(float64(len(xs)))
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBootstrapCICoversTruth(t *testing.T) {
+	r := rand.New(rand.NewPCG(51, 51))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 10 + r.NormFloat64()
+	}
+	ci, err := MeanCI(xs, 0.95, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(Mean(xs)) {
+		t.Fatalf("CI %+v does not contain the sample mean %v", ci, Mean(xs))
+	}
+	if !ci.Contains(10) && math.Abs(ci.Lo-10) > 0.3 {
+		t.Fatalf("CI %+v far from truth 10", ci)
+	}
+	if ci.Width() <= 0 || ci.Width() > 1 {
+		t.Fatalf("width = %v", ci.Width())
+	}
+}
+
+func TestBootstrapCIShrinksWithN(t *testing.T) {
+	r := rand.New(rand.NewPCG(52, 52))
+	gen := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		return xs
+	}
+	small, err := MeanCI(gen(30), 0.95, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := MeanCI(gen(3000), 0.95, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Width() >= small.Width() {
+		t.Fatalf("CI did not shrink: %v -> %v", small.Width(), large.Width())
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	if _, err := MeanCI(nil, 0.95, 100, 1); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMedianCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a, err := MedianCI(xs, 0.9, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MedianCI(xs, 0.9, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave %+v vs %+v", a, b)
+	}
+}
+
+func TestBootstrapDefaults(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ci, err := BootstrapCI(xs, Mean, -1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Level != 0.95 {
+		t.Fatalf("level = %v", ci.Level)
+	}
+}
+
+func TestAutocorrWhiteNoise(t *testing.T) {
+	r := rand.New(rand.NewPCG(53, 53))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	if got := Autocorr(xs, 1); math.Abs(got) > 0.06 {
+		t.Fatalf("white noise lag-1 = %v", got)
+	}
+	if TemporalAnomaly(xs) {
+		t.Fatal("white noise flagged as anomaly")
+	}
+}
+
+func TestAutocorrBlockStructure(t *testing.T) {
+	// A contiguous low block (Figure 11) has strong lag-1 autocorrelation.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 1500
+		if i >= 80 && i < 130 {
+			xs[i] = 300
+		}
+	}
+	if got := Autocorr(xs, 1); got < 0.5 {
+		t.Fatalf("block structure lag-1 = %v, want > 0.5", got)
+	}
+	if !TemporalAnomaly(xs) {
+		t.Fatal("block anomaly not flagged")
+	}
+}
+
+func TestAutocorrDegenerate(t *testing.T) {
+	if !math.IsNaN(Autocorr([]float64{1, 2}, 5)) {
+		t.Fatal("short series should be NaN")
+	}
+	if got := Autocorr([]float64{3, 3, 3, 3}, 1); got != 0 {
+		t.Fatalf("constant series = %v", got)
+	}
+	if TemporalAnomaly([]float64{1}) {
+		t.Fatal("singleton flagged")
+	}
+}

@@ -1,0 +1,195 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestNewDistinctSeeds(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d collisions between distinct seeds", same)
+	}
+}
+
+func TestDeriveStable(t *testing.T) {
+	if Derive(7, "noise") != Derive(7, "noise") {
+		t.Fatal("Derive not deterministic")
+	}
+	if Derive(7, "noise") == Derive(7, "pages") {
+		t.Fatal("distinct labels collided")
+	}
+	if Derive(7, "noise") == Derive(8, "noise") {
+		t.Fatal("distinct seeds collided")
+	}
+}
+
+func TestNewDerivedIndependentStreams(t *testing.T) {
+	// Drawing extra values from one derived stream must not affect another.
+	a1 := NewDerived(3, "a")
+	b1 := NewDerived(3, "b")
+	_ = a1.Uint64()
+	firstB := b1.Uint64()
+
+	b2 := NewDerived(3, "b")
+	if got := b2.Uint64(); got != firstB {
+		t.Fatal("stream b perturbed by stream a consumption")
+	}
+}
+
+func TestLogUniformRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := LogUniform(r, 10, 10000)
+		if v < 10 || v > 10000 {
+			t.Fatalf("out of range: %v", v)
+		}
+	}
+}
+
+func TestLogUniformCoversDecades(t *testing.T) {
+	// Equation (1): each decade should receive a similar share of draws.
+	r := New(6)
+	counts := [3]int{} // [10,100), [100,1000), [1000,10000]
+	n := 30000
+	for i := 0; i < n; i++ {
+		v := LogUniform(r, 10, 10000)
+		switch {
+		case v < 100:
+			counts[0]++
+		case v < 1000:
+			counts[1]++
+		default:
+			counts[2]++
+		}
+	}
+	for _, c := range counts {
+		frac := float64(c) / float64(n)
+		if math.Abs(frac-1.0/3.0) > 0.02 {
+			t.Fatalf("decade share %v, want ~1/3 (counts=%v)", frac, counts)
+		}
+	}
+}
+
+func TestLogUniformIntClamps(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		v := LogUniformInt(r, 1, 64)
+		if v < 1 || v > 64 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+	if got := LogUniformInt(r, 9, 9); got != 9 {
+		t.Fatalf("degenerate range: %d", got)
+	}
+	if got := LogUniformInt(r, 10, 5); got != 10 {
+		t.Fatalf("inverted range: %d", got)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(8)
+	n := 20000
+	var below int
+	for i := 0; i < n; i++ {
+		if LogNormal(r, 0, 0.5) < 1 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("median fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestJitterZeroSigma(t *testing.T) {
+	r := New(9)
+	if got := Jitter(r, 42, 0); got != 42 {
+		t.Fatalf("Jitter sigma=0 changed value: %v", got)
+	}
+}
+
+func TestJitterPositive(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 100; i++ {
+		if v := Jitter(r, 5, 0.3); v <= 0 {
+			t.Fatalf("jittered value non-positive: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	p := Perm(r, 50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(12)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	Shuffle(r, len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed contents: %v", xs)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 100; i++ {
+		if Bernoulli(r, 0) {
+			t.Fatal("p=0 returned true")
+		}
+		if !Bernoulli(r, 1) {
+			t.Fatal("p=1 returned false")
+		}
+	}
+}
+
+// Property: LogUniform stays within [a, b] for any valid bounds.
+func TestLogUniformBoundsProperty(t *testing.T) {
+	r := New(14)
+	f := func(rawA, rawB float64) bool {
+		a := 1 + math.Abs(math.Mod(rawA, 1000))
+		b := a + math.Abs(math.Mod(rawB, 100000))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		v := LogUniform(r, a, b)
+		return v >= a*(1-1e-9) && v <= b*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
