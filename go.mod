@@ -1,0 +1,3 @@
+module opaquebench
+
+go 1.24
