@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"opaquebench/internal/membench"
 	"opaquebench/internal/memsim"
 	"opaquebench/internal/ossim"
+	"opaquebench/internal/runner"
 )
 
 func main() {
@@ -34,7 +36,9 @@ func run(args []string, stdout io.Writer) error {
 	alloc := fs.String("alloc", "contiguous", "allocation: contiguous, pool, arena")
 	policy := fs.String("policy", "other", "scheduling policy: other, rt")
 	reps := fs.Int("reps", 42, "replicates when generating the default design")
+	workers := fs.Int("workers", 1, "parallel campaign workers; >1 shards the design across trial-indexed engines (requires a load-oblivious governor and contiguous allocation) and streams records as they complete")
 	outPath := fs.String("o", "", "raw results CSV (default stdout)")
+	jsonlPath := fs.String("jsonl", "", "raw results JSONL output (optional, streamed)")
 	envPath := fs.String("env", "", "environment JSON output (optional)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,31 +94,53 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	eng, err := membench.NewEngine(membench.Config{
+	cfg := membench.Config{
 		Machine:    m,
 		Seed:       *seed,
 		Governor:   gov,
 		Allocation: *alloc,
 		Sched:      ossim.Config{Policy: pol},
-	})
-	if err != nil {
-		return err
 	}
-	res, err := (&core.Campaign{Design: design, Engine: eng}).Run()
-	if err != nil {
-		return err
-	}
-
-	w := stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
+	var eng core.Engine
+	if *workers <= 1 {
+		if eng, err = membench.NewEngine(cfg); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
 	}
-	if err := res.WriteCSV(w); err != nil {
+
+	// Output files open lazily: serial runs only touch them after the
+	// campaign succeeds; parallel runs open them post-validation to stream.
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	openSinks := func() ([]runner.RecordSink, error) {
+		w := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, f)
+			w = f
+		}
+		sinks := []runner.RecordSink{runner.NewCSVSink(w)}
+		if *jsonlPath != "" {
+			f, err := os.Create(*jsonlPath)
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, f)
+			sinks = append(sinks, runner.NewJSONLSink(f))
+		}
+		return sinks, nil
+	}
+
+	res, err := runner.RunOrSerial(context.Background(), design, membench.Factory(cfg),
+		eng, *workers, openSinks)
+	if err != nil {
 		return err
 	}
 	if *envPath != "" {

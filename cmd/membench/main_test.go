@@ -95,3 +95,86 @@ func TestBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelWorkersReproducible(t *testing.T) {
+	base := []string{"-machine", "p4", "-reps", "1", "-seed", "3"}
+	var first, second bytes.Buffer
+	if err := run(append(append([]string{}, base...), "-workers", "4"), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...), "-workers", "2"), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("sharded campaign output depends on worker count")
+	}
+	res, err := core.ReadCSV(&first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Fatal("no records")
+	}
+	for i, rec := range res.Records {
+		if rec.Seq != i {
+			t.Fatalf("record %d out of design order (seq %d)", i, rec.Seq)
+		}
+	}
+}
+
+func TestParallelRejectsSequentialOnlyConfig(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-machine", "i7", "-governor", "ondemand", "-reps", "1", "-workers", "4"}, &buf)
+	if err == nil {
+		t.Fatal("ondemand governor accepted with -workers 4")
+	}
+}
+
+func TestJSONLOutput(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "raw.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-machine", "p4", "-reps", "1", "-workers", "2", "-jsonl", jsonlPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(data, []byte("\n"))
+	res, err := core.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines != res.Len() {
+		t.Fatalf("%d JSONL lines for %d records", lines, res.Len())
+	}
+}
+
+// TestFailedRunPreservesOutputFile feeds a design with a bad row and
+// checks the -o target survives untouched: serial runs open outputs only
+// after the campaign succeeds.
+func TestFailedRunPreservesOutputFile(t *testing.T) {
+	dir := t.TempDir()
+	designPath := filepath.Join(dir, "design.csv")
+	// Second row lacks a parseable size, so trial 1 fails mid-campaign.
+	bad := "seq,rep,size\n0,0,4096\n1,0,enormous\n"
+	if err := os.WriteFile(designPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(outPath, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-machine", "p4", "-design", designPath, "-o", outPath}, &buf); err == nil {
+		t.Fatal("campaign with a bad trial reported success")
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "precious" {
+		t.Fatalf("failed run clobbered the output file: %q", data)
+	}
+}

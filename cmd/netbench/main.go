@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"opaquebench/internal/doe"
 	"opaquebench/internal/netbench"
 	"opaquebench/internal/netsim"
+	"opaquebench/internal/runner"
 )
 
 func main() {
@@ -35,7 +37,9 @@ func run(args []string, stdout io.Writer) error {
 	perturbFactor := fs.Float64("perturb-factor", 0, "temporal perturbation stretch factor (0 = none)")
 	perturbStart := fs.Float64("perturb-start", 0, "perturbation window start (virtual seconds)")
 	perturbEnd := fs.Float64("perturb-end", 0, "perturbation window end (virtual seconds)")
+	workers := fs.Int("workers", 1, "parallel campaign workers; >1 shards the design across trial-indexed engines and streams records as they complete (point-to-point campaigns only)")
 	outPath := fs.String("o", "", "raw results CSV (default stdout)")
+	jsonlPath := fs.String("jsonl", "", "raw results JSONL output (optional, streamed)")
 	envPath := fs.String("env", "", "environment JSON output (optional)")
 	fitBreaks := fs.Bool("fit", false, "after the campaign, print the supervised LogGP fit using the profile's true breakpoints")
 	collective := fs.Bool("collective", false, "measure collectives (bcast, allreduce, barrier) instead of point-to-point operations")
@@ -48,8 +52,12 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *collective && *workers > 1 {
+		return fmt.Errorf("collective campaigns run serially; drop -workers")
+	}
 	var design *doe.Design
 	var engine core.Engine
+	var cfg netbench.Config
 	if *collective {
 		design, err = netbench.CollectiveDesign(*seed, *nSizes, *minSize, *maxSize, *reps,
 			[]string{netbench.OpBcast, netbench.OpAllreduce, netbench.OpBarrier}, *randomize)
@@ -72,26 +80,48 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		engine, err = netbench.NewEngine(netbench.Config{Profile: p, Seed: *seed, Perturber: perturber})
-		if err != nil {
-			return err
+		cfg = netbench.Config{Profile: p, Seed: *seed, Perturber: perturber}
+		if *workers <= 1 {
+			engine, err = netbench.NewEngine(cfg)
+			if err != nil {
+				return err
+			}
 		}
-	}
-	res, err := (&core.Campaign{Design: design, Engine: engine}).Run()
-	if err != nil {
-		return err
 	}
 
-	w := stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
+	// Output files open lazily: serial runs only touch them after the
+	// campaign succeeds; parallel runs open them post-validation to stream.
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
 		}
-		defer f.Close()
-		w = f
+	}()
+	openSinks := func() ([]runner.RecordSink, error) {
+		w := stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, f)
+			w = f
+		}
+		sinks := []runner.RecordSink{runner.NewCSVSink(w)}
+		if *jsonlPath != "" {
+			f, err := os.Create(*jsonlPath)
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, f)
+			sinks = append(sinks, runner.NewJSONLSink(f))
+		}
+		return sinks, nil
 	}
-	if err := res.WriteCSV(w); err != nil {
+
+	res, err := runner.RunOrSerial(context.Background(), design, netbench.Factory(cfg),
+		engine, *workers, openSinks)
+	if err != nil {
 		return err
 	}
 	if *envPath != "" {

@@ -98,3 +98,54 @@ func TestCollectiveCampaignFlag(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelWorkersReproducible(t *testing.T) {
+	base := []string{"-profile", "taurus", "-n", "30", "-reps", "2", "-seed", "5"}
+	var w2, w6 bytes.Buffer
+	if err := run(append(append([]string{}, base...), "-workers", "2"), &w2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...), "-workers", "6"), &w6); err != nil {
+		t.Fatal(err)
+	}
+	if w2.String() != w6.String() {
+		t.Fatal("sharded campaign output depends on worker count")
+	}
+	res, err := core.ReadCSV(&w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range res.Records {
+		if rec.Seq != i {
+			t.Fatalf("record %d out of design order (seq %d)", i, rec.Seq)
+		}
+	}
+}
+
+func TestCollectiveRejectsWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-profile", "myrinet-gm", "-collective", "-workers", "4", "-n", "10", "-reps", "1"}
+	if err := run(args, &buf); err == nil {
+		t.Fatal("collective campaign accepted -workers")
+	}
+}
+
+func TestJSONLOutput(t *testing.T) {
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "raw.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "taurus", "-n", "15", "-reps", "1", "-workers", "3", "-jsonl", jsonlPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(data, []byte("\n")); got != res.Len() {
+		t.Fatalf("%d JSONL lines for %d records", got, res.Len())
+	}
+}

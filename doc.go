@@ -17,7 +17,10 @@
 //   - the criticized opaque benchmarks — PMB, MultiMAPS, NetGauge's online
 //     detector, PLogP's adaptive probe (internal/opaque);
 //   - a generator per paper figure/table (internal/figures), exercised by
-//     the benchmarks in bench_test.go and the cmd/figures tool.
+//     the benchmarks in bench_test.go and the cmd/figures tool;
+//   - a parallel campaign runner (internal/runner) that shards a design
+//     across trial-indexed engine instances and streams records to CSV/JSONL
+//     sinks in design order, record-for-record identical to a serial run.
 //
 // See DESIGN.md for the system inventory and the per-experiment index, and
 // EXPERIMENTS.md for the paper-vs-measured record.

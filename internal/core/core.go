@@ -62,6 +62,28 @@ type Engine interface {
 	Environment() *meta.Environment
 }
 
+// EngineFactory creates independent engine instances. The parallel runner
+// (package runner) asks for one engine per worker, because simulator engines
+// carry per-campaign substrate state (caches, clocks, allocators) that must
+// not be shared between concurrently executing trials.
+//
+// Engines produced by a factory are expected to be trial-indexed: every
+// stochastic and temporal quantity of a trial's record must derive from the
+// campaign seed and the trial's Seq alone, never from which trials ran
+// before it on the same engine. That property is what makes a sharded
+// campaign's output record-for-record identical to a serial Campaign.Run
+// with one factory-made engine.
+type EngineFactory interface {
+	// NewEngine returns a fresh, independent engine.
+	NewEngine() (Engine, error)
+}
+
+// EngineFactoryFunc adapts a function to the EngineFactory interface.
+type EngineFactoryFunc func() (Engine, error)
+
+// NewEngine implements EngineFactory.
+func (f EngineFactoryFunc) NewEngine() (Engine, error) { return f() }
+
 // Campaign binds a design to an engine.
 type Campaign struct {
 	Design *doe.Design
@@ -76,19 +98,28 @@ type Results struct {
 	Env     *meta.Environment
 }
 
+// NewResults builds an empty result set for a campaign: the environment is
+// captured from the engine and stamped with the design metadata. Shared by
+// the serial Campaign.Run and the parallel runner so serial and sharded
+// campaigns emit identical environment schemas.
+func NewResults(design *doe.Design, engine Engine) *Results {
+	res := &Results{Design: design, Env: engine.Environment()}
+	if res.Env == nil {
+		res.Env = meta.New()
+	}
+	res.Env.Setf("design/trials", "%d", design.Size())
+	res.Env.Setf("design/seed", "%d", design.Seed)
+	res.Env.Setf("design/randomized", "%v", design.Randomized)
+	return res
+}
+
 // Run executes the campaign: every trial, in design order, logging every raw
 // record.
 func (c *Campaign) Run() (*Results, error) {
 	if c.Design == nil || c.Engine == nil {
 		return nil, fmt.Errorf("core: campaign needs both a design and an engine")
 	}
-	res := &Results{Design: c.Design, Env: c.Engine.Environment()}
-	if res.Env == nil {
-		res.Env = meta.New()
-	}
-	res.Env.Setf("design/trials", "%d", c.Design.Size())
-	res.Env.Setf("design/seed", "%d", c.Design.Seed)
-	res.Env.Setf("design/randomized", "%v", c.Design.Randomized)
+	res := NewResults(c.Design, c.Engine)
 	for _, t := range c.Design.Trials {
 		rec, err := c.Engine.Execute(t)
 		if err != nil {

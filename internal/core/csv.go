@@ -14,6 +14,37 @@ import (
 // can consume them long after the campaign: columns seq, rep, value,
 // seconds, at, then factors (sorted), then extras (sorted, prefixed "x_").
 
+// CSVHeader returns the header row for records carrying the given factor
+// and extra keys (sorted by the caller): the fixed columns, then factors,
+// then extras prefixed "x_". Shared by WriteCSV and the streaming CSV sink
+// so the schema lives in exactly one place.
+func CSVHeader(factors, extras []string) []string {
+	header := []string{"seq", "rep", "value", "seconds", "at"}
+	header = append(header, factors...)
+	for _, e := range extras {
+		header = append(header, "x_"+e)
+	}
+	return header
+}
+
+// CSVRow serializes one record under the given factor/extra columns.
+func CSVRow(rec RawRecord, factors, extras []string) []string {
+	row := []string{
+		strconv.Itoa(rec.Seq),
+		strconv.Itoa(rec.Rep),
+		strconv.FormatFloat(rec.Value, 'g', -1, 64),
+		strconv.FormatFloat(rec.Seconds, 'g', -1, 64),
+		strconv.FormatFloat(rec.At, 'g', -1, 64),
+	}
+	for _, f := range factors {
+		row = append(row, rec.Point.Get(f))
+	}
+	for _, e := range extras {
+		row = append(row, rec.Extra[e])
+	}
+	return row
+}
+
 // WriteCSV serializes the raw records.
 func (r *Results) WriteCSV(w io.Writer) error {
 	factorSet := map[string]bool{}
@@ -30,29 +61,11 @@ func (r *Results) WriteCSV(w io.Writer) error {
 	extras := sortedKeys(extraSet)
 
 	cw := csv.NewWriter(w)
-	header := []string{"seq", "rep", "value", "seconds", "at"}
-	header = append(header, factors...)
-	for _, e := range extras {
-		header = append(header, "x_"+e)
-	}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(CSVHeader(factors, extras)); err != nil {
 		return fmt.Errorf("core: write header: %w", err)
 	}
 	for _, rec := range r.Records {
-		row := []string{
-			strconv.Itoa(rec.Seq),
-			strconv.Itoa(rec.Rep),
-			strconv.FormatFloat(rec.Value, 'g', -1, 64),
-			strconv.FormatFloat(rec.Seconds, 'g', -1, 64),
-			strconv.FormatFloat(rec.At, 'g', -1, 64),
-		}
-		for _, f := range factors {
-			row = append(row, rec.Point.Get(f))
-		}
-		for _, e := range extras {
-			row = append(row, rec.Extra[e])
-		}
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(CSVRow(rec, factors, extras)); err != nil {
 			return fmt.Errorf("core: write row: %w", err)
 		}
 	}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"opaquebench/internal/doe"
+)
+
+// Table-driven coverage of the Results helpers, with the edge cases the
+// analysis stage meets in practice: empty campaigns, factors with
+// non-numeric levels (skipped by XY), and records missing a factor.
+
+func resultsFrom(rows []RawRecord) *Results {
+	return &Results{Records: rows}
+}
+
+func rec(value float64, point doe.Point) RawRecord {
+	return RawRecord{Value: value, Point: point}
+}
+
+func TestResultsFilterTable(t *testing.T) {
+	base := []RawRecord{
+		rec(1, doe.Point{"op": "send"}),
+		rec(2, doe.Point{"op": "recv"}),
+		rec(3, doe.Point{"op": "send"}),
+	}
+	cases := []struct {
+		name string
+		in   []RawRecord
+		keep func(RawRecord) bool
+		want []float64
+	}{
+		{"empty results", nil, func(RawRecord) bool { return true }, nil},
+		{"keep all", base, func(RawRecord) bool { return true }, []float64{1, 2, 3}},
+		{"drop all", base, func(RawRecord) bool { return false }, nil},
+		{"by factor preserving order", base,
+			func(r RawRecord) bool { return r.Point.Get("op") == "send" },
+			[]float64{1, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := resultsFrom(tc.in).Filter(tc.keep)
+			if !reflect.DeepEqual(got.Values(), append([]float64(nil), tc.want...)) &&
+				!(len(got.Values()) == 0 && len(tc.want) == 0) {
+				t.Fatalf("Filter values = %v, want %v", got.Values(), tc.want)
+			}
+			if got.Len() != len(tc.want) {
+				t.Fatalf("Len = %d, want %d", got.Len(), len(tc.want))
+			}
+		})
+	}
+}
+
+func TestResultsGroupByTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		in     []RawRecord
+		factor string
+		want   map[string][]float64
+	}{
+		{"empty results", nil, "size", map[string][]float64{}},
+		{"two levels", []RawRecord{
+			rec(10, doe.Point{"size": "1024"}),
+			rec(20, doe.Point{"size": "2048"}),
+			rec(30, doe.Point{"size": "1024"}),
+		}, "size", map[string][]float64{"1024": {10, 30}, "2048": {20}}},
+		{"missing factor groups under empty level", []RawRecord{
+			rec(5, doe.Point{"other": "x"}),
+		}, "size", map[string][]float64{"": {5}}},
+		{"non-numeric levels group fine", []RawRecord{
+			rec(1, doe.Point{"op": "send"}),
+			rec(2, doe.Point{"op": "recv"}),
+		}, "op", map[string][]float64{"send": {1}, "recv": {2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := resultsFrom(tc.in).GroupBy(tc.factor)
+			if len(got) != len(tc.want) {
+				t.Fatalf("GroupBy = %v, want %v", got, tc.want)
+			}
+			for k, vs := range tc.want {
+				if !reflect.DeepEqual(got[k], vs) {
+					t.Fatalf("group %q = %v, want %v", k, got[k], vs)
+				}
+			}
+		})
+	}
+}
+
+func TestResultsXYTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		in     []RawRecord
+		factor string
+		wantX  []float64
+		wantY  []float64
+	}{
+		{"empty results", nil, "size", nil, nil},
+		{"numeric levels", []RawRecord{
+			rec(1, doe.Point{"size": "1024"}),
+			rec(2, doe.Point{"size": "4096"}),
+		}, "size", []float64{1024, 4096}, []float64{1, 2}},
+		{"non-numeric levels skipped", []RawRecord{
+			rec(1, doe.Point{"op": "send", "size": "1024"}),
+			rec(2, doe.Point{"op": "recv", "size": "2048"}),
+		}, "op", nil, nil},
+		{"mixed numeric and not", []RawRecord{
+			rec(1, doe.Point{"size": "10"}),
+			rec(2, doe.Point{"size": "lots"}),
+			rec(3, doe.Point{"size": "30"}),
+		}, "size", []float64{10, 30}, []float64{1, 3}},
+		{"missing factor skipped", []RawRecord{
+			rec(1, doe.Point{"other": "1"}),
+			rec(2, doe.Point{"size": "64"}),
+		}, "size", []float64{64}, []float64{2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			xs, ys := resultsFrom(tc.in).XY(tc.factor)
+			if !reflect.DeepEqual(xs, tc.wantX) || !reflect.DeepEqual(ys, tc.wantY) {
+				t.Fatalf("XY = (%v, %v), want (%v, %v)", xs, ys, tc.wantX, tc.wantY)
+			}
+		})
+	}
+}

@@ -92,6 +92,19 @@ func (u Userspace) Next(_, _ float64, t FreqTable) float64 {
 	return t.AtLeast(u.TargetHz)
 }
 
+// SteadyHz returns the frequency a governor settles on regardless of load
+// history, for governors whose decision ignores the observed load
+// (performance, powersave, userspace). The second return is false for
+// load-reactive governors (ondemand, conservative), whose frequency depends
+// on the execution history and therefore cannot be evaluated per trial.
+func SteadyHz(g Governor, t FreqTable) (float64, bool) {
+	switch g.(type) {
+	case Performance, Powersave, Userspace:
+		return g.Next(t.Min(), 0, t), true
+	}
+	return 0, false
+}
+
 // Conservative reproduces the Linux conservative policy: like ondemand it
 // reacts to load, but it moves one P-state at a time instead of jumping to
 // the maximum, so ramps are slower and medium-length workloads see even

@@ -14,6 +14,7 @@ package membench
 import (
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 	"strings"
 
 	"opaquebench/internal/core"
@@ -68,6 +69,21 @@ type Config struct {
 	// — default 5 ms); it lets the ondemand governor ramp down and the
 	// virtual timeline advance.
 	GapSec float64
+	// Indexed selects trial-indexed execution: every stochastic and
+	// temporal quantity of a trial derives from (Seed, Trial.Seq) instead
+	// of accumulated engine state, so a trial's record is independent of
+	// which trials ran before it. This is what lets the parallel runner
+	// shard a design across workers and still reproduce a serial campaign
+	// record for record. It requires the history-free subset of the
+	// substrate: a load-oblivious governor (performance, powersave,
+	// userspace), the contiguous allocation strategy, and a pinned
+	// scheduler configuration; load-reactive governors, pool/arena
+	// allocation and migration noise are inherently sequential and stay
+	// exclusive to the default stateful mode.
+	Indexed bool
+	// SlotSec is the virtual-time slot per trial in indexed mode: trial
+	// Seq starts at Seq*SlotSec. Default GapSec. Ignored when !Indexed.
+	SlotSec float64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -95,6 +111,20 @@ func (c Config) withDefaults() (Config, error) {
 	if c.GapSec <= 0 {
 		c.GapSec = 0.005
 	}
+	if c.SlotSec <= 0 {
+		c.SlotSec = c.GapSec
+	}
+	if c.Indexed {
+		if _, ok := cpusim.SteadyHz(c.Governor, c.Machine.FreqTable); !ok {
+			return c, fmt.Errorf("membench: indexed mode needs a load-oblivious governor, not %q", c.Governor.Name())
+		}
+		if c.Allocation != AllocContiguous {
+			return c, fmt.Errorf("membench: indexed mode needs contiguous allocation, not %q", c.Allocation)
+		}
+		if c.Sched.Unpinned {
+			return c, fmt.Errorf("membench: indexed mode needs a pinned scheduler configuration")
+		}
+	}
 	c.Sched.Seed = xrand.Derive(c.Seed, "membench/sched")
 	return c, nil
 }
@@ -108,6 +138,8 @@ type Engine struct {
 	alloc     memsim.Allocator
 	noise     *rand.Rand
 	phase     *rand.Rand
+	// steadyHz is the governor's constant frequency in indexed mode.
+	steadyHz float64
 }
 
 // NewEngine builds an engine; the substrate state (caches, clock, page
@@ -144,6 +176,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	steadyHz, _ := cpusim.SteadyHz(cfg.Governor, cfg.Machine.FreqTable)
 	return &Engine{
 		cfg:       cfg,
 		hierarchy: h,
@@ -152,7 +185,21 @@ func NewEngine(cfg Config) (*Engine, error) {
 		alloc:     alloc,
 		noise:     xrand.NewDerived(cfg.Seed, "membench/noise"),
 		phase:     phase,
+		steadyHz:  steadyHz,
 	}, nil
+}
+
+// Factory returns a core.EngineFactory producing independent indexed-mode
+// engines for the given configuration, one per runner worker. The returned
+// factory forces Indexed on; the first NewEngine call reports any
+// configuration that cannot run trial-indexed (load-reactive governor,
+// pool/arena allocation, unpinned scheduler).
+func Factory(cfg Config) core.EngineFactory {
+	return core.EngineFactoryFunc(func() (core.Engine, error) {
+		cfg := cfg
+		cfg.Indexed = true
+		return NewEngine(cfg)
+	})
 }
 
 // ParseParams extracts kernel parameters from a design point. Missing
@@ -211,24 +258,32 @@ func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
 	if err != nil {
 		return core.RawRecord{}, err
 	}
+	alloc := e.alloc
+	if e.cfg.Indexed {
+		// Per-trial substrate: a fresh address space and a cold hierarchy,
+		// so the measurement replays identically wherever the trial lands
+		// in the (possibly sharded) execution.
+		alloc = memsim.NewContiguousAllocator(e.cfg.Machine.PageBytes)
+		e.hierarchy.Flush()
+	}
 	bufs := make([]*memsim.Buffer, kind.Buffers())
 	for i := range bufs {
-		if bufs[i], err = e.alloc.Alloc(kp.SizeBytes); err != nil {
+		if bufs[i], err = alloc.Alloc(kp.SizeBytes); err != nil {
 			return core.RawRecord{}, err
 		}
 		if e.cfg.Allocation == AllocContiguous && i+1 < len(bufs) {
 			// Stagger multi-array kernels by one page, as real STREAM
 			// implementations pad, to avoid power-of-two set collisions.
-			pad, err := e.alloc.Alloc(e.cfg.Machine.PageBytes * (i + 1))
+			pad, err := alloc.Alloc(e.cfg.Machine.PageBytes * (i + 1))
 			if err != nil {
 				return core.RawRecord{}, err
 			}
-			defer e.alloc.Free(pad)
+			defer alloc.Free(pad)
 		}
 	}
 	defer func() {
 		for _, b := range bufs {
-			e.alloc.Free(b)
+			alloc.Free(b)
 		}
 	}()
 
@@ -237,16 +292,29 @@ func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
 		return core.RawRecord{}, err
 	}
 
-	at := e.clock.Now()
-	freqStart := e.clock.FreqHz()
-	seconds := e.clock.ExecuteCycles(res.Cycles)
+	var at, freqStart, seconds float64
+	if e.cfg.Indexed {
+		at = float64(t.Seq) * e.cfg.SlotSec
+		freqStart = e.steadyHz
+		seconds = res.Cycles / freqStart
+	} else {
+		at = e.clock.Now()
+		freqStart = e.clock.FreqHz()
+		seconds = e.clock.ExecuteCycles(res.Cycles)
+	}
 
 	slowdown := e.sched.SlowdownAt(at)
 	seconds *= slowdown
-	seconds = e.cfg.Machine.ApplyNoise(e.noise, seconds)
+	noise := e.noise
+	if e.cfg.Indexed {
+		noise = xrand.NewDerived(e.cfg.Seed, "membench/noise@"+strconv.Itoa(t.Seq))
+	}
+	seconds = e.cfg.Machine.ApplyNoise(noise, seconds)
 
-	// Idle gap before the next measurement (allocation, logging).
-	e.clock.Idle(e.cfg.GapSec)
+	if !e.cfg.Indexed {
+		// Idle gap before the next measurement (allocation, logging).
+		e.clock.Idle(e.cfg.GapSec)
+	}
 
 	rec := core.RawRecord{
 		Point:   t.Point,
@@ -271,6 +339,10 @@ func (e *Engine) Environment() *meta.Environment {
 	env.Set("alloc", e.alloc.Name())
 	env.Set("sched", e.sched.String())
 	env.Setf("seed", "%d", e.cfg.Seed)
+	if e.cfg.Indexed {
+		env.Set("mode", "indexed")
+		env.Setf("slot_s", "%g", e.cfg.SlotSec)
+	}
 	return env
 }
 

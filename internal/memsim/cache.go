@@ -64,6 +64,10 @@ func (c CacheConfig) Validate() error {
 	return nil
 }
 
+// replRNGSeed is the initial xorshift state for RandomReplacement victim
+// draws; shared by NewCache and Flush so both start identical streams.
+const replRNGSeed = 0x9e3779b97f4a7c15
+
 // Cache is one set-associative cache level with LRU replacement.
 type Cache struct {
 	cfg  CacheConfig
@@ -95,7 +99,7 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 		valid: make([]bool, n),
 		dirty: make([]bool, n),
 		age:   make([]uint64, n),
-		rng:   0x9e3779b97f4a7c15,
+		rng:   replRNGSeed,
 	}, nil
 }
 
@@ -188,13 +192,16 @@ func (c *Cache) Writebacks() uint64 { return c.writebacks }
 // ResetStats clears the hit/miss/writeback counters but keeps contents.
 func (c *Cache) ResetStats() { c.hits, c.misses, c.writebacks = 0, 0, 0 }
 
-// Flush invalidates all lines and clears counters.
+// Flush invalidates all lines and clears counters, returning the cache to
+// its freshly-constructed state (including the victim-choice rng, so a
+// flushed cache replays exactly like a new one).
 func (c *Cache) Flush() {
 	for i := range c.valid {
 		c.valid[i] = false
 		c.dirty[i] = false
 	}
 	c.tick = 0
+	c.rng = replRNGSeed
 	c.ResetStats()
 }
 

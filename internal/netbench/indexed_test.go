@@ -1,0 +1,97 @@
+package netbench
+
+import (
+	"testing"
+
+	"opaquebench/internal/doe"
+	"opaquebench/internal/netsim"
+)
+
+// TestIndexedExecuteIgnoresHistory replays one trial around unrelated
+// traffic and across engine instances; indexed records must not move.
+func TestIndexedExecuteIgnoresHistory(t *testing.T) {
+	cfg := Config{Profile: netsim.Taurus(), Seed: 3, Indexed: true}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := doe.Trial{Seq: 42, Point: doe.Point{
+		FactorSize: doe.Level("8192"), FactorOp: doe.Level("send")}}
+	fresh, err := eng.Execute(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		noiseTrial := doe.Trial{Seq: 1000 + i, Point: doe.Point{
+			FactorSize: doe.Level("65536"), FactorOp: doe.Level("pingpong")}}
+		if _, err := eng.Execute(noiseTrial); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := eng.Execute(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Value != again.Value || fresh.At != again.At {
+		t.Fatalf("indexed record depends on history: %+v vs %+v", fresh, again)
+	}
+	eng2, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := eng2.Execute(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Value != other.Value {
+		t.Fatalf("indexed record differs across engines: %v vs %v", fresh.Value, other.Value)
+	}
+}
+
+// TestIndexedPerturbationFollowsVirtualTime plants a perturbation window
+// and checks indexed trials are flagged exactly when their slot falls
+// inside it — the ground-truth annotation the offline analysis relies on.
+func TestIndexedPerturbationFollowsVirtualTime(t *testing.T) {
+	window := netsim.Window{Start: 0.01, End: 0.02}
+	cfg := Config{
+		Profile:   netsim.MyrinetGM(),
+		Seed:      9,
+		Indexed:   true,
+		Perturber: netsim.NewPerturber(4, window),
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := 250e-6 // netsim default SlotSec
+	flagged := 0
+	for seq := 0; seq < 120; seq++ {
+		tr := doe.Trial{Seq: seq, Point: doe.Point{
+			FactorSize: doe.Level("4096"), FactorOp: doe.Level("pingpong")}}
+		rec, err := eng.Execute(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := float64(seq) * slot
+		inWindow := at >= window.Start && at < window.End
+		if got := rec.Extra["perturbed"] == "true"; got != inWindow {
+			t.Fatalf("seq %d (at %v): perturbed=%v, want %v", seq, at, got, inWindow)
+		}
+		if inWindow {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("no trial landed in the perturbation window; test is vacuous")
+	}
+}
+
+func TestNetbenchFactoryForcesIndexed(t *testing.T) {
+	eng, err := Factory(Config{Profile: netsim.Taurus(), Seed: 1}).NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Environment().Get("mode") != "indexed" {
+		t.Fatal("factory engine not indexed")
+	}
+}

@@ -31,6 +31,13 @@ type Config struct {
 	Seed uint64
 	// Perturber optionally injects temporal perturbations (nil = quiet).
 	Perturber *netsim.Perturber
+	// Indexed selects trial-indexed execution (netsim.MeasureIndexed):
+	// each trial's sample derives from (Seed, Trial.Seq) alone — noise
+	// from a per-trial stream, start time from a fixed per-trial slot —
+	// so records are independent of execution history and the campaign
+	// can be sharded across runner workers while staying record-for-
+	// record identical to a serial run.
+	Indexed bool
 }
 
 // Engine implements core.Engine for network campaigns.
@@ -75,7 +82,12 @@ func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
 	if err != nil {
 		return core.RawRecord{}, err
 	}
-	s, err := e.net.Measure(op, size)
+	var s netsim.Sample
+	if e.cfg.Indexed {
+		s, err = e.net.MeasureIndexed(op, size, t.Seq)
+	} else {
+		s, err = e.net.Measure(op, size)
+	}
 	if err != nil {
 		return core.RawRecord{}, err
 	}
@@ -96,7 +108,20 @@ func (e *Engine) Environment() *meta.Environment {
 	env.Setf("network/regimes", "%d", len(e.cfg.Profile.Regimes))
 	env.Setf("seed", "%d", e.cfg.Seed)
 	env.Setf("perturbed", "%v", e.cfg.Perturber != nil)
+	if e.cfg.Indexed {
+		env.Set("mode", "indexed")
+	}
 	return env
+}
+
+// Factory returns a core.EngineFactory producing independent indexed-mode
+// engines for the given configuration, one per runner worker.
+func Factory(cfg Config) core.EngineFactory {
+	return core.EngineFactoryFunc(func() (core.Engine, error) {
+		cfg := cfg
+		cfg.Indexed = true
+		return NewEngine(cfg)
+	})
 }
 
 // Design builds a randomized network campaign design: nSizes log-uniform

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 
 	"opaquebench/internal/xrand"
 )
@@ -42,6 +43,7 @@ type Sample struct {
 type Network struct {
 	profile   *Profile
 	perturber *Perturber
+	seed      uint64
 	r         *rand.Rand
 	now       float64
 	seq       int
@@ -49,6 +51,12 @@ type Network struct {
 	// measurements (setup, logging); it advances the clock so temporal
 	// perturbations span contiguous ranges of the sequence.
 	GapBetweenOps float64
+	// SlotSec is the virtual-time slot per measurement for MeasureIndexed:
+	// the seq-th indexed measurement starts at seq*SlotSec. The default,
+	// 250 µs, approximates a medium operation plus GapBetweenOps so
+	// perturbation windows cover sequence ranges comparable to the
+	// sequential clock.
+	SlotSec float64
 }
 
 // New builds a network simulator for the given profile.
@@ -63,8 +71,10 @@ func New(profile *Profile, seed uint64, perturber *Perturber) (*Network, error) 
 	return &Network{
 		profile:       profile,
 		perturber:     perturber,
+		seed:          seed,
 		r:             xrand.NewDerived(seed, "netsim/"+profile.Name),
 		GapBetweenOps: 50e-6,
+		SlotSec:       250e-6,
 	}, nil
 }
 
@@ -74,9 +84,10 @@ func (n *Network) Profile() *Profile { return n.profile }
 // Now returns the current virtual time.
 func (n *Network) Now() float64 { return n.now }
 
-// Measure executes one operation of the given size and returns the raw
-// sample, advancing virtual time.
-func (n *Network) Measure(op Op, size int) (Sample, error) {
+// sample computes one measurement starting at virtual time `at`, drawing
+// duration noise from r. It does not touch the network's clock or sequence
+// counter; Measure and MeasureIndexed supply those.
+func (n *Network) sample(op Op, size, seq int, at float64, r *rand.Rand) (Sample, error) {
 	if size < 0 {
 		return Sample{}, fmt.Errorf("netsim: negative size %d", size)
 	}
@@ -97,21 +108,42 @@ func (n *Network) Measure(op Op, size int) (Sample, error) {
 		return Sample{}, fmt.Errorf("netsim: unknown op %q", op)
 	}
 	base *= n.profile.quirkFactor(size)
-	dur := noise.Apply(n.r, base)
-	pf := n.perturber.FactorAt(n.now)
+	dur := noise.Apply(r, base)
+	pf := n.perturber.FactorAt(at)
 	dur *= pf
 
-	s := Sample{
+	return Sample{
 		Op:        op,
 		Size:      size,
 		Seconds:   dur,
-		At:        n.now,
-		Seq:       n.seq,
+		At:        at,
+		Seq:       seq,
 		Perturbed: pf > 1,
+	}, nil
+}
+
+// Measure executes one operation of the given size and returns the raw
+// sample, advancing virtual time.
+func (n *Network) Measure(op Op, size int) (Sample, error) {
+	s, err := n.sample(op, size, n.seq, n.now, n.r)
+	if err != nil {
+		return Sample{}, err
 	}
-	n.now += dur + n.GapBetweenOps
+	n.now += s.Seconds + n.GapBetweenOps
 	n.seq++
 	return s, nil
+}
+
+// MeasureIndexed executes one operation as the seq-th measurement of a
+// trial-indexed campaign: the start time is seq*SlotSec and the duration
+// noise comes from a stream derived from (seed, seq), so the sample is a
+// pure function of the network configuration and seq, independent of
+// measurement history. The network's sequential clock and stream are left
+// untouched, which is what lets a design be sharded across workers while
+// reproducing a serial campaign sample for sample.
+func (n *Network) MeasureIndexed(op Op, size, seq int) (Sample, error) {
+	r := xrand.NewDerived(n.seed, "netsim/indexed/"+n.profile.Name+"@"+strconv.Itoa(seq))
+	return n.sample(op, size, seq, float64(seq)*n.SlotSec, r)
 }
 
 // MeasureAll executes the three operations back-to-back for one size,

@@ -1,0 +1,451 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/membench"
+	"opaquebench/internal/memsim"
+	"opaquebench/internal/meta"
+	"opaquebench/internal/netbench"
+	"opaquebench/internal/netsim"
+)
+
+// stubEngine is a trial-indexed engine: the record is a pure function of
+// the trial, with an optional artificial delay and failure injection.
+type stubEngine struct {
+	delay  func(seq int) time.Duration
+	failAt int // Seq that errors; -1 for never
+	mu     *sync.Mutex
+	calls  *[]int // execution order capture, shared across instances
+}
+
+func (s *stubEngine) Execute(t doe.Trial) (core.RawRecord, error) {
+	if s.delay != nil {
+		time.Sleep(s.delay(t.Seq))
+	}
+	if s.calls != nil {
+		s.mu.Lock()
+		*s.calls = append(*s.calls, t.Seq)
+		s.mu.Unlock()
+	}
+	if t.Seq == s.failAt {
+		return core.RawRecord{}, fmt.Errorf("boom")
+	}
+	rec := core.RawRecord{Value: float64(t.Seq) * 2, Seconds: 1, At: float64(t.Seq)}
+	rec.Annotate("w", strconv.Itoa(t.Seq))
+	return rec, nil
+}
+
+func (s *stubEngine) Environment() *meta.Environment { return meta.New() }
+
+func stubFactory(e *stubEngine) core.EngineFactory {
+	return core.EngineFactoryFunc(func() (core.Engine, error) {
+		c := *e
+		return &c, nil
+	})
+}
+
+func stubDesign(t *testing.T, n int) *doe.Design {
+	t.Helper()
+	levels := make([]int, n)
+	for i := range levels {
+		levels[i] = i + 1
+	}
+	d, err := doe.FullFactorial([]doe.Factor{doe.IntFactor("f", levels...)},
+		doe.Options{Seed: 3, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRunFillsDesignOrder(t *testing.T) {
+	d := stubDesign(t, 37)
+	for _, workers := range []int{1, 3, 8, 64} {
+		res, err := Run(context.Background(), d, stubFactory(&stubEngine{failAt: -1}), Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Len() != d.Size() {
+			t.Fatalf("workers=%d: %d records, want %d", workers, res.Len(), d.Size())
+		}
+		for i, rec := range res.Records {
+			if rec.Seq != i {
+				t.Fatalf("workers=%d: record %d has Seq %d", workers, i, rec.Seq)
+			}
+			if rec.Value != float64(i)*2 {
+				t.Fatalf("workers=%d: record %d has Value %v", workers, i, rec.Value)
+			}
+			if rec.Rep != d.Trials[i].Rep || rec.Point.Key() != d.Trials[i].Point.Key() {
+				t.Fatalf("workers=%d: record %d rep/point mismatch", workers, i)
+			}
+		}
+		if got := res.Env.Get("runner/workers"); got == "" {
+			t.Fatalf("workers=%d: missing runner/workers env", workers)
+		}
+	}
+}
+
+func TestRunDefaultsAndEdges(t *testing.T) {
+	if _, err := Run(context.Background(), nil, stubFactory(&stubEngine{failAt: -1}), Config{}); err == nil {
+		t.Fatal("nil design accepted")
+	}
+	if _, err := Run(context.Background(), stubDesign(t, 3), nil, Config{}); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	// Workers <= 0 falls back to GOMAXPROCS; more workers than trials clamps.
+	res, err := Run(context.Background(), stubDesign(t, 2), stubFactory(&stubEngine{failAt: -1}), Config{Workers: -1})
+	if err != nil || res.Len() != 2 {
+		t.Fatalf("defaulted workers: res=%v err=%v", res, err)
+	}
+	empty := &doe.Design{Factors: []doe.Factor{doe.IntFactor("f", 1)}}
+	res, err = Run(context.Background(), empty, stubFactory(&stubEngine{failAt: -1}), Config{Workers: 4})
+	if err != nil || res.Len() != 0 {
+		t.Fatalf("empty design: res=%v err=%v", res, err)
+	}
+}
+
+func TestRunFirstErrorWins(t *testing.T) {
+	d := stubDesign(t, 50)
+	_, err := Run(context.Background(), d, stubFactory(&stubEngine{failAt: 17}), Config{Workers: 4})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	want := fmt.Sprintf("runner: trial 17 (%s): boom", d.Trials[17].Point.Key())
+	if err.Error() != want {
+		t.Fatalf("err = %q, want %q", err, want)
+	}
+}
+
+func TestRunFactoryErrorSurfaces(t *testing.T) {
+	factory := core.EngineFactoryFunc(func() (core.Engine, error) {
+		return nil, fmt.Errorf("no engine for you")
+	})
+	if _, err := Run(context.Background(), stubDesign(t, 3), factory, Config{Workers: 2}); err == nil {
+		t.Fatal("expected factory error")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	d := stubDesign(t, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := &stubEngine{failAt: -1, delay: func(int) time.Duration { return time.Millisecond }}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, d, stubFactory(eng), Config{Workers: 2})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled run returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not stop after cancellation")
+	}
+}
+
+func TestRunProgressMonotonic(t *testing.T) {
+	d := stubDesign(t, 23)
+	var seen []int
+	_, err := Run(context.Background(), d, stubFactory(&stubEngine{failAt: -1}), Config{
+		Workers: 4,
+		Progress: func(done, total int) {
+			if total != 23 {
+				t.Errorf("total = %d, want 23", total)
+			}
+			seen = append(seen, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 23 {
+		t.Fatalf("progress called %d times, want 23", len(seen))
+	}
+	for i, v := range seen {
+		if v != i+1 {
+			t.Fatalf("progress[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestRunSinkSeesDesignOrder forces out-of-order completion (early trials
+// sleep longest) and asserts the sink still observes records 0, 1, 2, ...
+func TestRunSinkSeesDesignOrder(t *testing.T) {
+	d := stubDesign(t, 24)
+	eng := &stubEngine{
+		failAt: -1,
+		delay: func(seq int) time.Duration {
+			return time.Duration(24-seq) * 200 * time.Microsecond
+		},
+	}
+	var got []int
+	sink := sinkFunc(func(rec core.RawRecord) error {
+		got = append(got, rec.Seq)
+		return nil
+	})
+	if _, err := Run(context.Background(), d, stubFactory(eng), Config{Workers: 6, Sinks: []RecordSink{sink}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 24 {
+		t.Fatalf("sink saw %d records, want 24", len(got))
+	}
+	for i, seq := range got {
+		if seq != i {
+			t.Fatalf("sink order broken at %d: got seq %d", i, seq)
+		}
+	}
+}
+
+func TestRunSinkErrorAborts(t *testing.T) {
+	d := stubDesign(t, 40)
+	n := 0
+	sink := sinkFunc(func(core.RawRecord) error {
+		n++
+		if n == 5 {
+			return fmt.Errorf("disk full")
+		}
+		return nil
+	})
+	_, err := Run(context.Background(), d, stubFactory(&stubEngine{failAt: -1}), Config{Workers: 4, Sinks: []RecordSink{sink}})
+	if err == nil {
+		t.Fatal("expected sink error")
+	}
+}
+
+// sinkFunc adapts a function to RecordSink for tests.
+type sinkFunc func(core.RawRecord) error
+
+func (f sinkFunc) Write(rec core.RawRecord) error { return f(rec) }
+func (f sinkFunc) Flush() error                   { return nil }
+
+// --- Equivalence with serial core.Campaign.Run -------------------------
+
+func membenchFixture(t *testing.T) (*doe.Design, membench.Config) {
+	t.Helper()
+	d, err := doe.FullFactorial(
+		membench.Factors([]int{4 << 10, 64 << 10, 1 << 20}, []int{1, 4}, nil, []int{50}, nil),
+		doe.Options{Replicates: 3, Seed: 7, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, membench.Config{Machine: memsim.CoreI7(), Seed: 7}
+}
+
+func netbenchFixture(t *testing.T) (*doe.Design, netbench.Config) {
+	t.Helper()
+	d, err := netbench.Design(11, 60, 64, 1<<20, 3, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, netbench.Config{
+		Profile:   netsim.Taurus(),
+		Seed:      11,
+		Perturber: netsim.NewPerturber(4, netsim.Window{Start: 0.004, End: 0.02}),
+	}
+}
+
+// assertRecordsIdentical checks the full record payload: Seq, Rep, the
+// factor combination, the primary metric, and the raw timing columns.
+func assertRecordsIdentical(t *testing.T, label string, serial, parallel *core.Results) {
+	t.Helper()
+	if parallel.Len() != serial.Len() {
+		t.Fatalf("%s: %d records, want %d", label, parallel.Len(), serial.Len())
+	}
+	for i := range serial.Records {
+		a, b := serial.Records[i], parallel.Records[i]
+		if a.Seq != b.Seq || a.Rep != b.Rep {
+			t.Fatalf("%s: record %d seq/rep: serial (%d,%d) parallel (%d,%d)",
+				label, i, a.Seq, a.Rep, b.Seq, b.Rep)
+		}
+		if a.Point.Key() != b.Point.Key() {
+			t.Fatalf("%s: record %d point: %q vs %q", label, i, a.Point.Key(), b.Point.Key())
+		}
+		if a.Value != b.Value || a.Seconds != b.Seconds || a.At != b.At {
+			t.Fatalf("%s: record %d payload: serial (%v,%v,%v) parallel (%v,%v,%v)",
+				label, i, a.Value, a.Seconds, a.At, b.Value, b.Seconds, b.At)
+		}
+		if len(a.Extra) != len(b.Extra) {
+			t.Fatalf("%s: record %d extras differ", label, i)
+		}
+		for k, v := range a.Extra {
+			if b.Extra[k] != v {
+				t.Fatalf("%s: record %d extra %q: %q vs %q", label, i, k, v, b.Extra[k])
+			}
+		}
+	}
+}
+
+func TestMembenchParallelMatchesSerial(t *testing.T) {
+	d, cfg := membenchFixture(t)
+	factory := membench.Factory(cfg)
+	eng, err := factory.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := (&core.Campaign{Design: d, Engine: eng}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serialCSV bytes.Buffer
+	if err := serial.WriteCSV(&serialCSV); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		var parCSV bytes.Buffer
+		par, err := Run(context.Background(), d, factory,
+			Config{Workers: workers, Sinks: []RecordSink{NewCSVSink(&parCSV)}})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertRecordsIdentical(t, fmt.Sprintf("membench workers=%d", workers), serial, par)
+		if !bytes.Equal(serialCSV.Bytes(), parCSV.Bytes()) {
+			t.Fatalf("workers=%d: streamed CSV differs from serial WriteCSV", workers)
+		}
+	}
+}
+
+func TestNetbenchParallelMatchesSerial(t *testing.T) {
+	d, cfg := netbenchFixture(t)
+	factory := netbench.Factory(cfg)
+	eng, err := factory.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := (&core.Campaign{Design: d, Engine: eng}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serialCSV bytes.Buffer
+	if err := serial.WriteCSV(&serialCSV); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		var parCSV bytes.Buffer
+		par, err := Run(context.Background(), d, factory,
+			Config{Workers: workers, Sinks: []RecordSink{NewCSVSink(&parCSV)}})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertRecordsIdentical(t, fmt.Sprintf("netbench workers=%d", workers), serial, par)
+		if !bytes.Equal(serialCSV.Bytes(), parCSV.Bytes()) {
+			t.Fatalf("workers=%d: streamed CSV differs from serial WriteCSV", workers)
+		}
+	}
+}
+
+// TestParallelRunsAreReproducible reruns the same sharded campaign and
+// demands bit-identical output — the determinism guarantee of DESIGN.md.
+func TestParallelRunsAreReproducible(t *testing.T) {
+	d, cfg := membenchFixture(t)
+	factory := membench.Factory(cfg)
+	first, err := Run(context.Background(), d, factory, Config{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(context.Background(), d, factory, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecordsIdentical(t, "rerun", first, second)
+}
+
+// TestRunOrSerial covers the command-line dispatch helper: both branches
+// drain the same sinks and return full results.
+func TestRunOrSerial(t *testing.T) {
+	d := stubDesign(t, 12)
+	factory := stubFactory(&stubEngine{failAt: -1})
+	serialEng, err := factory.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serialCSV, parCSV bytes.Buffer
+	serial, err := RunOrSerial(context.Background(), d, nil, serialEng, 1,
+		func() ([]RecordSink, error) { return []RecordSink{NewCSVSink(&serialCSV)}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunOrSerial(context.Background(), d, factory, nil, 4,
+		func() ([]RecordSink, error) { return []RecordSink{NewCSVSink(&parCSV)}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() != 12 || par.Len() != 12 {
+		t.Fatalf("lens %d, %d, want 12", serial.Len(), par.Len())
+	}
+	if serialCSV.String() != parCSV.String() {
+		t.Fatal("dispatch branches produced different CSV for a trial-indexed stub")
+	}
+	// nil openSinks means no sinks.
+	if _, err := RunOrSerial(context.Background(), d, factory, nil, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunOrSerialNeverOpensSinksOnFailure pins the output-preservation
+// contract: a serial run that fails mid-campaign, or a parallel run whose
+// configuration is rejected, must not touch the output files at all.
+func TestRunOrSerialNeverOpensSinksOnFailure(t *testing.T) {
+	d := stubDesign(t, 10)
+	opened := 0
+	openSinks := func() ([]RecordSink, error) {
+		opened++
+		return nil, nil
+	}
+	failing, err := stubFactory(&stubEngine{failAt: 4}).NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOrSerial(context.Background(), d, nil, failing, 1, openSinks); err == nil {
+		t.Fatal("failing serial campaign reported success")
+	}
+	badFactory := core.EngineFactoryFunc(func() (core.Engine, error) {
+		return nil, fmt.Errorf("bad config")
+	})
+	if _, err := RunOrSerial(context.Background(), d, badFactory, nil, 4, openSinks); err == nil {
+		t.Fatal("failing factory reported success")
+	}
+	if opened != 0 {
+		t.Fatalf("sinks opened %d times on failing runs, want 0", opened)
+	}
+}
+
+// TestRunFlushesPrefixOnFailure pins the crash-durability promise: when a
+// trial fails mid-campaign, the records already streamed in design order
+// must reach the sink's underlying writer, not die in a csv buffer.
+func TestRunFlushesPrefixOnFailure(t *testing.T) {
+	d := stubDesign(t, 10)
+	var buf bytes.Buffer
+	// One worker executes 0,1,2,... in order and fails at 5, so exactly
+	// the header and rows 0-4 form the flushed prefix.
+	_, err := Run(context.Background(), d, stubFactory(&stubEngine{failAt: 5}),
+		Config{Workers: 1, Sinks: []RecordSink{NewCSVSink(&buf)}})
+	if err == nil {
+		t.Fatal("failing campaign reported success")
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("flushed %d CSV lines, want header+5 rows:\n%s", len(lines), buf.String())
+	}
+	parsed, perr := core.ReadCSV(&buf)
+	if perr != nil {
+		t.Fatalf("flushed prefix does not parse: %v", perr)
+	}
+	for i, rec := range parsed.Records {
+		if rec.Seq != i {
+			t.Fatalf("prefix record %d has seq %d", i, rec.Seq)
+		}
+	}
+}

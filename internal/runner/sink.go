@@ -1,0 +1,214 @@
+package runner
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+)
+
+// RecordSink consumes a campaign's raw records one at a time, in design
+// order, as the runner's ordered prefix extends. Implementations are driven
+// from a single goroutine and need not be safe for concurrent use.
+type RecordSink interface {
+	// Write appends one record.
+	Write(rec core.RawRecord) error
+	// Flush forces any buffered output down; the runner calls it once
+	// after the last record.
+	Flush() error
+}
+
+// CSVSink streams records as CSV, row by row, producing byte-identical
+// output to core.Results.WriteCSV for campaigns whose records share one
+// factor and extra key set (as engine-generated records do). The header is
+// derived from the first record; an empty campaign flushes the fixed
+// columns only.
+type CSVSink struct {
+	w       *csv.Writer
+	factors []string
+	extras  []string
+	known   map[string]bool
+	started bool
+}
+
+// NewCSVSink returns a sink writing to w.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+// Write implements RecordSink. A record carrying a factor or extra key
+// absent from the first record's column set is an error: a streamed header
+// cannot grow, and silently dropping the column would lose raw data — the
+// one thing the methodology forbids. (Keys *missing* from a record are
+// fine; they serialize as empty cells, as Results.WriteCSV does.)
+func (s *CSVSink) Write(rec core.RawRecord) error {
+	if !s.started {
+		s.factors = sortedKeys(rec.Point)
+		s.extras = sortedKeys(rec.Extra)
+		s.known = make(map[string]bool, len(s.factors)+len(s.extras))
+		for _, f := range s.factors {
+			s.known["f:"+f] = true
+		}
+		for _, e := range s.extras {
+			s.known["x:"+e] = true
+		}
+		if err := s.writeHeader(); err != nil {
+			return err
+		}
+	}
+	for k := range rec.Point {
+		if !s.known["f:"+k] {
+			return fmt.Errorf("runner: record %d carries factor %q absent from the CSV header; use a JSONL sink for heterogeneous records", rec.Seq, k)
+		}
+	}
+	for k := range rec.Extra {
+		if !s.known["x:"+k] {
+			return fmt.Errorf("runner: record %d carries extra %q absent from the CSV header; use a JSONL sink for heterogeneous records", rec.Seq, k)
+		}
+	}
+	if err := s.w.Write(core.CSVRow(rec, s.factors, s.extras)); err != nil {
+		return fmt.Errorf("runner: write csv row: %w", err)
+	}
+	return s.w.Error()
+}
+
+func (s *CSVSink) writeHeader() error {
+	s.started = true
+	if err := s.w.Write(core.CSVHeader(s.factors, s.extras)); err != nil {
+		return fmt.Errorf("runner: write csv header: %w", err)
+	}
+	return nil
+}
+
+// Flush implements RecordSink.
+func (s *CSVSink) Flush() error {
+	if !s.started {
+		if err := s.writeHeader(); err != nil {
+			return err
+		}
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// JSONLSink streams records as JSON Lines: one self-describing object per
+// record, so heterogeneous factor sets and late schema growth need no
+// header coordination.
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// jsonlRecord fixes the field names of the JSONL schema independently of
+// the core.RawRecord Go struct.
+type jsonlRecord struct {
+	Seq     int               `json:"seq"`
+	Rep     int               `json:"rep"`
+	Value   float64           `json:"value"`
+	Seconds float64           `json:"seconds"`
+	At      float64           `json:"at"`
+	Point   map[string]string `json:"point,omitempty"`
+	Extra   map[string]string `json:"extra,omitempty"`
+}
+
+// Write implements RecordSink.
+func (s *JSONLSink) Write(rec core.RawRecord) error {
+	out := jsonlRecord{
+		Seq:     rec.Seq,
+		Rep:     rec.Rep,
+		Value:   rec.Value,
+		Seconds: rec.Seconds,
+		At:      rec.At,
+		Extra:   rec.Extra,
+	}
+	if len(rec.Point) > 0 {
+		out.Point = make(map[string]string, len(rec.Point))
+		for k, v := range rec.Point {
+			out.Point[k] = string(v)
+		}
+	}
+	if err := s.enc.Encode(out); err != nil {
+		return fmt.Errorf("runner: write jsonl: %w", err)
+	}
+	return nil
+}
+
+// Flush implements RecordSink. The encoder writes through, so there is
+// nothing to do.
+func (s *JSONLSink) Flush() error { return nil }
+
+// WriteAll drains a fully-materialized result set through a sink — the
+// serial path's way of reusing the streaming writers.
+func WriteAll(res *core.Results, sink RecordSink) error {
+	for _, rec := range res.Records {
+		if err := sink.Write(rec); err != nil {
+			return err
+		}
+	}
+	return sink.Flush()
+}
+
+// RunOrSerial is the command-line dispatch: workers > 1 shards the design
+// through Run with the factory's trial-indexed engines; otherwise the
+// campaign runs serially on engine (preserving stateful sequential
+// semantics) and the buffered records drain through the same sinks.
+//
+// Sinks are opened lazily through openSinks (nil means no sinks) so output
+// files are never touched by an invocation that fails validation. The
+// serial path opens them only after the campaign succeeds, preserving the
+// classic "a failed run never clobbers previous results" guarantee; the
+// parallel path must open them up front to stream, so a failed sharded run
+// leaves the completed prefix behind — which is the streaming sinks'
+// crash-durability value, not a loss.
+func RunOrSerial(ctx context.Context, design *doe.Design, factory core.EngineFactory,
+	engine core.Engine, workers int, openSinks func() ([]RecordSink, error)) (*core.Results, error) {
+	if openSinks == nil {
+		openSinks = func() ([]RecordSink, error) { return nil, nil }
+	}
+	if workers > 1 {
+		// Surface configuration errors before any output file is opened.
+		// The probe engine is discarded — a deliberate trade: one extra
+		// engine construction (microseconds, transient) buys file-untouched
+		// failure for every bad invocation.
+		if _, err := factory.NewEngine(); err != nil {
+			return nil, err
+		}
+		sinks, err := openSinks()
+		if err != nil {
+			return nil, err
+		}
+		return Run(ctx, design, factory, Config{Workers: workers, Sinks: sinks})
+	}
+	res, err := (&core.Campaign{Design: design, Engine: engine}).Run()
+	if err != nil {
+		return nil, err
+	}
+	sinks, err := openSinks()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sinks {
+		if err := WriteAll(res, s); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

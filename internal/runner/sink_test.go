@@ -1,0 +1,149 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+)
+
+func sampleRecords() []core.RawRecord {
+	recs := make([]core.RawRecord, 3)
+	for i := range recs {
+		recs[i] = core.RawRecord{
+			Seq:     i,
+			Rep:     i % 2,
+			Value:   float64(i) * 1.5,
+			Seconds: 0.25,
+			At:      float64(i),
+			Point:   doe.Point{"size": doe.Level("4096"), "op": doe.Level("send")},
+		}
+		recs[i].Annotate("perturbed", "false")
+	}
+	return recs
+}
+
+func TestCSVSinkMatchesWriteCSV(t *testing.T) {
+	recs := sampleRecords()
+	res := &core.Results{Records: recs}
+	var want bytes.Buffer
+	if err := res.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := WriteAll(res, NewCSVSink(&got)); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != got.String() {
+		t.Fatalf("CSV mismatch:\nwant:\n%s\ngot:\n%s", want.String(), got.String())
+	}
+	// And the stream parses back to the same records.
+	parsed, err := core.ReadCSV(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", parsed.Len(), len(recs))
+	}
+}
+
+func TestCSVSinkEmptyCampaignHeaderOnly(t *testing.T) {
+	var got bytes.Buffer
+	s := NewCSVSink(&got)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := (&core.Results{}).WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("empty CSV: got %q want %q", got.String(), want.String())
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	for _, r := range recs {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		var obj struct {
+			Seq     int               `json:"seq"`
+			Rep     int               `json:"rep"`
+			Value   float64           `json:"value"`
+			Seconds float64           `json:"seconds"`
+			At      float64           `json:"at"`
+			Point   map[string]string `json:"point"`
+			Extra   map[string]string `json:"extra"`
+		}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		want := recs[n]
+		if obj.Seq != want.Seq || obj.Rep != want.Rep || obj.Value != want.Value ||
+			obj.Seconds != want.Seconds || obj.At != want.At {
+			t.Fatalf("line %d: %+v vs %+v", n, obj, want)
+		}
+		if obj.Point["size"] != "4096" || obj.Point["op"] != "send" {
+			t.Fatalf("line %d point: %v", n, obj.Point)
+		}
+		if obj.Extra["perturbed"] != "false" {
+			t.Fatalf("line %d extra: %v", n, obj.Extra)
+		}
+		n++
+	}
+	if n != len(recs) {
+		t.Fatalf("%d JSONL lines, want %d", n, len(recs))
+	}
+}
+
+func TestJSONLSinkOmitsEmptyPoint(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	if err := sink.Write(core.RawRecord{Seq: 0, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if strings.Contains(line, "point") || strings.Contains(line, "extra") {
+		t.Fatalf("empty maps serialized: %s", line)
+	}
+}
+
+func TestCSVSinkRejectsLateNewColumns(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf)
+	first := core.RawRecord{Seq: 0, Point: doe.Point{"size": "1"}}
+	if err := s.Write(first); err != nil {
+		t.Fatal(err)
+	}
+	// A missing key serializes as an empty cell, like WriteCSV.
+	if err := s.Write(core.RawRecord{Seq: 1, Point: doe.Point{}}); err != nil {
+		t.Fatalf("record missing a factor rejected: %v", err)
+	}
+	// A new factor cannot join a streamed header: that would silently
+	// drop raw data.
+	newFactor := core.RawRecord{Seq: 2, Point: doe.Point{"size": "1", "op": "send"}}
+	if err := s.Write(newFactor); err == nil {
+		t.Fatal("record with a new factor accepted after the header froze")
+	}
+	newExtra := core.RawRecord{Seq: 3, Point: doe.Point{"size": "1"}}
+	newExtra.Annotate("surprise", "1")
+	if err := s.Write(newExtra); err == nil {
+		t.Fatal("record with a new extra accepted after the header froze")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package opaquebench_test
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip under it (5-15x slowdown makes wall-clock ratios noise).
+const raceEnabled = false
