@@ -1,0 +1,172 @@
+// Command cpubench runs a white-box CPU campaign against a simulated
+// frequency table: it reads (or generates) a randomized design of busy-loop
+// workloads, executes every trial in design order through the cpubench
+// engine — DVFS governor and OS scheduling interference included — and
+// writes the full raw results plus the captured environment.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/cpubench"
+	"opaquebench/internal/cpusim"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/ossim"
+	"opaquebench/internal/runner"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cpubench:", err)
+		os.Exit(1)
+	}
+}
+
+// parseTable resolves the -table flag: a named Figure 5 ladder, or one or
+// more comma-separated GHz values (e.g. "1.6,2.0,3.4").
+func parseTable(spec string) (cpusim.FreqTable, error) {
+	named, nameErr := cpubench.TableByName(spec)
+	if nameErr == nil {
+		return named, nil
+	}
+	var tab cpusim.FreqTable
+	for _, part := range strings.Split(spec, ",") {
+		ghz, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			if !strings.Contains(spec, ",") {
+				// A single non-numeric token is a misspelled name, not a
+				// malformed frequency list.
+				return nil, nameErr
+			}
+			return nil, fmt.Errorf("bad frequency %q in table %q", part, spec)
+		}
+		tab = append(tab, ghz*1e9)
+	}
+	if err := tab.Validate(); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cpubench", flag.ContinueOnError)
+	table := fs.String("table", "i7", "frequency table: i7, snowball, opteron, p4, or comma-separated GHz values")
+	designPath := fs.String("design", "", "design CSV (from designgen); empty generates the default nloops ladder")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	governor := fs.String("governor", "performance", "DVFS governor: performance, powersave, ondemand, conservative, userspace")
+	targetGHz := fs.Float64("target-ghz", 0, "pinned frequency for -governor userspace (GHz)")
+	period := fs.Float64("period", 0.01, "governor sampling period (seconds)")
+	policy := fs.String("policy", "other", "scheduling policy: other, rt")
+	unpinned := fs.Bool("unpinned", false, "do not pin the benchmark to one core (adds migration noise)")
+	gap := fs.Float64("gap", 0.005, "idle seconds between measurements; longer gaps let load-reactive governors ramp back down (the Figure 10 scenario uses 0.03)")
+	duty := fs.Float64("duty", 1, "busy fraction per loop repetition, (0, 1]")
+	reps := fs.Int("reps", 42, "replicates when generating the default design")
+	indexed := fs.Bool("indexed", false, "trial-indexed execution even at -workers 1, so serial output is byte-identical to any sharded run (requires a load-oblivious governor and a pinned scheduler)")
+	workers := fs.Int("workers", 1, "parallel campaign workers; >1 shards the design across trial-indexed engines (requires a load-oblivious governor and a pinned scheduler) and streams records as they complete")
+	outPath := fs.String("o", "", "raw results CSV (default stdout)")
+	jsonlPath := fs.String("jsonl", "", "raw results JSONL output (optional, streamed)")
+	envPath := fs.String("env", "", "environment JSON output (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tab, err := parseTable(*table)
+	if err != nil {
+		return err
+	}
+	gov, err := cpusim.GovernorByName(*governor, *targetGHz*1e9)
+	if err != nil {
+		return err
+	}
+	pol, err := ossim.PolicyByName(*policy)
+	if err != nil {
+		return err
+	}
+	if *duty <= 0 || *duty > 1 {
+		return fmt.Errorf("duty must be in (0, 1], got %v", *duty)
+	}
+	if *designPath != "" && *duty != 1 {
+		return fmt.Errorf("-duty shapes the generated design; with -design, add a duty column to the design CSV instead")
+	}
+
+	var design *doe.Design
+	if *designPath != "" {
+		f, err := os.Open(*designPath)
+		if err != nil {
+			return err
+		}
+		design, err = doe.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		// The canonical Figure 10 ladder: workloads from well under one
+		// sampling period to hundreds of periods, crossed with the duty
+		// level when one is requested.
+		var duties []float64
+		if *duty < 1 {
+			duties = []float64{*duty}
+		}
+		design, err = doe.FullFactorial(
+			cpubench.Factors([]int{20, 200, 2000, 20000}, nil, duties),
+			doe.Options{Replicates: *reps, Seed: *seed, Randomize: true})
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := cpubench.Config{
+		Table:             tab,
+		Seed:              *seed,
+		Governor:          gov,
+		SamplingPeriodSec: *period,
+		Sched:             ossim.Config{Policy: pol, Unpinned: *unpinned},
+		GapSec:            *gap,
+		Indexed:           *indexed,
+	}
+	var eng core.Engine
+	if *workers <= 1 {
+		if eng, err = cpubench.NewEngine(cfg); err != nil {
+			return err
+		}
+	}
+
+	// Output files open lazily: serial runs only touch them after the
+	// campaign succeeds; parallel runs open them post-validation to stream.
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	openSinks := func() ([]runner.RecordSink, error) {
+		sinks, cs, err := runner.FileSinks(stdout, *outPath, *jsonlPath)
+		closers = cs
+		return sinks, err
+	}
+
+	res, err := runner.RunOrSerial(context.Background(), design, cpubench.Factory(cfg),
+		eng, *workers, openSinks)
+	if err != nil {
+		return err
+	}
+	if *envPath != "" {
+		f, err := os.Create(*envPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Env.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -12,19 +12,19 @@ import (
 
 func TestDefaultCampaign(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-machine", "opteron", "-reps", "2"}, &buf); err != nil {
+	if err := run([]string{"-reps", "2"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	res, err := core.ReadCSV(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Len() == 0 {
-		t.Fatal("no records")
+	if res.Len() != 4*2 {
+		t.Fatalf("records = %d, want 8 (4 ladder levels x 2 reps)", res.Len())
 	}
 	for _, rec := range res.Records {
 		if rec.Value <= 0 {
-			t.Fatalf("bandwidth %v", rec.Value)
+			t.Fatalf("effective MHz %v", rec.Value)
 		}
 	}
 }
@@ -32,14 +32,14 @@ func TestDefaultCampaign(t *testing.T) {
 func TestDesignFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	designPath := filepath.Join(dir, "design.csv")
-	design := "seq,rep,nloops,size,stride\n0,0,50,4096,1\n1,0,50,8192,1\n"
+	design := "seq,rep,nloops,loopcycles\n0,0,50,100000\n1,0,500,100000\n"
 	if err := os.WriteFile(designPath, []byte(design), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	outPath := filepath.Join(dir, "out.csv")
 	envPath := filepath.Join(dir, "env.json")
 	var buf bytes.Buffer
-	err := run([]string{"-machine", "p4", "-design", designPath, "-o", outPath, "-env", envPath}, &buf)
+	err := run([]string{"-design", designPath, "-governor", "powersave", "-o", outPath, "-env", envPath}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,33 +64,44 @@ func TestDesignFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if env.Get("machine") != "Pentium 4" {
-		t.Fatalf("env machine = %q", env.Get("machine"))
+	if env.Get("governor") != "powersave" {
+		t.Fatalf("env governor = %q", env.Get("governor"))
 	}
 }
 
-func TestGovernorAndPolicyFlags(t *testing.T) {
+func TestGovernorPolicyAndTableFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-machine", "i7", "-governor", "ondemand", "-policy", "rt", "-reps", "1"}, &buf); err != nil {
-		t.Fatal(err)
+	cases := [][]string{
+		{"-governor", "ondemand", "-policy", "rt", "-reps", "1"},
+		{"-governor", "conservative", "-reps", "1"},
+		{"-governor", "userspace", "-target-ghz", "2.6", "-reps", "1"},
+		{"-table", "snowball", "-reps", "1"},
+		{"-table", "1.2,2.4,3.6", "-reps", "1"},
+		{"-duty", "0.5", "-reps", "1"},
+		{"-unpinned", "-reps", "1"},
+		{"-governor", "ondemand", "-gap", "0.03", "-reps", "1"},
 	}
-	if err := run([]string{"-machine", "i7", "-governor", "powersave", "-reps", "1"}, &buf); err != nil {
-		t.Fatal(err)
-	}
-	if err := run([]string{"-machine", "i7", "-governor", "userspace", "-target-ghz", "2.6", "-reps", "1"}, &buf); err != nil {
-		t.Fatal(err)
+	for _, c := range cases {
+		if err := run(c, &buf); err != nil {
+			t.Fatalf("args %v: %v", c, err)
+		}
 	}
 }
 
 func TestBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	cases := [][]string{
-		{"-machine", "cray"},
-		{"-machine", "i7", "-governor", "warp"},
-		{"-machine", "i7", "-governor", "userspace"}, // no -target-ghz
-		{"-machine", "i7", "-policy", "fifo99"},
-		{"-machine", "i7", "-alloc", "slab"},
+		{"-table", "cray"},
+		{"-table", "i9"}, // misspelled name must get the unknown-table error, not a parse error
+		{"-table", "3.4,1.6"},
+		{"-table", "1.6,fast"},
+		{"-governor", "warp"},
+		{"-governor", "userspace"}, // no -target-ghz: would silently pin the minimum
+		{"-policy", "fifo99"},
+		{"-duty", "0"},
+		{"-duty", "1.5"},
 		{"-design", "/nonexistent/design.csv"},
+		{"-design", "/nonexistent/design.csv", "-duty", "0.5"}, // -duty only shapes generated designs
 		{"-wat"},
 	}
 	for _, c := range cases {
@@ -100,8 +111,28 @@ func TestBadFlags(t *testing.T) {
 	}
 }
 
+// TestSerialIndexedMatchesWorkers8 is the acceptance criterion: a serial
+// indexed run and a -workers 8 sharded run over the same design and seed
+// produce byte-identical CSV.
+func TestSerialIndexedMatchesWorkers8(t *testing.T) {
+	base := []string{"-reps", "3", "-seed", "6"}
+	var serial, sharded bytes.Buffer
+	if err := run(append(append([]string{}, base...), "-indexed"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...), "-workers", "8"), &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 {
+		t.Fatal("no output")
+	}
+	if !bytes.Equal(serial.Bytes(), sharded.Bytes()) {
+		t.Fatal("serial indexed CSV differs from -workers 8 CSV")
+	}
+}
+
 func TestParallelWorkersReproducible(t *testing.T) {
-	base := []string{"-machine", "p4", "-reps", "1", "-seed", "3"}
+	base := []string{"-reps", "1", "-seed", "3"}
 	var first, second bytes.Buffer
 	if err := run(append(append([]string{}, base...), "-workers", "4"), &first); err != nil {
 		t.Fatal(err)
@@ -128,9 +159,15 @@ func TestParallelWorkersReproducible(t *testing.T) {
 
 func TestParallelRejectsSequentialOnlyConfig(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-machine", "i7", "-governor", "ondemand", "-reps", "1", "-workers", "4"}, &buf)
-	if err == nil {
-		t.Fatal("ondemand governor accepted with -workers 4")
+	for _, c := range [][]string{
+		{"-governor", "ondemand", "-reps", "1", "-workers", "4"},
+		{"-governor", "conservative", "-reps", "1", "-workers", "4"},
+		{"-unpinned", "-reps", "1", "-workers", "4"},
+		{"-governor", "ondemand", "-reps", "1", "-indexed"},
+	} {
+		if err := run(c, &buf); err == nil {
+			t.Fatalf("args %v accepted", c)
+		}
 	}
 }
 
@@ -138,7 +175,7 @@ func TestJSONLOutput(t *testing.T) {
 	dir := t.TempDir()
 	jsonlPath := filepath.Join(dir, "raw.jsonl")
 	var buf bytes.Buffer
-	if err := run([]string{"-machine", "p4", "-reps", "1", "-workers", "2", "-jsonl", jsonlPath}, &buf); err != nil {
+	if err := run([]string{"-reps", "1", "-workers", "2", "-jsonl", jsonlPath}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(jsonlPath)
@@ -161,8 +198,8 @@ func TestJSONLOutput(t *testing.T) {
 func TestFailedRunPreservesOutputFile(t *testing.T) {
 	dir := t.TempDir()
 	designPath := filepath.Join(dir, "design.csv")
-	// Second row lacks a parseable size, so trial 1 fails mid-campaign.
-	bad := "seq,rep,size\n0,0,4096\n1,0,enormous\n"
+	// Second row lacks a parseable nloops, so trial 1 fails mid-campaign.
+	bad := "seq,rep,nloops\n0,0,100\n1,0,forever\n"
 	if err := os.WriteFile(designPath, []byte(bad), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +208,7 @@ func TestFailedRunPreservesOutputFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-machine", "p4", "-design", designPath, "-o", outPath}, &buf); err == nil {
+	if err := run([]string{"-design", designPath, "-o", outPath}, &buf); err == nil {
 		t.Fatal("campaign with a bad trial reported success")
 	}
 	data, err := os.ReadFile(outPath)

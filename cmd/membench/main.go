@@ -32,7 +32,8 @@ func run(args []string, stdout io.Writer) error {
 	machine := fs.String("machine", "i7", "machine: opteron, p4, i7, snowball")
 	designPath := fs.String("design", "", "design CSV (from designgen); empty generates a default ladder")
 	seed := fs.Uint64("seed", 1, "campaign seed")
-	governor := fs.String("governor", "performance", "DVFS governor: performance, powersave, ondemand, conservative")
+	governor := fs.String("governor", "performance", "DVFS governor: performance, powersave, ondemand, conservative, userspace")
+	targetGHz := fs.Float64("target-ghz", 0, "pinned frequency for -governor userspace (GHz)")
 	alloc := fs.String("alloc", "contiguous", "allocation: contiguous, pool, arena")
 	policy := fs.String("policy", "other", "scheduling policy: other, rt")
 	reps := fs.Int("reps", 42, "replicates when generating the default design")
@@ -48,27 +49,13 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var gov cpusim.Governor
-	switch *governor {
-	case "performance":
-		gov = cpusim.Performance{}
-	case "powersave":
-		gov = cpusim.Powersave{}
-	case "ondemand":
-		gov = cpusim.Ondemand{}
-	case "conservative":
-		gov = cpusim.Conservative{}
-	default:
-		return fmt.Errorf("unknown governor %q", *governor)
+	gov, err := cpusim.GovernorByName(*governor, *targetGHz*1e9)
+	if err != nil {
+		return err
 	}
-	var pol ossim.Policy
-	switch *policy {
-	case "other":
-		pol = ossim.PolicyOther
-	case "rt":
-		pol = ossim.PolicyRT
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
+	pol, err := ossim.PolicyByName(*policy)
+	if err != nil {
+		return err
 	}
 
 	var design *doe.Design
@@ -117,25 +104,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}()
 	openSinks := func() ([]runner.RecordSink, error) {
-		w := stdout
-		if *outPath != "" {
-			f, err := os.Create(*outPath)
-			if err != nil {
-				return nil, err
-			}
-			closers = append(closers, f)
-			w = f
-		}
-		sinks := []runner.RecordSink{runner.NewCSVSink(w)}
-		if *jsonlPath != "" {
-			f, err := os.Create(*jsonlPath)
-			if err != nil {
-				return nil, err
-			}
-			closers = append(closers, f)
-			sinks = append(sinks, runner.NewJSONLSink(f))
-		}
-		return sinks, nil
+		sinks, cs, err := runner.FileSinks(stdout, *outPath, *jsonlPath)
+		closers = cs
+		return sinks, err
 	}
 
 	res, err := runner.RunOrSerial(context.Background(), design, membench.Factory(cfg),

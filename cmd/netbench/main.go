@@ -98,25 +98,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}()
 	openSinks := func() ([]runner.RecordSink, error) {
-		w := stdout
-		if *outPath != "" {
-			f, err := os.Create(*outPath)
-			if err != nil {
-				return nil, err
-			}
-			closers = append(closers, f)
-			w = f
-		}
-		sinks := []runner.RecordSink{runner.NewCSVSink(w)}
-		if *jsonlPath != "" {
-			f, err := os.Create(*jsonlPath)
-			if err != nil {
-				return nil, err
-			}
-			closers = append(closers, f)
-			sinks = append(sinks, runner.NewJSONLSink(f))
-		}
-		return sinks, nil
+		sinks, cs, err := runner.FileSinks(stdout, *outPath, *jsonlPath)
+		closers = cs
+		return sinks, err
 	}
 
 	res, err := runner.RunOrSerial(context.Background(), design, netbench.Factory(cfg),

@@ -6,22 +6,43 @@
 // The repository builds, from scratch and on the standard library only:
 //
 //   - the paper's contribution — a three-stage white-box benchmarking
-//     methodology (internal/doe design + internal/core engine orchestration
-//     and raw-record logging + internal/stats offline analysis);
+//     methodology: experimental design (internal/doe), engine orchestration
+//     and raw-record logging (internal/core) with environment capture
+//     (internal/meta), and offline statistical analysis (internal/stats:
+//     descriptive statistics, LOESS, segmented regression, outlier/mode/
+//     effect diagnostics, resampling);
 //   - every substrate the paper's experiments ran on, as deterministic
 //     seedable simulators: the Figure 5 machines with set-associative
 //     physically-indexed caches and page allocation (internal/memsim), DVFS
 //     governors over virtual time (internal/cpusim), OS scheduling and
-//     interference (internal/ossim), and LogGP-family piecewise network
-//     models with protocol regimes and planted quirks (internal/netsim);
+//     interference (internal/ossim), LogGP-family piecewise network models
+//     with protocol regimes and planted quirks (internal/netsim), and a
+//     protocol-level message-passing simulator with collectives on top of
+//     them (internal/mpisim);
+//   - the benchmark engines that drive the substrate through designed
+//     campaigns: memory (internal/membench), network point-to-point and
+//     collective (internal/netbench), and CPU/DVFS/interference
+//     (internal/cpubench);
 //   - the criticized opaque benchmarks — PMB, MultiMAPS, NetGauge's online
 //     detector, PLogP's adaptive probe (internal/opaque);
-//   - a generator per paper figure/table (internal/figures), exercised by
-//     the benchmarks in bench_test.go and the cmd/figures tool;
+//   - a generator per paper figure/table (internal/figures) with ASCII
+//     chart rendering (internal/plot), exercised by the benchmarks in
+//     bench_test.go and the cmd/figures tool;
 //   - a parallel campaign runner (internal/runner) that shards a design
 //     across trial-indexed engine instances and streams records to CSV/JSONL
-//     sinks in design order, record-for-record identical to a serial run.
+//     sinks in design order, record-for-record identical to a serial run;
+//   - the downstream consumers the methodology feeds: human-readable
+//     campaign reports (internal/report) and a PMaC-style performance
+//     predictor with trace replay (internal/predict);
+//   - shared deterministic-randomness utilities — seed derivation, split
+//     streams, log-uniform sampling (internal/xrand).
 //
-// See DESIGN.md for the system inventory and the per-experiment index, and
-// EXPERIMENTS.md for the paper-vs-measured record.
+// The cmd tools compose the stages through file artifacts: cmd/designgen
+// (stage 1), cmd/membench, cmd/netbench and cmd/cpubench (stage 2, with
+// -workers for sharded execution), cmd/analyze (stage 3), and cmd/figures
+// (end-to-end reproductions).
+//
+// See README.md for a quickstart and package map, DESIGN.md for the system
+// inventory and the per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record.
 package opaquebench

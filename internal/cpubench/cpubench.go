@@ -1,0 +1,335 @@
+// Package cpubench is the white-box CPU benchmark engine (second
+// methodology stage) for the Section IV.2–IV.3 system pitfalls: Dynamic
+// Voltage and Frequency Scaling driven by an operating-system governor, and
+// scheduling interference from external processes.
+//
+// Where membench measures bandwidth through the memory hierarchy and
+// netbench measures operation latencies through a network profile, cpubench
+// measures pure compute throughput through the cpusim virtual-time clock:
+// the kernel is a busy loop of a configurable cycle budget, optionally duty-
+// cycled with idle gaps so load-reactive governors see intermediate loads.
+// The primary metric is the effective frequency (MHz) the workload achieved
+// — work in cycles over measured wall seconds — which makes the governor
+// pitfalls directly legible: short workloads trapped at the idle P-state
+// report the table minimum, fully ramped ones the maximum, and OS
+// interference shows up as a separate slow mode exactly as in Figure 11.
+package cpubench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/cpusim"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/memsim"
+	"opaquebench/internal/meta"
+	"opaquebench/internal/ossim"
+	"opaquebench/internal/xrand"
+)
+
+// Factor names understood by the engine.
+const (
+	FactorNLoops     = "nloops"     // busy-loop repetitions per measurement
+	FactorLoopCycles = "loopcycles" // busy cycles per repetition
+	FactorDuty       = "duty"       // busy fraction per repetition, (0, 1]
+)
+
+// DefaultTable returns the i7-2600 P-state ladder used when a config names
+// no frequency table — the same table the Figure 10 experiments run on.
+func DefaultTable() cpusim.FreqTable {
+	return memsim.CoreI7().FreqTable
+}
+
+// TableByName resolves the named P-state tables of the Figure 5 machines,
+// delegating to the memsim machine registry so membench and cpubench
+// campaigns for the same machine can never drift onto different ladders.
+func TableByName(name string) (cpusim.FreqTable, error) {
+	m, err := memsim.MachineByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("cpubench: unknown frequency table %q (i7, snowball, opteron, p4)", name)
+	}
+	return m.FreqTable, nil
+}
+
+// Config describes a CPU campaign's fixed environment (everything not
+// varied by the design).
+type Config struct {
+	// Table is the available P-state ladder; nil means DefaultTable (the
+	// i7-2600).
+	Table cpusim.FreqTable
+	// Seed drives every stochastic component.
+	Seed uint64
+	// Governor is the DVFS governor; nil means cpusim.Performance.
+	Governor cpusim.Governor
+	// SamplingPeriodSec is the governor sampling period (default 10 ms).
+	SamplingPeriodSec float64
+	// Sched configures the OS scheduler model; the zero value is a pinned
+	// run under the default policy on a dedicated machine.
+	Sched ossim.Config
+	// NoiseSigma is the log-normal sigma of multiplicative measurement
+	// noise (timer quality, uncore arbitration). Zero means the default
+	// 0.005; negative disables noise entirely.
+	NoiseSigma float64
+	// GapSec is the idle time between measurements (logging — default
+	// 5 ms); it lets load-reactive governors ramp back down and the
+	// virtual timeline advance.
+	GapSec float64
+	// Indexed selects trial-indexed execution: every stochastic and
+	// temporal quantity of a trial derives from (Seed, Trial.Seq) instead
+	// of accumulated engine state, so a trial's record is independent of
+	// which trials ran before it. This is what lets the parallel runner
+	// shard a design across workers and still reproduce a serial campaign
+	// record for record. It requires the history-free subset of the
+	// substrate: a load-oblivious governor (performance, powersave,
+	// userspace) and a pinned scheduler configuration. Load-reactive
+	// governors (ondemand, conservative) and migration noise are
+	// inherently sequential — they are the subject of the pitfall
+	// experiments — and stay exclusive to the default stateful mode.
+	Indexed bool
+	// SlotSec is the virtual-time slot per trial in indexed mode: trial
+	// Seq starts at Seq*SlotSec. Default GapSec. Ignored when !Indexed.
+	SlotSec float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Table == nil {
+		c.Table = DefaultTable()
+	}
+	if err := c.Table.Validate(); err != nil {
+		return c, err
+	}
+	if c.Governor == nil {
+		c.Governor = cpusim.Performance{}
+	}
+	if c.SamplingPeriodSec <= 0 {
+		c.SamplingPeriodSec = 0.01
+	}
+	switch {
+	case c.NoiseSigma < 0:
+		c.NoiseSigma = 0
+	case c.NoiseSigma == 0:
+		c.NoiseSigma = 0.005
+	}
+	if c.GapSec <= 0 {
+		c.GapSec = 0.005
+	}
+	if c.SlotSec <= 0 {
+		c.SlotSec = c.GapSec
+	}
+	if c.Indexed {
+		if _, ok := cpusim.SteadyHz(c.Governor, c.Table); !ok {
+			return c, fmt.Errorf("cpubench: indexed mode needs a load-oblivious governor, not %q", c.Governor.Name())
+		}
+		if c.Sched.Unpinned {
+			return c, fmt.Errorf("cpubench: indexed mode needs a pinned scheduler configuration")
+		}
+	}
+	c.Sched.Seed = xrand.Derive(c.Seed, "cpubench/sched")
+	return c, nil
+}
+
+// Engine implements core.Engine for CPU campaigns.
+type Engine struct {
+	cfg   Config
+	clock *cpusim.Clock
+	sched *ossim.Scheduler
+	noise *rand.Rand
+	// steadyHz is the governor's constant frequency in indexed mode.
+	steadyHz float64
+}
+
+// NewEngine builds an engine; the substrate state (the clock's governor
+// window, the scheduler timeline, the noise stream) persists across all
+// trials of the campaign, as it would in a real process.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	phase := xrand.NewDerived(cfg.Seed, "cpubench/phase")
+	clock, err := cpusim.NewClock(cfg.Table, cfg.Governor,
+		cfg.SamplingPeriodSec, phase.Float64()*cfg.SamplingPeriodSec)
+	if err != nil {
+		return nil, err
+	}
+	steadyHz, _ := cpusim.SteadyHz(cfg.Governor, cfg.Table)
+	return &Engine{
+		cfg:      cfg,
+		clock:    clock,
+		sched:    ossim.New(cfg.Sched),
+		noise:    xrand.NewDerived(cfg.Seed, "cpubench/noise"),
+		steadyHz: steadyHz,
+	}, nil
+}
+
+// Factory returns a core.EngineFactory producing independent indexed-mode
+// engines for the given configuration, one per runner worker. The returned
+// factory forces Indexed on; the first NewEngine call reports any
+// configuration that cannot run trial-indexed (load-reactive governor,
+// unpinned scheduler).
+func Factory(cfg Config) core.EngineFactory {
+	return core.EngineFactoryFunc(func() (core.Engine, error) {
+		cfg := cfg
+		cfg.Indexed = true
+		return NewEngine(cfg)
+	})
+}
+
+// Params are the kernel parameters of one trial.
+type Params struct {
+	// NLoops is the number of busy-loop repetitions.
+	NLoops int
+	// LoopCycles is the cycle budget of one repetition.
+	LoopCycles int
+	// Duty is the busy fraction of each repetition, (0, 1]: 1 is a solid
+	// busy loop; smaller values insert idle gaps after each repetition so
+	// the governor's sampling windows see intermediate loads.
+	Duty float64
+}
+
+// ParseParams extracts kernel parameters from a design point. Missing
+// factors default to 100 loops of 100k cycles at duty 1.
+func ParseParams(p doe.Point) (Params, error) {
+	kp := Params{NLoops: 100, LoopCycles: 100_000, Duty: 1}
+	var err error
+	if _, ok := p[FactorNLoops]; ok {
+		if kp.NLoops, err = p.Int(FactorNLoops); err != nil {
+			return kp, err
+		}
+	}
+	if _, ok := p[FactorLoopCycles]; ok {
+		if kp.LoopCycles, err = p.Int(FactorLoopCycles); err != nil {
+			return kp, err
+		}
+	}
+	if _, ok := p[FactorDuty]; ok {
+		if kp.Duty, err = p.Float(FactorDuty); err != nil {
+			return kp, err
+		}
+	}
+	if kp.NLoops < 1 {
+		return kp, fmt.Errorf("cpubench: nloops must be >= 1, got %d", kp.NLoops)
+	}
+	if kp.LoopCycles < 1 {
+		return kp, fmt.Errorf("cpubench: loopcycles must be >= 1, got %d", kp.LoopCycles)
+	}
+	if kp.Duty <= 0 || kp.Duty > 1 {
+		return kp, fmt.Errorf("cpubench: duty must be in (0, 1], got %v", kp.Duty)
+	}
+	return kp, nil
+}
+
+// Execute implements core.Engine: one measurement of the busy-loop kernel.
+func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
+	kp, err := ParseParams(t.Point)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	work := float64(kp.NLoops) * float64(kp.LoopCycles)
+
+	var at, freqStart, freqEnd, busy, idle float64
+	if e.cfg.Indexed {
+		// Closed form: a load-oblivious governor runs the whole workload
+		// at its steady frequency, wherever the trial lands in the
+		// (possibly sharded) execution.
+		at = float64(t.Seq) * e.cfg.SlotSec
+		freqStart = e.steadyHz
+		freqEnd = e.steadyHz
+		busy = work / e.steadyHz
+		if kp.Duty < 1 {
+			idle = busy * (1 - kp.Duty) / kp.Duty
+		}
+	} else {
+		at = e.clock.Now()
+		freqStart = e.clock.FreqHz()
+		for i := 0; i < kp.NLoops; i++ {
+			b := e.clock.ExecuteCycles(float64(kp.LoopCycles))
+			busy += b
+			if kp.Duty < 1 {
+				gap := b * (1 - kp.Duty) / kp.Duty
+				e.clock.Idle(gap)
+				idle += gap
+			}
+		}
+		freqEnd = e.clock.FreqHz()
+	}
+
+	slowdown := e.sched.SlowdownAt(at)
+	seconds := (busy + idle) * slowdown
+	noise := e.noise
+	if e.cfg.Indexed {
+		noise = xrand.NewDerived(e.cfg.Seed, "cpubench/noise@"+strconv.Itoa(t.Seq))
+	}
+	seconds = xrand.Jitter(noise, seconds, e.cfg.NoiseSigma)
+
+	if !e.cfg.Indexed {
+		// Idle gap before the next measurement (logging) — it lets
+		// load-reactive governors ramp back down, which is exactly the
+		// Figure 10 trap for the next short workload.
+		e.clock.Idle(e.cfg.GapSec)
+	}
+
+	rec := core.RawRecord{
+		Point:   t.Point,
+		Value:   work / seconds / 1e6, // effective MHz
+		Seconds: seconds,
+		At:      at,
+	}
+	rec.Annotate("freq_start_hz", fmt.Sprintf("%.0f", freqStart))
+	rec.Annotate("freq_end_hz", fmt.Sprintf("%.0f", freqEnd))
+	rec.Annotate("slowdown", fmt.Sprintf("%.3g", slowdown))
+	return rec, nil
+}
+
+// Environment implements core.Engine.
+func (e *Engine) Environment() *meta.Environment {
+	env := meta.New()
+	env.Set("governor", e.cfg.Governor.Name())
+	env.Setf("governor/period_s", "%g", e.cfg.SamplingPeriodSec)
+	env.Setf("freq/states", "%d", len(e.cfg.Table))
+	env.Setf("freq/min_hz", "%.0f", e.cfg.Table.Min())
+	env.Setf("freq/max_hz", "%.0f", e.cfg.Table.Max())
+	env.Set("sched", e.sched.String())
+	env.Setf("noise_sigma", "%g", e.cfg.NoiseSigma)
+	env.Setf("seed", "%d", e.cfg.Seed)
+	if e.cfg.Indexed {
+		env.Set("mode", "indexed")
+		env.Setf("slot_s", "%g", e.cfg.SlotSec)
+	}
+	return env
+}
+
+// Factors builds the standard factor list for a CPU campaign from explicit
+// level sets; nil slices get a single default level.
+func Factors(nloops, loopcycles []int, duties []float64) []doe.Factor {
+	if len(nloops) == 0 {
+		nloops = []int{100}
+	}
+	if len(loopcycles) == 0 {
+		loopcycles = []int{100_000}
+	}
+	fs := []doe.Factor{
+		doe.IntFactor(FactorNLoops, nloops...),
+		doe.IntFactor(FactorLoopCycles, loopcycles...),
+	}
+	if len(duties) > 0 {
+		fs = append(fs, doe.FloatFactor(FactorDuty, duties...))
+	}
+	return fs
+}
+
+// LadderDesign builds the default Figure 10-style campaign: an nloops ladder
+// spanning workloads much shorter than a governor sampling period up to many
+// periods long, replicated and randomized.
+func LadderDesign(seed uint64, nloops []int, reps int) (*doe.Design, error) {
+	if len(nloops) == 0 {
+		nloops = []int{20, 200, 2000, 20000}
+	}
+	return doe.FullFactorial(Factors(nloops, nil, nil), doe.Options{
+		Replicates: reps,
+		Seed:       seed,
+		Randomize:  true,
+	})
+}

@@ -1,0 +1,160 @@
+package cpubench
+
+import (
+	"strings"
+	"testing"
+
+	"opaquebench/internal/cpusim"
+	"opaquebench/internal/ossim"
+)
+
+func indexedConfig() Config {
+	return Config{Seed: 5, Indexed: true}
+}
+
+// TestIndexedTrialIgnoresHistory runs the same trial on one engine after
+// different prefixes and demands identical records: the property the
+// parallel runner's sharding rests on.
+func TestIndexedTrialIgnoresHistory(t *testing.T) {
+	eng, err := NewEngine(indexedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := trial(9, 50, 100_000)
+	fresh, err := eng.Execute(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pollute the engine with unrelated trials (longer workloads would
+	// advance a shared clock and shift a shared noise stream).
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Execute(trial(100+i, 5000, 100_000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := eng.Execute(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Value != again.Value || fresh.Seconds != again.Seconds || fresh.At != again.At {
+		t.Fatalf("indexed trial depends on history: %+v vs %+v", fresh, again)
+	}
+	// And a second engine instance reproduces it too.
+	eng2, err := NewEngine(indexedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := eng2.Execute(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Value != other.Value || fresh.Seconds != other.Seconds {
+		t.Fatalf("indexed trial differs across engine instances: %+v vs %+v", fresh, other)
+	}
+}
+
+// TestIndexedDistinctSeqsDrawDistinctNoise guards against the per-trial
+// streams collapsing into one value.
+func TestIndexedDistinctSeqsDrawDistinctNoise(t *testing.T) {
+	eng, err := NewEngine(indexedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for seq := 0; seq < 8; seq++ {
+		rec, err := eng.Execute(trial(seq, 50, 100_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[rec.Value] = true
+		if want := float64(seq) * eng.cfg.SlotSec; rec.At != want {
+			t.Fatalf("seq %d: At = %v, want %v", seq, rec.At, want)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all indexed trials produced the same value: %v", seen)
+	}
+}
+
+func TestIndexedRejectsSequentialOnlyConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		frag string
+	}{
+		{"ondemand governor", func(c *Config) { c.Governor = cpusim.Ondemand{} }, "governor"},
+		{"conservative governor", func(c *Config) { c.Governor = cpusim.Conservative{} }, "governor"},
+		{"unpinned scheduler", func(c *Config) { c.Sched = ossim.Config{Unpinned: true} }, "pinned"},
+	}
+	for _, tc := range cases {
+		cfg := indexedConfig()
+		tc.mut(&cfg)
+		_, err := NewEngine(cfg)
+		if err == nil {
+			t.Fatalf("%s: accepted in indexed mode", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+// TestIndexedAllowsLoadObliviousGovernors pins the accepted subset: the
+// userspace governor (the paper's "full control" workaround) and powersave
+// shard fine, and the RT interference model stays available because daemon
+// windows are a deterministic function of virtual time.
+func TestIndexedAllowsLoadObliviousGovernors(t *testing.T) {
+	for _, gov := range []cpusim.Governor{
+		cpusim.Performance{}, cpusim.Powersave{}, cpusim.Userspace{TargetHz: 2.6e9},
+	} {
+		cfg := indexedConfig()
+		cfg.Governor = gov
+		cfg.Sched = ossim.Config{Policy: ossim.PolicyRT}
+		if _, err := NewEngine(cfg); err != nil {
+			t.Fatalf("%s rejected in indexed mode: %v", gov.Name(), err)
+		}
+	}
+}
+
+func TestFactoryForcesIndexed(t *testing.T) {
+	cfg := indexedConfig()
+	cfg.Indexed = false
+	eng, err := Factory(cfg).NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := eng.Environment()
+	if env.Get("mode") != "indexed" {
+		t.Fatalf("factory engine not indexed: %v", env)
+	}
+	// A sequential-only config must fail at factory time, not mid-run.
+	bad := indexedConfig()
+	bad.Governor = cpusim.Conservative{}
+	if _, err := Factory(bad).NewEngine(); err == nil {
+		t.Fatal("factory accepted a conservative governor")
+	}
+}
+
+// TestSequentialModeUnchanged pins the default mode's contract: the
+// stateful substrate still advances between trials (the clock idles, the
+// noise stream moves), so the pitfall experiments keep their semantics.
+func TestSequentialModeUnchanged(t *testing.T) {
+	cfg := indexedConfig()
+	cfg.Indexed = false
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trial(0, 50, 100_000)
+	first, err := eng.Execute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := eng.Execute(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.At <= first.At {
+		t.Fatalf("sequential clock did not advance: %v then %v", first.At, second.At)
+	}
+}

@@ -136,6 +136,152 @@ func TestOndemandProportional(t *testing.T) {
 	}
 }
 
+func TestGovernorByName(t *testing.T) {
+	cases := []struct {
+		name     string
+		targetHz float64
+		want     string
+		wantErr  bool
+	}{
+		{"performance", 0, "performance", false},
+		{"powersave", 0, "powersave", false},
+		{"ondemand", 0, "ondemand", false},
+		{"conservative", 0, "conservative", false},
+		{"userspace", 2.6e9, "userspace", false},
+		{"userspace", 0, "", true}, // zero target would silently pin the minimum
+		{"warp", 0, "", true},
+	}
+	for _, tc := range cases {
+		g, err := GovernorByName(tc.name, tc.targetHz)
+		if tc.wantErr {
+			if err == nil {
+				t.Fatalf("GovernorByName(%q, %v): no error", tc.name, tc.targetHz)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("GovernorByName(%q, %v): %v", tc.name, tc.targetHz, err)
+		}
+		if g.Name() != tc.want {
+			t.Fatalf("GovernorByName(%q) = %q", tc.name, g.Name())
+		}
+	}
+	if g, _ := GovernorByName("userspace", 2.5e9); g.Next(0, 0, sandyBridge) != 2.6e9 {
+		t.Fatal("userspace target not wired through")
+	}
+}
+
+// TestGovernorTransitionBoundaries pins the exact ramp-up/ramp-down
+// decision at the threshold loads the cpubench engine depends on: ondemand
+// jumps to the maximum at load >= UpThreshold and scales proportionally
+// below it; conservative moves exactly one P-state at its thresholds and
+// holds in the dead band between them.
+func TestGovernorTransitionBoundaries(t *testing.T) {
+	cases := []struct {
+		name      string
+		g         Governor
+		cur, load float64
+		want      float64
+	}{
+		{"ondemand at up threshold jumps to max", Ondemand{UpThreshold: 0.8}, 1.6e9, 0.8, 3.4e9},
+		{"ondemand just below threshold scales proportionally", Ondemand{UpThreshold: 0.8}, 3.4e9, 0.5, 2.6e9},
+		{"ondemand idle window drops to min", Ondemand{UpThreshold: 0.8}, 3.4e9, 0, 1.6e9},
+		{"ondemand default threshold 0.95", Ondemand{}, 1.6e9, 0.95, 3.4e9},
+		{"ondemand just under default threshold", Ondemand{}, 1.6e9, 0.94, 3.4e9}, // 0.94*3.4/0.95 = 3.364 GHz -> AtLeast -> max
+		{"ondemand mid load lands on intermediate state", Ondemand{}, 1.6e9, 0.5, 2.0e9},
+
+		{"conservative at up threshold steps one up", Conservative{}, 1.6e9, 0.8, 2.0e9},
+		{"conservative just below up threshold holds", Conservative{}, 1.6e9, 0.79, 1.6e9},
+		{"conservative at down threshold steps one down", Conservative{}, 3.4e9, 0.2, 3.0e9},
+		{"conservative just above down threshold holds", Conservative{}, 3.4e9, 0.21, 3.4e9},
+		{"conservative dead band holds intermediate state", Conservative{}, 2.6e9, 0.5, 2.6e9},
+		{"conservative saturates at max", Conservative{}, 3.4e9, 1, 3.4e9},
+		{"conservative saturates at min", Conservative{}, 1.6e9, 0, 1.6e9},
+		{"conservative off-table frequency snaps then steps", Conservative{}, 2.2e9, 0.9, 3.0e9},
+		{"conservative custom thresholds step up", Conservative{UpThreshold: 0.5, DownThreshold: 0.1}, 2.0e9, 0.5, 2.6e9},
+		{"conservative custom thresholds step down", Conservative{UpThreshold: 0.5, DownThreshold: 0.1}, 2.0e9, 0.1, 1.6e9},
+
+		{"performance ignores idle load", Performance{}, 1.6e9, 0, 3.4e9},
+		{"powersave ignores full load", Powersave{}, 3.4e9, 1, 1.6e9},
+	}
+	for _, tc := range cases {
+		if got := tc.g.Next(tc.cur, tc.load, sandyBridge); got != tc.want {
+			t.Errorf("%s: Next(%.2g, %.2g) = %v, want %v", tc.name, tc.cur, tc.load, got, tc.want)
+		}
+	}
+}
+
+// TestClockRampUpBoundary drives the clock one cycle past a fully busy
+// sampling window — work ending exactly AT the boundary completes without
+// an evaluation, so the extra cycle is what forces the transition — and
+// checks it: ondemand jumps straight to the maximum, conservative climbs
+// exactly one P-state.
+func TestClockRampUpBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    Governor
+		want float64
+	}{
+		{"ondemand", Ondemand{}, 3.4e9},
+		{"conservative", Conservative{}, 2.0e9},
+	} {
+		exact, err := NewClock(sandyBridge, tc.g, 0.01, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact.ExecuteCycles(1.6e9 * 0.01) // exactly one saturated window
+		if got := exact.FreqHz(); got != 1.6e9 {
+			t.Errorf("%s: work ending at the boundary evaluated early: freq %v", tc.name, got)
+		}
+		over, err := NewClock(sandyBridge, tc.g, 0.01, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		over.ExecuteCycles(1.6e9*0.01 + 1) // one cycle across the boundary
+		if got := over.FreqHz(); got != tc.want {
+			t.Errorf("%s: frequency after crossing a saturated boundary = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestClockRampDownBoundary checks the symmetric descent: after ramping up,
+// ondemand returns to the minimum as soon as it sees an idle window, while
+// conservative steps down one P-state per window and therefore needs
+// strictly more idle windows to reach the bottom of a 5-state ladder.
+func TestClockRampDownBoundary(t *testing.T) {
+	idleWindowsToMin := func(g Governor) int {
+		c, err := NewClock(sandyBridge, g, 0.01, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ExecuteCycles(3.4e9 * 0.2) // long enough to reach max under either
+		if c.FreqHz() != 3.4e9 {
+			t.Fatalf("%s: not at max after ramp-up, at %v", g.Name(), c.FreqHz())
+		}
+		n := 0
+		for c.FreqHz() != 1.6e9 {
+			c.Idle(0.01)
+			if n++; n > 20 {
+				t.Fatalf("%s: never returned to min", g.Name())
+			}
+		}
+		return n
+	}
+	od := idleWindowsToMin(Ondemand{})
+	cons := idleWindowsToMin(Conservative{})
+	// The first idle window may still carry the residual busy tail of the
+	// ramp; after that ondemand drops in one evaluation.
+	if od > 2 {
+		t.Errorf("ondemand took %d idle windows to reach min, want <= 2", od)
+	}
+	if cons < 4 {
+		t.Errorf("conservative reached min in %d idle windows, want >= 4 (one P-state per window)", cons)
+	}
+	if cons <= od {
+		t.Errorf("conservative (%d windows) should ramp down slower than ondemand (%d)", cons, od)
+	}
+}
+
 func TestNewClockErrors(t *testing.T) {
 	if _, err := NewClock(FreqTable{}, Performance{}, 1, 0); err == nil {
 		t.Fatal("want table error")

@@ -78,6 +78,9 @@ func (Powersave) Next(_, _ float64, t FreqTable) float64 { return t.Min() }
 // table), the "full control" workaround the paper notes requires superuser
 // rights and expertise.
 type Userspace struct {
+	// TargetHz is the requested frequency; the governor selects the
+	// lowest table entry >= TargetHz (the table maximum if none, the
+	// minimum for non-positive targets).
 	TargetHz float64
 }
 
@@ -90,6 +93,29 @@ func (u Userspace) Next(_, _ float64, t FreqTable) float64 {
 		return t.Min()
 	}
 	return t.AtLeast(u.TargetHz)
+}
+
+// GovernorByName resolves the command-line governor names shared by the
+// benchmark CLIs. targetHz is the pinned frequency for "userspace" and is
+// required to be positive for that governor only (a zero target would
+// silently pin the table minimum, indistinguishable from powersave).
+func GovernorByName(name string, targetHz float64) (Governor, error) {
+	switch name {
+	case "performance":
+		return Performance{}, nil
+	case "powersave":
+		return Powersave{}, nil
+	case "ondemand":
+		return Ondemand{}, nil
+	case "conservative":
+		return Conservative{}, nil
+	case "userspace":
+		if targetHz <= 0 {
+			return nil, fmt.Errorf("cpusim: userspace governor needs a positive target frequency")
+		}
+		return Userspace{TargetHz: targetHz}, nil
+	}
+	return nil, fmt.Errorf("cpusim: unknown governor %q (performance, powersave, ondemand, conservative, userspace)", name)
 }
 
 // SteadyHz returns the frequency a governor settles on regardless of load

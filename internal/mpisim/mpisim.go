@@ -19,7 +19,8 @@ import (
 	"opaquebench/internal/xrand"
 )
 
-// Rank identifies one of the two endpoints.
+// Rank identifies one of the two endpoints of a Comm. Only Rank0 and Rank1
+// are valid; collective communicators (Group) index ranks as plain ints.
 type Rank int
 
 const (
@@ -142,7 +143,9 @@ func (c *Comm) Recv(to Rank) (cpu, wait float64, err error) {
 	return cpu, wait, nil
 }
 
-// Pending returns the number of undelivered messages destined to a rank.
+// Pending returns the number of undelivered messages destined to a rank:
+// sent, but not yet consumed by a Recv. Tests use it to assert the
+// communicator is drained between measurement patterns.
 func (c *Comm) Pending(to Rank) int { return len(c.queues[to]) }
 
 // PingPong runs the full pattern — rank0 sends, rank1 receives and echoes,

@@ -25,6 +25,18 @@ const (
 	PolicyRT Policy = "rt"
 )
 
+// PolicyByName resolves the command-line policy names shared by the
+// benchmark CLIs.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "other":
+		return PolicyOther, nil
+	case "rt":
+		return PolicyRT, nil
+	}
+	return "", fmt.Errorf("ossim: unknown policy %q (other, rt)", name)
+}
+
 // Config describes the simulated scheduling environment.
 type Config struct {
 	// Policy is the benchmark's scheduling policy.
@@ -72,7 +84,11 @@ func (c Config) withDefaults() Config {
 // Window is a half-open interval of virtual time [Start, End) during which
 // the external daemon is runnable on the benchmark core.
 type Window struct {
-	Start, End float64
+	// Start is the window's opening instant in virtual seconds.
+	Start float64
+	// End is the first instant after Start at which the daemon is no
+	// longer runnable.
+	End float64
 }
 
 // Scheduler answers "how much slower does a measurement starting now run?"

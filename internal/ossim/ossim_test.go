@@ -6,6 +6,18 @@ import (
 	"opaquebench/internal/stats"
 )
 
+func TestPolicyByName(t *testing.T) {
+	if p, err := PolicyByName("other"); err != nil || p != PolicyOther {
+		t.Fatalf("other -> %v, %v", p, err)
+	}
+	if p, err := PolicyByName("rt"); err != nil || p != PolicyRT {
+		t.Fatalf("rt -> %v, %v", p, err)
+	}
+	if _, err := PolicyByName("fifo99"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
 func TestDefaultsApplied(t *testing.T) {
 	s := New(Config{})
 	c := s.Config()

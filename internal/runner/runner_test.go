@@ -11,12 +11,15 @@ import (
 	"time"
 
 	"opaquebench/internal/core"
+	"opaquebench/internal/cpubench"
+	"opaquebench/internal/cpusim"
 	"opaquebench/internal/doe"
 	"opaquebench/internal/membench"
 	"opaquebench/internal/memsim"
 	"opaquebench/internal/meta"
 	"opaquebench/internal/netbench"
 	"opaquebench/internal/netsim"
+	"opaquebench/internal/ossim"
 )
 
 // stubEngine is a trial-indexed engine: the record is a pure function of
@@ -340,6 +343,53 @@ func TestNetbenchParallelMatchesSerial(t *testing.T) {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		assertRecordsIdentical(t, fmt.Sprintf("netbench workers=%d", workers), serial, par)
+		if !bytes.Equal(serialCSV.Bytes(), parCSV.Bytes()) {
+			t.Fatalf("workers=%d: streamed CSV differs from serial WriteCSV", workers)
+		}
+	}
+}
+
+func cpubenchFixture(t *testing.T) (*doe.Design, cpubench.Config) {
+	t.Helper()
+	d, err := doe.FullFactorial(
+		cpubench.Factors([]int{20, 2000}, []int{100_000}, []float64{0.5, 1}),
+		doe.Options{Replicates: 3, Seed: 13, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The RT-policy daemon exercises the interference windows in indexed
+	// mode: window materialization is lazy, so out-of-order SlowdownAt
+	// queries across sharded workers are exactly what this guards.
+	return d, cpubench.Config{
+		Seed:     13,
+		Governor: cpusim.Userspace{TargetHz: 2.6e9},
+		Sched:    ossim.Config{Policy: ossim.PolicyRT, DaemonPeriodSec: 0.5},
+	}
+}
+
+func TestCpubenchParallelMatchesSerial(t *testing.T) {
+	d, cfg := cpubenchFixture(t)
+	factory := cpubench.Factory(cfg)
+	eng, err := factory.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := (&core.Campaign{Design: d, Engine: eng}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serialCSV bytes.Buffer
+	if err := serial.WriteCSV(&serialCSV); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		var parCSV bytes.Buffer
+		par, err := Run(context.Background(), d, factory,
+			Config{Workers: workers, Sinks: []RecordSink{NewCSVSink(&parCSV)}})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertRecordsIdentical(t, fmt.Sprintf("cpubench workers=%d", workers), serial, par)
 		if !bytes.Equal(serialCSV.Bytes(), parCSV.Bytes()) {
 			t.Fatalf("workers=%d: streamed CSV differs from serial WriteCSV", workers)
 		}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 
 	"opaquebench/internal/core"
@@ -145,6 +146,62 @@ func (s *JSONLSink) Write(rec core.RawRecord) error {
 // Flush implements RecordSink. The encoder writes through, so there is
 // nothing to do.
 func (s *JSONLSink) Flush() error { return nil }
+
+// FileSinks opens the conventional command-line sink set: a streaming CSV
+// sink on w — redirected to outPath when non-empty — plus an optional JSONL
+// sink on jsonlPath. The returned closers own the files opened; the caller
+// closes them after the campaign.
+//
+// Truncation happens only after every output opened successfully, so an
+// invocation that fails on one path cannot destroy another file's previous
+// results — the same preservation guarantee the CLIs' lazy sink opening
+// gives against campaign-validation failures. On error any file already
+// opened is closed and nothing is returned.
+func FileSinks(w io.Writer, outPath, jsonlPath string) ([]RecordSink, []io.Closer, error) {
+	var files []*os.File
+	fail := func(err error) ([]RecordSink, []io.Closer, error) {
+		for _, f := range files {
+			f.Close()
+		}
+		return nil, nil, err
+	}
+	open := func(path string) (*os.File, error) {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o666)
+		if err == nil {
+			files = append(files, f)
+		}
+		return f, err
+	}
+	var csvFile, jsonlFile *os.File
+	var err error
+	if outPath != "" {
+		if csvFile, err = open(outPath); err != nil {
+			return fail(err)
+		}
+	}
+	if jsonlPath != "" {
+		if jsonlFile, err = open(jsonlPath); err != nil {
+			return fail(err)
+		}
+	}
+	for _, f := range files {
+		if err := f.Truncate(0); err != nil {
+			return fail(err)
+		}
+	}
+	if csvFile != nil {
+		w = csvFile
+	}
+	sinks := []RecordSink{NewCSVSink(w)}
+	if jsonlFile != nil {
+		sinks = append(sinks, NewJSONLSink(jsonlFile))
+	}
+	closers := make([]io.Closer, len(files))
+	for i, f := range files {
+		closers[i] = f
+	}
+	return sinks, closers, nil
+}
 
 // WriteAll drains a fully-materialized result set through a sink — the
 // serial path's way of reusing the streaming writers.

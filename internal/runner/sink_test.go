@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -25,6 +26,74 @@ func sampleRecords() []core.RawRecord {
 		recs[i].Annotate("perturbed", "false")
 	}
 	return recs
+}
+
+// TestFileSinks covers the shared CLI sink-opening helper: stdout-only,
+// file redirection with an extra JSONL sink, and the no-dangling-files
+// error path.
+func TestFileSinks(t *testing.T) {
+	sinks, closers, err := FileSinks(&bytes.Buffer{}, "", "")
+	if err != nil || len(sinks) != 1 || len(closers) != 0 {
+		t.Fatalf("stdout-only: sinks=%d closers=%d err=%v", len(sinks), len(closers), err)
+	}
+	dir := t.TempDir()
+	outPath := dir + "/out.csv"
+	jsonlPath := dir + "/out.jsonl"
+	sinks, closers, err = FileSinks(&bytes.Buffer{}, outPath, jsonlPath)
+	if err != nil || len(sinks) != 2 || len(closers) != 2 {
+		t.Fatalf("files: sinks=%d closers=%d err=%v", len(sinks), len(closers), err)
+	}
+	for _, rec := range sampleRecords() {
+		for _, s := range sinks {
+			if err := s.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, s := range sinks {
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range closers {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []string{outPath, jsonlPath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s: empty output", p)
+		}
+	}
+	// A JSONL path that cannot be created must close the CSV file already
+	// opened, return nothing — and leave the existing CSV's previous
+	// contents untouched (truncation only happens once every output is
+	// open).
+	if err := os.WriteFile(outPath, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := FileSinks(&bytes.Buffer{}, outPath, dir+"/nope/out.jsonl"); err == nil {
+		t.Fatal("uncreatable jsonl path accepted")
+	}
+	if data, err := os.ReadFile(outPath); err != nil || string(data) != "precious" {
+		t.Fatalf("failed FileSinks clobbered the existing CSV: %q, %v", data, err)
+	}
+	// Reopening over previous longer contents truncates before streaming.
+	sinks, closers, err = FileSinks(&bytes.Buffer{}, outPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sinks[0].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	closers[0].Close()
+	if data, _ := os.ReadFile(outPath); strings.Contains(string(data), "precious") {
+		t.Fatalf("stale contents survived a successful reopen: %q", data)
+	}
 }
 
 func TestCSVSinkMatchesWriteCSV(t *testing.T) {
