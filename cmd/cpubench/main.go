@@ -2,7 +2,10 @@
 // frequency table: it reads (or generates) a randomized design of busy-loop
 // workloads, executes every trial in design order through the cpubench
 // engine — DVFS governor and OS scheduling interference included — and
-// writes the full raw results plus the captured environment.
+// writes the full raw results plus the captured environment. -workers > 1
+// (or -indexed at -workers 1) runs trial-indexed with streamed,
+// byte-identical output (see internal/runner); cmd/suite orchestrates many
+// such campaigns with a result cache.
 package main
 
 import (
@@ -57,6 +60,19 @@ func parseTable(spec string) (cpusim.FreqTable, error) {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cpubench", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), `Usage: cpubench [flags]
+
+Run a white-box CPU campaign (methodology stage 2): execute a randomized
+design in exactly the designed order against a simulated frequency table —
+DVFS governor and OS scheduling interference included — logging every raw
+measurement. Sharded runs stay byte-identical to serial ones; see cmd/suite
+to orchestrate many campaigns with a result cache.
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
 	table := fs.String("table", "i7", "frequency table: i7, snowball, opteron, p4, or comma-separated GHz values")
 	designPath := fs.String("design", "", "design CSV (from designgen); empty generates the default nloops ladder")
 	seed := fs.Uint64("seed", 1, "campaign seed")

@@ -1,7 +1,10 @@
 // Command membench runs a white-box memory campaign against one of the
 // simulated Figure 5 machines: it reads (or generates) a randomized design,
 // executes every trial in design order through the membench engine, and
-// writes the full raw results plus the captured environment.
+// writes the full raw results plus the captured environment. -workers > 1
+// shards the design across trial-indexed engine instances with streamed,
+// byte-identical output (see internal/runner); cmd/suite orchestrates many
+// such campaigns with a result cache.
 package main
 
 import (
@@ -29,6 +32,18 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("membench", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), `Usage: membench [flags]
+
+Run a white-box memory campaign (methodology stage 2): execute a randomized
+design in exactly the designed order against a simulated machine, logging
+every raw measurement. Sharded runs stay byte-identical to serial ones; see
+cmd/suite to orchestrate many campaigns with a result cache.
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
 	machine := fs.String("machine", "i7", "machine: opteron, p4, i7, snowball")
 	designPath := fs.String("design", "", "design CSV (from designgen); empty generates a default ladder")
 	seed := fs.Uint64("seed", 1, "campaign seed")

@@ -1,7 +1,12 @@
 // Command netbench runs a white-box network campaign against a simulated
 // network profile: randomized log-uniform message sizes (Equation 1), the
 // three Section V.A operations, raw per-measurement logging, and an optional
-// temporal perturbation for pitfall studies.
+// temporal perturbation for pitfall studies. -collective switches to the
+// mpisim collective engine (bcast, allreduce, barrier; serial only), -fit
+// prints the supervised LogGP model after a point-to-point campaign, and
+// -workers > 1 shards the design across trial-indexed engine instances with
+// streamed, byte-identical output (see internal/runner); cmd/suite
+// orchestrates many such campaigns with a result cache.
 package main
 
 import (
@@ -27,6 +32,18 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("netbench", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), `Usage: netbench [flags]
+
+Run a white-box network campaign (methodology stage 2): execute a randomized
+design in exactly the designed order against a simulated network profile,
+logging every raw measurement. Sharded runs stay byte-identical to serial
+ones; see cmd/suite to orchestrate many campaigns with a result cache.
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
 	profile := fs.String("profile", "taurus", "network profile: taurus, myrinet-openmpi, myrinet-gm")
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	nSizes := fs.Int("n", 200, "number of log-uniform message sizes")
@@ -37,7 +54,7 @@ func run(args []string, stdout io.Writer) error {
 	perturbFactor := fs.Float64("perturb-factor", 0, "temporal perturbation stretch factor (0 = none)")
 	perturbStart := fs.Float64("perturb-start", 0, "perturbation window start (virtual seconds)")
 	perturbEnd := fs.Float64("perturb-end", 0, "perturbation window end (virtual seconds)")
-	workers := fs.Int("workers", 1, "parallel campaign workers; >1 shards the design across trial-indexed engines and streams records as they complete (point-to-point campaigns only)")
+	workers := fs.Int("workers", 1, "parallel campaign workers; >1 shards the design across trial-indexed engines (point-to-point campaigns only) and streams records as they complete")
 	outPath := fs.String("o", "", "raw results CSV (default stdout)")
 	jsonlPath := fs.String("jsonl", "", "raw results JSONL output (optional, streamed)")
 	envPath := fs.String("env", "", "environment JSON output (optional)")

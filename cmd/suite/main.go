@@ -1,0 +1,214 @@
+// Command suite runs a declarative campaign suite: a JSON spec naming many
+// campaigns across the membench, netbench and cpubench engines, executed
+// through the parallel runner under a global worker budget, with a
+// content-addressed result cache — a campaign whose (engine, config,
+// design, seed, module version) key is already cached is skipped and its
+// records are replayed into the sinks byte-identically to a cold run.
+//
+// Subcommands: run (execute, honoring the cache), list (print the resolved
+// plan), hash (print the canonical spec hash and per-campaign cache keys).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"opaquebench/internal/suite"
+)
+
+const topUsage = `Usage: suite <command> [flags] spec.json
+
+Commands:
+  run    execute the suite (cache-aware; -dry-run to preview verdicts)
+  list   print the resolved campaign plan without executing anything
+  hash   print the canonical spec hash and per-campaign cache keys
+
+Run "suite <command> -h" for the command's flags.
+`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "suite:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("missing command\n\n%s", topUsage)
+	}
+	switch args[0] {
+	case "run":
+		return runRun(args[1:], stdout)
+	case "list":
+		return runList(args[1:], stdout)
+	case "hash":
+		return runHash(args[1:], stdout)
+	case "help", "-h", "-help", "--help":
+		fmt.Fprint(stdout, topUsage)
+		return nil
+	}
+	return fmt.Errorf("unknown command %q\n\n%s", args[0], topUsage)
+}
+
+// subUsage installs the conventional usage text on a subcommand's flag
+// set: every subcommand takes its flags followed by exactly one spec file.
+func subUsage(fs *flag.FlagSet, name, summary string) {
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "Usage: suite %s [flags] spec.json\n\n%s\n", name, summary)
+		var hasFlags bool
+		fs.VisitAll(func(*flag.Flag) { hasFlags = true })
+		if hasFlags {
+			fmt.Fprint(fs.Output(), "\nFlags:\n")
+			fs.PrintDefaults()
+		}
+	}
+}
+
+// loadSpec parses the positional spec argument of a subcommand.
+func loadSpec(fs *flag.FlagSet) (*suite.Spec, string, error) {
+	if fs.NArg() != 1 {
+		return nil, "", fmt.Errorf("want exactly one spec file argument, got %d", fs.NArg())
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	spec, err := suite.Parse(data, path)
+	return spec, path, err
+}
+
+func runRun(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("suite run", flag.ContinueOnError)
+	cacheDir := fs.String("cache-dir", ".suite-cache", "content-addressed result cache directory (empty disables the cache)")
+	subUsage(fs, "run", "Execute every campaign of the suite, replaying cached ones byte-identically.")
+	workers := fs.Int("workers", 0, "global worker budget across concurrent campaigns (0 = the spec's, else GOMAXPROCS)")
+	dryRun := fs.Bool("dry-run", false, "print the plan with a hit/miss verdict per campaign; execute nothing, touch no output file")
+	baseDir := fs.String("C", "", "directory campaign output paths resolve against (default: the spec file's directory)")
+	envPath := fs.String("env", "", "suite-level environment JSON output: spec hash and per-campaign cache verdicts (optional)")
+	quiet := fs.Bool("q", false, "suppress per-campaign progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, specPath, err := loadSpec(fs)
+	if err != nil {
+		return err
+	}
+	base := *baseDir
+	if base == "" {
+		base = filepath.Dir(specPath)
+	}
+	opts := suite.Options{
+		CacheDir: *cacheDir,
+		Workers:  *workers,
+		BaseDir:  base,
+		DryRun:   *dryRun,
+	}
+	if !*quiet && !*dryRun {
+		opts.Log = os.Stderr
+	}
+	res, runErr := suite.Run(context.Background(), spec, opts)
+	if res != nil {
+		printResult(stdout, spec, res, *dryRun)
+		if *envPath != "" {
+			f, err := os.Create(*envPath)
+			if err != nil {
+				return err
+			}
+			if err := res.Env.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return runErr
+}
+
+func printResult(w io.Writer, spec *suite.Spec, res *suite.Result, dry bool) {
+	mode := "ran"
+	if dry {
+		mode = "planned"
+	}
+	fmt.Fprintf(w, "suite %q %s: %d campaigns, budget %d, spec %s\n",
+		spec.Name, mode, len(res.Campaigns), res.Budget, short(res.SpecHash))
+	for _, cr := range res.Campaigns {
+		status := cr.Verdict()
+		if cr.Err != nil {
+			status = "error: " + cr.Err.Error()
+		}
+		fmt.Fprintf(w, "  %-20s %-9s %-5s key %s  trials %d\n",
+			cr.Name, cr.Engine, status, short(cr.Key), cr.Trials)
+	}
+}
+
+func runList(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("suite list", flag.ContinueOnError)
+	subUsage(fs, "list", "Print the resolved campaign plan (engines, seeds, trial counts, sinks).")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, _, err := loadSpec(fs)
+	if err != nil {
+		return err
+	}
+	plans, err := suite.BuildPlans(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "suite %q: %d campaigns\n", spec.Name, len(plans))
+	for _, p := range plans {
+		c := p.Campaign
+		sinks := c.Out
+		if c.JSONL != "" {
+			if sinks != "" {
+				sinks += " + "
+			}
+			sinks += c.JSONL
+		}
+		fmt.Fprintf(stdout, "  %-20s %-9s seed %-12d workers %-3d %6d trials  -> %s\n",
+			c.Name, c.Engine, c.Seed, max(c.Workers, 1), p.Design.Size(), sinks)
+	}
+	return nil
+}
+
+func runHash(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("suite hash", flag.ContinueOnError)
+	subUsage(fs, "hash", "Print the canonical spec hash and the per-campaign cache keys.")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, _, err := loadSpec(fs)
+	if err != nil {
+		return err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return err
+	}
+	plans, err := suite.BuildPlans(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "spec %s\n", hash)
+	for _, p := range plans {
+		fmt.Fprintf(stdout, "campaign %s %s\n", p.Key, p.Campaign.Name)
+	}
+	return nil
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSpec drops a small three-engine suite spec into dir and returns its
+// path. Output paths are relative, so they land next to the spec.
+func writeSpec(t *testing.T, dir string) string {
+	t.Helper()
+	spec := `{
+  "suite": "cli-test",
+  "workers": 4,
+  "campaigns": [
+    {"name": "mem", "engine": "membench", "seed": 7, "workers": 2,
+     "config": {"machine": "snowball", "sizes": [1024, 8192], "reps": 2},
+     "out": "mem.csv", "jsonl": "mem.jsonl", "env": "mem.env.json"},
+    {"name": "net", "engine": "netbench", "seed": 7, "workers": 2,
+     "config": {"profile": "taurus", "n": 10, "reps": 2},
+     "out": "net.csv"},
+    {"name": "cpu", "engine": "cpubench", "seed": 7, "workers": 2,
+     "config": {"governor": "performance", "nloops": [20, 200], "reps": 2},
+     "out": "cpu.csv"}
+  ]
+}`
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTwiceSecondRunHitsCache(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	cache := filepath.Join(dir, "cache")
+
+	var cold strings.Builder
+	if err := run([]string{"run", "-q", "-cache-dir", cache, spec}, &cold); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if strings.Contains(cold.String(), "hit") || !strings.Contains(cold.String(), "miss") {
+		t.Errorf("cold run verdicts wrong:\n%s", cold.String())
+	}
+	mem1, err := os.ReadFile(filepath.Join(dir, "mem.csv"))
+	if err != nil {
+		t.Fatalf("cold run wrote no mem.csv: %v", err)
+	}
+
+	var warm strings.Builder
+	if err := run([]string{"run", "-q", "-cache-dir", cache, spec}, &warm); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if strings.Contains(warm.String(), "miss") {
+		t.Errorf("warm run missed:\n%s", warm.String())
+	}
+	if !strings.Contains(warm.String(), "trials 0") {
+		t.Errorf("warm run executed trials:\n%s", warm.String())
+	}
+	mem2, err := os.ReadFile(filepath.Join(dir, "mem.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mem1) != string(mem2) {
+		t.Errorf("warm replay not byte-identical: %d vs %d bytes", len(mem2), len(mem1))
+	}
+}
+
+func TestDryRunReportsPlanWithoutOutputs(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+
+	var out strings.Builder
+	if err := run([]string{"run", "-dry-run", "-cache-dir", filepath.Join(dir, "cache"), spec}, &out); err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	for _, want := range []string{"mem", "net", "cpu", "miss", "planned"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("dry-run output missing %q:\n%s", want, out.String())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "mem.csv")); !os.IsNotExist(err) {
+		t.Errorf("dry run touched mem.csv")
+	}
+}
+
+func TestListAndHash(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+
+	var list strings.Builder
+	if err := run([]string{"list", spec}, &list); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, want := range []string{"cli-test", "membench", "netbench", "cpubench", "trials"} {
+		if !strings.Contains(list.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, list.String())
+		}
+	}
+
+	var h1, h2 strings.Builder
+	if err := run([]string{"hash", spec}, &h1); err != nil {
+		t.Fatalf("hash: %v", err)
+	}
+	if err := run([]string{"hash", spec}, &h2); err != nil {
+		t.Fatalf("hash again: %v", err)
+	}
+	if h1.String() != h2.String() {
+		t.Errorf("hash not stable:\n%s\nvs\n%s", h1.String(), h2.String())
+	}
+	if lines := strings.Split(strings.TrimSpace(h1.String()), "\n"); len(lines) != 4 {
+		t.Errorf("hash output: want spec line + 3 campaign lines, got %d:\n%s", len(lines), h1.String())
+	}
+}
+
+// TestCheckedInExampleSpecStaysValid pins the repository's example suite
+// (the README quickstart and the CI docs job both use it) to the parser.
+func TestCheckedInExampleSpecStaysValid(t *testing.T) {
+	spec := filepath.Join("..", "..", "examples", "suite", "suite.json")
+	if _, err := os.Stat(spec); err != nil {
+		t.Skipf("example spec not found: %v", err)
+	}
+	var out strings.Builder
+	if err := run([]string{"run", "-dry-run", "-cache-dir", filepath.Join(t.TempDir(), "cache"), spec}, &out); err != nil {
+		t.Fatalf("dry run on example spec: %v", err)
+	}
+	for _, want := range []string{"mem-i7", "net-taurus", "cpu-rt"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("example plan missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownCommandFails(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"frobnicate"}, &out); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("want unknown command error, got %v", err)
+	}
+	if err := run(nil, &out); err == nil || !strings.Contains(err.Error(), "missing command") {
+		t.Fatalf("want missing command error, got %v", err)
+	}
+}

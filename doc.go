@@ -31,6 +31,10 @@
 //   - a parallel campaign runner (internal/runner) that shards a design
 //     across trial-indexed engine instances and streams records to CSV/JSONL
 //     sinks in design order, record-for-record identical to a serial run;
+//   - a declarative suite orchestrator (internal/suite) that runs whole
+//     studies of campaigns across the three engines from one JSON spec,
+//     concurrently under a global worker budget, with a content-addressed
+//     result cache whose replay is byte-identical to a cold run;
 //   - the downstream consumers the methodology feeds: human-readable
 //     campaign reports (internal/report) and a PMaC-style performance
 //     predictor with trace replay (internal/predict);
@@ -39,8 +43,9 @@
 //
 // The cmd tools compose the stages through file artifacts: cmd/designgen
 // (stage 1), cmd/membench, cmd/netbench and cmd/cpubench (stage 2, with
-// -workers for sharded execution), cmd/analyze (stage 3), and cmd/figures
-// (end-to-end reproductions).
+// -workers for sharded execution and -jsonl for a second streamed sink),
+// cmd/suite (whole cached studies of stage-2 campaigns), cmd/analyze
+// (stage 3), and cmd/figures (end-to-end reproductions).
 //
 // See README.md for a quickstart and package map, DESIGN.md for the system
 // inventory and the per-experiment index, and EXPERIMENTS.md for the

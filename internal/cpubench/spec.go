@@ -1,0 +1,93 @@
+package cpubench
+
+import (
+	"fmt"
+
+	"opaquebench/internal/cpusim"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/ossim"
+)
+
+// Spec is the declarative form of a CPU campaign — the engine half of a
+// suite file's campaign entry (see internal/suite). Field semantics and
+// defaults match the cmd/cpubench flags of the same names; a zero Spec is
+// the default i7 Figure 10 ladder. Only the named Figure 5 tables are
+// accepted; ad-hoc comma-separated ladders stay a cmd/cpubench -table
+// convenience.
+type Spec struct {
+	// Table names the P-state ladder (default "i7").
+	Table string `json:"table,omitempty"`
+	// Governor names the DVFS governor (default "performance").
+	Governor string `json:"governor,omitempty"`
+	// TargetGHz pins the frequency for the userspace governor.
+	TargetGHz float64 `json:"target_ghz,omitempty"`
+	// PeriodSec is the governor sampling period (default 0.01).
+	PeriodSec float64 `json:"period_s,omitempty"`
+	// Policy selects the scheduling policy (default "other").
+	Policy string `json:"policy,omitempty"`
+	// GapSec is the idle time between measurements (default 0.005).
+	GapSec float64 `json:"gap_s,omitempty"`
+	// NLoops overrides the workload ladder; empty means the canonical
+	// {20, 200, 2000, 20000}.
+	NLoops []int `json:"nloops,omitempty"`
+	// Duty is the busy fraction per loop repetition, (0, 1]; 0 means 1.
+	Duty float64 `json:"duty,omitempty"`
+	// Reps is the replicate count of the generated design (default 42).
+	Reps int `json:"reps,omitempty"`
+}
+
+// FromSpec resolves a declarative campaign into the engine configuration
+// and the materialized design, both fully determined by (spec, seed). It is
+// how the suite orchestrator builds cpubench campaigns without going
+// through the cmd/cpubench flag parser.
+func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
+	if s.Table == "" {
+		s.Table = "i7"
+	}
+	if s.Governor == "" {
+		s.Governor = "performance"
+	}
+	if s.Policy == "" {
+		s.Policy = "other"
+	}
+	if s.Reps <= 0 {
+		s.Reps = 42
+	}
+	if s.Duty < 0 || s.Duty > 1 {
+		return Config{}, nil, fmt.Errorf("cpubench: duty must be in (0, 1], got %v", s.Duty)
+	}
+	tab, err := TableByName(s.Table)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	gov, err := cpusim.GovernorByName(s.Governor, s.TargetGHz*1e9)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	pol, err := ossim.PolicyByName(s.Policy)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	nloops := s.NLoops
+	if len(nloops) == 0 {
+		nloops = []int{20, 200, 2000, 20000}
+	}
+	var duties []float64
+	if s.Duty > 0 && s.Duty < 1 {
+		duties = []float64{s.Duty}
+	}
+	design, err := doe.FullFactorial(Factors(nloops, nil, duties),
+		doe.Options{Replicates: s.Reps, Seed: seed, Randomize: true})
+	if err != nil {
+		return Config{}, nil, err
+	}
+	cfg := Config{
+		Table:             tab,
+		Seed:              seed,
+		Governor:          gov,
+		SamplingPeriodSec: s.PeriodSec,
+		Sched:             ossim.Config{Policy: pol},
+		GapSec:            s.GapSec,
+	}
+	return cfg, design, nil
+}

@@ -1,0 +1,80 @@
+package membench
+
+import (
+	"opaquebench/internal/cpusim"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/memsim"
+	"opaquebench/internal/ossim"
+)
+
+// Spec is the declarative form of a memory campaign — the engine half of a
+// suite file's campaign entry (see internal/suite). Field semantics and
+// defaults match the cmd/membench flags of the same names; a zero Spec is
+// the default i7 campaign.
+type Spec struct {
+	// Machine names the simulated processor (default "i7").
+	Machine string `json:"machine,omitempty"`
+	// Governor names the DVFS governor (default "performance").
+	Governor string `json:"governor,omitempty"`
+	// TargetGHz pins the frequency for the userspace governor.
+	TargetGHz float64 `json:"target_ghz,omitempty"`
+	// Alloc selects the allocation strategy (default "contiguous").
+	Alloc string `json:"alloc,omitempty"`
+	// Policy selects the scheduling policy (default "other").
+	Policy string `json:"policy,omitempty"`
+	// Sizes overrides the generated buffer-size ladder (bytes); empty means
+	// the default ladder from 1 KB to 4x the machine's last cache level.
+	Sizes []int `json:"sizes,omitempty"`
+	// Reps is the replicate count of the generated design (default 42).
+	Reps int `json:"reps,omitempty"`
+}
+
+// FromSpec resolves a declarative campaign into the engine configuration
+// and the materialized design, both fully determined by (spec, seed). It is
+// how the suite orchestrator builds membench campaigns without going
+// through the cmd/membench flag parser.
+func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
+	if s.Machine == "" {
+		s.Machine = "i7"
+	}
+	if s.Governor == "" {
+		s.Governor = "performance"
+	}
+	if s.Policy == "" {
+		s.Policy = "other"
+	}
+	if s.Reps <= 0 {
+		s.Reps = 42
+	}
+	m, err := memsim.MachineByName(s.Machine)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	gov, err := cpusim.GovernorByName(s.Governor, s.TargetGHz*1e9)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	pol, err := ossim.PolicyByName(s.Policy)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	sizes := s.Sizes
+	if len(sizes) == 0 {
+		for sz := 1 << 10; sz <= m.Levels[len(m.Levels)-1].SizeBytes*4; sz *= 2 {
+			sizes = append(sizes, sz)
+		}
+	}
+	design, err := doe.FullFactorial(Factors(sizes, nil, nil, []int{100}, nil),
+		doe.Options{Replicates: s.Reps, Seed: seed, Randomize: true})
+	if err != nil {
+		return Config{}, nil, err
+	}
+	cfg := Config{
+		Machine:    m,
+		Seed:       seed,
+		Governor:   gov,
+		Allocation: s.Alloc,
+		Sched:      ossim.Config{Policy: pol},
+	}
+	return cfg, design, nil
+}

@@ -1,0 +1,26 @@
+package meta_test
+
+import (
+	"fmt"
+
+	"opaquebench/internal/meta"
+)
+
+// An Environment is a flat set of descriptors recorded with every
+// campaign; String renders it sorted, and Diff supports the paper's
+// "similar inputs, completely different outputs" comparison. (meta.New
+// additionally pre-populates host toolchain facts, which would make this
+// example's output machine-dependent.)
+func ExampleEnvironment() {
+	env := (&meta.Environment{}).
+		Set("governor", "ondemand").
+		Setf("design/trials", "%d", 168)
+	fmt.Print(env)
+
+	rerun := env.Clone().Set("governor", "performance")
+	fmt.Println(env.Diff(rerun))
+	// Output:
+	// design/trials=168
+	// governor=ondemand
+	// [governor]
+}

@@ -57,6 +57,21 @@ func (e *Environment) Setf(key, format string, args ...any) *Environment {
 	return e.Set(key, fmt.Sprintf(format, args...))
 }
 
+// Clone returns an independent copy of the environment. Consumers that
+// replay a stored environment and annotate it with run-specific facts (the
+// suite orchestrator stamps cache verdicts onto cached campaign
+// environments) clone first so the stored original stays untouched.
+func (e *Environment) Clone() *Environment {
+	out := &Environment{CapturedAt: e.CapturedAt}
+	if e.Fields != nil {
+		out.Fields = make(map[string]string, len(e.Fields))
+		for k, v := range e.Fields {
+			out.Fields[k] = v
+		}
+	}
+	return out
+}
+
 // Get returns the value for key, or "".
 func (e *Environment) Get(key string) string {
 	return e.Fields[key]

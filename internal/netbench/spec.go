@@ -1,0 +1,73 @@
+package netbench
+
+import (
+	"fmt"
+
+	"opaquebench/internal/doe"
+	"opaquebench/internal/netsim"
+)
+
+// Spec is the declarative form of a point-to-point network campaign — the
+// engine half of a suite file's campaign entry (see internal/suite). Field
+// semantics and defaults match the cmd/netbench flags of the same names; a
+// zero Spec is the default Taurus campaign. Collective campaigns carry
+// rank-clock state and stay exclusive to cmd/netbench -collective.
+type Spec struct {
+	// Profile names the simulated network (default "taurus").
+	Profile string `json:"profile,omitempty"`
+	// N is the number of log-uniform message sizes (default 200).
+	N int `json:"n,omitempty"`
+	// Min is the minimum message size in bytes (default 16).
+	Min int `json:"min,omitempty"`
+	// Max is the maximum message size in bytes (default 2 MiB).
+	Max int `json:"max,omitempty"`
+	// Reps is the replicate count per (size, op) (default 4).
+	Reps int `json:"reps,omitempty"`
+	// PerturbFactor stretches durations inside the perturbation window:
+	// 0 (the default) or 1 means no perturbation, values > 1 stretch;
+	// negative values and values in (0, 1) are rejected.
+	PerturbFactor float64 `json:"perturb_factor,omitempty"`
+	// PerturbStart is the perturbation window start (virtual seconds).
+	PerturbStart float64 `json:"perturb_start,omitempty"`
+	// PerturbEnd is the perturbation window end (virtual seconds).
+	PerturbEnd float64 `json:"perturb_end,omitempty"`
+}
+
+// FromSpec resolves a declarative campaign into the engine configuration
+// and the materialized design, both fully determined by (spec, seed). It is
+// how the suite orchestrator builds netbench campaigns without going
+// through the cmd/netbench flag parser.
+func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
+	if s.Profile == "" {
+		s.Profile = "taurus"
+	}
+	if s.N <= 0 {
+		s.N = 200
+	}
+	if s.Min <= 0 {
+		s.Min = 16
+	}
+	if s.Max <= 0 {
+		s.Max = 2 << 20
+	}
+	if s.Reps <= 0 {
+		s.Reps = 4
+	}
+	if s.PerturbFactor < 0 || (s.PerturbFactor > 0 && s.PerturbFactor < 1) {
+		return Config{}, nil, fmt.Errorf("netbench: perturb_factor must be 0 (none) or >= 1, got %v", s.PerturbFactor)
+	}
+	p, err := netsim.ProfileByName(s.Profile)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	design, err := Design(seed, s.N, s.Min, s.Max, s.Reps, nil, true)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	cfg := Config{Profile: p, Seed: seed}
+	if s.PerturbFactor > 1 {
+		cfg.Perturber = netsim.NewPerturber(s.PerturbFactor,
+			netsim.Window{Start: s.PerturbStart, End: s.PerturbEnd})
+	}
+	return cfg, design, nil
+}

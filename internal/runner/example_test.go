@@ -1,0 +1,43 @@
+package runner_test
+
+import (
+	"os"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/runner"
+)
+
+// FileSinks opens the conventional command-line sink set. With both paths
+// empty no file is touched and the CSV sink streams to the given writer —
+// the arrangement the engine CLIs use for stdout output.
+func ExampleFileSinks() {
+	sinks, closers, err := runner.FileSinks(os.Stdout, "", "")
+	if err != nil {
+		panic(err)
+	}
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+
+	rec := core.RawRecord{
+		Seq:     0,
+		Rep:     0,
+		Value:   1200,
+		Seconds: 0.004,
+		Point:   doe.Point{"size": "1024"},
+	}
+	for _, s := range sinks {
+		if err := s.Write(rec); err != nil {
+			panic(err)
+		}
+		if err := s.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	// Output:
+	// seq,rep,value,seconds,at,size
+	// 0,0,1200,0.004,0,1024
+}

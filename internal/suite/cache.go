@@ -1,0 +1,218 @@
+package suite
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strconv"
+	"sync"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/meta"
+)
+
+// The cache is content-addressed: a campaign's key is a canonical hash of
+// everything that determines its records — the engine name, the canonical
+// engine config, the materialized design CSV (which captures factors,
+// levels, replication and the randomized schedule), the campaign seed, and
+// the module version. Anything outside that set (output paths, worker
+// counts, suite membership) deliberately does not contribute: engines are
+// trial-indexed, so those choices cannot change a single byte of output.
+
+// ModuleVersion reports the running module's build identity. It is a
+// cache-key component so entries never survive a change of the simulators:
+// a release version (clean VCS state) identifies the code exactly, but a
+// development build — "(devel)", or any build from a modified tree — does
+// not, so those fall back to the executable's own content hash, which
+// moves with every code edit. The fallback is conservative: two binaries
+// of identical source built by different toolchains miss each other's
+// entries, which costs a re-run, never a stale replay.
+var ModuleVersion = sync.OnceValue(func() string {
+	version, modified := "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		version = bi.Main.Version
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.modified" && s.Value == "true" {
+				modified = true
+			}
+		}
+	}
+	if version != "" && version != "(devel)" && !modified {
+		return version
+	}
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			return "devel-" + hex.EncodeToString(sum[:8])
+		}
+	}
+	return "unknown"
+})
+
+// cacheKey computes a campaign's content address. config must already be
+// canonical (see engineDef.decode).
+func cacheKey(engine string, config []byte, design *doe.Design, seed uint64, version string) (string, error) {
+	var csv bytes.Buffer
+	if err := design.WriteCSV(&csv); err != nil {
+		return "", fmt.Errorf("suite: materialize design: %w", err)
+	}
+	h := sha256.New()
+	for _, part := range [][]byte{
+		[]byte(engine),
+		config,
+		csv.Bytes(),
+		[]byte(strconv.FormatUint(seed, 10)),
+		[]byte(version),
+	} {
+		// Length-prefix every section so no concatenation of different
+		// sections can collide.
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(part)))
+		h.Write(n[:])
+		h.Write(part)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Entry is one cached campaign result: the full raw record set in design
+// order plus the captured environment, exactly as a cold run produced them.
+type Entry struct {
+	// Suite and Campaign record provenance for humans browsing the cache;
+	// they are not part of the key.
+	Suite    string `json:"suite,omitempty"`
+	Campaign string `json:"campaign,omitempty"`
+	// Engine is the engine that produced the records.
+	Engine string `json:"engine"`
+	// Seed is the campaign seed.
+	Seed uint64 `json:"seed"`
+	// Env is the cold run's captured environment, without suite
+	// annotations (verdicts are stamped per run onto a clone).
+	Env *meta.Environment `json:"env"`
+	// Records is the full raw record set in design order.
+	Records []cachedRecord `json:"records"`
+}
+
+// cachedRecord fixes the cache schema independently of the core.RawRecord
+// Go struct. encoding/json round-trips float64 exactly (shortest-form
+// encoding), so replayed records are bit-equal to the cold run's.
+type cachedRecord struct {
+	Seq     int               `json:"seq"`
+	Rep     int               `json:"rep"`
+	Value   float64           `json:"value"`
+	Seconds float64           `json:"seconds"`
+	At      float64           `json:"at"`
+	Point   map[string]string `json:"point,omitempty"`
+	Extra   map[string]string `json:"extra,omitempty"`
+}
+
+func toCached(recs []core.RawRecord) []cachedRecord {
+	out := make([]cachedRecord, len(recs))
+	for i, r := range recs {
+		c := cachedRecord{Seq: r.Seq, Rep: r.Rep, Value: r.Value, Seconds: r.Seconds, At: r.At, Extra: r.Extra}
+		if len(r.Point) > 0 {
+			c.Point = make(map[string]string, len(r.Point))
+			for k, v := range r.Point {
+				c.Point[k] = string(v)
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// records rebuilds the raw record set for sink replay.
+func (e *Entry) records() []core.RawRecord {
+	out := make([]core.RawRecord, len(e.Records))
+	for i, c := range e.Records {
+		r := core.RawRecord{Seq: c.Seq, Rep: c.Rep, Value: c.Value, Seconds: c.Seconds, At: c.At, Extra: c.Extra}
+		if len(c.Point) > 0 {
+			r.Point = make(doe.Point, len(c.Point))
+			for k, v := range c.Point {
+				r.Point[k] = doe.Level(v)
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Cache is a directory of entries addressed by campaign key.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("suite: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Lookup reports whether an entry exists for key.
+func (c *Cache) Lookup(key string) bool {
+	_, err := os.Stat(c.path(key))
+	return err == nil
+}
+
+// Load reads the entry for key.
+func (c *Cache) Load(key string) (*Entry, error) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, fmt.Errorf("suite: cache load: %w", err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("suite: cache entry %s: %w", key, err)
+	}
+	return &e, nil
+}
+
+// Store writes the entry for key atomically (temp file + rename), so a
+// crashed or concurrent writer can never leave a torn entry behind.
+func (c *Cache) Store(key string, e *Entry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("suite: cache encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("suite: cache store: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("suite: cache store: %w", errorsFirst(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("suite: cache store: %w", err)
+	}
+	return nil
+}
+
+func errorsFirst(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

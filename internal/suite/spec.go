@@ -1,0 +1,359 @@
+package suite
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+)
+
+// Spec is a declarative suite: a named study of many campaigns across the
+// three benchmark engines, materialized from one JSON artifact so the whole
+// study can be versioned, hashed and re-run exactly.
+type Spec struct {
+	// Name identifies the study ("suite" in JSON).
+	Name string `json:"suite"`
+	// Workers is the default global worker budget: the maximum number of
+	// runner workers in flight across all concurrently executing
+	// campaigns. 0 means GOMAXPROCS at run time.
+	Workers int `json:"workers,omitempty"`
+	// Campaigns lists the member campaigns in spec order.
+	Campaigns []Campaign `json:"campaigns"`
+}
+
+// Campaign is one suite member: an engine, its declarative configuration,
+// the campaign seed, a worker request, and the output sinks.
+type Campaign struct {
+	// Name identifies the campaign within the suite (unique, required).
+	Name string `json:"name"`
+	// Engine selects the benchmark engine: membench, netbench or cpubench.
+	Engine string `json:"engine"`
+	// Seed is the campaign seed; it drives the design randomization and
+	// every stochastic component of the engine.
+	Seed uint64 `json:"seed"`
+	// Workers is the number of runner workers for this campaign (default
+	// 1); the orchestrator clamps it to the global budget.
+	Workers int `json:"workers,omitempty"`
+	// Config is the engine-specific declarative configuration (the engine
+	// package's Spec type); empty means that engine's defaults.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Out is the raw-results CSV path; relative paths resolve against the
+	// run's base directory.
+	Out string `json:"out,omitempty"`
+	// JSONL is the optional raw-results JSON-Lines path.
+	JSONL string `json:"jsonl,omitempty"`
+	// Env is the optional per-campaign environment JSON path.
+	Env string `json:"env,omitempty"`
+
+	// pos is the "file:line:col" of the campaign object in the parsed
+	// spec, for error anchoring; empty on hand-constructed specs.
+	pos string
+}
+
+// validate checks the campaign's engine-independent invariants.
+func (c *Campaign) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf(`campaign needs a "name"`)
+	}
+	if _, ok := engines[c.Engine]; !ok {
+		return fmt.Errorf("campaign %q: unknown engine %q (want membench, netbench or cpubench)", c.Name, c.Engine)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("campaign %q: negative workers %d", c.Name, c.Workers)
+	}
+	if c.Out == "" && c.JSONL == "" {
+		return fmt.Errorf(`campaign %q: names no output sink (set "out" and/or "jsonl")`, c.Name)
+	}
+	return nil
+}
+
+// claimPaths registers the campaign's sink paths in seen (path -> owning
+// campaign). Two campaigns writing the same file would race and silently
+// corrupt each other's output, so any reuse — across campaigns or within
+// one — is a spec error.
+func claimPaths(seen map[string]string, c *Campaign) error {
+	for _, p := range []string{c.Out, c.JSONL, c.Env} {
+		if p == "" {
+			continue
+		}
+		// Clean so equivalent spellings ("out/a.csv" vs "./out/a.csv")
+		// cannot sneak past the guard.
+		p = filepath.Clean(p)
+		if prev, ok := seen[p]; ok {
+			if prev == c.Name {
+				return fmt.Errorf("campaign %q: output path %q used twice", c.Name, p)
+			}
+			return fmt.Errorf("campaign %q: output path %q already used by campaign %q", c.Name, p, prev)
+		}
+		seen[p] = c.Name
+	}
+	return nil
+}
+
+// at prefixes err with the campaign's spec position when one is known.
+func (c *Campaign) at(err error) error {
+	if err == nil || c.pos == "" {
+		return err
+	}
+	return fmt.Errorf("%s: %w", c.pos, err)
+}
+
+// lineCol converts a byte offset into 1-based line and column numbers.
+func lineCol(data []byte, off int64) (line, col int) {
+	line, col = 1, 1
+	for i := int64(0); i < off && i < int64(len(data)); i++ {
+		if data[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// Parse reads a suite spec from JSON, validating as it goes. Errors are
+// anchored to the spec text: syntax and type errors carry the exact
+// filename:line:col, and every campaign-level validation error carries the
+// position of the offending campaign object.
+func Parse(data []byte, filename string) (*Spec, error) {
+	pos := func(off int64) string {
+		line, col := lineCol(data, off)
+		return fmt.Sprintf("%s:%d:%d", filename, line, col)
+	}
+	fail := func(off int64, format string, args ...any) error {
+		return fmt.Errorf("%s: %s", pos(off), fmt.Sprintf(format, args...))
+	}
+	// locate translates the offset buried in a decoder error, falling back
+	// to the decoder's current position.
+	locate := func(err error, dec *json.Decoder) error {
+		var se *json.SyntaxError
+		if errors.As(err, &se) {
+			return fail(se.Offset, "%s", se.Error())
+		}
+		var te *json.UnmarshalTypeError
+		if errors.As(err, &te) {
+			return fail(te.Offset, "cannot use %s as %s", te.Value, te.Type)
+		}
+		return fail(dec.InputOffset(), "%s", err.Error())
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, locate(err, dec)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, fail(0, "suite spec must be a JSON object")
+	}
+
+	spec := &Spec{}
+	names := map[string]string{} // campaign name -> pos
+	paths := map[string]string{} // sink path -> campaign name
+	seen := map[string]bool{}    // top-level keys
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, locate(err, dec)
+		}
+		key, _ := tok.(string)
+		keyOff := dec.InputOffset() - int64(len(key)) - 2
+		if seen[key] {
+			return nil, fail(keyOff, "duplicate key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "suite":
+			if err := dec.Decode(&spec.Name); err != nil {
+				return nil, locate(err, dec)
+			}
+		case "workers":
+			if err := dec.Decode(&spec.Workers); err != nil {
+				return nil, locate(err, dec)
+			}
+			if spec.Workers < 0 {
+				return nil, fail(keyOff, "negative workers %d", spec.Workers)
+			}
+		case "campaigns":
+			tok, err := dec.Token()
+			if err != nil {
+				return nil, locate(err, dec)
+			}
+			if d, ok := tok.(json.Delim); !ok || d != '[' {
+				return nil, fail(keyOff, `"campaigns" must be an array`)
+			}
+			for dec.More() {
+				var raw json.RawMessage
+				if err := dec.Decode(&raw); err != nil {
+					return nil, locate(err, dec)
+				}
+				// Decode into RawMessage preserves the exact value text,
+				// so the campaign's start offset is recoverable.
+				off := dec.InputOffset() - int64(len(raw))
+				c, err := parseCampaign(raw)
+				if err != nil {
+					return nil, fail(off, "campaign %d: %s", len(spec.Campaigns), err.Error())
+				}
+				c.pos = pos(off)
+				if prev, dup := names[c.Name]; dup {
+					return nil, fail(off, "campaign %q already declared at %s", c.Name, prev)
+				}
+				names[c.Name] = c.pos
+				if err := claimPaths(paths, &c); err != nil {
+					return nil, fail(off, "%s", err.Error())
+				}
+				spec.Campaigns = append(spec.Campaigns, c)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, locate(err, dec)
+			}
+		default:
+			return nil, fail(keyOff, "unknown key %q (want suite, workers, campaigns)", key)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // consume '}'
+		return nil, locate(err, dec)
+	}
+	if dec.More() {
+		return nil, fail(dec.InputOffset(), "trailing data after suite spec")
+	}
+	if len(spec.Campaigns) == 0 {
+		return nil, fmt.Errorf(`%s: spec declares no campaigns (want a non-empty "campaigns" array)`, filename)
+	}
+	return spec, nil
+}
+
+// parseCampaign strictly decodes one campaign object and validates it, both
+// the engine-independent fields and — through the engine registry — the
+// engine-specific config.
+func parseCampaign(raw json.RawMessage) (Campaign, error) {
+	var c Campaign
+	if err := checkDupKeys(raw); err != nil {
+		return c, err
+	}
+	if err := strictDecode(raw, &c); err != nil {
+		return c, err
+	}
+	if err := c.validate(); err != nil {
+		return c, err
+	}
+	if _, _, err := engines[c.Engine].decode(c.Config); err != nil {
+		return c, fmt.Errorf("campaign %q: %s config: %w", c.Name, c.Engine, err)
+	}
+	return c, nil
+}
+
+// checkDupKeys rejects duplicate keys at every object level of raw.
+// encoding/json silently lets the last duplicate win, which would give a
+// campaign a different identity than its first declaration with no
+// diagnostic; the top-level Parse walk already rejects duplicates, and this
+// extends the same strictness into campaign objects and engine configs.
+func checkDupKeys(raw json.RawMessage) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	var walk func() error
+	walk = func() error {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		d, ok := tok.(json.Delim)
+		if !ok {
+			return nil
+		}
+		switch d {
+		case '{':
+			seen := map[string]bool{}
+			for dec.More() {
+				kt, err := dec.Token()
+				if err != nil {
+					return err
+				}
+				key, _ := kt.(string)
+				if seen[key] {
+					return fmt.Errorf("duplicate key %q", key)
+				}
+				seen[key] = true
+				if err := walk(); err != nil {
+					return err
+				}
+			}
+			_, err = dec.Token() // consume '}'
+			return err
+		case '[':
+			for dec.More() {
+				if err := walk(); err != nil {
+					return err
+				}
+			}
+			_, err = dec.Token() // consume ']'
+			return err
+		}
+		return nil
+	}
+	return walk()
+}
+
+// strictDecode unmarshals raw into v rejecting unknown fields and trailing
+// data. An empty raw decodes as the zero value.
+func strictDecode(raw json.RawMessage, v any) error {
+	if len(raw) == 0 {
+		raw = []byte("{}")
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data")
+	}
+	return nil
+}
+
+// Hash returns the canonical spec hash (hex SHA-256): the identity of the
+// study as a whole, recorded in every suite run's environment metadata.
+// Hashing happens over a canonical re-marshal — engine configs are decoded
+// and re-encoded with defaults left implicit — so formatting, key order and
+// whitespace do not affect it, while any semantic edit does. Output paths
+// are part of the spec hash (they are part of the study) but not of the
+// per-campaign cache keys (moving outputs must not invalidate results).
+func (s *Spec) Hash() (string, error) {
+	type canonCampaign struct {
+		Name    string          `json:"name"`
+		Engine  string          `json:"engine"`
+		Seed    uint64          `json:"seed"`
+		Workers int             `json:"workers"`
+		Config  json.RawMessage `json:"config"`
+		Out     string          `json:"out"`
+		JSONL   string          `json:"jsonl"`
+		Env     string          `json:"env"`
+	}
+	canon := struct {
+		Name      string          `json:"suite"`
+		Workers   int             `json:"workers"`
+		Campaigns []canonCampaign `json:"campaigns"`
+	}{Name: s.Name, Workers: s.Workers}
+	for _, c := range s.Campaigns {
+		def, ok := engines[c.Engine]
+		if !ok {
+			return "", fmt.Errorf("suite: campaign %q: unknown engine %q", c.Name, c.Engine)
+		}
+		_, cfg, err := def.decode(c.Config)
+		if err != nil {
+			return "", c.at(fmt.Errorf("suite: campaign %q: %s config: %w", c.Name, c.Engine, err))
+		}
+		canon.Campaigns = append(canon.Campaigns, canonCampaign{
+			Name: c.Name, Engine: c.Engine, Seed: c.Seed, Workers: c.Workers,
+			Config: cfg, Out: c.Out, JSONL: c.JSONL, Env: c.Env,
+		})
+	}
+	payload, err := json.Marshal(canon)
+	if err != nil {
+		return "", fmt.Errorf("suite: hash spec: %w", err)
+	}
+	return hashBytes(payload), nil
+}

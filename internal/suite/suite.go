@@ -1,0 +1,482 @@
+// Package suite is the declarative campaign-suite orchestrator: it turns a
+// JSON spec naming many campaigns — engine, engine config, design
+// parameters, seed, workers, output sinks — into one reproducible study run
+// through the parallel runner, concurrently across campaigns under a
+// global worker budget.
+//
+// The package adds one guarantee on top of the runner's (see
+// internal/runner): a content-addressed result cache. Every campaign has a
+// canonical key over (engine, canonical config, materialized design CSV,
+// seed, module version); a key already present in the cache skips
+// execution entirely and replays the cached records into the campaign's
+// sinks byte-identically to a cold run. Re-running a suite after editing
+// one campaign therefore re-executes exactly that campaign — the property
+// that makes a many-campaign study cheap to iterate on. Cache replay
+// inherits the runner's determinism: because trial-indexed engines make
+// output a pure function of (design, seed, config), replayed bytes and
+// cold-run bytes cannot differ.
+//
+// History-dependent configurations (load-reactive governors, pool/arena
+// allocation, unpinned scheduling, collectives) are the subject of the
+// pitfall experiments and cannot be trial-indexed; the engine factories
+// reject them, so suites stay within the deterministic subset and such
+// campaigns keep using the engine CLIs' sequential mode.
+//
+// Every suite run records the spec hash and the per-campaign cache
+// verdicts in its environment metadata (internal/meta), so a study's
+// provenance — which campaigns were replayed, from what identity — is part
+// of the artifact record. cmd/suite is the command-line face.
+package suite
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/cpubench"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/membench"
+	"opaquebench/internal/meta"
+	"opaquebench/internal/netbench"
+	"opaquebench/internal/runner"
+)
+
+// engineDef adapts one benchmark engine to the orchestrator: decode checks
+// a raw config and returns its canonical form (for hashing), plan resolves
+// it into a factory and a materialized design.
+type engineDef struct {
+	decode func(raw json.RawMessage) (any, []byte, error)
+	plan   func(decoded any, seed uint64) (core.EngineFactory, *doe.Design, error)
+}
+
+// engines is the registry of suite-runnable engines. Each engine package
+// contributes a Spec type and a FromSpec constructor, so the suite builds
+// engines without importing the CLIs.
+var engines = map[string]engineDef{
+	"membench": {
+		decode: func(raw json.RawMessage) (any, []byte, error) {
+			var s membench.Spec
+			err := strictDecode(raw, &s)
+			return s, mustCanon(s, err), err
+		},
+		plan: func(decoded any, seed uint64) (core.EngineFactory, *doe.Design, error) {
+			cfg, design, err := membench.FromSpec(decoded.(membench.Spec), seed)
+			return membench.Factory(cfg), design, err
+		},
+	},
+	"netbench": {
+		decode: func(raw json.RawMessage) (any, []byte, error) {
+			var s netbench.Spec
+			err := strictDecode(raw, &s)
+			return s, mustCanon(s, err), err
+		},
+		plan: func(decoded any, seed uint64) (core.EngineFactory, *doe.Design, error) {
+			cfg, design, err := netbench.FromSpec(decoded.(netbench.Spec), seed)
+			return netbench.Factory(cfg), design, err
+		},
+	},
+	"cpubench": {
+		decode: func(raw json.RawMessage) (any, []byte, error) {
+			var s cpubench.Spec
+			err := strictDecode(raw, &s)
+			return s, mustCanon(s, err), err
+		},
+		plan: func(decoded any, seed uint64) (core.EngineFactory, *doe.Design, error) {
+			cfg, design, err := cpubench.FromSpec(decoded.(cpubench.Spec), seed)
+			return cpubench.Factory(cfg), design, err
+		},
+	},
+}
+
+// mustCanon re-marshals a decoded engine spec into its canonical JSON. The
+// engine Spec types are plain data structs; their marshal cannot fail.
+func mustCanon(s any, decodeErr error) []byte {
+	if decodeErr != nil {
+		return nil
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("suite: canonical config marshal: %v", err))
+	}
+	return b
+}
+
+// Plan is one campaign resolved against its engine: the materialized
+// design, the engine factory, and the content-addressed cache key.
+type Plan struct {
+	Campaign Campaign
+	Design   *doe.Design
+	Factory  core.EngineFactory
+	Key      string
+}
+
+// BuildPlans resolves every campaign of the spec: engine configs are
+// decoded, designs materialized, factories probed (so a configuration the
+// engine rejects — e.g. a load-reactive governor, which cannot run
+// trial-indexed — fails here, before any output file is touched), and
+// cache keys computed against the running module version.
+func BuildPlans(spec *Spec) ([]Plan, error) {
+	version := ModuleVersion()
+	plans := make([]Plan, 0, len(spec.Campaigns))
+	names := map[string]bool{}
+	paths := map[string]string{}
+	for i := range spec.Campaigns {
+		c := spec.Campaigns[i]
+		if err := c.validate(); err != nil {
+			return nil, c.at(fmt.Errorf("suite: %w", err))
+		}
+		// Re-checked here (Parse also checks) so hand-constructed specs
+		// cannot smuggle in colliding names or racing sink paths.
+		if names[c.Name] {
+			return nil, c.at(fmt.Errorf("suite: campaign %q declared twice", c.Name))
+		}
+		names[c.Name] = true
+		if err := claimPaths(paths, &c); err != nil {
+			return nil, c.at(fmt.Errorf("suite: %w", err))
+		}
+		def := engines[c.Engine]
+		decoded, canon, err := def.decode(c.Config)
+		if err != nil {
+			return nil, c.at(fmt.Errorf("suite: campaign %q: %s config: %w", c.Name, c.Engine, err))
+		}
+		factory, design, err := def.plan(decoded, c.Seed)
+		if err != nil {
+			return nil, c.at(fmt.Errorf("suite: campaign %q: %w", c.Name, err))
+		}
+		if _, err := factory.NewEngine(); err != nil {
+			return nil, c.at(fmt.Errorf("suite: campaign %q: %w", c.Name, err))
+		}
+		key, err := cacheKey(c.Engine, canon, design, c.Seed, version)
+		if err != nil {
+			return nil, c.at(fmt.Errorf("suite: campaign %q: %w", c.Name, err))
+		}
+		plans = append(plans, Plan{Campaign: c, Design: design, Factory: factory, Key: key})
+	}
+	return plans, nil
+}
+
+// Options tunes a suite run.
+type Options struct {
+	// CacheDir is the content-addressed cache directory; empty disables
+	// caching (every campaign runs cold, nothing is stored).
+	CacheDir string
+	// Workers overrides the spec's global worker budget when > 0. A
+	// resolved budget < 1 means runtime.GOMAXPROCS(0).
+	Workers int
+	// BaseDir anchors the campaigns' relative output paths; empty means
+	// the current directory.
+	BaseDir string
+	// DryRun plans and reports cache verdicts without executing trials or
+	// touching any output file.
+	DryRun bool
+	// Log, when non-nil, receives one progress line per campaign.
+	Log io.Writer
+}
+
+// CampaignResult reports one campaign's outcome.
+type CampaignResult struct {
+	// Name and Engine identify the campaign.
+	Name   string
+	Engine string
+	// Key is the content-addressed cache key.
+	Key string
+	// Hit reports whether the campaign was replayed from the cache.
+	Hit bool
+	// Trials is the number of trials actually executed: the design size on
+	// a cold run, 0 on a cache hit (and on a dry run).
+	Trials int
+	// Records is the number of records delivered to the sinks.
+	Records int
+	// Err is the campaign's failure, if any.
+	Err error
+}
+
+// Verdict renders the cache outcome as "hit" or "miss".
+func (r CampaignResult) Verdict() string {
+	if r.Hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// Result is the outcome of a whole suite run.
+type Result struct {
+	// SpecHash is the canonical spec hash.
+	SpecHash string
+	// Budget is the resolved global worker budget.
+	Budget int
+	// Campaigns holds per-campaign outcomes in spec order.
+	Campaigns []CampaignResult
+	// Env is the suite-level environment metadata: the spec hash, the
+	// budget, and every campaign's cache key and verdict.
+	Env *meta.Environment
+}
+
+// Run executes the suite: every campaign whose key is cached is replayed
+// byte-identically into its sinks; the rest run through the parallel
+// runner, concurrently across campaigns, with at most the budget's worth
+// of workers in flight suite-wide. The Result reports per-campaign
+// verdicts even when some campaigns fail; the returned error joins all
+// campaign failures.
+func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
+	plans, err := BuildPlans(spec)
+	if err != nil {
+		return nil, err
+	}
+	specHash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	var cache *Cache
+	if opts.CacheDir != "" {
+		if opts.DryRun {
+			// Lookup-only: a dry run must create nothing, and Lookup
+			// against a directory that does not exist is simply all-miss.
+			cache = &Cache{dir: opts.CacheDir}
+		} else if cache, err = OpenCache(opts.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	budget := opts.Workers
+	if budget < 1 {
+		budget = spec.Workers
+	}
+	if budget < 1 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+
+	res := &Result{SpecHash: specHash, Budget: budget, Campaigns: make([]CampaignResult, len(plans))}
+	var logMu sync.Mutex
+	logf := func(format string, args ...any) {
+		if opts.Log == nil {
+			return
+		}
+		logMu.Lock()
+		defer logMu.Unlock()
+		fmt.Fprintf(opts.Log, format+"\n", args...)
+	}
+
+	if opts.DryRun {
+		for i, p := range plans {
+			cr := CampaignResult{Name: p.Campaign.Name, Engine: p.Campaign.Engine, Key: p.Key,
+				Hit: cache != nil && cache.Lookup(p.Key)}
+			res.Campaigns[i] = cr
+			logf("suite: %s: %s (%d trials planned)", cr.Name, cr.Verdict(), p.Design.Size())
+		}
+		res.Env = suiteEnv(spec, res)
+		return res, nil
+	}
+
+	// sem is the global worker budget. Campaigns acquire their whole
+	// worker allotment under acqMu, so partial acquisitions never
+	// interleave and the budget cannot deadlock.
+	sem := make(chan struct{}, budget)
+	var acqMu sync.Mutex
+	acquire := func(n int) error {
+		acqMu.Lock()
+		defer acqMu.Unlock()
+		for i := 0; i < n; i++ {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				for j := 0; j < i; j++ {
+					<-sem
+				}
+				return context.Cause(ctx)
+			}
+		}
+		return nil
+	}
+	release := func(n int) {
+		for i := 0; i < n; i++ {
+			<-sem
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := range plans {
+		p := plans[i]
+		workers := p.Campaign.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		if workers > budget {
+			workers = budget
+		}
+		wg.Add(1)
+		go func(i int, p Plan, workers int) {
+			defer wg.Done()
+			cr := CampaignResult{Name: p.Campaign.Name, Engine: p.Campaign.Engine, Key: p.Key}
+			defer func() { res.Campaigns[i] = cr }()
+
+			if cache != nil && cache.Lookup(p.Key) {
+				entry, err := cache.Load(p.Key)
+				if err == nil {
+					if err = replay(entry, p, specHash, opts.BaseDir); err == nil {
+						cr.Hit = true
+						cr.Records = len(entry.Records)
+						logf("suite: %s: hit — %d records replayed", cr.Name, cr.Records)
+						return
+					}
+				}
+				// A torn or stale entry must not kill the study: fall
+				// through to a cold run, which overwrites it.
+				logf("suite: %s: cache entry unusable (%v), running cold", cr.Name, err)
+			}
+
+			if err := acquire(workers); err != nil {
+				cr.Err = fmt.Errorf("suite: campaign %q: %w", cr.Name, err)
+				return
+			}
+			defer release(workers)
+			logf("suite: %s: miss — running %d trials on %d workers", cr.Name, p.Design.Size(), workers)
+			run, err := execute(ctx, p, workers, specHash, opts.BaseDir)
+			if err != nil {
+				cr.Err = fmt.Errorf("suite: campaign %q: %w", cr.Name, err)
+				return
+			}
+			cr.Trials = len(run.Records)
+			cr.Records = len(run.Records)
+			if cache != nil {
+				if err := cache.Store(p.Key, &Entry{
+					Suite: spec.Name, Campaign: p.Campaign.Name, Engine: p.Campaign.Engine,
+					Seed: p.Campaign.Seed, Env: run.Env, Records: toCached(run.Records),
+				}); err != nil {
+					cr.Err = fmt.Errorf("suite: campaign %q: %w", cr.Name, err)
+				}
+			}
+		}(i, p, workers)
+	}
+	wg.Wait()
+
+	var errs []error
+	for _, cr := range res.Campaigns {
+		if cr.Err != nil {
+			errs = append(errs, cr.Err)
+		}
+	}
+	res.Env = suiteEnv(spec, res)
+	return res, errors.Join(errs...)
+}
+
+// suiteEnv builds the suite-level environment record: spec hash, budget,
+// and per-campaign cache verdicts.
+func suiteEnv(spec *Spec, res *Result) *meta.Environment {
+	env := meta.New()
+	env.Set("suite", spec.Name)
+	env.Set("suite/spec_hash", res.SpecHash)
+	env.Setf("suite/budget", "%d", res.Budget)
+	env.Setf("suite/campaigns", "%d", len(res.Campaigns))
+	for _, cr := range res.Campaigns {
+		env.Set("suite/campaign/"+cr.Name+"/key", cr.Key)
+		env.Set("suite/campaign/"+cr.Name+"/verdict", cr.Verdict())
+		env.Setf("suite/campaign/"+cr.Name+"/trials", "%d", cr.Trials)
+	}
+	return env
+}
+
+// execute runs one campaign cold through the parallel runner, streaming
+// into its sinks.
+func execute(ctx context.Context, p Plan, workers int, specHash, baseDir string) (*core.Results, error) {
+	sinks, closers, err := openSinks(p.Campaign, baseDir)
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll(closers)
+	run, err := runner.Run(ctx, p.Design, p.Factory, runner.Config{Workers: workers, Sinks: sinks})
+	if err != nil {
+		return nil, err
+	}
+	if err := writeCampaignEnv(p, run.Env, "miss", specHash, baseDir); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// replay drains a cached entry into the campaign's sinks. The sinks see
+// the identical record sequence a cold run streams, so the files come out
+// byte-identical.
+func replay(entry *Entry, p Plan, specHash, baseDir string) error {
+	sinks, closers, err := openSinks(p.Campaign, baseDir)
+	if err != nil {
+		return err
+	}
+	defer closeAll(closers)
+	records := entry.records()
+	for _, s := range sinks {
+		for _, rec := range records {
+			if err := s.Write(rec); err != nil {
+				return err
+			}
+		}
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
+	env := entry.Env
+	if env == nil {
+		env = meta.New()
+	}
+	return writeCampaignEnv(p, env, "hit", specHash, baseDir)
+}
+
+// openSinks opens the campaign's CSV/JSONL files (creating parent
+// directories), reusing the runner's preservation guarantees. A campaign
+// with no CSV path still gets a CSV sink draining to io.Discard, which
+// keeps the record path uniform.
+func openSinks(c Campaign, baseDir string) ([]runner.RecordSink, []io.Closer, error) {
+	out := resolvePath(baseDir, c.Out)
+	jsonl := resolvePath(baseDir, c.JSONL)
+	for _, path := range []string{out, jsonl, resolvePath(baseDir, c.Env)} {
+		if path == "" {
+			continue
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			return nil, nil, err
+		}
+	}
+	return runner.FileSinks(io.Discard, out, jsonl)
+}
+
+// writeCampaignEnv writes the campaign's environment JSON (when requested)
+// annotated with the suite run's cache verdict. The cached original is
+// cloned first so stored entries never accumulate verdicts.
+func writeCampaignEnv(p Plan, env *meta.Environment, verdict, specHash, baseDir string) error {
+	path := resolvePath(baseDir, p.Campaign.Env)
+	if path == "" {
+		return nil
+	}
+	env = env.Clone()
+	env.Set("suite/cache", verdict)
+	env.Set("suite/cache_key", p.Key)
+	env.Set("suite/spec_hash", specHash)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := env.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func resolvePath(base, path string) string {
+	if path == "" || base == "" || filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(base, path)
+}
+
+func closeAll(closers []io.Closer) {
+	for _, c := range closers {
+		c.Close()
+	}
+}

@@ -1,0 +1,258 @@
+package suite
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/runner"
+)
+
+// serialReference runs every campaign of the spec cold and serially — the
+// classic core.Campaign loop over one factory-made engine — and writes the
+// sink files the suite is expected to reproduce byte for byte.
+func serialReference(t *testing.T, spec *Spec, dir string) {
+	t.Helper()
+	plans, err := BuildPlans(spec)
+	if err != nil {
+		t.Fatalf("BuildPlans: %v", err)
+	}
+	for _, p := range plans {
+		eng, err := p.Factory.NewEngine()
+		if err != nil {
+			t.Fatalf("%s: engine: %v", p.Campaign.Name, err)
+		}
+		res, err := (&core.Campaign{Design: p.Design, Engine: eng}).Run()
+		if err != nil {
+			t.Fatalf("%s: serial run: %v", p.Campaign.Name, err)
+		}
+		sinks, closers, err := runner.FileSinks(io.Discard,
+			filepath.Join(dir, p.Campaign.Out), filepath.Join(dir, p.Campaign.JSONL))
+		if err != nil {
+			t.Fatalf("%s: sinks: %v", p.Campaign.Name, err)
+		}
+		for _, s := range sinks {
+			if err := runner.WriteAll(res, s); err != nil {
+				t.Fatalf("%s: write: %v", p.Campaign.Name, err)
+			}
+		}
+		for _, c := range closers {
+			c.Close()
+		}
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return data
+}
+
+// compareSinks asserts every campaign CSV/JSONL under dir is byte-identical
+// to the serial reference.
+func compareSinks(t *testing.T, spec *Spec, refDir, dir, label string) {
+	t.Helper()
+	for _, c := range spec.Campaigns {
+		for _, name := range []string{c.Out, c.JSONL} {
+			if name == "" {
+				continue
+			}
+			want := readFile(t, filepath.Join(refDir, name))
+			got := readFile(t, filepath.Join(dir, name))
+			if string(want) != string(got) {
+				t.Errorf("%s: %s/%s differs from the serial reference (%d vs %d bytes)",
+					label, c.Name, name, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestCacheReplayByteIdentical is the suite determinism guarantee: a suite
+// of three campaigns (one per engine) runs cold at workers 1, 4 and 8 and
+// then warm from the cache, and every CSV/JSONL file — cold, warm, any
+// worker count — is byte-identical to a cold serial core.Campaign run,
+// with the warm run executing zero trials.
+func TestCacheReplayByteIdentical(t *testing.T) {
+	spec := parseTestSpec(t)
+	refDir := t.TempDir()
+	serialReference(t, spec, refDir)
+
+	for _, workers := range []int{1, 4, 8} {
+		spec := parseTestSpec(t)
+		for i := range spec.Campaigns {
+			spec.Campaigns[i].Workers = workers
+		}
+		cacheDir := t.TempDir()
+		coldDir := t.TempDir()
+		warmDir := t.TempDir()
+
+		cold, err := Run(context.Background(), spec, Options{
+			CacheDir: cacheDir, BaseDir: coldDir, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers %d: cold run: %v", workers, err)
+		}
+		for _, cr := range cold.Campaigns {
+			if cr.Hit || cr.Trials == 0 {
+				t.Errorf("workers %d: cold %s: verdict %s, %d trials", workers, cr.Name, cr.Verdict(), cr.Trials)
+			}
+		}
+		compareSinks(t, spec, refDir, coldDir, "cold")
+
+		warm, err := Run(context.Background(), spec, Options{
+			CacheDir: cacheDir, BaseDir: warmDir, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers %d: warm run: %v", workers, err)
+		}
+		for _, cr := range warm.Campaigns {
+			if !cr.Hit {
+				t.Errorf("workers %d: warm %s: verdict %s", workers, cr.Name, cr.Verdict())
+			}
+			if cr.Trials != 0 {
+				t.Errorf("workers %d: warm %s executed %d trials, want 0", workers, cr.Name, cr.Trials)
+			}
+		}
+		compareSinks(t, spec, refDir, warmDir, "warm")
+
+		if cold.SpecHash != warm.SpecHash {
+			t.Errorf("workers %d: spec hash moved between runs", workers)
+		}
+	}
+}
+
+// TestEditingOneCampaignReexecutesOnlyIt: after a warm cache, editing one
+// campaign re-runs exactly that campaign; the others replay.
+func TestEditingOneCampaignReexecutesOnlyIt(t *testing.T) {
+	spec := parseTestSpec(t)
+	cacheDir := t.TempDir()
+	if _, err := Run(context.Background(), spec, Options{CacheDir: cacheDir, BaseDir: t.TempDir()}); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	edited := parseTestSpec(t)
+	edited.Campaigns[2].Seed = 99
+	res, err := Run(context.Background(), edited, Options{CacheDir: cacheDir, BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("edited run: %v", err)
+	}
+	wantHit := []bool{true, true, false}
+	for i, cr := range res.Campaigns {
+		if cr.Hit != wantHit[i] {
+			t.Errorf("%s: verdict %s, want hit=%v", cr.Name, cr.Verdict(), wantHit[i])
+		}
+	}
+}
+
+// TestCorruptCacheEntryFallsBackToColdRun: a torn entry must not kill the
+// study or poison the output.
+func TestCorruptCacheEntryFallsBackToColdRun(t *testing.T) {
+	spec := parseTestSpec(t)
+	refDir := t.TempDir()
+	serialReference(t, spec, refDir)
+
+	cacheDir := t.TempDir()
+	if _, err := Run(context.Background(), spec, Options{CacheDir: cacheDir, BaseDir: t.TempDir()}); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	plans, err := BuildPlans(spec)
+	if err != nil {
+		t.Fatalf("BuildPlans: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(cacheDir, plans[0].Key+".json"), []byte("{torn"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	outDir := t.TempDir()
+	res, err := Run(context.Background(), spec, Options{CacheDir: cacheDir, BaseDir: outDir})
+	if err != nil {
+		t.Fatalf("run over torn cache: %v", err)
+	}
+	if res.Campaigns[0].Hit {
+		t.Errorf("torn entry reported as hit")
+	}
+	if !res.Campaigns[1].Hit || !res.Campaigns[2].Hit {
+		t.Errorf("intact entries did not replay")
+	}
+	compareSinks(t, spec, refDir, outDir, "post-corruption")
+
+	// The cold rerun must have repaired the entry.
+	if entry, err := (&Cache{dir: cacheDir}).Load(plans[0].Key); err != nil || len(entry.Records) == 0 {
+		t.Errorf("entry not repaired: %v", err)
+	}
+}
+
+// TestSuiteEnvRecordsVerdicts: the suite-level environment metadata carries
+// the spec hash and a per-campaign key and verdict.
+func TestSuiteEnvRecordsVerdicts(t *testing.T) {
+	spec := parseTestSpec(t)
+	cacheDir := t.TempDir()
+	baseDir := t.TempDir()
+	res, err := Run(context.Background(), spec, Options{CacheDir: cacheDir, BaseDir: baseDir})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Env.Get("suite/spec_hash") != res.SpecHash || res.SpecHash == "" {
+		t.Errorf("suite env spec hash %q vs %q", res.Env.Get("suite/spec_hash"), res.SpecHash)
+	}
+	for _, cr := range res.Campaigns {
+		if got := res.Env.Get("suite/campaign/" + cr.Name + "/verdict"); got != "miss" {
+			t.Errorf("%s: suite env verdict %q, want miss", cr.Name, got)
+		}
+		if got := res.Env.Get("suite/campaign/" + cr.Name + "/key"); got != cr.Key {
+			t.Errorf("%s: suite env key %q, want %q", cr.Name, got, cr.Key)
+		}
+	}
+
+	// The per-campaign env file carries the verdict too.
+	env := readFile(t, filepath.Join(baseDir, "mem.env.json"))
+	for _, want := range []string{`"suite/cache": "miss"`, `"suite/spec_hash"`, `"suite/cache_key"`} {
+		if !strings.Contains(string(env), want) {
+			t.Errorf("campaign env missing %s", want)
+		}
+	}
+
+	warm, err := Run(context.Background(), spec, Options{CacheDir: cacheDir, BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	for _, cr := range warm.Campaigns {
+		if got := warm.Env.Get("suite/campaign/" + cr.Name + "/verdict"); got != "hit" {
+			t.Errorf("%s: warm suite env verdict %q, want hit", cr.Name, got)
+		}
+	}
+}
+
+// TestDryRunTouchesNothing: -dry-run reports verdicts without creating a
+// single output file.
+func TestDryRunTouchesNothing(t *testing.T) {
+	spec := parseTestSpec(t)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	baseDir := t.TempDir()
+	res, err := Run(context.Background(), spec, Options{CacheDir: cacheDir, BaseDir: baseDir, DryRun: true})
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	for _, cr := range res.Campaigns {
+		if cr.Hit || cr.Trials != 0 {
+			t.Errorf("%s: dry run verdict %s, %d trials", cr.Name, cr.Verdict(), cr.Trials)
+		}
+	}
+	entries, err := os.ReadDir(baseDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("dry run created %d files under the base dir", len(entries))
+	}
+	if _, err := os.Stat(cacheDir); !os.IsNotExist(err) {
+		t.Errorf("dry run created the cache directory")
+	}
+}
