@@ -1,0 +1,96 @@
+// Command compare is the differential campaign comparator: it loads two
+// suite runs from their content-addressed cache directories, pairs the
+// campaigns by name, and gates each pair statistically — a bootstrap
+// confidence interval on the median shift, oriented by the engine's metric
+// direction, with a practical-significance floor. The output is a
+// deterministic machine-readable verdict file (pass / regressed / improved
+// / incomparable per campaign, with effect sizes) and, optionally, a
+// markdown report.
+//
+// The exit status is the gate: 0 when nothing regressed and every campaign
+// was comparable, 1 otherwise — so a CI job can run a suite twice and fail
+// the build on a statistically backed slowdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"opaquebench/internal/compare"
+)
+
+const usage = `Usage: compare [flags] <baseline-cache-dir> <candidate-cache-dir>
+
+Compare two suite runs campaign by campaign (paired by name) and gate on
+statistically backed regressions. Both arguments are suite result-cache
+directories (cmd/suite run -cache-dir); the comparison replays the cached
+raw records in memory and touches neither directory.
+
+Exit status 0 means every campaign passed or improved; any regressed or
+incomparable campaign exits 1.
+`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), usage, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	out := fs.String("o", "", "write the machine-readable verdict JSON to this file")
+	md := fs.String("md", "", "write a markdown comparison report to this file")
+	level := fs.Float64("level", 0, "bootstrap confidence level (default 0.99)")
+	reps := fs.Int("reps", 0, "bootstrap replications (default 2000)")
+	seed := fs.Uint64("seed", 0, "bootstrap seed (default 1)")
+	minShift := fs.Float64("min-shift", 0, "practical-significance floor on the relative median shift (default 0.01)")
+	quiet := fs.Bool("q", false, "suppress the per-campaign verdict lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("want exactly two cache directory arguments, got %d\n\n%s", fs.NArg(), usage)
+	}
+	baseline, err := compare.LoadCacheDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	candidate, err := compare.LoadCacheDir(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	cmp := compare.Compare(baseline, candidate, compare.Gate{
+		Level:       *level,
+		Reps:        *reps,
+		Seed:        *seed,
+		MinRelShift: *minShift,
+	})
+
+	if !*quiet {
+		cmp.WriteText(stdout)
+	}
+	fmt.Fprintln(stdout, cmp.Summary())
+	if *out != "" {
+		if err := cmp.WriteJSONFile(*out); err != nil {
+			return err
+		}
+	}
+	if *md != "" {
+		if err := cmp.WriteMarkdownFile(*md); err != nil {
+			return err
+		}
+	}
+	if !cmp.Clean() {
+		return fmt.Errorf("%d regressed, %d incomparable", cmp.Regressed, cmp.Incomparable)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opaquebench/internal/suite"
+)
+
+const specTemplate = `{
+  "suite": "cli-gate",
+  "workers": 4,
+  "campaigns": [
+    {"name": "mem", "engine": "membench", "seed": 7,
+     "config": {"machine": "snowball", "sizes": [1024, 8192], "reps": 2},
+     "out": "mem.csv"},
+    {"name": "cpu", "engine": "cpubench", "seed": 7,
+     "config": {"governor": "performance", %s"nloops": [200, 2000], "reps": 3},
+     "out": "cpu.csv"}
+  ]
+}`
+
+// runSuite executes a spec cold into a fresh cache directory and returns it.
+func runSuite(t *testing.T, dutyField string) string {
+	t.Helper()
+	src := strings.Replace(specTemplate, "%s", dutyField, 1)
+	spec, err := suite.Parse([]byte(src), "spec.json")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	if _, err := suite.Run(context.Background(), spec, suite.Options{
+		CacheDir: cacheDir, BaseDir: t.TempDir(),
+	}); err != nil {
+		t.Fatalf("suite run: %v", err)
+	}
+	return cacheDir
+}
+
+func TestSelfComparisonExitsClean(t *testing.T) {
+	cache := runSuite(t, "")
+	dir := t.TempDir()
+	verdicts := filepath.Join(dir, "verdicts.json")
+	md := filepath.Join(dir, "report.md")
+
+	var out strings.Builder
+	if err := run([]string{"-o", verdicts, "-md", md, cache, cache}, &out); err != nil {
+		t.Fatalf("self-comparison gated: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 pass, 0 regressed") {
+		t.Errorf("summary wrong:\n%s", out.String())
+	}
+	data, err := os.ReadFile(verdicts)
+	if err != nil {
+		t.Fatalf("verdict file not written: %v", err)
+	}
+	for _, want := range []string{`"verdict": "pass"`, `"identical": true`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("verdict file missing %s:\n%s", want, data)
+		}
+	}
+	report, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatalf("markdown report not written: %v", err)
+	}
+	if !strings.Contains(string(report), "| mem |") {
+		t.Errorf("markdown report missing table row:\n%s", report)
+	}
+}
+
+func TestRegressionGatesWithNonzeroExit(t *testing.T) {
+	baseline := runSuite(t, "")
+	candidate := runSuite(t, `"duty": 0.6, `)
+
+	var out strings.Builder
+	err := run([]string{baseline, candidate}, &out)
+	if err == nil || !strings.Contains(err.Error(), "1 regressed") {
+		t.Fatalf("regression did not gate: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "regressed") || !strings.Contains(out.String(), "shift") {
+		t.Errorf("verdict lines missing:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"onlyone"}, &out); err == nil || !strings.Contains(err.Error(), "two cache directory") {
+		t.Fatalf("single argument accepted: %v", err)
+	}
+	if err := run([]string{"/nonexistent/a", "/nonexistent/b"}, &out); err == nil {
+		t.Fatal("missing cache directories accepted")
+	}
+}

@@ -5,8 +5,11 @@
 // design, seed, module version) key is already cached is skipped and its
 // records are replayed into the sinks byte-identically to a cold run.
 //
-// Subcommands: run (execute, honoring the cache), list (print the resolved
-// plan), hash (print the canonical spec hash and per-campaign cache keys).
+// Subcommands: run (execute, honoring the cache; -baseline additionally
+// gates the run against a prior cache directory through the differential
+// comparator, failing on statistically backed regressions), list (print the
+// resolved plan), hash (print the canonical spec hash and per-campaign
+// cache keys).
 package main
 
 import (
@@ -17,13 +20,15 @@ import (
 	"os"
 	"path/filepath"
 
+	"opaquebench/internal/compare"
 	"opaquebench/internal/suite"
 )
 
 const topUsage = `Usage: suite <command> [flags] spec.json
 
 Commands:
-  run    execute the suite (cache-aware; -dry-run to preview verdicts)
+  run    execute the suite (cache-aware; -dry-run to preview verdicts,
+         -baseline to gate against a prior run's cache)
   list   print the resolved campaign plan without executing anything
   hash   print the canonical spec hash and per-campaign cache keys
 
@@ -93,9 +98,22 @@ func runRun(args []string, stdout io.Writer) error {
 	dryRun := fs.Bool("dry-run", false, "print the plan with a hit/miss verdict per campaign; execute nothing, touch no output file")
 	baseDir := fs.String("C", "", "directory campaign output paths resolve against (default: the spec file's directory)")
 	envPath := fs.String("env", "", "suite-level environment JSON output: spec hash and per-campaign cache verdicts (optional)")
+	baseline := fs.String("baseline", "", "prior result-cache directory to compare this run against; any statistically backed regression fails the run")
+	verdicts := fs.String("verdicts", "", "write the comparator's machine-readable verdict JSON to this file (needs -baseline)")
 	quiet := fs.Bool("q", false, "suppress per-campaign progress lines")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *baseline != "" {
+		if *cacheDir == "" {
+			return fmt.Errorf("-baseline needs -cache-dir: the comparison reads this run's records from its cache")
+		}
+		if *dryRun {
+			return fmt.Errorf("-baseline and -dry-run are incompatible: a dry run produces no records to compare")
+		}
+	}
+	if *verdicts != "" && *baseline == "" {
+		return fmt.Errorf("-verdicts needs -baseline")
 	}
 	spec, specPath, err := loadSpec(fs)
 	if err != nil {
@@ -115,23 +133,73 @@ func runRun(args []string, stdout io.Writer) error {
 		opts.Log = os.Stderr
 	}
 	res, runErr := suite.Run(context.Background(), spec, opts)
-	if res != nil {
-		printResult(stdout, spec, res, *dryRun)
-		if *envPath != "" {
-			f, err := os.Create(*envPath)
-			if err != nil {
-				return err
-			}
-			if err := res.Env.WriteJSON(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
+	if res == nil {
+		return runErr
+	}
+	printResult(stdout, spec, res, *dryRun)
+	var gateErr error
+	if *baseline != "" && runErr == nil {
+		gateErr = compareRun(stdout, res, *baseline, *cacheDir, *verdicts)
+	}
+	if *envPath != "" {
+		f, err := os.Create(*envPath)
+		if err != nil {
+			return err
+		}
+		if err := res.Env.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 	}
-	return runErr
+	if runErr != nil {
+		return runErr
+	}
+	return gateErr
+}
+
+// compareRun gates the finished run against a baseline cache: this run's
+// records are loaded back from its own cache by key, the baseline's by
+// directory scan, and the comparator's verdicts are printed, stamped into
+// the run's environment metadata, and optionally written as a verdict
+// file. A regressed or incomparable campaign is the returned error.
+func compareRun(stdout io.Writer, res *suite.Result, baselineDir, cacheDir, verdictsPath string) error {
+	baseline, err := compare.LoadCacheDir(baselineDir)
+	if err != nil {
+		return err
+	}
+	cache, err := suite.ReadCache(cacheDir)
+	if err != nil {
+		return err
+	}
+	candidate := make(map[string][]compare.Sample, len(res.Campaigns))
+	for _, cr := range res.Campaigns {
+		entry, err := cache.Load(cr.Key)
+		if err != nil {
+			return fmt.Errorf("load this run's campaign %q back from the cache: %w", cr.Name, err)
+		}
+		s, err := compare.SampleFromEntry(cr.Key, entry)
+		if err != nil {
+			return err
+		}
+		candidate[s.Campaign] = append(candidate[s.Campaign], s)
+	}
+	cmp := compare.Compare(baseline, candidate, compare.Gate{})
+	cmp.Stamp(res.Env)
+	fmt.Fprintf(stdout, "baseline comparison (%s):\n", baselineDir)
+	cmp.WriteText(stdout)
+	fmt.Fprintln(stdout, cmp.Summary())
+	if verdictsPath != "" {
+		if err := cmp.WriteJSONFile(verdictsPath); err != nil {
+			return err
+		}
+	}
+	if !cmp.Clean() {
+		return fmt.Errorf("baseline comparison: %d regressed, %d incomparable", cmp.Regressed, cmp.Incomparable)
+	}
+	return nil
 }
 
 func printResult(w io.Writer, spec *suite.Spec, res *suite.Result, dry bool) {

@@ -69,6 +69,100 @@ func TestRunTwiceSecondRunHitsCache(t *testing.T) {
 	}
 }
 
+// TestBaselineSelfComparisonPasses: running a suite with -baseline pointed
+// at its own warm cache is the all-pass self-comparison — verdicts land on
+// stdout, in the verdict file and in the environment metadata, and the
+// command exits clean.
+func TestBaselineSelfComparisonPasses(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	cache := filepath.Join(dir, "cache")
+	if err := run([]string{"run", "-q", "-cache-dir", cache, spec}, &strings.Builder{}); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	verdicts := filepath.Join(dir, "verdicts.json")
+	envPath := filepath.Join(dir, "suite.env.json")
+	var out strings.Builder
+	err := run([]string{"run", "-q", "-cache-dir", cache, "-baseline", cache,
+		"-verdicts", verdicts, "-env", envPath, spec}, &out)
+	if err != nil {
+		t.Fatalf("self-comparison gated: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "3 pass, 0 regressed") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+	data, err := os.ReadFile(verdicts)
+	if err != nil {
+		t.Fatalf("verdict file: %v", err)
+	}
+	if !strings.Contains(string(data), `"identical": true`) {
+		t.Errorf("verdict file without identical fast path:\n%s", data)
+	}
+	env, err := os.ReadFile(envPath)
+	if err != nil {
+		t.Fatalf("env file: %v", err)
+	}
+	for _, want := range []string{`"compare/regressed": "0"`, `"compare/campaign/cpu/verdict": "pass"`} {
+		if !strings.Contains(string(env), want) {
+			t.Errorf("environment metadata missing %s:\n%s", want, env)
+		}
+	}
+}
+
+// TestBaselineCatchesInjectedSlowdown: editing the cpubench campaign to
+// duty-cycle at 0.6 and re-running against the previous cache must fail
+// the run with a regressed verdict.
+func TestBaselineCatchesInjectedSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	baseCache := filepath.Join(dir, "base-cache")
+	if err := run([]string{"run", "-q", "-cache-dir", baseCache, spec}, &strings.Builder{}); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	src, err := os.ReadFile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowed := strings.Replace(string(src), `"governor": "performance",`,
+		`"governor": "performance", "duty": 0.6,`, 1)
+	if slowed == string(src) {
+		t.Fatal("fixture edit did not apply")
+	}
+	if err := os.WriteFile(spec, []byte(slowed), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err = run([]string{"run", "-q", "-cache-dir", filepath.Join(dir, "cand-cache"),
+		"-baseline", baseCache, spec}, &out)
+	if err == nil || !strings.Contains(err.Error(), "1 regressed") {
+		t.Fatalf("injected slowdown not gated: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "regressed") || !strings.Contains(out.String(), "shift") {
+		t.Errorf("verdict lines missing:\n%s", out.String())
+	}
+}
+
+func TestBaselineFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	var out strings.Builder
+	if err := run([]string{"run", "-cache-dir", "", "-baseline", dir, spec}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-cache-dir") {
+		t.Fatalf("baseline without cache accepted: %v", err)
+	}
+	if err := run([]string{"run", "-dry-run", "-baseline", dir, spec}, &out); err == nil ||
+		!strings.Contains(err.Error(), "dry run") {
+		t.Fatalf("baseline dry run accepted: %v", err)
+	}
+	if err := run([]string{"run", "-verdicts", "v.json", spec}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-baseline") {
+		t.Fatalf("verdicts without baseline accepted: %v", err)
+	}
+}
+
 func TestDryRunReportsPlanWithoutOutputs(t *testing.T) {
 	dir := t.TempDir()
 	spec := writeSpec(t, dir)

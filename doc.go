@@ -35,6 +35,11 @@
 //     studies of campaigns across the three engines from one JSON spec,
 //     concurrently under a global worker budget, with a content-addressed
 //     result cache whose replay is byte-identical to a cold run;
+//   - a differential campaign comparator (internal/compare) that pairs two
+//     suite runs and gates each campaign statistically — bootstrap
+//     confidence intervals on the median shift of the raw records, with
+//     mode-count and breakpoint-drift diagnosis flags — emitting
+//     deterministic verdict files and markdown reports;
 //   - the downstream consumers the methodology feeds: human-readable
 //     campaign reports (internal/report) and a PMaC-style performance
 //     predictor with trace replay (internal/predict);
@@ -44,8 +49,10 @@
 // The cmd tools compose the stages through file artifacts: cmd/designgen
 // (stage 1), cmd/membench, cmd/netbench and cmd/cpubench (stage 2, with
 // -workers for sharded execution and -jsonl for a second streamed sink),
-// cmd/suite (whole cached studies of stage-2 campaigns), cmd/analyze
-// (stage 3), and cmd/figures (end-to-end reproductions).
+// cmd/suite (whole cached studies of stage-2 campaigns, with -baseline as
+// a regression gate against a prior run), cmd/compare (the standalone
+// differential gate over two suite caches), cmd/analyze (stage 3), and
+// cmd/figures (end-to-end reproductions).
 //
 // See README.md for a quickstart and package map, DESIGN.md for the system
 // inventory and the per-experiment index, and EXPERIMENTS.md for the

@@ -1,0 +1,323 @@
+package compare
+
+import (
+	"bytes"
+	"context"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/meta"
+	"opaquebench/internal/suite"
+)
+
+// mk builds a one-campaign sample map with the given pooled values (no
+// factors, so the piecewise probe stays out of gate-logic tests).
+func mk(name, engine, key string, values []float64) map[string][]Sample {
+	recs := make([]core.RawRecord, len(values))
+	for i, v := range values {
+		recs[i] = core.RawRecord{Seq: i, Value: v}
+	}
+	return map[string][]Sample{name: {{Campaign: name, Engine: engine, Key: key, Records: recs}}}
+}
+
+func constant(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func noisy(n int, center, sigma float64, seed uint64) []float64 {
+	r := rand.New(rand.NewPCG(seed, seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = center + sigma*r.NormFloat64()
+	}
+	return out
+}
+
+func one(t *testing.T, c *Comparison) CampaignVerdict {
+	t.Helper()
+	if len(c.Campaigns) != 1 {
+		t.Fatalf("%d verdicts, want 1", len(c.Campaigns))
+	}
+	return c.Campaigns[0]
+}
+
+func TestGateDirectionPerEngine(t *testing.T) {
+	cases := []struct {
+		name    string
+		engine  string
+		base    []float64
+		cand    []float64
+		verdict string
+	}{
+		// membench bandwidth: a drop regresses, a rise improves.
+		{"bandwidth drop", "membench", noisy(60, 1000, 5, 1), noisy(60, 800, 5, 2), VerdictRegressed},
+		{"bandwidth rise", "membench", noisy(60, 1000, 5, 1), noisy(60, 1200, 5, 2), VerdictImproved},
+		// netbench duration: lower is better, so a rise regresses.
+		{"latency rise", "netbench", noisy(60, 1.0, 0.01, 3), noisy(60, 1.2, 0.01, 4), VerdictRegressed},
+		{"latency drop", "netbench", noisy(60, 1.0, 0.01, 3), noisy(60, 0.8, 0.01, 4), VerdictImproved},
+		// cpubench effective MHz: a drop regresses.
+		{"mhz drop", "cpubench", noisy(60, 2600, 10, 5), noisy(60, 2000, 10, 6), VerdictRegressed},
+		// No real shift: noise alone must not gate.
+		{"no shift", "membench", noisy(60, 1000, 5, 7), noisy(60, 1000, 5, 8), VerdictPass},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Compare(mk("c", tc.engine, "k1", tc.base), mk("c", tc.engine, "k2", tc.cand), Gate{})
+			v := one(t, c)
+			if v.Verdict != tc.verdict {
+				t.Fatalf("verdict %s (shift %+g, CI [%g, %g]), want %s",
+					v.Verdict, v.Shift, v.CILo, v.CIHi, tc.verdict)
+			}
+			if v.Verdict == VerdictRegressed && v.RelShift == 0 {
+				t.Fatal("regression with zero effect size")
+			}
+		})
+	}
+}
+
+// TestGatePracticalSignificanceFloor: a statistically certain but tiny
+// shift (here 0.4% with a degenerate CI excluding zero) must not gate.
+func TestGatePracticalSignificanceFloor(t *testing.T) {
+	c := Compare(
+		mk("c", "membench", "k1", constant(40, 1000)),
+		mk("c", "membench", "k2", constant(40, 996)),
+		Gate{})
+	v := one(t, c)
+	if v.Verdict != VerdictPass {
+		t.Fatalf("0.4%% shift gated: %s (CI [%g, %g])", v.Verdict, v.CILo, v.CIHi)
+	}
+	if v.Shift != -4 || v.CILo != -4 || v.CIHi != -4 {
+		t.Fatalf("degenerate shift mangled: %+v", v)
+	}
+	// The same shift clears a lowered floor.
+	c = Compare(
+		mk("c", "membench", "k1", constant(40, 1000)),
+		mk("c", "membench", "k2", constant(40, 996)),
+		Gate{MinRelShift: 0.001})
+	if v := one(t, c); v.Verdict != VerdictRegressed {
+		t.Fatalf("shift above the floor did not gate: %s", v.Verdict)
+	}
+}
+
+func TestIdenticalValuesFastPath(t *testing.T) {
+	vals := noisy(30, 500, 20, 9)
+	c := Compare(mk("c", "cpubench", "k", vals), mk("c", "cpubench", "k", vals), Gate{})
+	v := one(t, c)
+	if v.Verdict != VerdictPass || !v.Identical {
+		t.Fatalf("identical records: %+v", v)
+	}
+	if v.Shift != 0 || v.RelShift != 0 || v.CILo != 0 || v.CIHi != 0 {
+		t.Fatalf("identical records with nonzero effect: %+v", v)
+	}
+}
+
+func TestIncomparableCases(t *testing.T) {
+	base := mk("c", "membench", "k1", constant(10, 1))
+	cases := []struct {
+		name       string
+		baseline   map[string][]Sample
+		candidate  map[string][]Sample
+		wantReason string
+	}{
+		{"missing candidate", base, map[string][]Sample{}, "absent from the candidate"},
+		{"missing baseline", map[string][]Sample{}, base, "absent from the baseline"},
+		{"engine change", base, mk("c", "netbench", "k2", constant(10, 1)), "engine changed"},
+		{"unknown engine", mk("c", "gpubench", "k1", constant(10, 1)),
+			mk("c", "gpubench", "k2", constant(10, 1)), "unknown engine"},
+		{"empty records", base, mk("c", "membench", "k2", nil), "no records"},
+		{"ambiguous cache", map[string][]Sample{"c": {base["c"][0], base["c"][0]}}, base,
+			"2 baseline cache entries"},
+		// A zero baseline median makes the relative floor undefined; the
+		// gate must refuse rather than silently pass a real regression.
+		{"zero baseline median", mk("c", "netbench", "k1", constant(10, 0)),
+			mk("c", "netbench", "k2", constant(10, 100)), "baseline median is zero"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Compare(tc.baseline, tc.candidate, Gate{})
+			v := one(t, c)
+			if v.Verdict != VerdictIncomparable {
+				t.Fatalf("verdict %s, want incomparable", v.Verdict)
+			}
+			if !strings.Contains(v.Reason, tc.wantReason) {
+				t.Fatalf("reason %q does not mention %q", v.Reason, tc.wantReason)
+			}
+			if c.Incomparable != 1 || c.Clean() {
+				t.Fatalf("totals wrong: %s", c.Summary())
+			}
+		})
+	}
+}
+
+// TestModeChangeFlagged: a bimodality appearing in the candidate raises the
+// modes-changed flag — annotation, regardless of the location verdict.
+func TestModeChangeFlagged(t *testing.T) {
+	bimodal := append(noisy(30, 1000, 2, 10), noisy(10, 200, 2, 11)...)
+	c := Compare(
+		mk("c", "cpubench", "k1", noisy(40, 1000, 2, 12)),
+		mk("c", "cpubench", "k2", bimodal),
+		Gate{})
+	v := one(t, c)
+	if v.BaselineModes != 1 || v.CandidateModes != 2 {
+		t.Fatalf("mode counts %d -> %d, want 1 -> 2", v.BaselineModes, v.CandidateModes)
+	}
+	if !hasFlag(v, FlagModesChanged) {
+		t.Fatalf("modes-changed flag missing: %v", v.Flags)
+	}
+}
+
+func hasFlag(v CampaignVerdict, flag string) bool {
+	for _, f := range v.Flags {
+		if f == flag {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Suite integration: the acceptance-criteria fixtures -----------------
+
+const baselineSpec = `{
+  "suite": "gate",
+  "workers": 4,
+  "campaigns": [
+    {"name": "mem", "engine": "membench", "seed": 7,
+     "config": {"machine": "snowball", "sizes": [1024, 8192], "reps": 2},
+     "out": "mem.csv"},
+    {"name": "net", "engine": "netbench", "seed": 7,
+     "config": {"profile": "taurus", "n": 12, "reps": 2},
+     "out": "net.csv"},
+    {"name": "cpu", "engine": "cpubench", "seed": 7,
+     "config": {"governor": "performance", "nloops": [200, 2000], "reps": 3},
+     "out": "cpu.csv"}
+  ]
+}`
+
+// slowdownSpec is baselineSpec with one seeded, injected slowdown: the
+// cpubench campaign duty-cycles at 0.6, stretching every measurement and
+// cutting the effective frequency by ~40%.
+var slowdownSpec = strings.Replace(baselineSpec,
+	`"governor": "performance",`, `"governor": "performance", "duty": 0.6,`, 1)
+
+// runInto executes the spec cold into cacheDir with the given worker count
+// and returns the campaign samples loaded back from the cache.
+func runInto(t *testing.T, specJSON, cacheDir string, workers int) map[string][]Sample {
+	t.Helper()
+	spec, err := suite.Parse([]byte(specJSON), "spec.json")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	for i := range spec.Campaigns {
+		spec.Campaigns[i].Workers = workers
+	}
+	if _, err := suite.Run(context.Background(), spec, suite.Options{
+		CacheDir: cacheDir, BaseDir: t.TempDir(), Workers: workers,
+	}); err != nil {
+		t.Fatalf("suite run: %v", err)
+	}
+	samples, err := LoadCacheDir(cacheDir)
+	if err != nil {
+		t.Fatalf("LoadCacheDir: %v", err)
+	}
+	return samples
+}
+
+// TestSelfComparisonAllPassByteIdentical is the acceptance fixture: a suite
+// compared against its own cache yields zero regressions, and the verdict
+// file is byte-identical at workers 1, 4 and 8.
+func TestSelfComparisonAllPassByteIdentical(t *testing.T) {
+	var verdictFiles [][]byte
+	for _, workers := range []int{1, 4, 8} {
+		samples := runInto(t, baselineSpec, t.TempDir(), workers)
+		c := Compare(samples, samples, Gate{})
+		if !c.Clean() || c.Pass != 3 || c.Regressed != 0 {
+			t.Fatalf("workers %d: self-comparison not all-pass: %s", workers, c.Summary())
+		}
+		for _, v := range c.Campaigns {
+			if !v.Identical || v.Shift != 0 {
+				t.Fatalf("workers %d: %s not identical in self-comparison: %+v", workers, v.Campaign, v)
+			}
+		}
+		var buf bytes.Buffer
+		if err := c.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		verdictFiles = append(verdictFiles, buf.Bytes())
+	}
+	for i := 1; i < len(verdictFiles); i++ {
+		if !bytes.Equal(verdictFiles[0], verdictFiles[i]) {
+			t.Fatalf("verdict files differ between worker counts:\n%s\nvs\n%s",
+				verdictFiles[0], verdictFiles[i])
+		}
+	}
+	// And the file round-trips.
+	parsed, err := ReadJSON(bytes.NewReader(verdictFiles[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Pass != 3 || len(parsed.Campaigns) != 3 {
+		t.Fatalf("round trip lost verdicts: %s", parsed.Summary())
+	}
+}
+
+// TestInjectedSlowdownFlaggedRegressed is the other acceptance fixture: a
+// seeded duty-cycle shift in the cpubench campaign must be flagged as
+// regressed with a nonzero effect size, while the untouched campaigns
+// replay identically and pass.
+func TestInjectedSlowdownFlaggedRegressed(t *testing.T) {
+	baseline := runInto(t, baselineSpec, t.TempDir(), 4)
+	candidate := runInto(t, slowdownSpec, t.TempDir(), 4)
+	c := Compare(baseline, candidate, Gate{})
+	if c.Regressed != 1 || c.Pass != 2 || c.Incomparable != 0 {
+		t.Fatalf("verdict totals: %s", c.Summary())
+	}
+	var cpu CampaignVerdict
+	for _, v := range c.Campaigns {
+		switch v.Campaign {
+		case "cpu":
+			cpu = v
+		default:
+			if v.Verdict != VerdictPass || !v.Identical {
+				t.Errorf("%s: verdict %s identical=%v, want identical pass", v.Campaign, v.Verdict, v.Identical)
+			}
+		}
+	}
+	if cpu.Verdict != VerdictRegressed {
+		t.Fatalf("cpu verdict %s (shift %+g, CI [%g, %g]), want regressed",
+			cpu.Verdict, cpu.Shift, cpu.CILo, cpu.CIHi)
+	}
+	if cpu.Shift >= 0 || cpu.RelShift >= -0.1 {
+		t.Fatalf("cpu effect size too small for a 0.6 duty cycle: shift %+g rel %+g", cpu.Shift, cpu.RelShift)
+	}
+	if cpu.CIHi >= 0 {
+		t.Fatalf("cpu CI does not exclude zero: [%g, %g]", cpu.CILo, cpu.CIHi)
+	}
+	if cpu.BaselineKey == cpu.CandidateKey {
+		t.Fatal("config edit did not move the cache key")
+	}
+
+	// The environment stamp and the markdown report both carry the verdict.
+	env := meta.New()
+	c.Stamp(env)
+	if env.Get("compare/campaign/cpu/verdict") != VerdictRegressed || env.Get("compare/regressed") != "1" {
+		t.Fatalf("env stamp wrong:\n%s", env.String())
+	}
+	md := c.Markdown()
+	for _, want := range []string{"**regressed**", "cpu", "3 campaigns", "CI"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestLoadCacheDirMissing(t *testing.T) {
+	if _, err := LoadCacheDir("/nonexistent/cache/dir"); err == nil {
+		t.Fatal("missing baseline directory accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package compare
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"opaquebench/internal/report"
+)
+
+// Markdown renders the comparison as a GitHub-flavored markdown report —
+// the human half of the verdict artifact, composed from the report
+// package's primitives. The table carries the gate outcome; the details
+// section expands every campaign that regressed, improved, or could not be
+// compared.
+func (c *Comparison) Markdown() string {
+	var b strings.Builder
+	b.WriteString(report.MarkdownHeading(1, "Differential campaign comparison"))
+	fmt.Fprintf(&b, "%s. Gate: %g%% bootstrap CI on the median shift, %d reps, ≥ %g%% relative shift to act.\n\n",
+		c.Summary(), c.Level*100, c.Reps, c.MinRelShift*100)
+
+	rows := make([][]string, 0, len(c.Campaigns))
+	for _, v := range c.Campaigns {
+		rows = append(rows, []string{
+			v.Campaign,
+			v.Engine,
+			verdictCell(v.Verdict),
+			shiftCell(v),
+			ciCell(v),
+			strings.Join(v.Flags, ", "),
+		})
+	}
+	b.WriteString(report.MarkdownTable(
+		[]string{"campaign", "engine", "verdict", "shift", "CI", "flags"}, rows))
+
+	var details []CampaignVerdict
+	for _, v := range c.Campaigns {
+		if v.Verdict != VerdictPass || len(v.Flags) > 0 {
+			details = append(details, v)
+		}
+	}
+	if len(details) == 0 {
+		return b.String()
+	}
+	b.WriteString("\n")
+	b.WriteString(report.MarkdownHeading(2, "Details"))
+	for _, v := range details {
+		b.WriteString(report.MarkdownHeading(3, v.Campaign))
+		if v.Verdict == VerdictIncomparable {
+			fmt.Fprintf(&b, "Incomparable: %s.\n\n", v.Reason)
+			continue
+		}
+		dir := "higher is better"
+		if !v.HigherIsBetter {
+			dir = "lower is better"
+		}
+		fmt.Fprintf(&b, "- verdict **%s** (%s); median %.6g → %.6g, shift %+.6g (%+.2f%%)\n",
+			v.Verdict, dir, v.BaselineMedian, v.CandidateMedian, v.Shift, v.RelShift*100)
+		fmt.Fprintf(&b, "- %g%% CI on the median shift: [%.6g, %.6g]\n", v.CILevel*100, v.CILo, v.CIHi)
+		if v.BaselineModes != 0 {
+			fmt.Fprintf(&b, "- modes: %d → %d\n", v.BaselineModes, v.CandidateModes)
+		}
+		if len(v.BaselineBreaks) > 0 || len(v.CandidateBreaks) > 0 {
+			fmt.Fprintf(&b, "- breakpoints: %s → %s (max drift %.3g of the x-span)\n",
+				breaksCell(v.BaselineBreaks), breaksCell(v.CandidateBreaks), v.BreakDrift)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func verdictCell(verdict string) string {
+	if verdict == VerdictRegressed || verdict == VerdictIncomparable {
+		return "**" + verdict + "**"
+	}
+	return verdict
+}
+
+func shiftCell(v CampaignVerdict) string {
+	if v.Verdict == VerdictIncomparable {
+		return ""
+	}
+	if v.Identical {
+		return "0 (identical)"
+	}
+	return fmt.Sprintf("%+.6g (%+.2f%%)", v.Shift, v.RelShift*100)
+}
+
+func ciCell(v CampaignVerdict) string {
+	if v.Verdict == VerdictIncomparable || v.Identical {
+		return ""
+	}
+	return fmt.Sprintf("[%.6g, %.6g]", v.CILo, v.CIHi)
+}
+
+func breaksCell(breaks []float64) string {
+	if len(breaks) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(breaks))
+	for i, b := range breaks {
+		parts[i] = strconv.FormatFloat(b, 'g', 4, 64)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

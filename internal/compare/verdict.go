@@ -1,0 +1,199 @@
+package compare
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"opaquebench/internal/meta"
+)
+
+// The verdict taxonomy. Every campaign pair lands in exactly one class;
+// DESIGN.md section 9 records the semantics.
+const (
+	// VerdictPass: no statistically backed, practically significant shift
+	// in the worse direction (includes the identical-records fast path).
+	VerdictPass = "pass"
+	// VerdictRegressed: the shift CI excludes zero on the worse side and
+	// the relative shift clears the practical-significance floor.
+	VerdictRegressed = "regressed"
+	// VerdictImproved: the mirror image — the whole CI is on the better
+	// side and the shift is practically significant.
+	VerdictImproved = "improved"
+	// VerdictIncomparable: the pair cannot be judged — a side is missing,
+	// the engine changed, a cache is ambiguous, a side has no records, or
+	// the baseline median is zero (the relative floor is undefined).
+	// Incomparable is a loud state on purpose: a gate that silently skips
+	// what it cannot judge is not a gate.
+	VerdictIncomparable = "incomparable"
+)
+
+// Structural diagnosis flags. Flags annotate a verdict, they never decide
+// it: a mode appearing or a breakpoint drifting is an analysis lead, not
+// pass/fail evidence.
+const (
+	// FlagModesChanged: the pooled values changed mode count (a bimodality
+	// appeared or vanished — the Figure 10/11 diagnosis).
+	FlagModesChanged = "modes-changed"
+	// FlagBreakCountChanged: the neutral piecewise fit found a different
+	// number of breakpoints (a protocol/regime change appeared or vanished).
+	FlagBreakCountChanged = "break-count-changed"
+	// FlagBreakDrift: breakpoint positions moved beyond the tolerance.
+	FlagBreakDrift = "break-drift"
+)
+
+// CampaignVerdict is one campaign pair's judgement. Fields are plain
+// finite numbers only — the file must round-trip as strict JSON.
+type CampaignVerdict struct {
+	Campaign string `json:"campaign"`
+	Engine   string `json:"engine,omitempty"`
+	Verdict  string `json:"verdict"`
+	// Reason explains an incomparable verdict.
+	Reason string `json:"reason,omitempty"`
+	// BaselineKey and CandidateKey are the content-addressed config
+	// identities; equal keys imply identical records.
+	BaselineKey  string `json:"baseline_key,omitempty"`
+	CandidateKey string `json:"candidate_key,omitempty"`
+	BaselineN    int    `json:"baseline_n,omitempty"`
+	CandidateN   int    `json:"candidate_n,omitempty"`
+	// Identical marks the determinism fast path: the two record value
+	// series are equal, so the effect is exactly zero.
+	Identical      bool `json:"identical,omitempty"`
+	HigherIsBetter bool `json:"higher_is_better,omitempty"`
+	// BaselineMedian and CandidateMedian locate the two runs; Shift is
+	// candidate minus baseline in metric units, RelShift the shift
+	// relative to |baseline median| — the comparator's effect size.
+	BaselineMedian  float64 `json:"baseline_median,omitempty"`
+	CandidateMedian float64 `json:"candidate_median,omitempty"`
+	Shift           float64 `json:"shift"`
+	RelShift        float64 `json:"rel_shift"`
+	// CILo and CIHi bound the bootstrap CI on the median shift at CILevel.
+	CILo    float64 `json:"ci_lo"`
+	CIHi    float64 `json:"ci_hi"`
+	CILevel float64 `json:"ci_level,omitempty"`
+	// Flags carries the structural diagnosis annotations.
+	Flags []string `json:"flags,omitempty"`
+	// BaselineModes and CandidateModes are the pooled mode counts (1 or 2).
+	BaselineModes  int `json:"baseline_modes,omitempty"`
+	CandidateModes int `json:"candidate_modes,omitempty"`
+	// BaselineBreaks and CandidateBreaks are the neutral piecewise fits'
+	// interior breakpoints; BreakDrift the largest relative position move.
+	BaselineBreaks  []float64 `json:"baseline_breaks,omitempty"`
+	CandidateBreaks []float64 `json:"candidate_breaks,omitempty"`
+	BreakDrift      float64   `json:"break_drift,omitempty"`
+}
+
+// Comparison is a whole suite-vs-suite judgement: the gate parameters, the
+// per-campaign verdicts in name order, and the class totals.
+type Comparison struct {
+	Level       float64 `json:"level"`
+	Reps        int     `json:"reps"`
+	Seed        uint64  `json:"seed"`
+	MinRelShift float64 `json:"min_rel_shift"`
+
+	Campaigns []CampaignVerdict `json:"campaigns"`
+
+	Pass         int `json:"pass"`
+	Regressed    int `json:"regressed"`
+	Improved     int `json:"improved"`
+	Incomparable int `json:"incomparable"`
+}
+
+// Clean reports whether the comparison gates green: nothing regressed and
+// nothing was incomparable.
+func (c *Comparison) Clean() bool {
+	return c.Regressed == 0 && c.Incomparable == 0
+}
+
+// Summary renders the one-line totals.
+func (c *Comparison) Summary() string {
+	return fmt.Sprintf("%d campaigns: %d pass, %d regressed, %d improved, %d incomparable",
+		len(c.Campaigns), c.Pass, c.Regressed, c.Improved, c.Incomparable)
+}
+
+// WriteJSON serializes the comparison as the canonical verdict file:
+// indented JSON with struct-ordered keys and name-sorted campaigns, so two
+// comparisons of the same records are byte-identical however they were
+// produced.
+func (c *Comparison) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteText renders the human per-campaign verdict lines — the shared
+// stdout rendering of cmd/compare and cmd/suite run -baseline.
+func (c *Comparison) WriteText(w io.Writer) {
+	for _, v := range c.Campaigns {
+		switch {
+		case v.Verdict == VerdictIncomparable:
+			fmt.Fprintf(w, "  %-20s %-9s %-12s %s\n", v.Campaign, v.Engine, v.Verdict, v.Reason)
+		case v.Identical:
+			fmt.Fprintf(w, "  %-20s %-9s %-12s identical records\n", v.Campaign, v.Engine, v.Verdict)
+		default:
+			fmt.Fprintf(w, "  %-20s %-9s %-12s shift %+.6g (%+.2f%%), CI [%.6g, %.6g]\n",
+				v.Campaign, v.Engine, v.Verdict, v.Shift, v.RelShift*100, v.CILo, v.CIHi)
+		}
+	}
+}
+
+// WriteJSONFile writes the canonical verdict file to path.
+func (c *Comparison) WriteJSONFile(path string) error {
+	return writeFile(path, c.WriteJSON)
+}
+
+// WriteMarkdownFile writes the markdown comparison report to path.
+func (c *Comparison) WriteMarkdownFile(path string) error {
+	return writeFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, c.Markdown())
+		return err
+	})
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSON parses a verdict file written by WriteJSON.
+func ReadJSON(r io.Reader) (*Comparison, error) {
+	var c Comparison
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("compare: decode verdicts: %w", err)
+	}
+	return &c, nil
+}
+
+// Stamp records the comparison in environment metadata, making comparator
+// verdicts part of a run's provenance the way cache verdicts already are.
+func (c *Comparison) Stamp(env *meta.Environment) {
+	env.Setf("compare/level", "%g", c.Level)
+	env.Setf("compare/min_rel_shift", "%g", c.MinRelShift)
+	env.Setf("compare/campaigns", "%d", len(c.Campaigns))
+	env.Setf("compare/pass", "%d", c.Pass)
+	env.Setf("compare/regressed", "%d", c.Regressed)
+	env.Setf("compare/improved", "%d", c.Improved)
+	env.Setf("compare/incomparable", "%d", c.Incomparable)
+	for _, v := range c.Campaigns {
+		prefix := "compare/campaign/" + v.Campaign + "/"
+		env.Set(prefix+"verdict", v.Verdict)
+		if v.Verdict == VerdictIncomparable {
+			env.Set(prefix+"reason", v.Reason)
+			continue
+		}
+		env.Setf(prefix+"shift", "%g", v.Shift)
+		env.Setf(prefix+"rel_shift", "%g", v.RelShift)
+		if len(v.Flags) > 0 {
+			env.Set(prefix+"flags", strings.Join(v.Flags, ","))
+		}
+	}
+}

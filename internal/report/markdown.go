@@ -1,0 +1,65 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown rendering primitives shared by report producers — the
+// differential comparator (internal/compare) composes its comparison
+// reports from these. They emit GitHub-flavored markdown with cell
+// contents escaped, so arbitrary campaign names and error strings cannot
+// break the table grammar.
+
+// MarkdownHeading renders one heading line followed by a blank line.
+// Levels clamp to [1, 6].
+func MarkdownHeading(level int, title string) string {
+	if level < 1 {
+		level = 1
+	}
+	if level > 6 {
+		level = 6
+	}
+	return strings.Repeat("#", level) + " " + escapeMarkdownCell(title) + "\n\n"
+}
+
+// MarkdownTable renders a GitHub-flavored markdown table. The column count
+// follows the header; short rows pad with empty cells and long rows are
+// truncated. Cells are escaped so embedded pipes and newlines cannot break
+// the table grammar.
+func MarkdownTable(header []string, rows [][]string) string {
+	if len(header) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i := range header {
+			cell := ""
+			if i < len(cells) {
+				cell = escapeMarkdownCell(cells[i])
+			}
+			fmt.Fprintf(&b, " %s |", cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	b.WriteString("|")
+	for range header {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// escapeMarkdownCell neutralizes the characters that would break a table
+// cell: pipes become entities and newlines collapse to spaces.
+func escapeMarkdownCell(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	s = strings.ReplaceAll(s, "\r\n", " ")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
+}

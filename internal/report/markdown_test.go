@@ -1,0 +1,49 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownHeadingClampsLevel(t *testing.T) {
+	if got := MarkdownHeading(2, "Title"); got != "## Title\n\n" {
+		t.Fatalf("heading: %q", got)
+	}
+	if got := MarkdownHeading(0, "x"); !strings.HasPrefix(got, "# x") {
+		t.Fatalf("low level not clamped: %q", got)
+	}
+	if got := MarkdownHeading(9, "x"); !strings.HasPrefix(got, "###### x") {
+		t.Fatalf("high level not clamped: %q", got)
+	}
+}
+
+func TestMarkdownTableShape(t *testing.T) {
+	got := MarkdownTable([]string{"a", "b"}, [][]string{
+		{"1", "2"},
+		{"3"},           // short row pads
+		{"4", "5", "6"}, // long row truncates
+	})
+	want := strings.Join([]string{
+		"| a | b |",
+		"|---|---|",
+		"| 1 | 2 |",
+		"| 3 |  |",
+		"| 4 | 5 |",
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("table:\n%s\nwant:\n%s", got, want)
+	}
+	if MarkdownTable(nil, nil) != "" {
+		t.Fatal("empty header should render nothing")
+	}
+}
+
+func TestMarkdownTableEscapesCells(t *testing.T) {
+	got := MarkdownTable([]string{"h"}, [][]string{{"a|b\nc"}})
+	if strings.Contains(got, "a|b") {
+		t.Fatalf("pipe not escaped: %q", got)
+	}
+	if strings.Count(got, "\n") != 3 {
+		t.Fatalf("embedded newline broke a row: %q", got)
+	}
+}

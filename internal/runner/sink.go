@@ -16,6 +16,15 @@ import (
 // RecordSink consumes a campaign's raw records one at a time, in design
 // order, as the runner's ordered prefix extends. Implementations are driven
 // from a single goroutine and need not be safe for concurrent use.
+//
+// The file-backed sinks latch their first I/O error: once a write or flush
+// has failed at the writer, every subsequent call returns that error
+// without emitting another byte. The latch is what keeps a failed
+// campaign's output merely truncated — a torn tail after a short write can
+// never be followed by further records, which would corrupt the middle of
+// the file instead of its end. Validation rejections (a record that does
+// not fit the frozen CSV header) write nothing and do not latch; the valid
+// prefix remains flushable.
 type RecordSink interface {
 	// Write appends one record.
 	Write(rec core.RawRecord) error
@@ -35,6 +44,7 @@ type CSVSink struct {
 	extras  []string
 	known   map[string]bool
 	started bool
+	err     error
 }
 
 // NewCSVSink returns a sink writing to w.
@@ -48,6 +58,9 @@ func NewCSVSink(w io.Writer) *CSVSink {
 // one thing the methodology forbids. (Keys *missing* from a record are
 // fine; they serialize as empty cells, as Results.WriteCSV does.)
 func (s *CSVSink) Write(rec core.RawRecord) error {
+	if s.err != nil {
+		return s.err
+	}
 	if !s.started {
 		s.factors = sortedKeys(rec.Point)
 		s.extras = sortedKeys(rec.Extra)
@@ -62,6 +75,9 @@ func (s *CSVSink) Write(rec core.RawRecord) error {
 			return err
 		}
 	}
+	// Validation rejections are NOT latched: they write zero bytes, so the
+	// sink stays healthy and a later Flush still delivers the valid
+	// buffered prefix — the error-path guarantee of DESIGN.md section 8.
 	for k := range rec.Point {
 		if !s.known["f:"+k] {
 			return fmt.Errorf("runner: record %d carries factor %q absent from the CSV header; use a JSONL sink for heterogeneous records", rec.Seq, k)
@@ -73,28 +89,42 @@ func (s *CSVSink) Write(rec core.RawRecord) error {
 		}
 	}
 	if err := s.w.Write(core.CSVRow(rec, s.factors, s.extras)); err != nil {
-		return fmt.Errorf("runner: write csv row: %w", err)
+		return s.latch(fmt.Errorf("runner: write csv row: %w", err))
 	}
-	return s.w.Error()
+	return s.latch(s.w.Error())
+}
+
+// latch records the sink's first I/O error; every later Write/Flush
+// returns it without touching the writer again.
+func (s *CSVSink) latch(err error) error {
+	if s.err == nil {
+		s.err = err
+	}
+	return s.err
 }
 
 func (s *CSVSink) writeHeader() error {
 	s.started = true
 	if err := s.w.Write(core.CSVHeader(s.factors, s.extras)); err != nil {
-		return fmt.Errorf("runner: write csv header: %w", err)
+		return s.latch(fmt.Errorf("runner: write csv header: %w", err))
 	}
 	return nil
 }
 
-// Flush implements RecordSink.
+// Flush implements RecordSink. After a failed I/O write it returns the
+// latched error without flushing: the csv writer may hold a partial row,
+// and pushing it down would tear a line in the output.
 func (s *CSVSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
 	if !s.started {
 		if err := s.writeHeader(); err != nil {
 			return err
 		}
 	}
 	s.w.Flush()
-	return s.w.Error()
+	return s.latch(s.w.Error())
 }
 
 // JSONLSink streams records as JSON Lines: one self-describing object per
@@ -102,6 +132,7 @@ func (s *CSVSink) Flush() error {
 // header coordination.
 type JSONLSink struct {
 	enc *json.Encoder
+	err error
 }
 
 // NewJSONLSink returns a sink writing to w.
@@ -121,8 +152,13 @@ type jsonlRecord struct {
 	Extra   map[string]string `json:"extra,omitempty"`
 }
 
-// Write implements RecordSink.
+// Write implements RecordSink. The encoder writes straight through with no
+// buffer, so a failed (possibly short) write can leave a torn final line;
+// the error is latched so no later record is ever appended after the tear.
 func (s *JSONLSink) Write(rec core.RawRecord) error {
+	if s.err != nil {
+		return s.err
+	}
 	out := jsonlRecord{
 		Seq:     rec.Seq,
 		Rep:     rec.Rep,
@@ -138,14 +174,34 @@ func (s *JSONLSink) Write(rec core.RawRecord) error {
 		}
 	}
 	if err := s.enc.Encode(out); err != nil {
-		return fmt.Errorf("runner: write jsonl: %w", err)
+		s.err = fmt.Errorf("runner: write jsonl: %w", err)
+		return s.err
 	}
 	return nil
 }
 
 // Flush implements RecordSink. The encoder writes through, so there is
-// nothing to do.
-func (s *JSONLSink) Flush() error { return nil }
+// nothing buffered; only a latched write error is reported.
+func (s *JSONLSink) Flush() error { return s.err }
+
+// MemorySink buffers the record stream in memory — the replay-to-memory
+// counterpart of the file sinks. The differential comparator
+// (internal/compare) drives cached suite entries through it to rebuild a
+// campaign's value series without touching the filesystem; anything that
+// consumes the RecordSink stream can use it to capture a campaign whole.
+type MemorySink struct {
+	// Records accumulates every written record in stream (design) order.
+	Records []core.RawRecord
+}
+
+// Write implements RecordSink.
+func (s *MemorySink) Write(rec core.RawRecord) error {
+	s.Records = append(s.Records, rec)
+	return nil
+}
+
+// Flush implements RecordSink.
+func (s *MemorySink) Flush() error { return nil }
 
 // FileSinks opens the conventional command-line sink set: a streaming CSV
 // sink on w — redirected to outPath when non-empty — plus an optional JSONL

@@ -193,6 +193,123 @@ func TestJSONLSinkOmitsEmptyPoint(t *testing.T) {
 	}
 }
 
+// brokenWriter fails every write after the first `allow` calls, simulating
+// a short write (half the payload lands, then the error) — the disk-full
+// shape that tears a line.
+type brokenWriter struct {
+	allow    int
+	attempts int
+	buf      bytes.Buffer
+}
+
+func (w *brokenWriter) Write(p []byte) (int, error) {
+	w.attempts++
+	if w.attempts > w.allow {
+		n := len(p) / 2
+		w.buf.Write(p[:n])
+		return n, os.ErrClosed
+	}
+	w.buf.Write(p)
+	return len(p), nil
+}
+
+// TestJSONLSinkLatchesWriteError: after a torn write, no further record may
+// ever reach the file — appending after the tear would corrupt the middle
+// of the stream instead of truncating its end.
+func TestJSONLSinkLatchesWriteError(t *testing.T) {
+	w := &brokenWriter{allow: 1}
+	s := NewJSONLSink(w)
+	recs := sampleRecords()
+	if err := s.Write(recs[0]); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	first := s.Write(recs[1])
+	if first == nil {
+		t.Fatal("torn write reported success")
+	}
+	tornLen := w.buf.Len()
+	if err := s.Write(recs[2]); err != first {
+		t.Fatalf("write after tear: %v, want the latched %v", err, first)
+	}
+	if err := s.Flush(); err != first {
+		t.Fatalf("flush after tear: %v, want the latched %v", err, first)
+	}
+	if w.buf.Len() != tornLen || w.attempts != 2 {
+		t.Fatalf("bytes written after the tear: %d -> %d bytes, %d attempts",
+			tornLen, w.buf.Len(), w.attempts)
+	}
+}
+
+// TestCSVSinkLatchesFlushError: once a flush has failed, later writes and
+// flushes return the latched error and push nothing more at the writer.
+func TestCSVSinkLatchesFlushError(t *testing.T) {
+	w := &brokenWriter{allow: 0}
+	s := NewCSVSink(w)
+	recs := sampleRecords()
+	if err := s.Write(recs[0]); err != nil {
+		// Small rows buffer inside csv.Writer; no underlying write yet.
+		t.Fatalf("buffered write: %v", err)
+	}
+	first := s.Flush()
+	if first == nil {
+		t.Fatal("flush over a broken writer reported success")
+	}
+	attempts := w.attempts
+	if err := s.Write(recs[1]); err != first {
+		t.Fatalf("write after failed flush: %v, want the latched %v", err, first)
+	}
+	if err := s.Flush(); err != first {
+		t.Fatalf("second flush: %v, want the latched %v", err, first)
+	}
+	if w.attempts != attempts {
+		t.Fatalf("writer attempted again after the latch: %d -> %d", attempts, w.attempts)
+	}
+}
+
+func TestMemorySinkCapturesStream(t *testing.T) {
+	recs := sampleRecords()
+	var m MemorySink
+	if err := WriteAll(&core.Results{Records: recs}, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Records) != len(recs) {
+		t.Fatalf("%d records captured, want %d", len(m.Records), len(recs))
+	}
+	for i, rec := range recs {
+		if m.Records[i].Seq != rec.Seq || m.Records[i].Value != rec.Value {
+			t.Fatalf("record %d: seq %d value %v, want %d %v",
+				i, m.Records[i].Seq, m.Records[i].Value, rec.Seq, rec.Value)
+		}
+	}
+}
+
+// TestCSVSinkValidationRejectionDoesNotLatch: a record that does not fit
+// the frozen header writes zero bytes, so it must not poison the sink —
+// later valid records still stream and Flush still delivers the full valid
+// prefix.
+func TestCSVSinkValidationRejectionDoesNotLatch(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf)
+	recs := sampleRecords()
+	if err := s.Write(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	bad := core.RawRecord{Seq: 99, Point: doe.Point{"surprise": "1"}}
+	if err := s.Write(bad); err == nil {
+		t.Fatal("heterogeneous record accepted")
+	}
+	if err := s.Write(recs[1]); err != nil {
+		t.Fatalf("valid record after a validation rejection: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush after a validation rejection: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + the two valid rows
+		t.Fatalf("flushed %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+}
+
 func TestCSVSinkRejectsLateNewColumns(t *testing.T) {
 	var buf bytes.Buffer
 	s := NewCSVSink(&buf)

@@ -19,6 +19,28 @@ func (c CI) Contains(v float64) bool { return v >= c.Lo && v <= c.Hi }
 // Width returns Hi - Lo.
 func (c CI) Width() float64 { return c.Hi - c.Lo }
 
+// bootstrapDefaults normalizes the shared bootstrap knobs.
+func bootstrapDefaults(level float64, reps int) (float64, int) {
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	if reps < 10 {
+		reps = 1000
+	}
+	return level, reps
+}
+
+// percentileCI extracts the two-sided percentile interval from a set of
+// bootstrap estimates.
+func percentileCI(estimates []float64, level float64) CI {
+	alpha := (1 - level) / 2
+	return CI{
+		Lo:    Quantile(estimates, alpha),
+		Hi:    Quantile(estimates, 1-alpha),
+		Level: level,
+	}
+}
+
 // BootstrapCI estimates a percentile-bootstrap confidence interval for an
 // arbitrary statistic. Keeping the raw data (stage 3 of the methodology)
 // is what makes resampling possible at all — an aggregate-only report
@@ -27,12 +49,7 @@ func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, reps
 	if len(xs) == 0 {
 		return CI{}, ErrEmpty
 	}
-	if level <= 0 || level >= 1 {
-		level = 0.95
-	}
-	if reps < 10 {
-		reps = 1000
-	}
+	level, reps = bootstrapDefaults(level, reps)
 	r := xrand.NewDerived(seed, "stats/bootstrap")
 	resample := make([]float64, len(xs))
 	estimates := make([]float64, reps)
@@ -42,12 +59,44 @@ func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, reps
 		}
 		estimates[b] = stat(resample)
 	}
-	alpha := (1 - level) / 2
-	return CI{
-		Lo:    Quantile(estimates, alpha),
-		Hi:    Quantile(estimates, 1-alpha),
-		Level: level,
-	}, nil
+	return percentileCI(estimates, level), nil
+}
+
+// ShiftCI estimates a percentile-bootstrap confidence interval for the
+// location shift stat(after) - stat(before) between two independent
+// samples. It is the statistical core of the differential campaign
+// comparator (internal/compare): a CI that excludes zero is evidence the
+// candidate run genuinely moved the metric, not just resampling noise.
+//
+// Degenerate samples stay degenerate: with n=1 or all-tied values on both
+// sides every resample reproduces the originals, so the interval collapses
+// to a point instead of going NaN.
+func ShiftCI(before, after []float64, stat func([]float64) float64, level float64, reps int, seed uint64) (CI, error) {
+	if len(before) == 0 || len(after) == 0 {
+		return CI{}, ErrEmpty
+	}
+	level, reps = bootstrapDefaults(level, reps)
+	r := xrand.NewDerived(seed, "stats/bootstrap-shift")
+	ra := make([]float64, len(before))
+	rb := make([]float64, len(after))
+	estimates := make([]float64, reps)
+	for b := 0; b < reps; b++ {
+		for i := range ra {
+			ra[i] = before[r.IntN(len(before))]
+		}
+		for i := range rb {
+			rb[i] = after[r.IntN(len(after))]
+		}
+		estimates[b] = stat(rb) - stat(ra)
+	}
+	return percentileCI(estimates, level), nil
+}
+
+// MedianShiftCI is ShiftCI for the shift of medians — robust against the
+// multimodal and heavy-tailed value distributions benchmark campaigns
+// produce, where a mean shift can be driven entirely by a few outliers.
+func MedianShiftCI(before, after []float64, level float64, reps int, seed uint64) (CI, error) {
+	return ShiftCI(before, after, Median, level, reps, seed)
 }
 
 // MeanCI is BootstrapCI for the mean.

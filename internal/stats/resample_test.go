@@ -81,6 +81,123 @@ func TestBootstrapDefaults(t *testing.T) {
 	}
 }
 
+// TestBootstrapCIDegenerateSamples pins the edge cases the differential
+// comparator leans on: single-observation, all-tied and constant-series
+// campaigns must bootstrap to a *degenerate* interval — a point, never NaN
+// — because every resample of such a sample reproduces it exactly.
+func TestBootstrapCIDegenerateSamples(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		stat func([]float64) float64
+		at   float64 // the point the CI must collapse to
+	}{
+		{"n=1 mean", []float64{42.5}, Mean, 42.5},
+		{"n=1 median", []float64{-7}, Median, -7},
+		{"all ties mean", []float64{3, 3, 3, 3, 3}, Mean, 3},
+		{"all ties median", []float64{1.25, 1.25, 1.25}, Median, 1.25},
+		{"constant series median", make([]float64, 100), Median, 0},
+		{"constant negative", []float64{-2, -2, -2, -2}, Mean, -2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ci, err := BootstrapCI(tc.xs, tc.stat, 0.95, 400, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(ci.Lo) || math.IsNaN(ci.Hi) {
+				t.Fatalf("degenerate sample bootstrapped to NaN: %+v", ci)
+			}
+			if ci.Lo != tc.at || ci.Hi != tc.at {
+				t.Fatalf("CI = [%v, %v], want the point %v", ci.Lo, ci.Hi, tc.at)
+			}
+			if ci.Width() != 0 {
+				t.Fatalf("width = %v, want 0", ci.Width())
+			}
+		})
+	}
+}
+
+// TestShiftCIDegenerateSamples: the two-sample shift bootstrap inherits the
+// same degeneracy guarantee — identical constant samples give exactly
+// [0, 0], shifted constants give exactly [shift, shift].
+func TestShiftCIDegenerateSamples(t *testing.T) {
+	cases := []struct {
+		name          string
+		before, after []float64
+		atLo, atHi    float64
+	}{
+		{"n=1 both, no shift", []float64{5}, []float64{5}, 0, 0},
+		{"n=1 both, shifted", []float64{5}, []float64{3}, -2, -2},
+		{"ties vs ties", []float64{2, 2, 2}, []float64{2.5, 2.5}, 0.5, 0.5},
+		{"constant vs itself", []float64{9, 9, 9, 9}, []float64{9, 9, 9, 9}, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ci, err := MedianShiftCI(tc.before, tc.after, 0.99, 400, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(ci.Lo) || math.IsNaN(ci.Hi) {
+				t.Fatalf("degenerate shift bootstrapped to NaN: %+v", ci)
+			}
+			if ci.Lo != tc.atLo || ci.Hi != tc.atHi {
+				t.Fatalf("CI = [%v, %v], want [%v, %v]", ci.Lo, ci.Hi, tc.atLo, tc.atHi)
+			}
+		})
+	}
+}
+
+func TestShiftCIDetectsShift(t *testing.T) {
+	r := rand.New(rand.NewPCG(54, 54))
+	before := make([]float64, 200)
+	after := make([]float64, 200)
+	for i := range before {
+		before[i] = 100 + r.NormFloat64()
+		after[i] = 90 + r.NormFloat64() // a genuine -10 shift
+	}
+	ci, err := MedianShiftCI(before, after, 0.99, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Hi >= 0 {
+		t.Fatalf("CI %+v does not exclude zero for a -10 shift", ci)
+	}
+	if !ci.Contains(-10) {
+		t.Fatalf("CI %+v does not contain the true shift -10", ci)
+	}
+	// No-shift control: the CI must straddle zero.
+	null, err := MedianShiftCI(before, before, 0.99, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !null.Contains(0) {
+		t.Fatalf("self-shift CI %+v excludes zero", null)
+	}
+}
+
+func TestShiftCIDeterministicAndValidated(t *testing.T) {
+	before := []float64{1, 2, 3, 4, 5}
+	after := []float64{2, 3, 4, 5, 6}
+	a, err := MedianShiftCI(before, after, 0.95, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MedianShiftCI(before, after, 0.95, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave %+v vs %+v", a, b)
+	}
+	if _, err := ShiftCI(nil, after, Median, 0.95, 100, 1); err != ErrEmpty {
+		t.Fatalf("empty before: err = %v", err)
+	}
+	if _, err := ShiftCI(before, nil, Median, 0.95, 100, 1); err != ErrEmpty {
+		t.Fatalf("empty after: err = %v", err)
+	}
+}
+
 func TestAutocorrWhiteNoise(t *testing.T) {
 	r := rand.New(rand.NewPCG(53, 53))
 	xs := make([]float64, 2000)

@@ -10,12 +10,15 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"opaquebench/internal/core"
 	"opaquebench/internal/doe"
 	"opaquebench/internal/meta"
+	"opaquebench/internal/runner"
 )
 
 // The cache is content-addressed: a campaign's key is a canonical hash of
@@ -132,6 +135,26 @@ func toCached(recs []core.RawRecord) []cachedRecord {
 	return out
 }
 
+// Replay drains the entry's records into the sinks — record for record the
+// sequence a cold run streams, in design order, each sink flushed after its
+// last record. The suite's byte-identical file replay and the differential
+// comparator's replay-to-memory reads (via runner.MemorySink) are the same
+// operation pointed at different sinks.
+func (e *Entry) Replay(sinks ...runner.RecordSink) error {
+	records := e.records()
+	for _, s := range sinks {
+		for _, rec := range records {
+			if err := s.Write(rec); err != nil {
+				return err
+			}
+		}
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // records rebuilds the raw record set for sink replay.
 func (e *Entry) records() []core.RawRecord {
 	out := make([]core.RawRecord, len(e.Records))
@@ -159,6 +182,40 @@ func OpenCache(dir string) (*Cache, error) {
 		return nil, fmt.Errorf("suite: open cache: %w", err)
 	}
 	return &Cache{dir: dir}, nil
+}
+
+// ReadCache opens an existing cache directory without creating anything —
+// the form consumers like the differential comparator use on baseline
+// directories they must not modify. A missing directory is an error, not an
+// empty cache: a comparison against a mistyped path should fail loudly.
+func ReadCache(dir string) (*Cache, error) {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("suite: read cache: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("suite: read cache: %s is not a directory", dir)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Keys lists the key of every entry in the cache, sorted. In-flight
+// temporary files from concurrent Stores are skipped.
+func (c *Cache) Keys() ([]string, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("suite: list cache: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.Contains(name, ".tmp") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(keys)
+	return keys, nil
 }
 
 func (c *Cache) path(key string) string {

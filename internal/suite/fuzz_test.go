@@ -1,0 +1,57 @@
+package suite
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseCanonicalFixedPoint fuzzes the suite spec parser with two
+// invariants: no input may panic it, and canonicalization must be a fixed
+// point — re-marshaling an accepted spec parses again, to a spec whose
+// canonical form, validation outcome and hash are unchanged. The fixed
+// point is what makes the spec hash an identity: if canonicalize →
+// re-parse could drift, the same study could hash two ways.
+func FuzzParseCanonicalFixedPoint(f *testing.F) {
+	f.Add([]byte(specJSON))
+	f.Add([]byte(`{"suite": "s", "campaigns": [
+	  {"name": "x", "engine": "membench", "out": "a.csv"}]}`))
+	f.Add([]byte(`{"suite": "s", "workers": 3, "campaigns": [
+	  {"name": "x", "engine": "cpubench", "seed": 18446744073709551615,
+	   "config": {"nloops": [20], "duty": 0.25, "reps": 2}, "jsonl": "x.jsonl"}]}`))
+	f.Add([]byte(`{"campaigns": [{"name": "", "engine": "?"}]}`))
+	f.Add([]byte(`{"suite": "s",,}`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte(`{"campaigns": [{"name": "x", "engine": "netbench", "out": "a.csv",
+	  "config": null}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data, "fuzz.json")
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		canon, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-marshal: %v", err)
+		}
+		again, err := Parse(canon, "canon.json")
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ncanonical: %s\noriginal: %q", err, canon, data)
+		}
+		canon2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("re-parsed spec does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonicalization is not a fixed point:\nfirst:  %s\nsecond: %s", canon, canon2)
+		}
+		h1, err1 := spec.Hash()
+		h2, err2 := again.Hash()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("hashability changed across the round trip: %v vs %v", err1, err2)
+		}
+		if h1 != h2 {
+			t.Fatalf("spec hash moved across the round trip: %s vs %s", h1, h2)
+		}
+	})
+}

@@ -409,16 +409,8 @@ func replay(entry *Entry, p Plan, specHash, baseDir string) error {
 		return err
 	}
 	defer closeAll(closers)
-	records := entry.records()
-	for _, s := range sinks {
-		for _, rec := range records {
-			if err := s.Write(rec); err != nil {
-				return err
-			}
-		}
-		if err := s.Flush(); err != nil {
-			return err
-		}
+	if err := entry.Replay(sinks...); err != nil {
+		return err
 	}
 	env := entry.Env
 	if env == nil {
