@@ -36,6 +36,7 @@ func run(args []string, out io.Writer) error {
 	modes := fs.Bool("modes", true, "run the bimodality / temporal-contiguity diagnosis")
 	filterKey := fs.String("filter", "", "only analyze records with factor=level, e.g. op=recv")
 	fullReport := fs.Bool("report", false, "emit the full campaign report with pitfall warnings instead of the individual analyses")
+	mdPath := fs.String("md", "", "also write the full campaign report as markdown to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,13 +62,20 @@ func run(args []string, out io.Writer) error {
 	if res.Len() == 0 {
 		return fmt.Errorf("no records after filtering")
 	}
-	if *fullReport {
+	if *fullReport || *mdPath != "" {
 		rep, err := report.Build(res, report.Options{XFactor: *xFactor, MaxBreaks: *auto})
 		if err != nil {
 			return err
 		}
-		_, err = fmt.Fprint(out, rep.Render())
-		return err
+		if *mdPath != "" {
+			if err := os.WriteFile(*mdPath, []byte(rep.Markdown()), 0o666); err != nil {
+				return err
+			}
+		}
+		if *fullReport {
+			_, err = fmt.Fprint(out, rep.Render())
+			return err
+		}
 	}
 	fmt.Fprintf(out, "records: %d\n\n", res.Len())
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -118,5 +119,40 @@ func TestBadInputs(t *testing.T) {
 	path := writeResults(t)
 	if err := run([]string{"-i", path, "-breaks", "xyz"}, &buf); err == nil {
 		t.Fatal("bad breaks accepted")
+	}
+}
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// TestGoldenMarkdownReport pins the -md markdown report byte-for-byte.
+// Regenerate with: go test ./cmd/analyze -run Golden -update
+func TestGoldenMarkdownReport(t *testing.T) {
+	path := writeResults(t)
+	mdPath := filepath.Join(t.TempDir(), "report.md")
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-auto", "2", "-md", mdPath}, &out); err != nil {
+		t.Fatalf("analyze -md: %v", err)
+	}
+	got, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report.md.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("markdown report differs from %s (regenerate with -update):\n--- got ---\n%s", golden, got)
 	}
 }

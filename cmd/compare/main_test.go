@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -92,5 +93,45 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if err := run([]string{"/nonexistent/a", "/nonexistent/b"}, &out); err == nil {
 		t.Fatal("missing cache directories accepted")
+	}
+}
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// TestGoldenMarkdownComparison pins the -md comparison report byte for
+// byte: a deterministic baseline suite against a duty-0.6 candidate whose
+// cpubench campaign regresses. Everything in the report — medians, shifts,
+// bootstrap CIs — derives from fixed seeds, so the bytes are stable.
+// Regenerate with: go test ./cmd/compare -run Golden -update
+func TestGoldenMarkdownComparison(t *testing.T) {
+	baseline := runSuite(t, "")
+	candidate := runSuite(t, `"duty": 0.6, `)
+	mdPath := filepath.Join(t.TempDir(), "compare.md")
+	var out strings.Builder
+	err := run([]string{"-q", "-md", mdPath, baseline, candidate}, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("want regression gate failure, got %v", err)
+	}
+	got, rerr := os.ReadFile(mdPath)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	golden := filepath.Join("testdata", "compare.md.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, rerr := os.ReadFile(golden)
+	if rerr != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", rerr)
+	}
+	if string(got) != string(want) {
+		t.Errorf("markdown comparison differs from %s (regenerate with -update):\n--- got ---\n%s", golden, got)
 	}
 }

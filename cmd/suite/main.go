@@ -29,6 +29,9 @@ const topUsage = `Usage: suite <command> [flags] spec.json
 Commands:
   run    execute the suite (cache-aware; -dry-run to preview verdicts,
          -baseline to gate against a prior run's cache)
+  plan   print the round-by-round schedule, adaptive campaigns included,
+         without touching any output file (cold adaptive rounds execute
+         into the cache; a warm cache replays everything)
   list   print the resolved campaign plan without executing anything
   hash   print the canonical spec hash and per-campaign cache keys
 
@@ -51,6 +54,8 @@ func run(args []string, stdout io.Writer) error {
 	switch args[0] {
 	case "run":
 		return runRun(args[1:], stdout)
+	case "plan":
+		return runPlan(args[1:], stdout)
 	case "list":
 		return runList(args[1:], stdout)
 	case "hash":
@@ -176,11 +181,24 @@ func compareRun(stdout io.Writer, res *suite.Result, baselineDir, cacheDir, verd
 	}
 	candidate := make(map[string][]compare.Sample, len(res.Campaigns))
 	for _, cr := range res.Campaigns {
-		entry, err := cache.Load(cr.Key)
-		if err != nil {
-			return fmt.Errorf("load this run's campaign %q back from the cache: %w", cr.Name, err)
+		// An adaptive campaign is cached one entry per round; reassemble
+		// the chain into the single record stream its sinks saw.
+		keys := []string{cr.Key}
+		if len(cr.Rounds) > 0 {
+			keys = keys[:0]
+			for _, rv := range cr.Rounds {
+				keys = append(keys, rv.Key)
+			}
 		}
-		s, err := compare.SampleFromEntry(cr.Key, entry)
+		entries := make([]*suite.Entry, len(keys))
+		for i, key := range keys {
+			entry, err := cache.Load(key)
+			if err != nil {
+				return fmt.Errorf("load this run's campaign %q back from the cache: %w", cr.Name, err)
+			}
+			entries[i] = entry
+		}
+		s, err := compare.SampleFromRounds(keys, entries)
 		if err != nil {
 			return err
 		}
@@ -217,6 +235,76 @@ func printResult(w io.Writer, spec *suite.Spec, res *suite.Result, dry bool) {
 		fmt.Fprintf(w, "  %-20s %-9s %-5s key %s  trials %d\n",
 			cr.Name, cr.Engine, status, short(cr.Key), cr.Trials)
 	}
+}
+
+// runPlan prints the suite's round-by-round schedule: one line per static
+// campaign, one block per adaptive campaign with the planner's per-round
+// lines, the zoom containment intervals, and the stop reason. Adaptive
+// rounds execute (into the cache) when cold, replay when warm; no campaign
+// output file is touched either way.
+func runPlan(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("suite plan", flag.ContinueOnError)
+	cacheDir := fs.String("cache-dir", ".suite-cache", "content-addressed result cache directory (empty plans without a cache)")
+	workers := fs.Int("workers", 0, "global worker budget for cold adaptive rounds (0 = the spec's, else GOMAXPROCS)")
+	subUsage(fs, "plan", "Print the round-by-round schedule; adaptive rounds run cache-backed, outputs untouched.")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, _, err := loadSpec(fs)
+	if err != nil {
+		return err
+	}
+	scheds, err := suite.PlanSchedule(context.Background(), spec, suite.Options{
+		CacheDir: *cacheDir,
+		Workers:  *workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "suite %q plan: %d campaigns\n", spec.Name, len(scheds))
+	for _, cs := range scheds {
+		if !cs.Adaptive {
+			verdict := "miss"
+			if cs.Hit {
+				verdict = "hit"
+			}
+			fmt.Fprintf(stdout, "%s (%s): static, %d trials, %s key %s\n",
+				cs.Name, cs.Engine, cs.Trials, verdict, short(cs.Key))
+			continue
+		}
+		fmt.Fprintf(stdout, "%s (%s): adaptive\n", cs.Name, cs.Engine)
+		for i, rr := range cs.Outcome.Rounds {
+			rv := cs.Rounds[i]
+			verdict := "miss"
+			if rv.Hit {
+				verdict = "hit"
+			}
+			fmt.Fprintf(stdout, "  round %d: %d trials, %s key %s\n", rr.Round, rr.Design.Size(), verdict, short(rv.Key))
+			if rr.Plan != nil && len(rr.Plan.Levels) > 0 {
+				for _, br := range rr.Plan.Brackets {
+					var inside []int
+					for _, l := range rr.Plan.Levels {
+						if br.Contains(float64(l)) {
+							inside = append(inside, l)
+						}
+					}
+					if len(inside) > 0 {
+						fmt.Fprintf(stdout, "    zoom within (%.6g, %.6g): %v\n", br.Lo, br.Hi, inside)
+					}
+				}
+			}
+			if rr.Plan != nil && len(rr.Plan.Replicate) > 0 {
+				fmt.Fprintf(stdout, "    replicate:")
+				for _, pp := range rr.Plan.Replicate {
+					fmt.Fprintf(stdout, " %s+%d", pp.Key, pp.Extra)
+				}
+				fmt.Fprintln(stdout)
+			}
+		}
+		fmt.Fprintf(stdout, "  stop: %s (%d/%d trials, factor %s)\n",
+			cs.Outcome.Stop, cs.Outcome.TotalTrials, cs.Outcome.Config.Budget, cs.Outcome.Config.Factor)
+	}
+	return nil
 }
 
 func runList(args []string, stdout io.Writer) error {

@@ -237,3 +237,125 @@ func TestUnknownCommandFails(t *testing.T) {
 		t.Fatalf("want missing command error, got %v", err)
 	}
 }
+
+// writeAdaptiveSpec drops a small adaptive membench fixture into dir: a
+// stride-16 sweep with the i7's 32 KB L1 planted between the 16 KB and
+// 64 KB grid levels.
+func writeAdaptiveSpec(t *testing.T, dir string) string {
+	t.Helper()
+	spec := `{
+  "suite": "cli-adaptive",
+  "workers": 4,
+  "campaigns": [
+    {"name": "mem-zoom", "engine": "membench", "seed": 20170529, "workers": 4,
+     "config": {"machine": "i7", "governor": "performance",
+                "sizes": [4096, 16384, 65536, 262144, 1048576, 4194304],
+                "strides": [16], "reps": 6},
+     "adaptive": {"rounds": 2, "budget": 150, "target_rel_ci": 0.02,
+                  "top_points": 3, "extra_reps": 4, "zoom_per_break": 4, "min_seg": 10},
+     "out": "mem-zoom.csv"}
+  ]
+}`
+	path := filepath.Join(dir, "adaptive.json")
+	if err := os.WriteFile(path, []byte(spec), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPlanPrintsAdaptiveSchedule: suite plan executes the adaptive rounds
+// cache-backed, prints the zoom containment intervals and the stop reason,
+// touches no output file, and replays deterministically on a warm cache.
+func TestPlanPrintsAdaptiveSchedule(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeAdaptiveSpec(t, dir)
+	cache := filepath.Join(dir, "cache")
+
+	var cold strings.Builder
+	if err := run([]string{"plan", "-cache-dir", cache, spec}, &cold); err != nil {
+		t.Fatalf("cold plan: %v\n%s", err, cold.String())
+	}
+	for _, want := range []string{"mem-zoom (membench): adaptive", "round 1:", "round 2:", "zoom within (", "stop: max-rounds"} {
+		if !strings.Contains(cold.String(), want) {
+			t.Errorf("cold plan missing %q:\n%s", want, cold.String())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "mem-zoom.csv")); !os.IsNotExist(err) {
+		t.Errorf("plan touched the campaign output (stat err = %v)", err)
+	}
+
+	var warm strings.Builder
+	if err := run([]string{"plan", "-cache-dir", cache, spec}, &warm); err != nil {
+		t.Fatalf("warm plan: %v", err)
+	}
+	if !strings.Contains(warm.String(), "hit key") {
+		t.Errorf("warm plan shows no cache hits:\n%s", warm.String())
+	}
+	if strings.ReplaceAll(warm.String(), "hit key", "miss key") != cold.String() {
+		t.Errorf("warm schedule differs from cold beyond verdicts:\n--- warm ---\n%s--- cold ---\n%s",
+			warm.String(), cold.String())
+	}
+}
+
+// TestRunAdaptiveSpecEndToEnd: suite run streams the whole multi-round
+// campaign into one record stream and the second run replays it from the
+// cache without executing a trial.
+func TestRunAdaptiveSpecEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeAdaptiveSpec(t, dir)
+	cache := filepath.Join(dir, "cache")
+
+	var first strings.Builder
+	if err := run([]string{"run", "-q", "-cache-dir", cache, spec}, &first); err != nil {
+		t.Fatalf("first run: %v\n%s", err, first.String())
+	}
+	cold, err := os.ReadFile(filepath.Join(dir, "mem-zoom.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cold[:200]), "x_round") {
+		t.Fatalf("record stream lacks the round column:\n%s", string(cold[:200]))
+	}
+
+	var second strings.Builder
+	if err := run([]string{"run", "-q", "-cache-dir", cache, spec}, &second); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !strings.Contains(second.String(), "hit") || !strings.Contains(second.String(), "trials 0") {
+		t.Errorf("second run did not replay from cache:\n%s", second.String())
+	}
+	warm, err := os.ReadFile(filepath.Join(dir, "mem-zoom.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cold) != string(warm) {
+		t.Errorf("warm replay differs from cold run (%d vs %d bytes)", len(warm), len(cold))
+	}
+
+	// Self-gating an adaptive campaign must reassemble its round chain
+	// into one sample and pass through the identical-records fast path —
+	// not report the per-round cache entries as ambiguous.
+	var gated strings.Builder
+	if err := run([]string{"run", "-q", "-cache-dir", cache, "-baseline", cache, spec}, &gated); err != nil {
+		t.Fatalf("adaptive self-gate: %v\n%s", err, gated.String())
+	}
+	if !strings.Contains(gated.String(), "1 pass, 0 regressed, 0 improved, 0 incomparable") {
+		t.Errorf("adaptive self-gate not clean:\n%s", gated.String())
+	}
+}
+
+// TestCheckedInAdaptiveFixtureStaysValid pins the repository's adaptive
+// example (the CI compare job runs it) to the parser and planner.
+func TestCheckedInAdaptiveFixtureStaysValid(t *testing.T) {
+	spec := filepath.Join("..", "..", "examples", "suite", "adaptive.json")
+	if _, err := os.Stat(spec); err != nil {
+		t.Skipf("adaptive fixture not found: %v", err)
+	}
+	var out strings.Builder
+	if err := run([]string{"run", "-dry-run", "-cache-dir", filepath.Join(t.TempDir(), "cache"), spec}, &out); err != nil {
+		t.Fatalf("dry run on adaptive fixture: %v", err)
+	}
+	if !strings.Contains(out.String(), "mem-zoom") {
+		t.Errorf("fixture plan missing mem-zoom:\n%s", out.String())
+	}
+}

@@ -35,6 +35,11 @@
 //     studies of campaigns across the three engines from one JSON spec,
 //     concurrently under a global worker budget, with a content-addressed
 //     result cache whose replay is byte-identical to a cold run;
+//   - an adaptive campaign planner (internal/adapt) that closes the loop
+//     round by round: extra replicates where bootstrap CIs are widest,
+//     grid refinement inside detected breakpoint brackets, under hard
+//     budget and convergence stop rules, every round cached and
+//     reproducible byte for byte;
 //   - a differential campaign comparator (internal/compare) that pairs two
 //     suite runs and gates each campaign statistically — bootstrap
 //     confidence intervals on the median shift of the raw records, with
@@ -49,8 +54,9 @@
 // The cmd tools compose the stages through file artifacts: cmd/designgen
 // (stage 1), cmd/membench, cmd/netbench and cmd/cpubench (stage 2, with
 // -workers for sharded execution and -jsonl for a second streamed sink),
-// cmd/suite (whole cached studies of stage-2 campaigns, with -baseline as
-// a regression gate against a prior run), cmd/compare (the standalone
+// cmd/suite (whole cached studies of stage-2 campaigns, with adaptive
+// multi-round campaigns, a plan subcommand for their schedules, and
+// -baseline as a regression gate against a prior run), cmd/compare (the standalone
 // differential gate over two suite caches), cmd/analyze (stage 3), and
 // cmd/figures (end-to-end reproductions).
 //

@@ -1,0 +1,474 @@
+// Package adapt closes the methodology loop: it turns a one-shot campaign
+// into a deterministic multi-round study that plans its own next round from
+// observed statistics. The paper's central lesson is that fixed designs
+// silently miss the phenomena that matter — cache-size breakpoints,
+// governor bimodality, heteroscedastic noise; this package replicates and
+// refines *where the data says to*:
+//
+//   - Variance-targeted replication: design points whose bootstrap CI for
+//     the median is widest (relative to the median) receive extra
+//     replicates in the next round, up to a per-round cap and the overall
+//     trial budget.
+//   - Breakpoint-zoom refinement: the neutral BIC-selected segmented
+//     search (stats.SelectSegmentedRelative) localizes each detected
+//     breakpoint between two adjacent grid levels, and the next round
+//     inserts log-spaced levels inside that bracket — each round can
+//     shrink the localization interval by a factor of ZoomPerBreak+1.
+//
+// Everything is deterministic: round r's design is a pure function of the
+// campaign configuration and the records of rounds 1..r-1, with all
+// randomization (bootstrap resampling, schedule shuffling) derived from
+// the campaign seed and the round index. Re-planning the same campaign
+// reproduces the same schedule byte for byte — which is what lets the
+// suite orchestrator (internal/suite) cache each round content-addressed
+// and replay a whole adaptive study without executing a single trial.
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/stats"
+	"opaquebench/internal/xrand"
+)
+
+// Refiner supplies the engine-specific half of planning: which numeric
+// factor to zoom and how to materialize a zoom design for refined levels.
+// The three engine Spec types (membench, netbench, cpubench) implement it.
+type Refiner interface {
+	// ZoomFactor names the numeric factor refinement zooms.
+	ZoomFactor() string
+	// Refine materializes a zoom design measuring the given new factor
+	// levels (crossed with the campaign's other factor levels), replicated
+	// reps times (<= 0 means the spec's own replicate count), randomized
+	// under seed, with every trial stamped doe.OriginZoom.
+	Refine(seed uint64, levels []int, reps int) (*doe.Design, error)
+}
+
+// Config tunes an adaptive campaign. The zero value of every field means
+// its default; Factor defaults to the Refiner's ZoomFactor.
+type Config struct {
+	// Factor is the numeric factor analyzed for breakpoints and zoomed.
+	Factor string
+	// Rounds is the maximum number of rounds, seed round included
+	// (default 2; must be >= 1).
+	Rounds int
+	// Budget is the maximum total number of trials across all rounds
+	// (default 4x the seed design; must cover the seed design).
+	Budget int
+	// TargetRelCI is the convergence target: a point whose median CI is
+	// narrower than this fraction of its median needs no more replicates
+	// (default 0.05).
+	TargetRelCI float64
+	// TopPoints caps how many wide points receive extra replicates per
+	// round (default 3).
+	TopPoints int
+	// ExtraReps is the number of extra replicates each selected point
+	// receives (default 4).
+	ExtraReps int
+	// ZoomPerBreak is the number of log-spaced levels inserted inside each
+	// breakpoint bracket (default 4).
+	ZoomPerBreak int
+	// ZoomReps is the replicate count for zoomed levels (default 0: the
+	// engine spec's own replicate count).
+	ZoomReps int
+	// MaxBreaks caps the segmented search (default 3).
+	MaxBreaks int
+	// MinSeg is the minimum number of observations per fitted segment
+	// (default 10).
+	MinSeg int
+	// Level is the bootstrap confidence level (default 0.95).
+	Level float64
+	// BootReps is the bootstrap replication count (default 400).
+	BootReps int
+	// Seed is the campaign seed; every stochastic planner component
+	// (bootstrap streams, round schedules) derives from it.
+	Seed uint64
+}
+
+func (c Config) withDefaults(r Refiner, seed *doe.Design) (Config, error) {
+	if c.Factor == "" {
+		c.Factor = r.ZoomFactor()
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 2
+	}
+	if c.Rounds < 1 {
+		return c, fmt.Errorf("adapt: rounds %d < 1", c.Rounds)
+	}
+	if c.Budget == 0 {
+		c.Budget = 4 * seed.Size()
+	}
+	if c.Budget < seed.Size() {
+		return c, fmt.Errorf("adapt: budget %d cannot cover the %d-trial seed design", c.Budget, seed.Size())
+	}
+	if c.TargetRelCI == 0 {
+		c.TargetRelCI = 0.05
+	}
+	if c.TargetRelCI < 0 {
+		return c, fmt.Errorf("adapt: negative target relative CI width %g", c.TargetRelCI)
+	}
+	if c.TopPoints == 0 {
+		c.TopPoints = 3
+	}
+	if c.ExtraReps == 0 {
+		c.ExtraReps = 4
+	}
+	if c.ZoomPerBreak == 0 {
+		c.ZoomPerBreak = 4
+	}
+	if c.MaxBreaks == 0 {
+		c.MaxBreaks = 3
+	}
+	if c.MinSeg == 0 {
+		c.MinSeg = 10
+	}
+	if c.Level == 0 {
+		c.Level = 0.95
+	}
+	if c.BootReps == 0 {
+		c.BootReps = 400
+	}
+	for name, v := range map[string]int{
+		"top_points": c.TopPoints, "extra_reps": c.ExtraReps,
+		"zoom_per_break": c.ZoomPerBreak, "max_breaks": c.MaxBreaks,
+		"min_seg": c.MinSeg, "boot_reps": c.BootReps,
+	} {
+		if v < 1 {
+			return c, fmt.Errorf("adapt: %s %d < 1", name, v)
+		}
+	}
+	if c.ZoomReps < 0 {
+		return c, fmt.Errorf("adapt: negative zoom_reps %d", c.ZoomReps)
+	}
+	return c, nil
+}
+
+// Normalize fills in defaults and validates the configuration against the
+// refiner and the seed design. Run does this internally; orchestrators
+// (internal/suite) call it up front so a bad adaptive stanza fails at plan
+// time, before any trial runs.
+func (c Config) Normalize(r Refiner, seed *doe.Design) (Config, error) {
+	return c.withDefaults(r, seed)
+}
+
+// RoundSeed derives the randomization seed of one (1-based) round. Round
+// schedules and bootstrap streams never share a stream across rounds, so
+// editing one round's plan cannot perturb another's.
+func (c Config) RoundSeed(round int) uint64 {
+	return xrand.Derive(c.Seed, "adapt/round/"+strconv.Itoa(round))
+}
+
+// Analysis is the planner's statistical view of the records accumulated so
+// far: the per-point CI table and the breakpoint localization brackets.
+type Analysis struct {
+	// Factor is the zoomed numeric factor.
+	Factor string
+	// Points is the per-design-point CI table, sorted by point key.
+	Points []stats.PointCI
+	// WorstRelWidth is the largest relative CI width in Points.
+	WorstRelWidth float64
+	// Brackets localizes each detected breakpoint between adjacent
+	// measured factor levels. Empty when the segmented search selects no
+	// breakpoints or has too few observations to run.
+	Brackets []stats.Bracket
+}
+
+// Analyze computes the planner's statistics over the accumulated records.
+// It is a pure function of (cfg, records): bootstrap streams derive from
+// the campaign seed and the point key. cfg must be normalized (Normalize);
+// Run does this automatically.
+func Analyze(cfg Config, recs []core.RawRecord) (*Analysis, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("adapt: no records to analyze")
+	}
+	groups := make(map[string][]float64)
+	var xs, ys []float64
+	for _, r := range recs {
+		k := r.Point.Key()
+		groups[k] = append(groups[k], r.Value)
+		x, err := r.Point.Float(cfg.Factor)
+		if err != nil {
+			continue
+		}
+		xs = append(xs, x)
+		ys = append(ys, r.Value)
+	}
+	points, err := stats.PointCIs(groups, cfg.Level, cfg.BootReps, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("adapt: point CIs: %w", err)
+	}
+	a := &Analysis{Factor: cfg.Factor, Points: points, WorstRelWidth: stats.WorstRelWidth(points)}
+	if len(xs) >= 2*cfg.MinSeg {
+		// With fewer observations not even a two-segment fit is feasible;
+		// the bracket list simply stays empty until the data can support
+		// structure detection.
+		brackets, err := stats.BreakpointBrackets(xs, ys, cfg.MaxBreaks, cfg.MinSeg)
+		if err != nil {
+			return nil, fmt.Errorf("adapt: breakpoint search: %w", err)
+		}
+		a.Brackets = brackets
+	}
+	return a, nil
+}
+
+// PointPlan is one variance-targeted replication allocation.
+type PointPlan struct {
+	// Key identifies the design point.
+	Key string
+	// Point is the factor combination to re-measure.
+	Point doe.Point
+	// RelWidth is the point's relative CI width that earned the extra
+	// replicates.
+	RelWidth float64
+	// Extra is the number of extra replicates allocated.
+	Extra int
+}
+
+// RoundPlan is the planner's output for one refinement round: the merged
+// design to execute plus the provenance of every part.
+type RoundPlan struct {
+	// Round is the 1-based index of the round the plan produces (>= 2).
+	Round int
+	// Seed is the round's derived randomization seed.
+	Seed uint64
+	// Replicate lists the variance-targeted replication allocations.
+	Replicate []PointPlan
+	// Brackets are the breakpoint localization intervals being zoomed.
+	Brackets []stats.Bracket
+	// Levels are the refined factor levels inserted inside the brackets.
+	Levels []int
+	// Design is the merged, randomized design for the round.
+	Design *doe.Design
+}
+
+// Stop reasons reported by PlanNext and Outcome.Stop.
+const (
+	// StopMaxRounds: the configured round budget is exhausted.
+	StopMaxRounds = "max-rounds"
+	// StopBudget: the trial budget cannot fund another round.
+	StopBudget = "budget-exhausted"
+	// StopConverged: every point meets the CI target and no breakpoint
+	// bracket can be narrowed further.
+	StopConverged = "converged"
+)
+
+// PlanNext derives the round+1 design from the analysis of all records so
+// far. It returns (nil, reason, nil) when the campaign should stop. used
+// is the number of trials already executed across rounds 1..round. cfg
+// must be normalized (Normalize); Run does this automatically.
+//
+// Budget policy: zoom is funded first — localizing structure beats
+// polishing noise — and trimmed level by level (highest refined level
+// first) if it cannot fit; replication takes the remainder, widest point
+// first. The plan never exceeds Budget-used trials.
+func PlanNext(cfg Config, r Refiner, round, used int, recs []core.RawRecord, a *Analysis) (*RoundPlan, string, error) {
+	if round >= cfg.Rounds {
+		return nil, StopMaxRounds, nil
+	}
+	remaining := cfg.Budget - used
+	levels := zoomLevels(cfg, a.Brackets, measuredLevels(cfg.Factor, recs))
+	wide := widePoints(cfg, a.Points)
+	if len(levels) == 0 && len(wide) == 0 {
+		return nil, StopConverged, nil
+	}
+	if remaining < 1 {
+		return nil, StopBudget, nil
+	}
+	roundSeed := cfg.RoundSeed(round + 1)
+
+	// Zoom design, trimmed to the budget by dropping refined levels from
+	// the top of the ladder.
+	var zoomD *doe.Design
+	usedLevels := levels
+	for len(usedLevels) > 0 {
+		d, err := r.Refine(roundSeed, usedLevels, cfg.ZoomReps)
+		if err != nil {
+			return nil, "", fmt.Errorf("adapt: round %d zoom design: %w", round+1, err)
+		}
+		if d.Size() <= remaining {
+			zoomD = d
+			break
+		}
+		usedLevels = usedLevels[:len(usedLevels)-1]
+	}
+	if zoomD != nil {
+		remaining -= zoomD.Size()
+	} else {
+		usedLevels = nil
+	}
+
+	// Replication plan, widest point first, within what remains.
+	var repD *doe.Design
+	var plans []PointPlan
+	if remaining > 0 && len(wide) > 0 {
+		baseReps := baseRepCounts(recs)
+		var reqs []doe.PointReps
+		for _, p := range wide {
+			if remaining < 1 {
+				break
+			}
+			extra := cfg.ExtraReps
+			if extra > remaining {
+				extra = remaining
+			}
+			plans = append(plans, PointPlan{Key: p.Key, Point: pointOf(p.Key, recs), RelWidth: p.RelWidth, Extra: extra})
+			reqs = append(reqs, doe.PointReps{Point: plans[len(plans)-1].Point, Extra: extra, BaseRep: baseReps[p.Key]})
+			remaining -= extra
+		}
+		if len(reqs) > 0 {
+			var err error
+			repD, err = doe.Replicated(factorsFromRecords(recs), reqs, roundSeed)
+			if err != nil {
+				return nil, "", fmt.Errorf("adapt: round %d replication design: %w", round+1, err)
+			}
+		}
+	}
+
+	if zoomD == nil && repD == nil {
+		return nil, StopBudget, nil
+	}
+	merged, err := doe.Merge(roundSeed, zoomD, repD)
+	if err != nil {
+		return nil, "", fmt.Errorf("adapt: round %d merge: %w", round+1, err)
+	}
+	return &RoundPlan{
+		Round:     round + 1,
+		Seed:      roundSeed,
+		Replicate: plans,
+		Brackets:  a.Brackets,
+		Levels:    usedLevels,
+		Design:    merged,
+	}, "", nil
+}
+
+// widePoints selects the points still above the CI target, widest first
+// (ties broken by key), capped at TopPoints.
+func widePoints(cfg Config, points []stats.PointCI) []stats.PointCI {
+	var wide []stats.PointCI
+	for _, p := range points {
+		if p.RelWidth > cfg.TargetRelCI {
+			wide = append(wide, p)
+		}
+	}
+	sort.SliceStable(wide, func(i, j int) bool {
+		if wide[i].RelWidth != wide[j].RelWidth {
+			return wide[i].RelWidth > wide[j].RelWidth
+		}
+		return wide[i].Key < wide[j].Key
+	})
+	if len(wide) > cfg.TopPoints {
+		wide = wide[:cfg.TopPoints]
+	}
+	return wide
+}
+
+// measuredLevels returns the distinct integer values of the zoom factor
+// observed so far, sorted ascending.
+func measuredLevels(factor string, recs []core.RawRecord) map[int]bool {
+	seen := make(map[int]bool)
+	for _, r := range recs {
+		v, err := r.Point.Int(factor)
+		if err != nil {
+			continue
+		}
+		seen[v] = true
+	}
+	return seen
+}
+
+// zoomLevels generates the refined integer levels for the next round:
+// ZoomPerBreak log-spaced values strictly inside each bracket, skipping
+// values already measured, deduplicated and sorted ascending.
+func zoomLevels(cfg Config, brackets []stats.Bracket, measured map[int]bool) []int {
+	chosen := make(map[int]bool)
+	for _, b := range brackets {
+		if b.Lo <= 0 || b.Hi <= b.Lo {
+			continue
+		}
+		z := cfg.ZoomPerBreak
+		ratio := b.Hi / b.Lo
+		for i := 1; i <= z; i++ {
+			v := int(math.Round(b.Lo * math.Pow(ratio, float64(i)/float64(z+1))))
+			if float64(v) <= b.Lo {
+				v = int(b.Lo) + 1
+			}
+			if float64(v) >= b.Hi {
+				v = int(math.Ceil(b.Hi)) - 1
+			}
+			if float64(v) <= b.Lo || float64(v) >= b.Hi || measured[v] {
+				continue
+			}
+			chosen[v] = true
+		}
+	}
+	out := make([]int, 0, len(chosen))
+	for v := range chosen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// baseRepCounts returns, per point key, the next free replicate number
+// (max observed Rep + 1), so extra replicates extend the numbering instead
+// of colliding with measured trials.
+func baseRepCounts(recs []core.RawRecord) map[string]int {
+	out := make(map[string]int)
+	for _, r := range recs {
+		k := r.Point.Key()
+		if r.Rep+1 > out[k] {
+			out[k] = r.Rep + 1
+		}
+	}
+	return out
+}
+
+// pointOf returns the doe.Point of the first record matching key.
+func pointOf(key string, recs []core.RawRecord) doe.Point {
+	for _, r := range recs {
+		if r.Point.Key() == key {
+			return r.Point.Clone()
+		}
+	}
+	return nil
+}
+
+// factorsFromRecords reconstructs the campaign's factor list from the
+// observed records: names from the first record's point, levels the
+// lexically sorted observed values — deterministic regardless of record
+// order, and structurally identical to what the engine's Refine hook
+// produces, so replicate and zoom designs merge cleanly.
+func factorsFromRecords(recs []core.RawRecord) []doe.Factor {
+	if len(recs) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(recs[0].Point))
+	for name := range recs[0].Point {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	levelSets := make(map[string]map[string]bool, len(names))
+	for _, name := range names {
+		levelSets[name] = make(map[string]bool)
+	}
+	for _, r := range recs {
+		for _, name := range names {
+			levelSets[name][r.Point.Get(name)] = true
+		}
+	}
+	factors := make([]doe.Factor, 0, len(names))
+	for _, name := range names {
+		levels := make([]string, 0, len(levelSets[name]))
+		for l := range levelSets[name] {
+			levels = append(levels, l)
+		}
+		sort.Strings(levels)
+		factors = append(factors, doe.NewFactor(name, levels...))
+	}
+	return factors
+}

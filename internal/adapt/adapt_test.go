@@ -1,0 +1,306 @@
+package adapt_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"opaquebench/internal/adapt"
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/membench"
+	"opaquebench/internal/runner"
+)
+
+// The planted-breakpoint fixture: an i7 stride-16 sweep whose coarse size
+// ladder straddles the 32 KB L1 and 256 KB L2 — the working-set
+// breakpoints the planner must localize. It mirrors the checked-in
+// examples/suite/adaptive.json.
+const (
+	fixtureSeed = 20170529
+	plantedL1   = 32 << 10
+)
+
+func fixtureSpec() membench.Spec {
+	return membench.Spec{
+		Machine:  "i7",
+		Governor: "performance",
+		Sizes:    []int{4096, 16384, 65536, 262144, 1048576, 4194304},
+		Strides:  []int{16},
+		Reps:     6,
+	}
+}
+
+func fixtureConfig() adapt.Config {
+	return adapt.Config{
+		Rounds: 2, Budget: 150, TargetRelCI: 0.02,
+		TopPoints: 3, ExtraReps: 4, ZoomPerBreak: 4, MinSeg: 10,
+		Seed: fixtureSeed,
+	}
+}
+
+// runFixture drives the full adaptive campaign through the parallel runner
+// at the given worker count.
+func runFixture(t *testing.T, workers int) *adapt.Outcome {
+	t.Helper()
+	spec := fixtureSpec()
+	cfg, design, err := membench.FromSpec(spec, fixtureSeed)
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	factory := membench.Factory(cfg)
+	exec := func(round int, d *doe.Design) ([]core.RawRecord, error) {
+		res, err := runner.Run(context.Background(), d, factory, runner.Config{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		return res.Records, nil
+	}
+	out, err := adapt.Run(fixtureConfig(), spec, design, exec)
+	if err != nil {
+		t.Fatalf("adapt.Run (workers %d): %v", workers, err)
+	}
+	return out
+}
+
+// designCSV serializes a round design for byte comparison.
+func designCSV(t *testing.T, d *doe.Design) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := d.WriteCSV(&b); err != nil {
+		t.Fatalf("design CSV: %v", err)
+	}
+	return b.String()
+}
+
+// TestScheduleByteIdenticalAcrossWorkers is the planner determinism
+// guarantee: the same adaptive campaign planned at workers 1, 4 and 8
+// yields byte-identical round schedules — same rendered schedule, same
+// per-round design CSVs, same stop verdict.
+func TestScheduleByteIdenticalAcrossWorkers(t *testing.T) {
+	ref := runFixture(t, 1)
+	refSchedule := ref.Schedule()
+	if len(ref.Rounds) != 2 {
+		t.Fatalf("reference ran %d rounds, want 2:\n%s", len(ref.Rounds), refSchedule)
+	}
+	for _, workers := range []int{4, 8} {
+		out := runFixture(t, workers)
+		if got := out.Schedule(); got != refSchedule {
+			t.Errorf("workers %d: schedule differs from workers 1:\n--- got ---\n%s--- want ---\n%s", workers, got, refSchedule)
+		}
+		if out.Stop != ref.Stop {
+			t.Errorf("workers %d: stop %q, want %q", workers, out.Stop, ref.Stop)
+		}
+		for i := range ref.Rounds {
+			want := designCSV(t, ref.Rounds[i].Design)
+			got := designCSV(t, out.Rounds[i].Design)
+			if got != want {
+				t.Errorf("workers %d: round %d design CSV differs from workers 1", workers, i+1)
+			}
+		}
+	}
+}
+
+// TestBreakpointLocalizedWithinOneZoomRound is the acceptance fixture: the
+// planted L1 working-set breakpoint (32 KB) must be bracketed by the
+// round-1 analysis, every round-2 zoom level must fall strictly inside a
+// round-1 bracket, and the round-2 analysis must re-bracket the breakpoint
+// strictly inside the round-1 bracket — localization tightens by a full
+// zoom round while the total trial count stays within the budget.
+func TestBreakpointLocalizedWithinOneZoomRound(t *testing.T) {
+	out := runFixture(t, 4)
+	if out.TotalTrials > out.Config.Budget {
+		t.Fatalf("spent %d trials, budget %d", out.TotalTrials, out.Config.Budget)
+	}
+	if len(out.Rounds) != 2 {
+		t.Fatalf("ran %d rounds, want 2:\n%s", len(out.Rounds), out.Schedule())
+	}
+
+	round1 := out.Rounds[0].Analysis
+	var l1 *stubBracket
+	for _, br := range round1.Brackets {
+		if br.Contains(plantedL1) {
+			l1 = &stubBracket{lo: br.Lo, hi: br.Hi}
+		}
+	}
+	if l1 == nil {
+		t.Fatalf("round 1 found no bracket containing the planted L1 %d: %+v", plantedL1, round1.Brackets)
+	}
+
+	plan := out.Rounds[1].Plan
+	if plan == nil || len(plan.Levels) == 0 {
+		t.Fatalf("round 2 has no zoom levels:\n%s", out.Schedule())
+	}
+	for _, level := range plan.Levels {
+		inside := false
+		for _, br := range plan.Brackets {
+			if br.Contains(float64(level)) {
+				inside = true
+			}
+		}
+		if !inside {
+			t.Errorf("round-2 level %d lies outside every round-1 bracket %+v", level, plan.Brackets)
+		}
+	}
+
+	final := out.Final()
+	var tightened bool
+	for _, br := range final.Brackets {
+		if !br.Contains(plantedL1) {
+			continue
+		}
+		if br.Lo < l1.lo || br.Hi > l1.hi {
+			t.Errorf("final bracket (%g, %g) not inside round-1 bracket (%g, %g)", br.Lo, br.Hi, l1.lo, l1.hi)
+			continue
+		}
+		if br.Hi-br.Lo < l1.hi-l1.lo {
+			tightened = true
+		}
+	}
+	if !tightened {
+		t.Errorf("round 2 did not tighten the L1 bracket (%g, %g); final brackets: %+v",
+			l1.lo, l1.hi, final.Brackets)
+	}
+
+	// Round-2 provenance: every trial is a zoom or replicate trial.
+	for _, tr := range out.Rounds[1].Design.Trials {
+		if tr.Origin != doe.OriginZoom && tr.Origin != doe.OriginReplicate {
+			t.Fatalf("round-2 trial %d has origin %q", tr.Seq, tr.Origin)
+		}
+	}
+}
+
+type stubBracket struct{ lo, hi float64 }
+
+// TestBudgetIsAHardCap shrinks the budget so the planner must trim: the
+// total trial count can never exceed it, whatever the data says.
+func TestBudgetIsAHardCap(t *testing.T) {
+	spec := fixtureSpec()
+	cfg, design, err := membench.FromSpec(spec, fixtureSeed)
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	factory := membench.Factory(cfg)
+	exec := func(round int, d *doe.Design) ([]core.RawRecord, error) {
+		res, err := runner.Run(context.Background(), d, factory, runner.Config{Workers: 4})
+		if err != nil {
+			return nil, err
+		}
+		return res.Records, nil
+	}
+	acfg := fixtureConfig()
+	acfg.Budget = design.Size() + 13 // room for a sliver of round 2
+	acfg.Rounds = 3
+	out, err := adapt.Run(acfg, spec, design, exec)
+	if err != nil {
+		t.Fatalf("adapt.Run: %v", err)
+	}
+	if out.TotalTrials > acfg.Budget {
+		t.Fatalf("spent %d trials, budget %d:\n%s", out.TotalTrials, acfg.Budget, out.Schedule())
+	}
+	if len(out.Rounds) > 1 && out.Rounds[1].Design.Size() > 13 {
+		t.Errorf("round 2 has %d trials, budget allowed 13", out.Rounds[1].Design.Size())
+	}
+}
+
+// flatRefiner is a synthetic engine hook over a single integer factor.
+type flatRefiner struct{}
+
+func (flatRefiner) ZoomFactor() string { return "x" }
+
+func (flatRefiner) Refine(seed uint64, levels []int, reps int) (*doe.Design, error) {
+	if reps <= 0 {
+		reps = 2
+	}
+	return doe.FullFactorial([]doe.Factor{doe.IntFactor("x", levels...)},
+		doe.Options{Replicates: reps, Seed: seed, Randomize: true, Origin: doe.OriginZoom})
+}
+
+// flatExec measures a noiseless constant: every CI collapses to a point
+// and no structure exists to zoom.
+func flatExec(round int, d *doe.Design) ([]core.RawRecord, error) {
+	recs := make([]core.RawRecord, d.Size())
+	for i, tr := range d.Trials {
+		recs[i] = core.RawRecord{Seq: tr.Seq, Rep: tr.Rep, Point: tr.Point, Value: 42}
+	}
+	return recs, nil
+}
+
+// TestConvergedStopsEarly: a campaign whose data is already resolved stops
+// with StopConverged before exhausting its round budget.
+func TestConvergedStopsEarly(t *testing.T) {
+	seed, err := flatRefiner{}.Refine(1, []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}, 4)
+	if err != nil {
+		t.Fatalf("seed design: %v", err)
+	}
+	out, err := adapt.Run(adapt.Config{Rounds: 5, Seed: 1}, flatRefiner{}, seed, flatExec)
+	if err != nil {
+		t.Fatalf("adapt.Run: %v", err)
+	}
+	if out.Stop != adapt.StopConverged {
+		t.Fatalf("stop = %q, want %q:\n%s", out.Stop, adapt.StopConverged, out.Schedule())
+	}
+	if len(out.Rounds) != 1 {
+		t.Errorf("converged campaign ran %d rounds, want 1", len(out.Rounds))
+	}
+	if w := out.Final().WorstRelWidth; w != 0 {
+		t.Errorf("worst relative CI width = %g, want 0", w)
+	}
+}
+
+// TestNormalizeRejectsBadConfigs: validation fires before any trial runs.
+func TestNormalizeRejectsBadConfigs(t *testing.T) {
+	seed, err := flatRefiner{}.Refine(1, []int{10, 20}, 3)
+	if err != nil {
+		t.Fatalf("seed design: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*adapt.Config)
+	}{
+		{"budget below seed", func(c *adapt.Config) { c.Budget = seed.Size() - 1 }},
+		{"negative rounds", func(c *adapt.Config) { c.Rounds = -1 }},
+		{"negative target", func(c *adapt.Config) { c.TargetRelCI = -0.1 }},
+		{"negative extra reps", func(c *adapt.Config) { c.ExtraReps = -2 }},
+		{"negative zoom reps", func(c *adapt.Config) { c.ZoomReps = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := adapt.Config{Seed: 1}
+		tc.mut(&cfg)
+		if _, err := cfg.Normalize(flatRefiner{}, seed); err == nil {
+			t.Errorf("%s: Normalize accepted %+v", tc.name, cfg)
+		}
+	}
+	if _, err := (adapt.Config{Seed: 1}).Normalize(flatRefiner{}, seed); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// TestCombinedDesignMatchesRecordStream: the combined design artifact has
+// one trial per streamed record, in stream order, with provenance intact.
+func TestCombinedDesignMatchesRecordStream(t *testing.T) {
+	out := runFixture(t, 4)
+	combined, err := out.Combined()
+	if err != nil {
+		t.Fatalf("Combined: %v", err)
+	}
+	if combined.Size() != out.TotalTrials {
+		t.Fatalf("combined design has %d trials, streamed %d", combined.Size(), out.TotalTrials)
+	}
+	seq := 0
+	origins := map[string]int{}
+	for _, tr := range combined.Trials {
+		if tr.Seq != seq {
+			t.Fatalf("combined trial %d has Seq %d", seq, tr.Seq)
+		}
+		origins[tr.Origin]++
+		seq++
+	}
+	if origins[doe.OriginZoom] == 0 || origins[doe.OriginReplicate] == 0 {
+		t.Errorf("combined design lost provenance: %v", origins)
+	}
+	if got := fmt.Sprint(origins[""]); got != fmt.Sprint(out.Rounds[0].Design.Size()) {
+		t.Errorf("seed-origin trials %s, want %s", got, fmt.Sprint(out.Rounds[0].Design.Size()))
+	}
+}

@@ -1,0 +1,76 @@
+package adapt_test
+
+import (
+	"testing"
+
+	"opaquebench/internal/adapt"
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/xrand"
+)
+
+// syntheticRound builds a noisy two-regime record set over n levels x reps
+// replicates: the shape the planner sees after a seed round, with both
+// work to replicate (noisy points) and structure to zoom (a breakpoint).
+func syntheticRound(levels, reps int) []core.RawRecord {
+	r := xrand.New(7)
+	var recs []core.RawRecord
+	seq := 0
+	for rep := 0; rep < reps; rep++ {
+		for i := 0; i < levels; i++ {
+			x := 1000 * (i + 1)
+			v := 5000.0
+			if x > 1000*levels/2 {
+				v = 1500
+			}
+			v *= 1 + 0.05*(r.Float64()-0.5)
+			recs = append(recs, core.RawRecord{
+				Seq: seq, Rep: rep,
+				Point: doe.Point{"x": doe.Level(itoa(x))},
+				Value: v,
+			})
+			seq++
+		}
+	}
+	return recs
+}
+
+func itoa(v int) string {
+	out := []byte{}
+	for v > 0 {
+		out = append([]byte{byte('0' + v%10)}, out...)
+		v /= 10
+	}
+	return string(out)
+}
+
+// BenchmarkPlannerRound measures one full between-rounds planning pass:
+// per-point bootstrap CIs, the BIC segmented search, and refined-design
+// construction — the work the adaptive loop adds per round on top of the
+// measurements themselves.
+func BenchmarkPlannerRound(b *testing.B) {
+	recs := syntheticRound(12, 10)
+	seedDesign, err := flatRefiner{}.Refine(1, []int{1000}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := adapt.Config{Rounds: 3, Budget: 10 * len(recs), Seed: 7}.Normalize(flatRefiner{}, seedDesign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := adapt.Analyze(cfg, recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, stop, err := adapt.PlanNext(cfg, flatRefiner{}, 1, len(recs), recs, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan == nil {
+			b.Fatalf("planner stopped (%s) instead of planning", stop)
+		}
+	}
+}

@@ -80,6 +80,36 @@ func SampleFromEntry(key string, e *suite.Entry) (Sample, error) {
 	}, nil
 }
 
+// SampleFromRounds rebuilds one adaptive campaign's sample from its
+// per-round cache entries, given in round order: the records concatenate
+// into the single stream the campaign's sinks saw, and the sample key
+// joins the round keys — so two runs whose round chains are identical
+// entry for entry still short-circuit through the identical-records fast
+// path.
+func SampleFromRounds(keys []string, entries []*suite.Entry) (Sample, error) {
+	if len(entries) == 0 || len(keys) != len(entries) {
+		return Sample{}, fmt.Errorf("compare: want matched round keys and entries, got %d/%d", len(keys), len(entries))
+	}
+	var out Sample
+	for i, e := range entries {
+		s, err := SampleFromEntry(keys[i], e)
+		if err != nil {
+			return Sample{}, err
+		}
+		if i == 0 {
+			out = s
+			continue
+		}
+		if s.Campaign != out.Campaign || s.Engine != out.Engine {
+			return Sample{}, fmt.Errorf("compare: round entries disagree: %s/%s vs %s/%s",
+				out.Campaign, out.Engine, s.Campaign, s.Engine)
+		}
+		out.Key += "+" + s.Key
+		out.Records = append(out.Records, s.Records...)
+	}
+	return out, nil
+}
+
 // LoadCacheDir reads every entry of a suite cache directory and groups the
 // samples by campaign name. More than one entry per name (a cache that
 // accumulated entries across edited runs) is preserved so the comparator
@@ -93,19 +123,83 @@ func LoadCacheDir(dir string) (map[string][]Sample, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][]Sample, len(keys))
+	byCampaign := make(map[string][]loadedEntry, len(keys))
+	var order []string
 	for _, key := range keys {
 		entry, err := cache.Load(key)
 		if err != nil {
 			return nil, err
 		}
-		s, err := SampleFromEntry(key, entry)
-		if err != nil {
-			return nil, err
+		if _, seen := byCampaign[entry.Campaign]; !seen {
+			order = append(order, entry.Campaign)
 		}
-		out[s.Campaign] = append(out[s.Campaign], s)
+		byCampaign[entry.Campaign] = append(byCampaign[entry.Campaign], loadedEntry{key, entry})
+	}
+	out := make(map[string][]Sample, len(byCampaign))
+	for _, campaign := range order {
+		group := byCampaign[campaign]
+		// The rounds of one adaptive campaign are a chain, not an
+		// ambiguity: when every entry carries a distinct positive round
+		// index, reassemble them into the single record stream the
+		// campaign produced. Anything else (static duplicates, a mix of
+		// round and non-round entries) keeps the per-entry samples and is
+		// judged ambiguous downstream.
+		if rounds, ok := roundChain(group); ok {
+			roundKeys := make([]string, len(rounds))
+			entries := make([]*suite.Entry, len(rounds))
+			for i, l := range rounds {
+				roundKeys[i] = l.key
+				entries[i] = l.entry
+			}
+			s, err := SampleFromRounds(roundKeys, entries)
+			if err != nil {
+				return nil, err
+			}
+			out[campaign] = append(out[campaign], s)
+			continue
+		}
+		for _, l := range group {
+			s, err := SampleFromEntry(l.key, l.entry)
+			if err != nil {
+				return nil, err
+			}
+			out[campaign] = append(out[campaign], s)
+		}
 	}
 	return out, nil
+}
+
+// loadedEntry pairs a cache entry with the key it was stored under.
+type loadedEntry struct {
+	key   string
+	entry *suite.Entry
+}
+
+// roundChain reports whether the group is the complete round chain of one
+// adaptive campaign — more than one entry, round indices exactly 1..N —
+// and returns it sorted by round. The contiguity requirement keeps stale
+// partial chains (a lingering round-2 entry whose round-1 sibling was
+// since overwritten) out of the merge: those fall back to per-entry
+// samples and are judged ambiguous downstream, the loud path. A complete
+// chain always merges, even when the spec has since stopped running those
+// rounds — the cache faithfully records what that study measured, and
+// comparing it against a differently-designed candidate is the ordinary
+// statistical gate over differing keys, exactly as when a static
+// campaign's design is edited between runs.
+func roundChain(group []loadedEntry) ([]loadedEntry, bool) {
+	if len(group) < 2 {
+		return nil, false
+	}
+	seen := map[int]bool{}
+	for _, l := range group {
+		if l.entry.Round < 1 || l.entry.Round > len(group) || seen[l.entry.Round] {
+			return nil, false
+		}
+		seen[l.entry.Round] = true
+	}
+	sorted := append([]loadedEntry(nil), group...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].entry.Round < sorted[j].entry.Round })
+	return sorted, true
 }
 
 // higherIsBetter maps each engine to its primary metric's direction:

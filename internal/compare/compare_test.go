@@ -3,11 +3,13 @@ package compare
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"math/rand/v2"
 	"strings"
 	"testing"
 
 	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
 	"opaquebench/internal/meta"
 	"opaquebench/internal/suite"
 )
@@ -319,5 +321,145 @@ func TestInjectedSlowdownFlaggedRegressed(t *testing.T) {
 func TestLoadCacheDirMissing(t *testing.T) {
 	if _, err := LoadCacheDir("/nonexistent/cache/dir"); err == nil {
 		t.Fatal("missing baseline directory accepted")
+	}
+}
+
+// TestAdaptiveRoundChainLoadsAsOneSample: an adaptive campaign is cached
+// one entry per round; LoadCacheDir must reassemble the chain into a
+// single sample (records concatenated in round order, keys joined) rather
+// than reporting an ambiguous cache — and a self-comparison of such a
+// cache must pass through the identical-records fast path.
+func TestAdaptiveRoundChainLoadsAsOneSample(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := suite.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := []struct {
+		key    string
+		round  int
+		values []float64
+	}{
+		{"k-round1", 1, []float64{10, 11, 12}},
+		{"k-round2", 2, []float64{20, 21}},
+	}
+	for _, r := range rounds {
+		res := &core.Results{}
+		for i, v := range r.values {
+			res.Records = append(res.Records, core.RawRecord{
+				Seq: i, Point: doe.Point{"size": "64"}, Value: v,
+			})
+		}
+		entry := &suite.Entry{Campaign: "zoom", Engine: "membench", Round: r.round, Seed: 1}
+		entryFromResults(t, entry, res)
+		if err := cache.Store(r.key, entry); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, err := LoadCacheDir(dir)
+	if err != nil {
+		t.Fatalf("LoadCacheDir: %v", err)
+	}
+	samples := loaded["zoom"]
+	if len(samples) != 1 {
+		t.Fatalf("round chain loaded as %d samples, want 1", len(samples))
+	}
+	s := samples[0]
+	if s.Key != "k-round1+k-round2" {
+		t.Errorf("merged key %q", s.Key)
+	}
+	want := []float64{10, 11, 12, 20, 21}
+	got := s.Values()
+	if len(got) != len(want) {
+		t.Fatalf("merged %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged values %v, want %v (round order)", got, want)
+		}
+	}
+	cmp := Compare(loaded, loaded, Gate{})
+	if cmp.Pass != 1 || !cmp.Clean() {
+		t.Errorf("adaptive self-comparison: %s", cmp.Summary())
+	}
+	if !cmp.Campaigns[0].Identical {
+		t.Error("self-comparison missed the identical-records fast path")
+	}
+}
+
+// entryFromResults fills entry.Records through the cache's JSON schema —
+// the record slice's element type is unexported, so tests outside
+// internal/suite construct entries the way the cache files do.
+func entryFromResults(t *testing.T, entry *suite.Entry, res *core.Results) {
+	t.Helper()
+	recs := make([]map[string]any, 0, len(res.Records))
+	for _, r := range res.Records {
+		point := map[string]string{}
+		for k, v := range r.Point {
+			point[k] = string(v)
+		}
+		recs = append(recs, map[string]any{
+			"seq": r.Seq, "rep": r.Rep, "value": r.Value,
+			"seconds": r.Seconds, "at": r.At, "point": point,
+		})
+	}
+	blob, err := json.Marshal(map[string]any{"records": recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, entry); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaticSeedEntryUpgradesToRoundChain: a campaign run static first
+// stores its entry without a round index; when the same campaign later
+// runs adaptively, the seed round hits that entry by content address and
+// must refresh the round index in place — otherwise the cache holds a
+// {0, 2} group that can never reassemble and every baseline comparison
+// of the campaign is spuriously ambiguous.
+func TestStaticSeedEntryUpgradesToRoundChain(t *testing.T) {
+	const common = `{"name": "mem-zoom", "engine": "membench", "seed": 20170529, "workers": 2,
+     "config": {"machine": "i7", "governor": "performance",
+                "sizes": [4096, 16384, 65536, 262144, 1048576, 4194304],
+                "strides": [16], "reps": 6},%s
+     "out": "mem-zoom.csv"}`
+	mkSpec := func(t *testing.T, extra string) *suite.Spec {
+		t.Helper()
+		src := `{"suite": "upgrade", "workers": 2, "campaigns": [` + strings.Replace(common, "%s", extra, 1) + `]}`
+		spec, err := suite.Parse([]byte(src), "spec.json")
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		return spec
+	}
+	cacheDir := t.TempDir()
+	if _, err := suite.Run(context.Background(), mkSpec(t, ""), suite.Options{
+		CacheDir: cacheDir, BaseDir: t.TempDir(),
+	}); err != nil {
+		t.Fatalf("static run: %v", err)
+	}
+	adaptive := `
+     "adaptive": {"rounds": 2, "budget": 150, "target_rel_ci": 0.02,
+                  "top_points": 3, "extra_reps": 4, "zoom_per_break": 4, "min_seg": 10},`
+	res, err := suite.Run(context.Background(), mkSpec(t, adaptive), suite.Options{
+		CacheDir: cacheDir, BaseDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("adaptive run: %v", err)
+	}
+	if rounds := res.Campaigns[0].Rounds; len(rounds) != 2 || !rounds[0].Hit {
+		t.Fatalf("adaptive run: %d rounds, seed hit=%v", len(rounds), rounds[0].Hit)
+	}
+	loaded, err := LoadCacheDir(cacheDir)
+	if err != nil {
+		t.Fatalf("LoadCacheDir: %v", err)
+	}
+	if n := len(loaded["mem-zoom"]); n != 1 {
+		t.Fatalf("cache loaded as %d samples, want 1 reassembled chain", n)
+	}
+	cmp := Compare(loaded, loaded, Gate{})
+	if !cmp.Clean() || cmp.Pass != 1 {
+		t.Errorf("self-comparison after upgrade: %s", cmp.Summary())
 	}
 }

@@ -8,6 +8,10 @@ import (
 	"opaquebench/internal/ossim"
 )
 
+// defaultReps is the replicate count of a zero Spec (the paper uses 42),
+// shared by FromSpec and Refine so seed and zoom rounds can never drift.
+const defaultReps = 42
+
 // Spec is the declarative form of a CPU campaign — the engine half of a
 // suite file's campaign entry (see internal/suite). Field semantics and
 // defaults match the cmd/cpubench flags of the same names; a zero Spec is
@@ -51,7 +55,7 @@ func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
 		s.Policy = "other"
 	}
 	if s.Reps <= 0 {
-		s.Reps = 42
+		s.Reps = defaultReps
 	}
 	if s.Duty < 0 || s.Duty > 1 {
 		return Config{}, nil, fmt.Errorf("cpubench: duty must be in (0, 1], got %v", s.Duty)
@@ -90,4 +94,37 @@ func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
 		GapSec:            s.GapSec,
 	}
 	return cfg, design, nil
+}
+
+// ZoomFactor names the numeric factor adaptive refinement zooms: the
+// busy-loop count, whose governor-ramp breakpoints (workloads crossing the
+// sampling period) are the engine's central phenomenon. Part of the
+// adapt.Refiner hook set.
+func (s Spec) ZoomFactor() string { return FactorNLoops }
+
+// Refine materializes one adaptive refinement round's zoom design: the
+// given refined nloops levels crossed with the campaign's duty setting,
+// replicated (reps, or the spec's replicate count when reps <= 0),
+// randomized under the round seed, every trial stamped doe.OriginZoom.
+func (s Spec) Refine(seed uint64, levels []int, reps int) (*doe.Design, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cpubench: refine needs at least one nloops level")
+	}
+	for _, l := range levels {
+		if l < 1 {
+			return nil, fmt.Errorf("cpubench: refine nloops %d is not positive", l)
+		}
+	}
+	if reps <= 0 {
+		reps = s.Reps
+	}
+	if reps <= 0 {
+		reps = defaultReps
+	}
+	var duties []float64
+	if s.Duty > 0 && s.Duty < 1 {
+		duties = []float64{s.Duty}
+	}
+	return doe.FullFactorial(Factors(levels, nil, duties),
+		doe.Options{Replicates: reps, Seed: seed, Randomize: true, Origin: doe.OriginZoom})
 }

@@ -1,0 +1,314 @@
+package doe
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"opaquebench/internal/xrand"
+)
+
+// Property tests for the design generators and composers: rapid-style
+// table-driven sweeps over ~200 derived seeds, checking the invariants
+// every consumer of a Design assumes — Seq is a permutation of [0, n),
+// replication is balanced, factor coverage is exact, and composed designs
+// never duplicate a (point, rep, origin) identity.
+
+const propertySeeds = 200
+
+// seedStream derives the i-th property-test seed.
+func seedStream(i int) uint64 { return xrand.Derive(0xADA9, fmt.Sprintf("doe/prop/%d", i)) }
+
+// propFactors builds a randomized small factor space from a seed: 2-3
+// factors with 2-4 levels each.
+func propFactors(seed uint64) []Factor {
+	r := xrand.NewDerived(seed, "doe/prop/factors")
+	nf := 2 + r.IntN(2)
+	fs := make([]Factor, nf)
+	for i := range fs {
+		nl := 2 + r.IntN(3)
+		levels := make([]int, nl)
+		seen := map[int]bool{}
+		for j := range levels {
+			v := 1 + r.IntN(1000)
+			for seen[v] {
+				v = 1 + r.IntN(1000)
+			}
+			seen[v] = true
+			levels[j] = v
+		}
+		fs[i] = IntFactor(fmt.Sprintf("f%d", i), levels...)
+	}
+	return fs
+}
+
+// checkSeqPermutation asserts Seq covers [0, n) exactly once.
+func checkSeqPermutation(t *testing.T, d *Design) {
+	t.Helper()
+	seen := make([]bool, d.Size())
+	for _, tr := range d.Trials {
+		if tr.Seq < 0 || tr.Seq >= d.Size() || seen[tr.Seq] {
+			t.Fatalf("Seq %d out of range or duplicated (n=%d)", tr.Seq, d.Size())
+		}
+		seen[tr.Seq] = true
+	}
+}
+
+// checkCoverage asserts every trial's point names exactly the design's
+// factors with admissible levels.
+func checkCoverage(t *testing.T, d *Design) {
+	t.Helper()
+	admissible := map[string]map[Level]bool{}
+	for _, f := range d.Factors {
+		set := map[Level]bool{}
+		for _, l := range f.Levels {
+			set[l] = true
+		}
+		admissible[f.Name] = set
+	}
+	for _, tr := range d.Trials {
+		if len(tr.Point) != len(d.Factors) {
+			t.Fatalf("trial %d covers %d factors, design has %d", tr.Seq, len(tr.Point), len(d.Factors))
+		}
+		for name, level := range tr.Point {
+			set, ok := admissible[name]
+			if !ok {
+				t.Fatalf("trial %d names unknown factor %q", tr.Seq, name)
+			}
+			if !set[level] {
+				t.Fatalf("trial %d factor %q has inadmissible level %q", tr.Seq, name, level)
+			}
+		}
+	}
+}
+
+// checkNoDuplicateIdentity asserts no (point, rep, origin) triple repeats.
+func checkNoDuplicateIdentity(t *testing.T, d *Design) {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, tr := range d.Trials {
+		id := fmt.Sprintf("%s|%d|%s", tr.Point.Key(), tr.Rep, tr.Origin)
+		if seen[id] {
+			t.Fatalf("duplicate trial identity %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFullFactorialInvariants(t *testing.T) {
+	for i := 0; i < propertySeeds; i++ {
+		seed := seedStream(i)
+		factors := propFactors(seed)
+		reps := 1 + int(seed%4)
+		d, err := FullFactorial(factors, Options{Replicates: reps, Seed: seed, Randomize: i%2 == 0})
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if d.Size() != d.Combinations()*reps {
+			t.Fatalf("seed %d: %d trials, want %d combos x %d reps", i, d.Size(), d.Combinations(), reps)
+		}
+		checkSeqPermutation(t, d)
+		checkCoverage(t, d)
+		checkNoDuplicateIdentity(t, d)
+		// Balance: every combination appears exactly reps times.
+		counts := map[string]int{}
+		for _, tr := range d.Trials {
+			counts[tr.Point.Key()]++
+		}
+		for k, n := range counts {
+			if n != reps {
+				t.Fatalf("seed %d: point %s has %d replicates, want %d", i, k, n, reps)
+			}
+		}
+	}
+}
+
+func TestReplicatedInvariants(t *testing.T) {
+	for i := 0; i < propertySeeds; i++ {
+		seed := seedStream(i)
+		factors := propFactors(seed)
+		base, err := FullFactorial(factors, Options{Replicates: 2, Seed: seed, Randomize: true})
+		if err != nil {
+			t.Fatalf("seed %d: base: %v", i, err)
+		}
+		// Request extras for a deterministic subset of points.
+		var plan []PointReps
+		seen := map[string]bool{}
+		for _, tr := range base.Trials {
+			k := tr.Point.Key()
+			if seen[k] || len(plan) >= 3 {
+				continue
+			}
+			seen[k] = true
+			plan = append(plan, PointReps{Point: tr.Point, Extra: 1 + int((seed>>uint(8*len(plan)))%3), BaseRep: 2})
+		}
+		d, err := Replicated(factors, plan, seed)
+		if err != nil {
+			t.Fatalf("seed %d: Replicated: %v", i, err)
+		}
+		want := 0
+		for _, pr := range plan {
+			want += pr.Extra
+		}
+		if d.Size() != want {
+			t.Fatalf("seed %d: %d trials, want %d", i, d.Size(), want)
+		}
+		checkSeqPermutation(t, d)
+		checkCoverage(t, d)
+		checkNoDuplicateIdentity(t, d)
+		for _, tr := range d.Trials {
+			if tr.Origin != OriginReplicate {
+				t.Fatalf("seed %d: trial origin %q, want %q", i, tr.Origin, OriginReplicate)
+			}
+			if tr.Rep < 2 {
+				t.Fatalf("seed %d: replicate number %d collides with the base design", i, tr.Rep)
+			}
+		}
+	}
+}
+
+func TestMergeInvariants(t *testing.T) {
+	for i := 0; i < propertySeeds; i++ {
+		seed := seedStream(i)
+		factors := propFactors(seed)
+		a, err := FullFactorial(factors, Options{Replicates: 2, Seed: seed, Randomize: true})
+		if err != nil {
+			t.Fatalf("seed %d: a: %v", i, err)
+		}
+		// b measures fresh levels of the first factor (a zoom round).
+		zoomed := append([]Factor(nil), factors...)
+		zoomed[0] = IntFactor(factors[0].Name, 2000+int(seed%100), 2200+int(seed%100))
+		b, err := FullFactorial(zoomed, Options{Replicates: 1, Seed: seed + 1, Randomize: true, Origin: OriginZoom})
+		if err != nil {
+			t.Fatalf("seed %d: b: %v", i, err)
+		}
+		var rep *Design
+		if i%2 == 0 {
+			rep, err = Replicated(factors, []PointReps{{Point: a.Trials[0].Point, Extra: 2, BaseRep: 2}}, seed+2)
+			if err != nil {
+				t.Fatalf("seed %d: rep: %v", i, err)
+			}
+		}
+		m, err := Merge(seed+3, a, b, rep)
+		if err != nil {
+			t.Fatalf("seed %d: Merge: %v", i, err)
+		}
+		want := a.Size() + b.Size()
+		if rep != nil {
+			want += rep.Size()
+		}
+		if m.Size() != want {
+			t.Fatalf("seed %d: merged %d trials, want %d", i, m.Size(), want)
+		}
+		checkSeqPermutation(t, m)
+		checkCoverage(t, m)
+		checkNoDuplicateIdentity(t, m)
+		// Level union: every level of every input is admissible in the merge.
+		for fi, f := range factors {
+			got := map[Level]bool{}
+			for _, l := range m.Factors[fi].Levels {
+				got[l] = true
+			}
+			for _, l := range f.Levels {
+				if !got[l] {
+					t.Fatalf("seed %d: merged factor %q lost level %q", i, f.Name, l)
+				}
+			}
+			if fi == 0 {
+				for _, l := range zoomed[0].Levels {
+					if !got[l] {
+						t.Fatalf("seed %d: merged factor %q lost zoom level %q", i, f.Name, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMergeRejectsMismatchedFactorSets(t *testing.T) {
+	a, err := FullFactorial([]Factor{IntFactor("x", 1, 2)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FullFactorial([]Factor{IntFactor("y", 1, 2)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(1, a, b); err == nil {
+		t.Fatal("Merge accepted designs over different factors")
+	}
+	c, err := FullFactorial([]Factor{IntFactor("x", 1, 2), IntFactor("y", 3, 4)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(1, a, c); err == nil {
+		t.Fatal("Merge accepted designs with different factor counts")
+	}
+	if _, err := Merge(1, nil, nil); err == nil {
+		t.Fatal("Merge accepted zero designs")
+	}
+}
+
+func TestReplicatedRejectsBadPlans(t *testing.T) {
+	factors := []Factor{IntFactor("x", 1, 2)}
+	point := Point{"x": "1"}
+	cases := []struct {
+		name string
+		plan []PointReps
+	}{
+		{"empty plan", nil},
+		{"zero extra", []PointReps{{Point: point, Extra: 0}}},
+		{"negative base", []PointReps{{Point: point, Extra: 1, BaseRep: -1}}},
+		{"unknown factor", []PointReps{{Point: Point{"z": "1"}, Extra: 1}}},
+		{"missing factor", []PointReps{{Point: Point{}, Extra: 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := Replicated(factors, tc.plan, 1); err == nil {
+			t.Errorf("%s: Replicated accepted the plan", tc.name)
+		}
+	}
+}
+
+// TestOriginCSVRoundTrip: provenance survives the CSV artifact, and
+// designs without provenance keep the legacy column set.
+func TestOriginCSVRoundTrip(t *testing.T) {
+	factors := []Factor{IntFactor("size", 10, 20)}
+	plain, err := FullFactorial(factors, Options{Replicates: 2, Seed: 9, Randomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plain.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("origin")) {
+		t.Fatalf("plain design CSV grew an origin column:\n%s", buf.String())
+	}
+
+	zoom, err := FullFactorial(factors, Options{Replicates: 2, Seed: 9, Randomize: true, Origin: OriginZoom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := zoom.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("seq,rep,origin,")) {
+		t.Fatalf("zoom design CSV header missing origin:\n%s", buf.String())
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Size() != zoom.Size() {
+		t.Fatalf("round-trip lost trials: %d vs %d", back.Size(), zoom.Size())
+	}
+	for i, tr := range back.Trials {
+		if tr.Origin != OriginZoom {
+			t.Fatalf("trial %d origin %q after round-trip", i, tr.Origin)
+		}
+		if tr.Rep != zoom.Trials[i].Rep || tr.Point.Key() != zoom.Trials[i].Point.Key() {
+			t.Fatalf("trial %d identity changed after round-trip", i)
+		}
+	}
+}

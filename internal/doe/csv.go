@@ -11,7 +11,10 @@ import (
 // The design travels between methodology stages as a CSV artifact: the
 // design generator writes it, the benchmark engine reads it, and the analyst
 // can inspect it. Columns: seq, rep, then one column per factor (sorted by
-// name for stability).
+// name for stability). Designs carrying trial provenance (adaptive
+// refinement rounds) gain an "origin" column between rep and the factors;
+// plain designs serialize exactly as before, so artifacts and cache keys of
+// non-adaptive campaigns are unaffected.
 
 // WriteCSV serializes the design schedule.
 func (d *Design) WriteCSV(w io.Writer) error {
@@ -20,15 +23,29 @@ func (d *Design) WriteCSV(w io.Writer) error {
 		names = append(names, f.Name)
 	}
 	sort.Strings(names)
+	withOrigin := false
+	for _, t := range d.Trials {
+		if t.Origin != "" {
+			withOrigin = true
+			break
+		}
+	}
 
 	cw := csv.NewWriter(w)
-	header := append([]string{"seq", "rep"}, names...)
+	header := []string{"seq", "rep"}
+	if withOrigin {
+		header = append(header, "origin")
+	}
+	header = append(header, names...)
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("doe: write header: %w", err)
 	}
 	for _, t := range d.Trials {
 		row := make([]string, 0, len(header))
 		row = append(row, strconv.Itoa(t.Seq), strconv.Itoa(t.Rep))
+		if withOrigin {
+			row = append(row, t.Origin)
+		}
 		for _, n := range names {
 			row = append(row, t.Point.Get(n))
 		}
@@ -56,7 +73,15 @@ func ReadCSV(r io.Reader) (*Design, error) {
 	if len(header) < 3 || header[0] != "seq" || header[1] != "rep" {
 		return nil, fmt.Errorf("doe: bad header %v", header)
 	}
-	names := header[2:]
+	factorsAt := 2
+	withOrigin := header[2] == "origin"
+	if withOrigin {
+		factorsAt = 3
+	}
+	names := header[factorsAt:]
+	if len(names) == 0 {
+		return nil, fmt.Errorf("doe: bad header %v", header)
+	}
 
 	d := &Design{}
 	levelSets := make([]map[string]bool, len(names))
@@ -75,12 +100,16 @@ func ReadCSV(r io.Reader) (*Design, error) {
 		if err != nil {
 			return nil, fmt.Errorf("doe: row %d rep: %w", ri+1, err)
 		}
+		origin := ""
+		if withOrigin {
+			origin = row[2]
+		}
 		p := make(Point, len(names))
 		for ci, n := range names {
-			p[n] = Level(row[2+ci])
-			levelSets[ci][row[2+ci]] = true
+			p[n] = Level(row[factorsAt+ci])
+			levelSets[ci][row[factorsAt+ci]] = true
 		}
-		d.Trials = append(d.Trials, Trial{Seq: seq, Rep: rep, Point: p})
+		d.Trials = append(d.Trials, Trial{Seq: seq, Rep: rep, Point: p, Origin: origin})
 	}
 	for i, n := range names {
 		var ls []string

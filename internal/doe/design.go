@@ -15,7 +15,23 @@ type Trial struct {
 	Rep int
 	// Point is the factor combination to measure.
 	Point Point
+	// Origin records why the trial is in the design: "" for trials of the
+	// original (seed) design, OriginReplicate for variance-targeted extra
+	// replicates, OriginZoom for refined grid points inserted around a
+	// detected breakpoint. Provenance travels with the design artifact so
+	// an adaptive campaign's schedule stays auditable after the fact.
+	Origin string
 }
+
+// Trial provenance values (see internal/adapt).
+const (
+	// OriginReplicate marks extra replicates allocated to a design point
+	// whose bootstrap CI was too wide.
+	OriginReplicate = "replicate"
+	// OriginZoom marks refined grid points inserted inside a breakpoint
+	// bracket.
+	OriginZoom = "zoom"
+)
 
 // Design is a fully materialized experimental design: an ordered list of
 // trials. The order IS the experiment schedule; the engine must execute
@@ -45,6 +61,9 @@ type Options struct {
 	// opaque-benchmark inner repetition loop of Figure 2) instead of
 	// sweeping all combinations once per replicate round.
 	GroupReplicates bool
+	// Origin, when non-empty, stamps every generated trial with the given
+	// provenance (OriginReplicate, OriginZoom).
+	Origin string
 }
 
 // FullFactorial crosses all factor levels, replicates each combination, and
@@ -85,13 +104,13 @@ func FullFactorial(factors []Factor, opt Options) (*Design, error) {
 	if opt.GroupReplicates && !opt.Randomize {
 		for _, p := range points {
 			for rep := 0; rep < reps; rep++ {
-				d.Trials = append(d.Trials, Trial{Rep: rep, Point: p.Clone()})
+				d.Trials = append(d.Trials, Trial{Rep: rep, Point: p.Clone(), Origin: opt.Origin})
 			}
 		}
 	} else {
 		for rep := 0; rep < reps; rep++ {
 			for _, p := range points {
-				d.Trials = append(d.Trials, Trial{Rep: rep, Point: p.Clone()})
+				d.Trials = append(d.Trials, Trial{Rep: rep, Point: p.Clone(), Origin: opt.Origin})
 			}
 		}
 	}

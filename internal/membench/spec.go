@@ -1,11 +1,17 @@
 package membench
 
 import (
+	"fmt"
+
 	"opaquebench/internal/cpusim"
 	"opaquebench/internal/doe"
 	"opaquebench/internal/memsim"
 	"opaquebench/internal/ossim"
 )
+
+// defaultReps is the replicate count of a zero Spec (the paper uses 42),
+// shared by FromSpec and Refine so seed and zoom rounds can never drift.
+const defaultReps = 42
 
 // Spec is the declarative form of a memory campaign — the engine half of a
 // suite file's campaign entry (see internal/suite). Field semantics and
@@ -25,6 +31,10 @@ type Spec struct {
 	// Sizes overrides the generated buffer-size ladder (bytes); empty means
 	// the default ladder from 1 KB to 4x the machine's last cache level.
 	Sizes []int `json:"sizes,omitempty"`
+	// Strides overrides the access-stride ladder (elements); empty means
+	// {1}. Strides spanning at least a cache line defeat spatial locality
+	// and expose the working-set breakpoints at the cache boundaries.
+	Strides []int `json:"strides,omitempty"`
 	// Reps is the replicate count of the generated design (default 42).
 	Reps int `json:"reps,omitempty"`
 }
@@ -44,7 +54,7 @@ func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
 		s.Policy = "other"
 	}
 	if s.Reps <= 0 {
-		s.Reps = 42
+		s.Reps = defaultReps
 	}
 	m, err := memsim.MachineByName(s.Machine)
 	if err != nil {
@@ -64,7 +74,7 @@ func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
 			sizes = append(sizes, sz)
 		}
 	}
-	design, err := doe.FullFactorial(Factors(sizes, nil, nil, []int{100}, nil),
+	design, err := doe.FullFactorial(Factors(sizes, s.Strides, nil, []int{100}, nil),
 		doe.Options{Replicates: s.Reps, Seed: seed, Randomize: true})
 	if err != nil {
 		return Config{}, nil, err
@@ -77,4 +87,34 @@ func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
 		Sched:      ossim.Config{Policy: pol},
 	}
 	return cfg, design, nil
+}
+
+// ZoomFactor names the numeric factor adaptive refinement zooms: the
+// working-set (buffer) size, whose cache-boundary breakpoints are the
+// engine's central phenomenon. Part of the adapt.Refiner hook set.
+func (s Spec) ZoomFactor() string { return FactorSize }
+
+// Refine materializes one adaptive refinement round's zoom design: the
+// given refined buffer sizes crossed with the campaign's fixed factor
+// levels, replicated (reps, or the spec's replicate count when reps <= 0),
+// randomized under the round seed, every trial stamped doe.OriginZoom.
+// The engine configuration is untouched — refined rounds run through the
+// same factory as the seed round.
+func (s Spec) Refine(seed uint64, levels []int, reps int) (*doe.Design, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("membench: refine needs at least one size level")
+	}
+	for _, l := range levels {
+		if l < 1 {
+			return nil, fmt.Errorf("membench: refine size %d is not positive", l)
+		}
+	}
+	if reps <= 0 {
+		reps = s.Reps
+	}
+	if reps <= 0 {
+		reps = defaultReps
+	}
+	return doe.FullFactorial(Factors(levels, s.Strides, nil, []int{100}, nil),
+		doe.Options{Replicates: reps, Seed: seed, Randomize: true, Origin: doe.OriginZoom})
 }

@@ -7,6 +7,10 @@ import (
 	"opaquebench/internal/netsim"
 )
 
+// defaultReps is the replicate count of a zero Spec, shared by FromSpec
+// and Refine so seed and zoom rounds can never drift.
+const defaultReps = 4
+
 // Spec is the declarative form of a point-to-point network campaign — the
 // engine half of a suite file's campaign entry (see internal/suite). Field
 // semantics and defaults match the cmd/netbench flags of the same names; a
@@ -51,7 +55,7 @@ func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
 		s.Max = 2 << 20
 	}
 	if s.Reps <= 0 {
-		s.Reps = 4
+		s.Reps = defaultReps
 	}
 	if s.PerturbFactor < 0 || (s.PerturbFactor > 0 && s.PerturbFactor < 1) {
 		return Config{}, nil, fmt.Errorf("netbench: perturb_factor must be 0 (none) or >= 1, got %v", s.PerturbFactor)
@@ -70,4 +74,43 @@ func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
 			netsim.Window{Start: s.PerturbStart, End: s.PerturbEnd})
 	}
 	return cfg, design, nil
+}
+
+// ZoomFactor names the numeric factor adaptive refinement zooms: the
+// message size, whose protocol-change breakpoints (eager/rendezvous) are
+// the engine's central phenomenon. Part of the adapt.Refiner hook set.
+func (s Spec) ZoomFactor() string { return FactorSize }
+
+// Refine materializes one adaptive refinement round's zoom design: the
+// given refined message sizes crossed with the standard operation set,
+// replicated (reps, or the spec's replicate count when reps <= 0),
+// randomized under the round seed, every trial stamped doe.OriginZoom.
+// Unlike the seed design's log-uniform random sizes, refined levels are
+// explicit — the planner has already chosen where to look.
+func (s Spec) Refine(seed uint64, levels []int, reps int) (*doe.Design, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("netbench: refine needs at least one size level")
+	}
+	for _, l := range levels {
+		if l < 1 {
+			return nil, fmt.Errorf("netbench: refine size %d is not positive", l)
+		}
+	}
+	if reps <= 0 {
+		reps = s.Reps
+	}
+	if reps <= 0 {
+		reps = defaultReps
+	}
+	ops := []netsim.Op{netsim.OpSend, netsim.OpRecv, netsim.OpPingPong}
+	opLevels := make([]string, len(ops))
+	for i, op := range ops {
+		opLevels[i] = string(op)
+	}
+	factors := []doe.Factor{
+		doe.IntFactor(FactorSize, levels...),
+		doe.NewFactor(FactorOp, opLevels...),
+	}
+	return doe.FullFactorial(factors,
+		doe.Options{Replicates: reps, Seed: seed, Randomize: true, Origin: doe.OriginZoom})
 }

@@ -63,3 +63,55 @@ func escapeMarkdownCell(s string) string {
 	s = strings.ReplaceAll(s, "\n", " ")
 	return s
 }
+
+// Markdown renders the campaign report as GitHub-flavored markdown — the
+// same content Render produces as terminal text, composed from the table
+// primitives above so it can land in a PR comment or a results wiki page.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString(MarkdownHeading(1, "Campaign report"))
+	fmt.Fprintf(&b, "%d raw records.\n\n", r.Records)
+
+	b.WriteString(MarkdownHeading(2, "Per-level summary"))
+	b.WriteString("Median with 95% bootstrap CI.\n\n")
+	rows := make([][]string, 0, len(r.Groups))
+	for _, g := range r.Groups {
+		rows = append(rows, []string{
+			g.Level,
+			fmt.Sprintf("%d", g.N),
+			fmt.Sprintf("%.5g", g.Median),
+			fmt.Sprintf("[%.5g, %.5g]", g.MedianCI.Lo, g.MedianCI.Hi),
+			fmt.Sprintf("%.3f", g.CV),
+		})
+	}
+	b.WriteString(MarkdownTable([]string{"level", "n", "median", "CI", "cv"}, rows))
+
+	if len(r.Effects) > 0 {
+		b.WriteString("\n")
+		b.WriteString(MarkdownHeading(2, "Factor main effects"))
+		for _, e := range r.Effects {
+			fmt.Fprintf(&b, "- %s\n", e.String())
+		}
+	}
+	if r.Fit != nil {
+		b.WriteString("\n")
+		b.WriteString(MarkdownHeading(2, "Neutral piecewise fit"))
+		fmt.Fprintf(&b, "Breaks: %v\n\n```\n%s```\n", r.Fit.Breaks, r.Fit.String())
+	}
+	if r.Modes != nil {
+		b.WriteString("\n")
+		b.WriteString(MarkdownHeading(2, "Mode diagnosis"))
+		fmt.Fprintf(&b, "```\n%s```\n", r.Modes.String())
+	}
+	fmt.Fprintf(&b, "\nLag-1 autocorrelation in execution order: %.3f\n", r.Lag1)
+	b.WriteString("\n")
+	if len(r.Warnings) > 0 {
+		b.WriteString(MarkdownHeading(2, "Warnings"))
+		for _, w := range r.Warnings {
+			fmt.Fprintf(&b, "- ⚠ %s\n", w)
+		}
+	} else {
+		b.WriteString("No pitfall preconditions detected.\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package runner
+
+import (
+	"strconv"
+
+	"opaquebench/internal/core"
+)
+
+// RoundSink adapts the campaign sinks to a multi-round adaptive study
+// (internal/adapt): the rounds of one campaign stream into a single record
+// stream through the same underlying sinks, each record re-based to a
+// globally unique sequence number and annotated with its round index.
+//
+// Within a round the runner delivers records with the round design's own
+// Seq (0-based); the RoundSink shifts them by the number of records the
+// previous rounds streamed, so the combined stream's seq column is again a
+// permutation of [0, n) — the invariant every downstream consumer of a
+// record stream assumes. The annotation ("round" extra, 1-based) preserves
+// round provenance in the raw data without a schema fork: CSV output gains
+// one x_round column, JSONL one extra key.
+//
+// A RoundSink is driven from a single goroutine like any other sink. The
+// zero value is not useful; use NewRoundSink.
+type RoundSink struct {
+	sinks []RecordSink
+	round int
+	base  int
+	count int
+}
+
+// NewRoundSink wraps the given sinks for round-scoped streaming, starting
+// at round 1 with no offset.
+func NewRoundSink(sinks ...RecordSink) *RoundSink {
+	return &RoundSink{sinks: sinks, round: 1}
+}
+
+// Round returns the current (1-based) round index.
+func (s *RoundSink) Round() int { return s.round }
+
+// Streamed returns the total number of records written across all rounds.
+func (s *RoundSink) Streamed() int { return s.base + s.count }
+
+// NextRound advances to the next round: subsequent records are re-based
+// past everything streamed so far and annotated with the new round index.
+func (s *RoundSink) NextRound() {
+	s.round++
+	s.base += s.count
+	s.count = 0
+}
+
+// Write implements RecordSink. The record is forwarded with its sequence
+// number shifted by the prior rounds' record count and a "round" extra
+// annotation; the caller's record (and its Extra map) is never mutated.
+func (s *RoundSink) Write(rec core.RawRecord) error {
+	out := rec
+	out.Seq = s.base + rec.Seq
+	out.Extra = make(map[string]string, len(rec.Extra)+1)
+	for k, v := range rec.Extra {
+		out.Extra[k] = v
+	}
+	out.Extra["round"] = strconv.Itoa(s.round)
+	s.count++
+	for _, sink := range s.sinks {
+		if err := sink.Write(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements RecordSink, flushing every underlying sink. The runner
+// calls it at the end of each round; flushing between rounds is what makes
+// the growing multi-round stream durable round by round.
+func (s *RoundSink) Flush() error {
+	for _, sink := range s.sinks {
+		if err := sink.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

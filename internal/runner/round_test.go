@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+)
+
+func roundRec(seq int, size string, value float64) core.RawRecord {
+	return core.RawRecord{
+		Seq:   seq,
+		Point: doe.Point{"size": doe.Level(size)},
+		Value: value,
+		Extra: map[string]string{"bound_by": "L1"},
+	}
+}
+
+// TestRoundSinkRebasesAndAnnotates: records of later rounds continue the
+// stream's sequence numbering and carry their round index, so the combined
+// stream stays a single well-formed record stream.
+func TestRoundSinkRebasesAndAnnotates(t *testing.T) {
+	mem := &MemorySink{}
+	rs := NewRoundSink(mem)
+	for seq := 0; seq < 3; seq++ {
+		if err := rs.Write(roundRec(seq, "1024", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs.NextRound()
+	for seq := 0; seq < 2; seq++ {
+		if err := rs.Write(roundRec(seq, "2048", 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs := mem.Records
+	if len(recs) != 5 {
+		t.Fatalf("streamed %d records, want 5", len(recs))
+	}
+	if got := rs.Streamed(); got != 5 {
+		t.Fatalf("Streamed() = %d, want 5", got)
+	}
+	for i, rec := range recs {
+		if rec.Seq != i {
+			t.Errorf("record %d has Seq %d", i, rec.Seq)
+		}
+		wantRound := "1"
+		if i >= 3 {
+			wantRound = "2"
+		}
+		if rec.Extra["round"] != wantRound {
+			t.Errorf("record %d round = %q, want %q", i, rec.Extra["round"], wantRound)
+		}
+		if rec.Extra["bound_by"] != "L1" {
+			t.Errorf("record %d lost engine extras", i)
+		}
+	}
+}
+
+// TestRoundSinkDoesNotMutateCaller: annotation happens on a copy; the
+// engine's record and Extra map stay untouched (they may be shared with
+// the results slice the caller is accumulating).
+func TestRoundSinkDoesNotMutateCaller(t *testing.T) {
+	rs := NewRoundSink(&MemorySink{})
+	rs.NextRound()
+	rec := roundRec(7, "1024", 1)
+	if err := rs.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 7 {
+		t.Errorf("caller's Seq mutated to %d", rec.Seq)
+	}
+	if _, ok := rec.Extra["round"]; ok {
+		t.Error("caller's Extra map gained a round annotation")
+	}
+	if len(rec.Extra) != 1 || rec.Extra["bound_by"] != "L1" {
+		t.Errorf("caller's Extra map changed: %v", rec.Extra)
+	}
+}
+
+// TestRoundSinkCSVStreamStaysWellFormed: a multi-round stream through a
+// CSV sink keeps one header and gains exactly one x_round column; every
+// row parses back with the right round annotation.
+func TestRoundSinkCSVStreamStaysWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	csv := NewCSVSink(&buf)
+	rs := NewRoundSink(csv)
+	for seq := 0; seq < 2; seq++ {
+		if err := rs.Write(roundRec(seq, "1024", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs.NextRound()
+	if err := rs.Write(roundRec(0, "4096", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3 rows:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "x_round") {
+		t.Fatalf("CSV header lacks x_round: %s", lines[0])
+	}
+	res, err := core.ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got := res.Records[2].Extra["round"]; got != "2" {
+		t.Errorf("third record round = %q, want 2", got)
+	}
+	if got := res.Records[2].Seq; got != 2 {
+		t.Errorf("third record Seq = %d, want 2", got)
+	}
+}

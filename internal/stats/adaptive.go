@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"opaquebench/internal/xrand"
+)
+
+// Summaries feeding the adaptive campaign planner (internal/adapt): the
+// planner decides where to spend the next round's measurement budget from
+// (a) per-design-point bootstrap CI widths — replication goes where the
+// data is noisiest — and (b) breakpoint localization brackets — grid
+// refinement goes where the piecewise structure is least resolved.
+
+// PointCI summarizes the replicate sample of one design point: its median,
+// a bootstrap CI for the median, and the CI's width relative to the median.
+type PointCI struct {
+	// Key identifies the design point (doe.Point.Key form).
+	Key string
+	// N is the number of observations.
+	N int
+	// Median is the sample median.
+	Median float64
+	// CI is the percentile-bootstrap confidence interval for the median.
+	CI CI
+	// RelWidth is CI.Width() / |Median| — the scale-free noise measure the
+	// planner ranks points by. A zero median with a nonzero width reports
+	// +Inf (maximally unresolved); a degenerate point interval reports 0.
+	RelWidth float64
+}
+
+// PointCIs computes a PointCI for every group, sorted by key. Each group's
+// bootstrap stream derives from (seed, key), so adding or removing a point
+// never perturbs another point's interval — the same isolation discipline
+// the simulators use (package xrand) — and the whole table is reproducible
+// byte-for-byte from the campaign seed.
+func PointCIs(groups map[string][]float64, level float64, reps int, seed uint64) ([]PointCI, error) {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]PointCI, 0, len(keys))
+	for _, k := range keys {
+		xs := groups[k]
+		ci, err := MedianCI(xs, level, reps, xrand.Derive(seed, "stats/pointci/"+k))
+		if err != nil {
+			return nil, err
+		}
+		p := PointCI{Key: k, N: len(xs), Median: Median(xs), CI: ci}
+		switch {
+		case ci.Width() == 0:
+			p.RelWidth = 0
+		case p.Median == 0:
+			p.RelWidth = math.Inf(1)
+		default:
+			p.RelWidth = ci.Width() / math.Abs(p.Median)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WorstRelWidth returns the largest relative CI width in the table, or 0
+// for an empty table. It is the planner's convergence measure: a campaign
+// has resolved its noise when the worst point is below the target.
+func WorstRelWidth(points []PointCI) float64 {
+	worst := 0.0
+	for _, p := range points {
+		if p.RelWidth > worst {
+			worst = p.RelWidth
+		}
+	}
+	return worst
+}
+
+// Bracket is one detected breakpoint together with its localization
+// interval: the breakpoint estimate X lies strictly between the adjacent
+// observed x values Lo and Hi, and no observation inside (Lo, Hi) exists —
+// so the data cannot place the breakpoint more precisely than this
+// bracket. Refinement inserts new grid levels inside it.
+type Bracket struct {
+	// X is the breakpoint estimate (midway between Lo and Hi, as
+	// SegmentedSearch places it).
+	X float64
+	// Lo and Hi are the observed x values bracketing the breakpoint.
+	Lo, Hi float64
+}
+
+// Width returns Hi - Lo, the localization uncertainty.
+func (b Bracket) Width() float64 { return b.Hi - b.Lo }
+
+// Contains reports whether v lies strictly inside the bracket.
+func (b Bracket) Contains(v float64) bool { return v > b.Lo && v < b.Hi }
+
+// BreakpointBrackets runs the neutral BIC-selected segmented search under
+// the relative-error objective (SelectSegmentedRelative) and localizes each
+// selected breakpoint between the nearest observed x values on either
+// side. A fit selecting zero breakpoints returns an empty slice and no
+// error; an infeasible search (too few observations) is an error.
+func BreakpointBrackets(x, y []float64, maxK, minSeg int) ([]Bracket, error) {
+	pf, err := SelectSegmentedRelative(x, y, maxK, minSeg)
+	if err != nil {
+		return nil, err
+	}
+	if len(pf.Breaks) == 0 {
+		return nil, nil
+	}
+	// Distinct sorted x values: the design grid as observed.
+	grid := append([]float64(nil), x...)
+	sort.Float64s(grid)
+	grid = dedupFloats(grid)
+	out := make([]Bracket, 0, len(pf.Breaks))
+	for _, b := range pf.Breaks {
+		// The break usually sits between two adjacent grid values; find
+		// them. A search cut placed between replicates of one level makes
+		// the break coincide with that measured level — the slope change
+		// is at the level itself, so it localizes between the level's
+		// distinct neighbors instead.
+		i := sort.SearchFloat64s(grid, b)
+		switch {
+		case i < len(grid) && grid[i] == b:
+			if i == 0 || i+1 >= len(grid) {
+				continue
+			}
+			out = append(out, Bracket{X: b, Lo: grid[i-1], Hi: grid[i+1]})
+		case i == 0 || i >= len(grid):
+			// A break outside the observed span cannot be bracketed;
+			// SegmentedSearch never produces one, but stay defensive.
+			continue
+		default:
+			out = append(out, Bracket{X: b, Lo: grid[i-1], Hi: grid[i]})
+		}
+	}
+	return out, nil
+}

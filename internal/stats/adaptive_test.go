@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPointCIsSortedDeterministicAndScaleFree(t *testing.T) {
+	groups := map[string][]float64{
+		"size=100": {10, 11, 9, 10.5, 9.5, 10},
+		"size=200": {100, 140, 80, 120, 60, 110},
+		"size=50":  {5, 5, 5, 5},
+	}
+	a, err := PointCIs(groups, 0.95, 400, 7)
+	if err != nil {
+		t.Fatalf("PointCIs: %v", err)
+	}
+	b, err := PointCIs(groups, 0.95, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Fatalf("got %d points, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d not deterministic: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	wantOrder := []string{"size=100", "size=200", "size=50"}
+	for i, p := range a {
+		if p.Key != wantOrder[i] {
+			t.Errorf("point %d key %q, want %q (sorted)", i, p.Key, wantOrder[i])
+		}
+	}
+	// The tied sample has a degenerate point interval, not NaN.
+	for _, p := range a {
+		if p.Key != "size=50" {
+			continue
+		}
+		if p.RelWidth != 0 || p.CI.Width() != 0 {
+			t.Errorf("tied sample: RelWidth %g, CI width %g, want 0", p.RelWidth, p.CI.Width())
+		}
+	}
+	// The noisy wide group must rank above the tight one.
+	rel := map[string]float64{}
+	for _, p := range a {
+		rel[p.Key] = p.RelWidth
+	}
+	if rel["size=200"] <= rel["size=100"] {
+		t.Errorf("relative widths not ordered by noise: %v", rel)
+	}
+	if w := WorstRelWidth(a); w != rel["size=200"] {
+		t.Errorf("WorstRelWidth = %g, want %g", w, rel["size=200"])
+	}
+	if WorstRelWidth(nil) != 0 {
+		t.Error("WorstRelWidth(nil) != 0")
+	}
+}
+
+func TestPointCIsZeroMedianIsMaximallyUnresolved(t *testing.T) {
+	a, err := PointCIs(map[string][]float64{"x=1": {-1, 0, 1, 0, -1, 1, 0, 0}}, 0.95, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a[0].RelWidth, 1) {
+		t.Errorf("zero-median noisy point RelWidth = %g, want +Inf", a[0].RelWidth)
+	}
+}
+
+// twoRegimeGrid builds reps noisy observations per level with a planted
+// slope change between 160 and 640.
+func twoRegimeGrid(levels []float64, reps int) (xs, ys []float64) {
+	for _, x := range levels {
+		for r := 0; r < reps; r++ {
+			y := 1000.0
+			if x > 300 {
+				y = 250
+			}
+			// Deterministic per-observation jitter, scale-proportional.
+			y *= 1 + 0.01*float64(r%3-1)
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+	}
+	return xs, ys
+}
+
+func TestBreakpointBracketsLocalizeBetweenGridLevels(t *testing.T) {
+	xs, ys := twoRegimeGrid([]float64{10, 40, 160, 640, 2560}, 6)
+	brackets, err := BreakpointBrackets(xs, ys, 3, 6)
+	if err != nil {
+		t.Fatalf("BreakpointBrackets: %v", err)
+	}
+	if len(brackets) == 0 {
+		t.Fatal("no bracket found for a planted regime change")
+	}
+	found := false
+	for _, b := range brackets {
+		if b.Lo == 160 && b.Hi == 640 {
+			found = true
+			if !b.Contains(b.X) {
+				t.Errorf("bracket (%g, %g) does not contain its own break %g", b.Lo, b.Hi, b.X)
+			}
+			if b.Contains(160) || b.Contains(640) {
+				t.Error("bracket endpoints must be exclusive")
+			}
+			if b.Width() != 480 {
+				t.Errorf("bracket width %g, want 480", b.Width())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted change between 160 and 640 not bracketed: %+v", brackets)
+	}
+}
+
+func TestBreakpointBracketsFlatDataFindsNothing(t *testing.T) {
+	var xs, ys []float64
+	for _, x := range []float64{10, 20, 30, 40, 50} {
+		for r := 0; r < 5; r++ {
+			xs = append(xs, x)
+			ys = append(ys, 100)
+		}
+	}
+	brackets, err := BreakpointBrackets(xs, ys, 3, 5)
+	if err != nil {
+		t.Fatalf("BreakpointBrackets: %v", err)
+	}
+	if len(brackets) != 0 {
+		t.Errorf("flat data produced brackets: %+v", brackets)
+	}
+}

@@ -1,0 +1,36 @@
+package suite
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSuiteWarmReplay measures a fully warm adaptive suite run: every
+// round's key found in the cache, records replayed into the sinks, and the
+// planner re-deriving the identical round chain from the replayed data —
+// the steady-state cost of iterating on a cached study.
+func BenchmarkSuiteWarmReplay(b *testing.B) {
+	spec, err := Parse([]byte(adaptiveSpecJSON), "bench.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cacheDir := b.TempDir()
+	if _, err := Run(context.Background(), spec, Options{
+		CacheDir: cacheDir, BaseDir: b.TempDir(), Workers: 4,
+	}); err != nil {
+		b.Fatalf("cold run: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), spec, Options{
+			CacheDir: cacheDir, BaseDir: b.TempDir(), Workers: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Campaigns[0].Hit {
+			b.Fatal("warm run missed the cache")
+		}
+	}
+}

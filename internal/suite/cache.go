@@ -98,6 +98,12 @@ type Entry struct {
 	Campaign string `json:"campaign,omitempty"`
 	// Engine is the engine that produced the records.
 	Engine string `json:"engine"`
+	// Round is the 1-based round index for entries of an adaptive
+	// campaign (one cache entry per round); 0 for static campaigns.
+	// Provenance only — never part of the key — but it lets consumers
+	// (the differential comparator) reassemble a campaign's rounds
+	// instead of mistaking them for an ambiguous cache.
+	Round int `json:"round,omitempty"`
 	// Seed is the campaign seed.
 	Seed uint64 `json:"seed"`
 	// Env is the cold run's captured environment, without suite

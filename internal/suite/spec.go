@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+
+	"opaquebench/internal/adapt"
 )
 
 // Spec is a declarative suite: a named study of many campaigns across the
@@ -45,10 +47,98 @@ type Campaign struct {
 	JSONL string `json:"jsonl,omitempty"`
 	// Env is the optional per-campaign environment JSON path.
 	Env string `json:"env,omitempty"`
+	// Adaptive, when present, turns the campaign into a multi-round
+	// adaptive study (internal/adapt): the engine config's design becomes
+	// the seed round, and subsequent rounds replicate the noisiest points
+	// and zoom the grid around detected breakpoints, under the stanza's
+	// budget and stop rules. Every round is cached under its own
+	// content-addressed key.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
 
 	// pos is the "file:line:col" of the campaign object in the parsed
 	// spec, for error anchoring; empty on hand-constructed specs.
 	pos string
+}
+
+// AdaptiveSpec is the declarative adaptive-planning stanza of a campaign.
+// Field semantics and defaults match adapt.Config; zero values mean the
+// defaults.
+type AdaptiveSpec struct {
+	// Rounds is the maximum number of rounds, seed round included
+	// (default 2).
+	Rounds int `json:"rounds,omitempty"`
+	// Budget is the maximum total trials across all rounds (default 4x
+	// the seed design).
+	Budget int `json:"budget,omitempty"`
+	// TargetRelCI is the per-point convergence target on the relative
+	// median-CI width (default 0.05).
+	TargetRelCI float64 `json:"target_rel_ci,omitempty"`
+	// TopPoints caps replication targets per round (default 3).
+	TopPoints int `json:"top_points,omitempty"`
+	// ExtraReps is the extra replicate count per selected point (default 4).
+	ExtraReps int `json:"extra_reps,omitempty"`
+	// ZoomPerBreak is the refined level count per breakpoint bracket
+	// (default 4).
+	ZoomPerBreak int `json:"zoom_per_break,omitempty"`
+	// ZoomReps is the replicate count for zoomed levels (default: the
+	// engine spec's replicate count).
+	ZoomReps int `json:"zoom_reps,omitempty"`
+	// MaxBreaks caps the segmented breakpoint search (default 3).
+	MaxBreaks int `json:"max_breaks,omitempty"`
+	// MinSeg is the minimum observations per fitted segment (default 10).
+	MinSeg int `json:"min_seg,omitempty"`
+	// Level is the bootstrap confidence level (default 0.95).
+	Level float64 `json:"level,omitempty"`
+	// BootReps is the bootstrap replication count (default 400).
+	BootReps int `json:"boot_reps,omitempty"`
+	// Factor overrides the zoomed numeric factor (default: the engine's
+	// ZoomFactor — size for membench/netbench, nloops for cpubench).
+	Factor string `json:"factor,omitempty"`
+}
+
+// validate checks the stanza's engine-independent invariants; the full
+// check (budget vs seed design, factor existence) runs at plan time
+// through adapt.Config.Normalize.
+func (a *AdaptiveSpec) validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"rounds", a.Rounds}, {"budget", a.Budget}, {"top_points", a.TopPoints},
+		{"extra_reps", a.ExtraReps}, {"zoom_per_break", a.ZoomPerBreak},
+		{"zoom_reps", a.ZoomReps}, {"max_breaks", a.MaxBreaks},
+		{"min_seg", a.MinSeg}, {"boot_reps", a.BootReps},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("adaptive %s %d is negative", f.name, f.v)
+		}
+	}
+	if a.TargetRelCI < 0 {
+		return fmt.Errorf("adaptive target_rel_ci %g is negative", a.TargetRelCI)
+	}
+	if a.Level < 0 || a.Level >= 1 {
+		return fmt.Errorf("adaptive level %g outside [0, 1)", a.Level)
+	}
+	return nil
+}
+
+// config lowers the stanza into the planner configuration.
+func (a *AdaptiveSpec) config(seed uint64) adapt.Config {
+	return adapt.Config{
+		Factor:       a.Factor,
+		Rounds:       a.Rounds,
+		Budget:       a.Budget,
+		TargetRelCI:  a.TargetRelCI,
+		TopPoints:    a.TopPoints,
+		ExtraReps:    a.ExtraReps,
+		ZoomPerBreak: a.ZoomPerBreak,
+		ZoomReps:     a.ZoomReps,
+		MaxBreaks:    a.MaxBreaks,
+		MinSeg:       a.MinSeg,
+		Level:        a.Level,
+		BootReps:     a.BootReps,
+		Seed:         seed,
+	}
 }
 
 // validate checks the campaign's engine-independent invariants.
@@ -64,6 +154,11 @@ func (c *Campaign) validate() error {
 	}
 	if c.Out == "" && c.JSONL == "" {
 		return fmt.Errorf(`campaign %q: names no output sink (set "out" and/or "jsonl")`, c.Name)
+	}
+	if c.Adaptive != nil {
+		if err := c.Adaptive.validate(); err != nil {
+			return fmt.Errorf("campaign %q: %w", c.Name, err)
+		}
 	}
 	return nil
 }
@@ -323,14 +418,15 @@ func strictDecode(raw json.RawMessage, v any) error {
 // per-campaign cache keys (moving outputs must not invalidate results).
 func (s *Spec) Hash() (string, error) {
 	type canonCampaign struct {
-		Name    string          `json:"name"`
-		Engine  string          `json:"engine"`
-		Seed    uint64          `json:"seed"`
-		Workers int             `json:"workers"`
-		Config  json.RawMessage `json:"config"`
-		Out     string          `json:"out"`
-		JSONL   string          `json:"jsonl"`
-		Env     string          `json:"env"`
+		Name     string          `json:"name"`
+		Engine   string          `json:"engine"`
+		Seed     uint64          `json:"seed"`
+		Workers  int             `json:"workers"`
+		Config   json.RawMessage `json:"config"`
+		Out      string          `json:"out"`
+		JSONL    string          `json:"jsonl"`
+		Env      string          `json:"env"`
+		Adaptive *AdaptiveSpec   `json:"adaptive,omitempty"`
 	}
 	canon := struct {
 		Name      string          `json:"suite"`
@@ -349,6 +445,7 @@ func (s *Spec) Hash() (string, error) {
 		canon.Campaigns = append(canon.Campaigns, canonCampaign{
 			Name: c.Name, Engine: c.Engine, Seed: c.Seed, Workers: c.Workers,
 			Config: cfg, Out: c.Out, JSONL: c.JSONL, Env: c.Env,
+			Adaptive: c.Adaptive,
 		})
 	}
 	payload, err := json.Marshal(canon)

@@ -39,6 +39,7 @@ import (
 	"runtime"
 	"sync"
 
+	"opaquebench/internal/adapt"
 	"opaquebench/internal/core"
 	"opaquebench/internal/cpubench"
 	"opaquebench/internal/doe"
@@ -50,10 +51,12 @@ import (
 
 // engineDef adapts one benchmark engine to the orchestrator: decode checks
 // a raw config and returns its canonical form (for hashing), plan resolves
-// it into a factory and a materialized design.
+// it into a factory and a materialized design, and refine exposes the
+// engine's grid-refinement hook to the adaptive planner.
 type engineDef struct {
 	decode func(raw json.RawMessage) (any, []byte, error)
 	plan   func(decoded any, seed uint64) (core.EngineFactory, *doe.Design, error)
+	refine func(decoded any) adapt.Refiner
 }
 
 // engines is the registry of suite-runnable engines. Each engine package
@@ -70,6 +73,7 @@ var engines = map[string]engineDef{
 			cfg, design, err := membench.FromSpec(decoded.(membench.Spec), seed)
 			return membench.Factory(cfg), design, err
 		},
+		refine: func(decoded any) adapt.Refiner { return decoded.(membench.Spec) },
 	},
 	"netbench": {
 		decode: func(raw json.RawMessage) (any, []byte, error) {
@@ -81,6 +85,7 @@ var engines = map[string]engineDef{
 			cfg, design, err := netbench.FromSpec(decoded.(netbench.Spec), seed)
 			return netbench.Factory(cfg), design, err
 		},
+		refine: func(decoded any) adapt.Refiner { return decoded.(netbench.Spec) },
 	},
 	"cpubench": {
 		decode: func(raw json.RawMessage) (any, []byte, error) {
@@ -92,6 +97,7 @@ var engines = map[string]engineDef{
 			cfg, design, err := cpubench.FromSpec(decoded.(cpubench.Spec), seed)
 			return cpubench.Factory(cfg), design, err
 		},
+		refine: func(decoded any) adapt.Refiner { return decoded.(cpubench.Spec) },
 	},
 }
 
@@ -109,12 +115,23 @@ func mustCanon(s any, decodeErr error) []byte {
 }
 
 // Plan is one campaign resolved against its engine: the materialized
-// design, the engine factory, and the content-addressed cache key.
+// design, the engine factory, and the content-addressed cache key. For
+// adaptive campaigns, Design is the seed round's design, Key the seed
+// round's cache key, and Adaptive/Refiner carry the normalized planner
+// configuration and the engine's grid-refinement hook.
 type Plan struct {
 	Campaign Campaign
 	Design   *doe.Design
 	Factory  core.EngineFactory
 	Key      string
+	// Adaptive is the normalized planner configuration; nil for static
+	// campaigns.
+	Adaptive *adapt.Config
+	// Refiner is the engine's refinement hook; nil for static campaigns.
+	Refiner adapt.Refiner
+
+	// canon is the canonical engine config, kept for per-round cache keys.
+	canon []byte
 }
 
 // BuildPlans resolves every campaign of the spec: engine configs are
@@ -157,7 +174,17 @@ func BuildPlans(spec *Spec) ([]Plan, error) {
 		if err != nil {
 			return nil, c.at(fmt.Errorf("suite: campaign %q: %w", c.Name, err))
 		}
-		plans = append(plans, Plan{Campaign: c, Design: design, Factory: factory, Key: key})
+		p := Plan{Campaign: c, Design: design, Factory: factory, Key: key, canon: canon}
+		if c.Adaptive != nil {
+			ref := def.refine(decoded)
+			acfg, err := c.Adaptive.config(c.Seed).Normalize(ref, design)
+			if err != nil {
+				return nil, c.at(fmt.Errorf("suite: campaign %q: %w", c.Name, err))
+			}
+			p.Adaptive = &acfg
+			p.Refiner = ref
+		}
+		plans = append(plans, p)
 	}
 	return plans, nil
 }
@@ -185,17 +212,38 @@ type CampaignResult struct {
 	// Name and Engine identify the campaign.
 	Name   string
 	Engine string
-	// Key is the content-addressed cache key.
+	// Key is the content-addressed cache key (the seed round's key for
+	// adaptive campaigns).
 	Key string
-	// Hit reports whether the campaign was replayed from the cache.
+	// Hit reports whether the campaign was replayed from the cache (every
+	// round, for adaptive campaigns).
 	Hit bool
 	// Trials is the number of trials actually executed: the design size on
 	// a cold run, 0 on a cache hit (and on a dry run).
 	Trials int
 	// Records is the number of records delivered to the sinks.
 	Records int
+	// Rounds reports the per-round outcomes of an adaptive campaign; nil
+	// for static campaigns.
+	Rounds []RoundVerdict
+	// Stop is the adaptive stop reason; empty for static campaigns.
+	Stop string
 	// Err is the campaign's failure, if any.
 	Err error
+}
+
+// RoundVerdict reports one adaptive round's cache outcome.
+type RoundVerdict struct {
+	// Round is the 1-based round index.
+	Round int
+	// Key is the round's content-addressed cache key.
+	Key string
+	// Hit reports whether the round replayed from the cache.
+	Hit bool
+	// Trials is the number of trials executed (0 on a hit).
+	Trials int
+	// Records is the number of records the round contributed.
+	Records int
 }
 
 // Verdict renders the cache outcome as "hit" or "miss".
@@ -268,7 +316,14 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 			cr := CampaignResult{Name: p.Campaign.Name, Engine: p.Campaign.Engine, Key: p.Key,
 				Hit: cache != nil && cache.Lookup(p.Key)}
 			res.Campaigns[i] = cr
-			logf("suite: %s: %s (%d trials planned)", cr.Name, cr.Verdict(), p.Design.Size())
+			if p.Adaptive != nil {
+				// Later rounds depend on the seed round's records, so a dry
+				// run can only report the seed design; "suite plan" prints
+				// the full schedule.
+				logf("suite: %s: %s (adaptive, %d seed trials planned; see suite plan)", cr.Name, cr.Verdict(), p.Design.Size())
+			} else {
+				logf("suite: %s: %s (%d trials planned)", cr.Name, cr.Verdict(), p.Design.Size())
+			}
 		}
 		res.Env = suiteEnv(spec, res)
 		return res, nil
@@ -315,6 +370,30 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 			defer wg.Done()
 			cr := CampaignResult{Name: p.Campaign.Name, Engine: p.Campaign.Engine, Key: p.Key}
 			defer func() { res.Campaigns[i] = cr }()
+
+			if p.Adaptive != nil {
+				// Workers are acquired lazily, on the first round that
+				// actually executes: a fully warm campaign replays from
+				// the cache without consuming the budget, matching the
+				// static path's replay-before-acquire behavior.
+				acquired := false
+				defer func() {
+					if acquired {
+						release(workers)
+					}
+				}()
+				beforeCold := func() error {
+					if err := acquire(workers); err != nil {
+						return err
+					}
+					acquired = true
+					return nil
+				}
+				if err := runAdaptive(ctx, spec.Name, p, workers, cache, &cr, specHash, opts.BaseDir, beforeCold, logf); err != nil {
+					cr.Err = fmt.Errorf("suite: campaign %q: %w", cr.Name, err)
+				}
+				return
+			}
 
 			if cache != nil && cache.Lookup(p.Key) {
 				entry, err := cache.Load(p.Key)
@@ -378,6 +457,20 @@ func suiteEnv(spec *Spec, res *Result) *meta.Environment {
 		env.Set("suite/campaign/"+cr.Name+"/key", cr.Key)
 		env.Set("suite/campaign/"+cr.Name+"/verdict", cr.Verdict())
 		env.Setf("suite/campaign/"+cr.Name+"/trials", "%d", cr.Trials)
+		if len(cr.Rounds) > 0 {
+			env.Setf("suite/campaign/"+cr.Name+"/rounds", "%d", len(cr.Rounds))
+			env.Set("suite/campaign/"+cr.Name+"/stop", cr.Stop)
+			for _, rv := range cr.Rounds {
+				prefix := fmt.Sprintf("suite/campaign/%s/round/%d/", cr.Name, rv.Round)
+				env.Set(prefix+"key", rv.Key)
+				verdict := "miss"
+				if rv.Hit {
+					verdict = "hit"
+				}
+				env.Set(prefix+"verdict", verdict)
+				env.Setf(prefix+"trials", "%d", rv.Trials)
+			}
+		}
 	}
 	return env
 }
