@@ -1,0 +1,147 @@
+// Command bench is the benchmark-trajectory summarizer and gate: it parses
+// `go test -bench` output, condenses the run into one trajectory entry
+// (ns/op, B/op, allocs/op, campaign trials/sec), and maintains the
+// checked-in BENCH.json history — asserting the record-encode allocation
+// budget and failing on throughput regressions against the recorded
+// trajectory, exactly the self-measurement discipline the paper demands of
+// benchmarks pointed at this repository's own hot path.
+//
+// Typical CI usage:
+//
+//	go test -bench 'Campaign10k|EncodeRecord' -benchtime=1x -benchmem -run '^$' . ./... |
+//	  go run ./cmd/bench -label "$GITHUB_SHA" -gate -max-allocs 0 -append
+//
+// The exit status is the gate: 0 when the allocation budget holds and no
+// gated benchmark regressed, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"time"
+
+	"opaquebench/internal/benchtrack"
+)
+
+const usage = `Usage: bench [flags] [bench-output-file]
+
+Summarize a go test -bench run into one BENCH.json trajectory entry, assert
+the allocation budget, and gate campaign throughput against the recorded
+history. Reads the benchmark output from the file argument or stdin.
+`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), usage, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	label := fs.String("label", "local", "label for this trajectory entry (commit, PR tag)")
+	when := fs.String("when", "", "entry date (default today, YYYY-MM-DD)")
+	file := fs.String("file", "BENCH.json", "trajectory file (JSONL, one entry per line)")
+	doAppend := fs.Bool("append", false, "append this run to the trajectory file")
+	gate := fs.Bool("gate", false, "fail when a gated benchmark regresses against the trajectory")
+	gateMatch := fs.String("gate-match", "Campaign10k", "regexp selecting the throughput-gated benchmarks")
+	window := fs.Int("window", 5, "trajectory entries the gate baseline medians over")
+	tolerance := fs.Float64("tolerance", 0.30, "allowed relative drop below the baseline median")
+	trialsMatch := fs.String("trials-match", "Campaign10k", "regexp selecting campaign benchmarks measured in trials/op")
+	trials := fs.Int("trials", 10000, "trials per op for -trials-match benchmarks")
+	maxAllocs := fs.Int64("max-allocs", -1, "fail when a -max-allocs-match benchmark exceeds this allocs/op (-1 disables)")
+	maxAllocsMatch := fs.String("max-allocs-match", "EncodeRecord", "regexp selecting the allocation-budgeted benchmarks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("want at most one input file, got %d args\n\n%s", fs.NArg(), usage)
+	}
+
+	entry, err := benchtrack.Parse(in)
+	if err != nil {
+		return err
+	}
+	entry.Label = *label
+	entry.When = *when
+	if entry.When == "" {
+		entry.When = time.Now().UTC().Format("2006-01-02")
+	}
+	trialsRe, err := regexp.Compile(*trialsMatch)
+	if err != nil {
+		return fmt.Errorf("-trials-match: %w", err)
+	}
+	benchtrack.AttachTrialRate(entry, trialsRe, *trials)
+
+	names := make([]string, 0, len(entry.Benchmarks))
+	for name := range entry.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(stdout, "entry %s (%s):\n", entry.Label, entry.When)
+	for _, name := range names {
+		b := entry.Benchmarks[name]
+		fmt.Fprintf(stdout, "  %-40s %14.0f ns/op", name, b.NsPerOp)
+		if b.AllocsPerOp >= 0 {
+			fmt.Fprintf(stdout, " %10d B/op %8d allocs/op", b.BytesPerOp, b.AllocsPerOp)
+		}
+		if b.TrialsPerSec > 0 {
+			fmt.Fprintf(stdout, " %10.0f trials/sec", b.TrialsPerSec)
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	var problems []string
+	if *maxAllocs >= 0 {
+		re, err := regexp.Compile(*maxAllocsMatch)
+		if err != nil {
+			return fmt.Errorf("-max-allocs-match: %w", err)
+		}
+		problems = append(problems, benchtrack.AssertMaxAllocs(entry, re, *maxAllocs)...)
+	}
+	if *gate {
+		re, err := regexp.Compile(*gateMatch)
+		if err != nil {
+			return fmt.Errorf("-gate-match: %w", err)
+		}
+		traj, err := benchtrack.ReadTrajectory(*file)
+		if err != nil {
+			return err
+		}
+		problems = append(problems, benchtrack.Gate(traj, entry, re, *window, *tolerance)...)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(stdout, "GATE:", p)
+	}
+
+	if *doAppend && len(problems) == 0 {
+		if err := benchtrack.AppendEntry(*file, entry); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "appended to %s\n", *file)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d gate failure(s)", len(problems))
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+// Package benchtrack maintains the repository's own performance trajectory:
+// it parses `go test -bench` output, condenses each run into one trajectory
+// entry (ns/op, B/op, allocs/op, and campaign trials/sec per benchmark),
+// appends entries to a checked-in JSONL file, and gates new runs against the
+// recorded history — the same treat-yourself-as-a-benchmark discipline the
+// paper applies to opaque benchmarks, pointed at this repo's hot path.
+package benchtrack
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's condensed result within an entry.
+type Bench struct {
+	// NsPerOp is the reported wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem; -1 means the run
+	// was not measured for allocations (0 is a real, load-bearing value:
+	// the record-encode hot path asserts it).
+	BytesPerOp  int64 `json:"b_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// TrialsPerSec is the campaign throughput for benchmarks that execute
+	// a known number of trials per op; 0 for non-campaign benchmarks.
+	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
+}
+
+// Entry is one trajectory datapoint: one benchmark run of one commit.
+type Entry struct {
+	// Label identifies the run (e.g. a PR or commit tag).
+	Label string `json:"label"`
+	// When is the run date, RFC3339 or YYYY-MM-DD.
+	When string `json:"when,omitempty"`
+	// CPU echoes the benchmark banner's cpu line, because trajectory
+	// points from different hardware are not comparable.
+	CPU string `json:"cpu,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// condensed result.
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the -N procs suffix go test appends to parallel
+// benchmark names, so trajectory keys stay stable across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads plain `go test -bench` text output (any number of package
+// sections) and returns the condensed entry. Lines that are not benchmark
+// results or the cpu banner are ignored, so the full test output can be
+// piped through unfiltered.
+func Parse(r io.Reader) (Entry, error) {
+	e := Entry{Benchmarks: map[string]Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			e.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // e.g. "BenchmarkFoo" alone on a line
+		}
+		b := Bench{BytesPerOp: -1, AllocsPerOp: -1}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+				ok = true
+			case "B/op":
+				b.BytesPerOp = int64(v)
+			case "allocs/op":
+				b.AllocsPerOp = int64(v)
+			}
+		}
+		if !ok {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		if _, dup := e.Benchmarks[name]; dup {
+			return e, fmt.Errorf("benchtrack: duplicate benchmark %q in input", name)
+		}
+		e.Benchmarks[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		return e, fmt.Errorf("benchtrack: read: %w", err)
+	}
+	if len(e.Benchmarks) == 0 {
+		return e, fmt.Errorf("benchtrack: no benchmark results in input")
+	}
+	return e, nil
+}
+
+// AttachTrialRate fills TrialsPerSec for every benchmark matching the
+// pattern, interpreting each op as trials trials — e.g. the 10k-trial
+// campaign benchmarks. Returns how many benchmarks matched.
+func AttachTrialRate(e Entry, pattern *regexp.Regexp, trials int) int {
+	n := 0
+	for name, b := range e.Benchmarks {
+		if !pattern.MatchString(name) || b.NsPerOp <= 0 {
+			continue
+		}
+		b.TrialsPerSec = float64(trials) / (b.NsPerOp / 1e9)
+		e.Benchmarks[name] = b
+		n++
+	}
+	return n
+}
+
+// ReadTrajectory loads a JSONL trajectory file; a missing file is an empty
+// trajectory, so the first append bootstraps it.
+func ReadTrajectory(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("benchtrack: %w", err)
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("benchtrack: %s line %d: %w", path, len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchtrack: %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// AppendEntry appends one entry to the JSONL trajectory file, creating it
+// if needed. Entries are single lines so the file diffs one run per line.
+func AppendEntry(path string, e Entry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("benchtrack: encode: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("benchtrack: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("benchtrack: append %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Gate compares a fresh entry against the recorded trajectory and returns
+// one message per gated regression. For every benchmark matching the
+// pattern that carries a trials/sec rate, the baseline is the median rate
+// over the last window entries that measured it; the gate trips when the
+// fresh rate falls more than tolerance below that baseline. The median
+// over a window absorbs single-shot noise the way one-point deltas cannot;
+// benchmarks with no history pass (they are the bootstrap).
+func Gate(traj []Entry, e Entry, pattern *regexp.Regexp, window int, tolerance float64) []string {
+	if window < 1 {
+		window = 5
+	}
+	var problems []string
+	names := make([]string, 0, len(e.Benchmarks))
+	for name := range e.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := e.Benchmarks[name]
+		if !pattern.MatchString(name) || b.TrialsPerSec <= 0 {
+			continue
+		}
+		var history []float64
+		for _, past := range traj {
+			if pb, ok := past.Benchmarks[name]; ok && pb.TrialsPerSec > 0 {
+				history = append(history, pb.TrialsPerSec)
+			}
+		}
+		if len(history) > window {
+			history = history[len(history)-window:]
+		}
+		if len(history) == 0 {
+			continue
+		}
+		baseline := median(history)
+		floor := baseline * (1 - tolerance)
+		if b.TrialsPerSec < floor {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %.0f trials/sec is %.1f%% below the trajectory median %.0f (floor %.0f over last %d entries)",
+				name, b.TrialsPerSec, 100*(1-b.TrialsPerSec/baseline), baseline, floor, len(history)))
+		}
+	}
+	return problems
+}
+
+// AssertMaxAllocs returns one message per benchmark matching the pattern
+// whose allocs/op exceeds max — or was not measured at all, since a gate
+// that silently skips unmeasured runs is no gate.
+func AssertMaxAllocs(e Entry, pattern *regexp.Regexp, max int64) []string {
+	var problems []string
+	names := make([]string, 0, len(e.Benchmarks))
+	for name := range e.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	matched := false
+	for _, name := range names {
+		if !pattern.MatchString(name) {
+			continue
+		}
+		matched = true
+		b := e.Benchmarks[name]
+		if b.AllocsPerOp < 0 {
+			problems = append(problems, fmt.Sprintf("%s: allocations not measured (run with -benchmem)", name))
+		} else if b.AllocsPerOp > max {
+			problems = append(problems, fmt.Sprintf("%s: %d allocs/op exceeds the budget of %d", name, b.AllocsPerOp, max))
+		}
+	}
+	if !matched {
+		problems = append(problems, fmt.Sprintf("no benchmark matches %q — the allocation budget was not exercised", pattern))
+	}
+	return problems
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

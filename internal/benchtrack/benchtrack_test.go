@@ -1,0 +1,174 @@
+package benchtrack
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: opaquebench
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCampaign10kSerial       	       1	3820268156 ns/op	 5016000 B/op	   90123 allocs/op
+BenchmarkCampaign10kParallel8-8  	       1	4028382394 ns/op	 6300000 B/op	   90456 allocs/op
+BenchmarkCSVSinkEncodeRecord     	 2000000	       528.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem                   	     100	     12345 ns/op
+PASS
+ok  	opaquebench	9.1s
+`
+
+func parseSample(t *testing.T) Entry {
+	t.Helper()
+	e, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return e
+}
+
+func TestParse(t *testing.T) {
+	e := parseSample(t)
+	if e.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("CPU = %q", e.CPU)
+	}
+	if len(e.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4: %v", len(e.Benchmarks), e.Benchmarks)
+	}
+	// The GOMAXPROCS suffix is stripped so trajectory keys are stable.
+	par, ok := e.Benchmarks["BenchmarkCampaign10kParallel8"]
+	if !ok {
+		t.Fatal("parallel benchmark missing or suffix not stripped")
+	}
+	if par.NsPerOp != 4028382394 || par.AllocsPerOp != 90456 {
+		t.Errorf("parallel = %+v", par)
+	}
+	if enc := e.Benchmarks["BenchmarkCSVSinkEncodeRecord"]; enc.AllocsPerOp != 0 || enc.BytesPerOp != 0 {
+		t.Errorf("encode = %+v, want measured zeros", enc)
+	}
+	// A run without -benchmem is unmeasured (-1), distinct from 0.
+	if nm := e.Benchmarks["BenchmarkNoMem"]; nm.AllocsPerOp != -1 || nm.BytesPerOp != -1 {
+		t.Errorf("no-mem = %+v, want -1 sentinels", nm)
+	}
+}
+
+func TestParseRejectsEmptyAndDuplicates(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("want error for input without benchmarks")
+	}
+	dup := "BenchmarkA-2 \t 1 \t 10 ns/op\nBenchmarkA-4 \t 1 \t 20 ns/op\n"
+	if _, err := Parse(strings.NewReader(dup)); err == nil {
+		t.Error("want error for duplicate benchmark name after suffix stripping")
+	}
+}
+
+func TestAttachTrialRate(t *testing.T) {
+	e := parseSample(t)
+	n := AttachTrialRate(e, regexp.MustCompile(`Campaign10k`), 10000)
+	if n != 2 {
+		t.Fatalf("matched %d benchmarks, want 2", n)
+	}
+	got := e.Benchmarks["BenchmarkCampaign10kSerial"].TrialsPerSec
+	want := 10000 / (3820268156.0 / 1e9)
+	if got != want {
+		t.Errorf("serial trials/sec = %v, want %v", got, want)
+	}
+	if e.Benchmarks["BenchmarkCSVSinkEncodeRecord"].TrialsPerSec != 0 {
+		t.Error("non-matching benchmark gained a trial rate")
+	}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	// Missing file is an empty trajectory, not an error.
+	traj, err := ReadTrajectory(path)
+	if err != nil || traj != nil {
+		t.Fatalf("missing file: traj=%v err=%v", traj, err)
+	}
+	e := parseSample(t)
+	e.Label, e.When = "pr6", "2026-08-07"
+	AttachTrialRate(e, regexp.MustCompile(`Campaign10k`), 10000)
+	if err := AppendEntry(path, e); err != nil {
+		t.Fatalf("AppendEntry: %v", err)
+	}
+	if err := AppendEntry(path, e); err != nil {
+		t.Fatalf("AppendEntry 2: %v", err)
+	}
+	traj, err = ReadTrajectory(path)
+	if err != nil {
+		t.Fatalf("ReadTrajectory: %v", err)
+	}
+	if len(traj) != 2 {
+		t.Fatalf("got %d entries, want 2", len(traj))
+	}
+	if traj[0].Label != "pr6" || traj[0].CPU != e.CPU {
+		t.Errorf("entry 0 = %+v", traj[0])
+	}
+	got := traj[1].Benchmarks["BenchmarkCampaign10kSerial"]
+	if got.TrialsPerSec != e.Benchmarks["BenchmarkCampaign10kSerial"].TrialsPerSec {
+		t.Errorf("trials/sec lost in round trip: %+v", got)
+	}
+}
+
+// gateFixture builds a trajectory of identical entries at rate trials/sec.
+func gateFixture(rate float64, n int) []Entry {
+	traj := make([]Entry, n)
+	for i := range traj {
+		traj[i] = Entry{Benchmarks: map[string]Bench{
+			"BenchmarkCampaign10kSerial": {NsPerOp: 1, TrialsPerSec: rate},
+		}}
+	}
+	return traj
+}
+
+func freshEntry(rate float64) Entry {
+	return Entry{Benchmarks: map[string]Bench{
+		"BenchmarkCampaign10kSerial": {NsPerOp: 1, TrialsPerSec: rate},
+	}}
+}
+
+func TestGate(t *testing.T) {
+	re := regexp.MustCompile(`Campaign10k`)
+	traj := gateFixture(1000, 8)
+
+	// Within tolerance: 30% floor, a 20% drop passes.
+	if p := Gate(traj, freshEntry(800), re, 5, 0.30); len(p) != 0 {
+		t.Errorf("20%% drop tripped the 30%% gate: %v", p)
+	}
+	// Below the floor: a 40% drop fails.
+	if p := Gate(traj, freshEntry(600), re, 5, 0.30); len(p) != 1 {
+		t.Errorf("40%% drop did not trip: %v", p)
+	}
+	// No history passes — that is the bootstrap.
+	if p := Gate(nil, freshEntry(1), re, 5, 0.30); len(p) != 0 {
+		t.Errorf("bootstrap entry tripped the gate: %v", p)
+	}
+	// The baseline medians over the window, so one outlier entry in the
+	// history does not move the floor.
+	outlier := append(gateFixture(1000, 4), freshEntry(50))
+	outlier = append(outlier, gateFixture(1000, 2)...)
+	if p := Gate(outlier, freshEntry(800), re, 5, 0.30); len(p) != 0 {
+		t.Errorf("median baseline moved by a single outlier: %v", p)
+	}
+}
+
+func TestAssertMaxAllocs(t *testing.T) {
+	e := parseSample(t)
+	re := regexp.MustCompile(`EncodeRecord`)
+	if p := AssertMaxAllocs(e, re, 0); len(p) != 0 {
+		t.Errorf("0 allocs/op failed the 0 budget: %v", p)
+	}
+	// Exceeding the budget fails.
+	if p := AssertMaxAllocs(e, regexp.MustCompile(`Campaign10kSerial`), 0); len(p) != 1 {
+		t.Errorf("90123 allocs/op passed the 0 budget: %v", p)
+	}
+	// Unmeasured (-1) fails: a gate that skips unmeasured runs is no gate.
+	if p := AssertMaxAllocs(e, regexp.MustCompile(`NoMem`), 0); len(p) != 1 || !strings.Contains(p[0], "not measured") {
+		t.Errorf("unmeasured benchmark passed: %v", p)
+	}
+	// No matching benchmark at all fails too.
+	if p := AssertMaxAllocs(e, regexp.MustCompile(`Nonexistent`), 0); len(p) != 1 {
+		t.Errorf("empty match set passed: %v", p)
+	}
+}

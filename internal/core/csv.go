@@ -6,6 +6,9 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"opaquebench/internal/doe"
 )
@@ -18,13 +21,23 @@ import (
 // and extra keys (sorted by the caller): the fixed columns, then factors,
 // then extras prefixed "x_". Shared by WriteCSV and the streaming CSV sink
 // so the schema lives in exactly one place.
-func CSVHeader(factors, extras []string) []string {
+//
+// Factor names starting with the reserved "x_" prefix are rejected: such a
+// column would be read back as an extra, so the written record and the
+// re-read record would disagree — the raw data would silently change shape
+// on its way through the file.
+func CSVHeader(factors, extras []string) ([]string, error) {
 	header := []string{"seq", "rep", "value", "seconds", "at"}
-	header = append(header, factors...)
+	for _, f := range factors {
+		if strings.HasPrefix(f, "x_") {
+			return nil, fmt.Errorf("core: factor name %q collides with the reserved x_ extra-column prefix", f)
+		}
+		header = append(header, f)
+	}
 	for _, e := range extras {
 		header = append(header, "x_"+e)
 	}
-	return header
+	return header, nil
 }
 
 // CSVRow serializes one record under the given factor/extra columns.
@@ -45,6 +58,83 @@ func CSVRow(rec RawRecord, factors, extras []string) []string {
 	return row
 }
 
+// AppendCSVRow appends one record, encoded exactly as encoding/csv would
+// write CSVRow (comma separator, "\n" line ending, standard quoting), to
+// dst and returns the extended slice. It allocates nothing beyond dst's
+// growth, which amortizes to zero when the caller reuses the buffer — this
+// is the campaign hot path's row encoder.
+func AppendCSVRow(dst []byte, rec RawRecord, factors, extras []string) []byte {
+	dst = strconv.AppendInt(dst, int64(rec.Seq), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(rec.Rep), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, rec.Value, 'g', -1, 64)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, rec.Seconds, 'g', -1, 64)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, rec.At, 'g', -1, 64)
+	for _, f := range factors {
+		dst = append(dst, ',')
+		dst = AppendCSVField(dst, rec.Point.Get(f))
+	}
+	for _, e := range extras {
+		dst = append(dst, ',')
+		dst = AppendCSVField(dst, rec.Extra[e])
+	}
+	return append(dst, '\n')
+}
+
+// AppendCSVStrings appends one row of pre-rendered fields (e.g. a header
+// from CSVHeader) encoded exactly as encoding/csv would write it.
+func AppendCSVStrings(dst []byte, row []string) []byte {
+	for i, f := range row {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = AppendCSVField(dst, f)
+	}
+	return append(dst, '\n')
+}
+
+// AppendCSVField appends one field with encoding/csv's quoting rules
+// (Comma ',', UseCRLF false): a field is quoted when it contains a comma,
+// a quote, or a line break, begins with white space, or is the PostgreSQL
+// end-of-data marker `\.`; inside quotes, quotes double and everything
+// else passes through.
+func AppendCSVField(dst []byte, field string) []byte {
+	if !csvFieldNeedsQuotes(field) {
+		return append(dst, field...)
+	}
+	dst = append(dst, '"')
+	for i := 0; i < len(field); i++ {
+		if field[i] == '"' {
+			dst = append(dst, '"', '"')
+		} else {
+			dst = append(dst, field[i])
+		}
+	}
+	return append(dst, '"')
+}
+
+// csvFieldNeedsQuotes mirrors encoding/csv.Writer.fieldNeedsQuotes for the
+// default comma separator with UseCRLF false.
+func csvFieldNeedsQuotes(field string) bool {
+	if field == "" {
+		return false
+	}
+	if field == `\.` {
+		return true
+	}
+	for i := 0; i < len(field); i++ {
+		switch field[i] {
+		case ',', '"', '\r', '\n':
+			return true
+		}
+	}
+	r, _ := utf8.DecodeRuneInString(field)
+	return unicode.IsSpace(r)
+}
+
 // WriteCSV serializes the raw records.
 func (r *Results) WriteCSV(w io.Writer) error {
 	factorSet := map[string]bool{}
@@ -60,8 +150,12 @@ func (r *Results) WriteCSV(w io.Writer) error {
 	factors := sortedKeys(factorSet)
 	extras := sortedKeys(extraSet)
 
+	header, err := CSVHeader(factors, extras)
+	if err != nil {
+		return err
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(CSVHeader(factors, extras)); err != nil {
+	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("core: write header: %w", err)
 	}
 	for _, rec := range r.Records {
@@ -73,7 +167,12 @@ func (r *Results) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses results written by WriteCSV.
+// ReadCSV parses results written by WriteCSV. Empty factor and extra cells
+// mean the record never carried that key — WriteCSV serializes an absent
+// key as an empty cell, so materializing it on the way back in would make
+// the re-read record differ from the one measured. A column whose name
+// starts with "x_" is always an extra; everything after the five fixed
+// columns that doesn't is a factor.
 func ReadCSV(r io.Reader) (*Results, error) {
 	cr := csv.NewReader(r)
 	rows, err := cr.ReadAll()
@@ -84,8 +183,9 @@ func ReadCSV(r io.Reader) (*Results, error) {
 		return nil, fmt.Errorf("core: empty csv")
 	}
 	header := rows[0]
-	if len(header) < 5 || header[0] != "seq" || header[1] != "rep" || header[2] != "value" {
-		return nil, fmt.Errorf("core: bad header %v", header)
+	if len(header) < 5 || header[0] != "seq" || header[1] != "rep" || header[2] != "value" ||
+		header[3] != "seconds" || header[4] != "at" {
+		return nil, fmt.Errorf("core: bad header %v (want seq,rep,value,seconds,at,...)", header)
 	}
 	res := &Results{}
 	for ri, row := range rows[1:] {
@@ -109,12 +209,17 @@ func ReadCSV(r io.Reader) (*Results, error) {
 		if rec.At, err = strconv.ParseFloat(row[4], 64); err != nil {
 			return nil, fmt.Errorf("core: row %d at: %w", ri+1, err)
 		}
-		rec.Point = make(doe.Point)
 		for ci := 5; ci < len(header); ci++ {
+			if row[ci] == "" {
+				continue // absent key, not a present key with an empty value
+			}
 			name := header[ci]
-			if len(name) > 2 && name[:2] == "x_" {
+			if strings.HasPrefix(name, "x_") {
 				rec.Annotate(name[2:], row[ci])
 			} else {
+				if rec.Point == nil {
+					rec.Point = make(doe.Point)
+				}
 				rec.Point[name] = doe.Level(row[ci])
 			}
 		}

@@ -15,6 +15,12 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("seq,rep,value,seconds,at\nNaN,x,y,z,w\n")
 	f.Add("a,b\n1,2\n")
 	f.Add("seq,rep,value,seconds,at\n0,0,1e309,0,0\n")
+	// x_-prefixed columns are always extras, even ambiguous ones like
+	// a bare "x_"; factor columns may never carry the prefix.
+	f.Add("seq,rep,value,seconds,at,x_,x_flag\n0,0,1,1,1,a,b\n")
+	// Empty cells mean the key is absent from that record, not present
+	// with an empty value — the round trip must preserve the distinction.
+	f.Add("seq,rep,value,seconds,at,size,x_note\n0,0,1,1,1,,\n1,0,2,1,2,64,\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		res, err := ReadCSV(strings.NewReader(input))

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"opaquebench/internal/doe"
+)
+
+// TestCSVRoundTripProperty pins the serialization fidelity contract:
+// WriteCSV → ReadCSV → WriteCSV must be byte-identical on the second write,
+// and the re-read records must be deeply equal to the originals — including
+// the absent-vs-empty distinction (a key missing from a record stays
+// missing; it must not come back as a present key with an empty value).
+func TestCSVRoundTripProperty(t *testing.T) {
+	res := &Results{Records: []RawRecord{
+		// Full record: every factor and extra present.
+		{
+			Seq: 0, Rep: 0, Value: 1234.5, Seconds: 0.001, At: 0,
+			Point: doe.Point{"size_bytes": "4096", "stride": "1"},
+			Extra: map[string]string{"bound_by": "L1", "x_note": "quoted,comma"},
+		},
+		// Sparse record: factor "stride" and extra "x_note" absent. They
+		// serialize as empty cells and must stay absent after a round trip.
+		{
+			Seq: 1, Rep: 1, Value: -0.25, Seconds: 12345.678, At: 1.5e-7,
+			Point: doe.Point{"size_bytes": "65536"},
+			Extra: map[string]string{"bound_by": "dram"},
+		},
+		// No extras at all, value needing full float64 precision.
+		{
+			Seq: 2, Rep: 0, Value: math.Pi, Seconds: 1.0 / 3.0, At: 99,
+			Point: doe.Point{"size_bytes": "4096", "stride": "8"},
+		},
+		// Extra whose value contains a newline and a quote — the CSV
+		// quoting worst case.
+		{
+			Seq: 3, Rep: 2, Value: 0, Seconds: 0, At: 0,
+			Point: doe.Point{"size_bytes": "4096", "stride": "1"},
+			Extra: map[string]string{"bound_by": "L2", "x_note": "line1\nline2 \"q\""},
+		},
+	}}
+
+	var first bytes.Buffer
+	if err := res.WriteCSV(&first); err != nil {
+		t.Fatalf("first WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	var second bytes.Buffer
+	if err := got.WriteCSV(&second); err != nil {
+		t.Fatalf("second WriteCSV: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("round trip is not byte-identical:\nfirst:\n%s\nsecond:\n%s",
+			first.String(), second.String())
+	}
+
+	if got.Len() != res.Len() {
+		t.Fatalf("round trip changed length: %d -> %d", res.Len(), got.Len())
+	}
+	for i, want := range res.Records {
+		rec := got.Records[i]
+		if !reflect.DeepEqual(rec.Point, want.Point) {
+			t.Errorf("record %d: Point = %v, want %v", i, rec.Point, want.Point)
+		}
+		// Extra maps: nil and empty are interchangeable in the contract,
+		// but a key absent before the trip must be absent after it.
+		if len(rec.Extra) != len(want.Extra) || (len(want.Extra) > 0 && !reflect.DeepEqual(rec.Extra, want.Extra)) {
+			t.Errorf("record %d: Extra = %v, want %v", i, rec.Extra, want.Extra)
+		}
+		if rec.Seq != want.Seq || rec.Rep != want.Rep ||
+			rec.Value != want.Value || rec.Seconds != want.Seconds || rec.At != want.At {
+			t.Errorf("record %d: fixed columns %+v, want %+v", i, rec, want)
+		}
+	}
+
+	// The sparse record's absent keys specifically: present-with-empty
+	// would satisfy DeepEqual only by accident, so check membership.
+	if _, ok := got.Records[1].Point["stride"]; ok {
+		t.Errorf("record 1: absent factor \"stride\" came back present: %q", got.Records[1].Point["stride"])
+	}
+	if _, ok := got.Records[1].Extra["x_note"]; ok {
+		t.Errorf("record 1: absent extra \"x_note\" came back present: %q", got.Records[1].Extra["x_note"])
+	}
+}

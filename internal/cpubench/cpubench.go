@@ -18,7 +18,6 @@ package cpubench
 import (
 	"fmt"
 	"math/rand/v2"
-	"strconv"
 
 	"opaquebench/internal/core"
 	"opaquebench/internal/cpusim"
@@ -138,6 +137,15 @@ type Engine struct {
 	noise *rand.Rand
 	// steadyHz is the governor's constant frequency in indexed mode.
 	steadyHz float64
+
+	// Indexed-mode trial scratch, reused across trials so the per-trial
+	// hot path allocates nothing: an engine-held reseedable noise
+	// generator, the pre-rendered constant frequency annotation, and
+	// annotation maps shared between trials whose annotations coincide.
+	idxPCG     *rand.PCG
+	idxNoise   *rand.Rand
+	freqStr    string
+	extraCache map[float64]map[string]string
 }
 
 // NewEngine builds an engine; the substrate state (the clock's governor
@@ -155,13 +163,38 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	steadyHz, _ := cpusim.SteadyHz(cfg.Governor, cfg.Table)
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		clock:    clock,
 		sched:    ossim.New(cfg.Sched),
 		noise:    xrand.NewDerived(cfg.Seed, "cpubench/noise"),
 		steadyHz: steadyHz,
-	}, nil
+	}
+	if cfg.Indexed {
+		e.idxPCG = rand.NewPCG(0, 0)
+		e.idxNoise = rand.New(e.idxPCG)
+		e.freqStr = fmt.Sprintf("%.0f", steadyHz)
+		e.extraCache = map[float64]map[string]string{}
+	}
+	return e, nil
+}
+
+// sharedExtra returns the annotation map for one indexed trial, cached per
+// distinct slowdown (start and end frequency are the steady constant), so
+// most trials share one immutable map. Safe because consumers treat a
+// record's Extra as read-only — the runner's round sink copies before
+// adding its own keys.
+func (e *Engine) sharedExtra(slowdown float64) map[string]string {
+	if m, ok := e.extraCache[slowdown]; ok {
+		return m
+	}
+	m := map[string]string{
+		"freq_start_hz": e.freqStr,
+		"freq_end_hz":   e.freqStr,
+		"slowdown":      fmt.Sprintf("%.3g", slowdown),
+	}
+	e.extraCache[slowdown] = m
+	return m
 }
 
 // Factory returns a core.EngineFactory producing independent indexed-mode
@@ -260,7 +293,10 @@ func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
 	seconds := (busy + idle) * slowdown
 	noise := e.noise
 	if e.cfg.Indexed {
-		noise = xrand.NewDerived(e.cfg.Seed, "cpubench/noise@"+strconv.Itoa(t.Seq))
+		// Reseed the engine-held generator to the exact state a fresh
+		// NewDerived(seed, "cpubench/noise@"+seq) would start in.
+		xrand.Reseed(e.idxPCG, xrand.DeriveIndexed(e.cfg.Seed, "cpubench/noise@", t.Seq))
+		noise = e.idxNoise
 	}
 	seconds = xrand.Jitter(noise, seconds, e.cfg.NoiseSigma)
 
@@ -277,9 +313,13 @@ func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
 		Seconds: seconds,
 		At:      at,
 	}
-	rec.Annotate("freq_start_hz", fmt.Sprintf("%.0f", freqStart))
-	rec.Annotate("freq_end_hz", fmt.Sprintf("%.0f", freqEnd))
-	rec.Annotate("slowdown", fmt.Sprintf("%.3g", slowdown))
+	if e.cfg.Indexed {
+		rec.Extra = e.sharedExtra(slowdown)
+	} else {
+		rec.Annotate("freq_start_hz", fmt.Sprintf("%.0f", freqStart))
+		rec.Annotate("freq_end_hz", fmt.Sprintf("%.0f", freqEnd))
+		rec.Annotate("slowdown", fmt.Sprintf("%.3g", slowdown))
+	}
 	return rec, nil
 }
 

@@ -14,7 +14,6 @@ package membench
 import (
 	"fmt"
 	"math/rand/v2"
-	"strconv"
 	"strings"
 
 	"opaquebench/internal/core"
@@ -140,6 +139,26 @@ type Engine struct {
 	phase     *rand.Rand
 	// steadyHz is the governor's constant frequency in indexed mode.
 	steadyHz float64
+
+	// Indexed-mode trial scratch, reused across trials so the per-trial
+	// hot path allocates nothing: the fresh-address-space allocator is
+	// Reset() instead of reconstructed, the buffer structs and the noise
+	// generator are engine-held, the constant frequency annotation is
+	// pre-rendered, and annotation maps are shared between the (many)
+	// trials whose annotations coincide.
+	idxAlloc   *memsim.ContiguousAllocator
+	idxBufs    [3]memsim.Buffer
+	idxPtrs    [3]*memsim.Buffer
+	idxPCG     *rand.PCG
+	idxNoise   *rand.Rand
+	freqStr    string
+	extraCache map[extraKey]map[string]string
+}
+
+// extraKey identifies one distinct annotation set of an indexed trial.
+type extraKey struct {
+	bound    string
+	slowdown float64
 }
 
 // NewEngine builds an engine; the substrate state (caches, clock, page
@@ -177,7 +196,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	steadyHz, _ := cpusim.SteadyHz(cfg.Governor, cfg.Machine.FreqTable)
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		hierarchy: h,
 		clock:     clock,
@@ -186,7 +205,37 @@ func NewEngine(cfg Config) (*Engine, error) {
 		noise:     xrand.NewDerived(cfg.Seed, "membench/noise"),
 		phase:     phase,
 		steadyHz:  steadyHz,
-	}, nil
+	}
+	if cfg.Indexed {
+		e.idxAlloc = memsim.NewContiguousAllocator(cfg.Machine.PageBytes)
+		for i := range e.idxPtrs {
+			e.idxPtrs[i] = &e.idxBufs[i]
+		}
+		e.idxPCG = rand.NewPCG(0, 0)
+		e.idxNoise = rand.New(e.idxPCG)
+		e.freqStr = fmt.Sprintf("%.0f", steadyHz)
+		e.extraCache = map[extraKey]map[string]string{}
+	}
+	return e, nil
+}
+
+// sharedExtra returns the annotation map for one indexed trial, cached per
+// distinct (bound_by, slowdown) pair: most trials of a campaign share one
+// immutable map instead of each allocating a three-entry copy. Sharing is
+// safe because consumers treat a record's Extra as read-only — the runner's
+// round sink copies before adding its own keys.
+func (e *Engine) sharedExtra(bound string, slowdown float64) map[string]string {
+	k := extraKey{bound, slowdown}
+	if m, ok := e.extraCache[k]; ok {
+		return m
+	}
+	m := map[string]string{
+		"bound_by":      bound,
+		"freq_start_hz": e.freqStr,
+		"slowdown":      fmt.Sprintf("%.3g", slowdown),
+	}
+	e.extraCache[k] = m
+	return m
 }
 
 // Factory returns a core.EngineFactory producing independent indexed-mode
@@ -258,34 +307,49 @@ func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
 	if err != nil {
 		return core.RawRecord{}, err
 	}
-	alloc := e.alloc
+	var bufs []*memsim.Buffer
 	if e.cfg.Indexed {
 		// Per-trial substrate: a fresh address space and a cold hierarchy,
 		// so the measurement replays identically wherever the trial lands
-		// in the (possibly sharded) execution.
-		alloc = memsim.NewContiguousAllocator(e.cfg.Machine.PageBytes)
+		// in the (possibly sharded) execution. The allocator rewind and
+		// engine-held buffer structs reproduce exactly the addresses a
+		// fresh allocator would hand out, without allocating.
+		e.idxAlloc.Reset()
 		e.hierarchy.Flush()
-	}
-	bufs := make([]*memsim.Buffer, kind.Buffers())
-	for i := range bufs {
-		if bufs[i], err = alloc.Alloc(kp.SizeBytes); err != nil {
-			return core.RawRecord{}, err
-		}
-		if e.cfg.Allocation == AllocContiguous && i+1 < len(bufs) {
-			// Stagger multi-array kernels by one page, as real STREAM
-			// implementations pad, to avoid power-of-two set collisions.
-			pad, err := alloc.Alloc(e.cfg.Machine.PageBytes * (i + 1))
-			if err != nil {
+		bufs = e.idxPtrs[:kind.Buffers()]
+		for i := range bufs {
+			if err := e.idxAlloc.AllocInto(bufs[i], kp.SizeBytes); err != nil {
 				return core.RawRecord{}, err
 			}
-			defer alloc.Free(pad)
+			if i+1 < len(bufs) {
+				// Stagger multi-array kernels by one page, as real STREAM
+				// implementations pad, to avoid power-of-two set collisions.
+				e.idxAlloc.SkipPages(i + 1)
+			}
 		}
+	} else {
+		alloc := e.alloc
+		bufs = make([]*memsim.Buffer, kind.Buffers())
+		for i := range bufs {
+			if bufs[i], err = alloc.Alloc(kp.SizeBytes); err != nil {
+				return core.RawRecord{}, err
+			}
+			if e.cfg.Allocation == AllocContiguous && i+1 < len(bufs) {
+				// Stagger multi-array kernels by one page, as real STREAM
+				// implementations pad, to avoid power-of-two set collisions.
+				pad, err := alloc.Alloc(e.cfg.Machine.PageBytes * (i + 1))
+				if err != nil {
+					return core.RawRecord{}, err
+				}
+				defer alloc.Free(pad)
+			}
+		}
+		defer func() {
+			for _, b := range bufs {
+				alloc.Free(b)
+			}
+		}()
 	}
-	defer func() {
-		for _, b := range bufs {
-			alloc.Free(b)
-		}
-	}()
 
 	res, err := memsim.RunStream(e.cfg.Machine, e.hierarchy, bufs, kp, kind)
 	if err != nil {
@@ -307,7 +371,10 @@ func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
 	seconds *= slowdown
 	noise := e.noise
 	if e.cfg.Indexed {
-		noise = xrand.NewDerived(e.cfg.Seed, "membench/noise@"+strconv.Itoa(t.Seq))
+		// Reseed the engine-held generator to the exact state a fresh
+		// NewDerived(seed, "membench/noise@"+seq) would start in.
+		xrand.Reseed(e.idxPCG, xrand.DeriveIndexed(e.cfg.Seed, "membench/noise@", t.Seq))
+		noise = e.idxNoise
 	}
 	seconds = e.cfg.Machine.ApplyNoise(noise, seconds)
 
@@ -322,9 +389,13 @@ func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
 		Seconds: seconds,
 		At:      at,
 	}
-	rec.Annotate("bound_by", res.BoundBy)
-	rec.Annotate("freq_start_hz", fmt.Sprintf("%.0f", freqStart))
-	rec.Annotate("slowdown", fmt.Sprintf("%.3g", slowdown))
+	if e.cfg.Indexed {
+		rec.Extra = e.sharedExtra(res.BoundBy, slowdown)
+	} else {
+		rec.Annotate("bound_by", res.BoundBy)
+		rec.Annotate("freq_start_hz", fmt.Sprintf("%.0f", freqStart))
+		rec.Annotate("slowdown", fmt.Sprintf("%.3g", slowdown))
+	}
 	return rec, nil
 }
 

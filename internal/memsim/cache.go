@@ -13,7 +13,10 @@
 // from genuine set-index collisions.
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Replacement selects the victim-choice policy of a cache level.
 type Replacement int
@@ -82,6 +85,33 @@ type Cache struct {
 	// deterministic so experiments stay reproducible.
 	rng uint64
 
+	// pow2 marks a geometry whose line size and set count are both powers
+	// of two (every Figure 5 machine), letting the address split run as
+	// shifts and masks instead of three integer divisions — the single
+	// hottest operation of a simulated campaign.
+	pow2      bool
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+
+	// epoch/setEpoch implement O(1) Flush: Flush bumps epoch, and a set
+	// whose setEpoch lags is cleared lazily on first touch. Indexed-mode
+	// campaigns flush the whole hierarchy before every trial, so an eager
+	// sweep over all lines (131072 for an 8 MB L3) would dominate small
+	// kernels.
+	epoch    uint64
+	setEpoch []uint64
+
+	// mruLine/mruIdx remember the last line hit or installed, giving
+	// strided-sequential kernels — which touch one line several times
+	// before moving on — a same-line fast path that skips the set scan.
+	// The entry is consistent by construction: evicting the MRU line
+	// installs its replacement into the same slot, which updates the MRU
+	// to that replacement, and a Flush bumps epoch past mruEpoch.
+	mruLine  uint64
+	mruIdx   int
+	mruEpoch uint64
+
 	hits, misses, writebacks uint64
 }
 
@@ -92,15 +122,50 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	}
 	sets := cfg.Sets()
 	n := sets * cfg.Ways
-	return &Cache{
-		cfg:   cfg,
-		sets:  sets,
-		tags:  make([]uint64, n),
-		valid: make([]bool, n),
-		dirty: make([]bool, n),
-		age:   make([]uint64, n),
-		rng:   replRNGSeed,
-	}, nil
+	c := &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		dirty:    make([]bool, n),
+		age:      make([]uint64, n),
+		rng:      replRNGSeed,
+		setEpoch: make([]uint64, sets),
+		mruEpoch: ^uint64(0), // no MRU entry yet
+	}
+	if lb, s := uint64(cfg.LineBytes), uint64(sets); lb&(lb-1) == 0 && s&(s-1) == 0 {
+		c.pow2 = true
+		c.lineShift = uint(bits.TrailingZeros64(lb))
+		c.setShift = uint(bits.TrailingZeros64(s))
+		c.setMask = s - 1
+	}
+	return c, nil
+}
+
+// locate splits a physical address into its line, set and tag. The pow2
+// path is bit-for-bit identical to the division path: line/2^k == line>>k
+// and line%2^k == line&(2^k-1) for non-negative integers.
+func (c *Cache) locate(phys uint64) (set int, tag uint64) {
+	if c.pow2 {
+		line := phys >> c.lineShift
+		return int(line & c.setMask), line >> c.setShift
+	}
+	line := phys / uint64(c.cfg.LineBytes)
+	return int(line % uint64(c.sets)), line / uint64(c.sets)
+}
+
+// materialize lazily applies a pending Flush to one set: if the set was
+// last touched in an earlier epoch, its ways are invalidated now.
+func (c *Cache) materialize(set int) {
+	if c.setEpoch[set] == c.epoch {
+		return
+	}
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		c.valid[base+w] = false
+		c.dirty[base+w] = false
+	}
+	c.setEpoch[set] = c.epoch
 }
 
 // Config returns the cache geometry.
@@ -118,9 +183,11 @@ func (c *Cache) Access(phys uint64) bool {
 // reports it together with the victim's line address so the caller can
 // propagate the writeback to the next level.
 func (c *Cache) AccessRW(phys uint64, write bool) (hit bool, evictedDirty bool, evictedLine uint64) {
-	line := phys / uint64(c.cfg.LineBytes)
-	set := int(line % uint64(c.sets))
-	tag := line / uint64(c.sets)
+	if c.mruHit(phys, write) {
+		return true, false, 0
+	}
+	set, tag := c.locate(phys)
+	c.materialize(set)
 	base := set * c.cfg.Ways
 	c.tick++
 	victim := base
@@ -134,6 +201,7 @@ func (c *Cache) AccessRW(phys uint64, write bool) (hit bool, evictedDirty bool, 
 				c.dirty[i] = true
 			}
 			c.hits++
+			c.noteMRU(phys, i)
 			return true, false, 0
 		}
 		if !c.valid[i] && !hasInvalid {
@@ -160,15 +228,42 @@ func (c *Cache) AccessRW(phys uint64, write bool) (hit bool, evictedDirty bool, 
 	c.dirty[victim] = write
 	c.age[victim] = c.tick
 	c.misses++
+	c.noteMRU(phys, victim)
 	return false, evictedDirty, evictedLine
+}
+
+// mruHit services an access to the most recently touched line without the
+// set scan. The bookkeeping is the exact hit path of the scan: LRU age
+// refresh, dirty marking, hit count.
+func (c *Cache) mruHit(phys uint64, write bool) bool {
+	if c.mruEpoch != c.epoch || phys>>c.lineShift != c.mruLine || !c.pow2 {
+		return false
+	}
+	c.tick++
+	c.age[c.mruIdx] = c.tick
+	if write {
+		c.dirty[c.mruIdx] = true
+	}
+	c.hits++
+	return true
+}
+
+// noteMRU records the line just hit or installed as the MRU entry.
+func (c *Cache) noteMRU(phys uint64, idx int) {
+	if c.pow2 {
+		c.mruLine = phys >> c.lineShift
+		c.mruIdx = idx
+		c.mruEpoch = c.epoch
+	}
 }
 
 // Contains reports whether the line holding phys is currently cached,
 // without touching LRU state or counters.
 func (c *Cache) Contains(phys uint64) bool {
-	line := phys / uint64(c.cfg.LineBytes)
-	set := int(line % uint64(c.sets))
-	tag := line / uint64(c.sets)
+	set, tag := c.locate(phys)
+	if c.setEpoch[set] != c.epoch {
+		return false // set invalidated by a Flush not yet materialized
+	}
 	base := set * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
 		i := base + w
@@ -194,12 +289,11 @@ func (c *Cache) ResetStats() { c.hits, c.misses, c.writebacks = 0, 0, 0 }
 
 // Flush invalidates all lines and clears counters, returning the cache to
 // its freshly-constructed state (including the victim-choice rng, so a
-// flushed cache replays exactly like a new one).
+// flushed cache replays exactly like a new one). It runs in O(1): the
+// invalidation is recorded as an epoch bump and applied to each set lazily
+// on its next access.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.dirty[i] = false
-	}
+	c.epoch++
 	c.tick = 0
 	c.rng = replRNGSeed
 	c.ResetStats()
@@ -252,6 +346,11 @@ func (h *Hierarchy) Access(phys uint64) int {
 // and each writeback is charged to the interface it crosses.
 func (h *Hierarchy) AccessRW(phys uint64, write bool) int {
 	h.accesses++
+	// Same-line L1 hits — the bulk of a strided-sequential kernel — skip
+	// the level walk entirely.
+	if h.levels[0].mruHit(phys, write) {
+		return 0
+	}
 	depth := len(h.levels)
 	for i, c := range h.levels {
 		hit, evDirty, evLine := c.AccessRW(phys, write && i == 0)

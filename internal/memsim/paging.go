@@ -19,11 +19,20 @@ import (
 type Buffer struct {
 	size      int
 	pageBytes int
-	// pages[i] is the physical page number backing virtual page i.
+	// pages[i] is the physical page number backing virtual page i; nil for
+	// linear buffers, whose pages are synthesized from firstPage on demand.
 	pages []uint64
 	// offset is the byte offset of the buffer start within its first page
 	// (non-zero for arena sub-buffers).
 	offset int
+	// linear marks a buffer backed by physically consecutive pages starting
+	// at offset zero, so Translate degenerates to base+off — the contiguous
+	// allocator's case, which is also the only one indexed-mode campaigns
+	// use, millions of times per trial.
+	linear    bool
+	base      uint64 // physical address of byte 0 when linear
+	firstPage uint64 // first physical page number when linear
+	numPages  int    // page count when linear
 }
 
 // Size returns the buffer length in bytes.
@@ -32,8 +41,11 @@ func (b *Buffer) Size() int { return b.size }
 // Translate maps a byte offset within the buffer to a physical address.
 // Offsets outside [0, Size) panic: the kernel executor must never wander.
 func (b *Buffer) Translate(off int) uint64 {
-	if off < 0 || off >= b.size {
+	if uint(off) >= uint(b.size) {
 		panic(fmt.Sprintf("memsim: offset %d out of buffer [0, %d)", off, b.size))
+	}
+	if b.linear {
+		return b.base + uint64(off)
 	}
 	abs := off + b.offset
 	page := abs / b.pageBytes
@@ -43,6 +55,13 @@ func (b *Buffer) Translate(off int) uint64 {
 // PhysicalPages returns a copy of the physical page numbers backing the
 // buffer, in virtual order.
 func (b *Buffer) PhysicalPages() []uint64 {
+	if b.linear && b.pages == nil {
+		out := make([]uint64, b.numPages)
+		for i := range out {
+			out[i] = b.firstPage + uint64(i)
+		}
+		return out
+	}
 	return append([]uint64(nil), b.pages...)
 }
 
@@ -77,17 +96,45 @@ func (a *ContiguousAllocator) Name() string { return "contiguous" }
 
 // Alloc implements Allocator.
 func (a *ContiguousAllocator) Alloc(size int) (*Buffer, error) {
+	b := &Buffer{}
+	if err := a.AllocInto(b, size); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// AllocInto fills a caller-owned Buffer instead of allocating one, so a
+// trial-indexed engine can reuse the same handful of Buffer structs across
+// millions of trials. The resulting buffer is identical to Alloc's.
+func (a *ContiguousAllocator) AllocInto(b *Buffer, size int) error {
 	if size <= 0 {
-		return nil, fmt.Errorf("memsim: invalid buffer size %d", size)
+		return fmt.Errorf("memsim: invalid buffer size %d", size)
 	}
 	n := (size + a.pageBytes - 1) / a.pageBytes
-	pages := make([]uint64, n)
-	for i := range pages {
-		pages[i] = a.next
-		a.next++
+	*b = Buffer{
+		size:      size,
+		pageBytes: a.pageBytes,
+		linear:    true,
+		base:      a.next * uint64(a.pageBytes),
+		firstPage: a.next,
+		numPages:  n,
 	}
-	return &Buffer{size: size, pageBytes: a.pageBytes, pages: pages}, nil
+	a.next += uint64(n)
+	return nil
 }
+
+// SkipPages advances the allocation cursor by n pages without producing a
+// buffer — equivalent to allocating and leaking an n-page pad, the STREAM
+// staggering trick, minus the throwaway Buffer.
+func (a *ContiguousAllocator) SkipPages(n int) {
+	if n > 0 {
+		a.next += uint64(n)
+	}
+}
+
+// Reset rewinds the allocator to its freshly-constructed state: the next
+// Alloc sees the same address space a brand-new allocator would.
+func (a *ContiguousAllocator) Reset() { a.next = 0 }
 
 // Free implements Allocator. Contiguous pages are never reused.
 func (a *ContiguousAllocator) Free(*Buffer) {}

@@ -44,6 +44,12 @@ type Config struct {
 type Engine struct {
 	cfg Config
 	net *netsim.Network
+	// extraTrue/extraFalse are the two possible annotation maps, shared
+	// between records instead of allocated per trial; consumers treat a
+	// record's Extra as read-only (the runner's round sink copies before
+	// adding its own keys).
+	extraTrue  map[string]string
+	extraFalse map[string]string
 }
 
 // NewEngine builds the engine; the network's virtual clock persists across
@@ -56,7 +62,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, net: net}, nil
+	return &Engine{
+		cfg:        cfg,
+		net:        net,
+		extraTrue:  map[string]string{"perturbed": "true"},
+		extraFalse: map[string]string{"perturbed": "false"},
+	}, nil
 }
 
 // ParseOp converts a design level into a netsim operation.
@@ -97,7 +108,11 @@ func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
 		Seconds: s.Seconds,
 		At:      s.At,
 	}
-	rec.Annotate("perturbed", fmt.Sprintf("%v", s.Perturbed))
+	if s.Perturbed {
+		rec.Extra = e.extraTrue
+	} else {
+		rec.Extra = e.extraFalse
+	}
 	return rec, nil
 }
 

@@ -3,7 +3,6 @@ package netsim
 import (
 	"fmt"
 	"math/rand/v2"
-	"strconv"
 
 	"opaquebench/internal/xrand"
 )
@@ -47,6 +46,12 @@ type Network struct {
 	r         *rand.Rand
 	now       float64
 	seq       int
+	// idxLabel/idxPCG/idxRand are MeasureIndexed's reusable per-trial
+	// stream: the label prefix is rendered once and the PCG is reseeded per
+	// call, so the indexed hot path allocates nothing.
+	idxLabel string
+	idxPCG   *rand.PCG
+	idxRand  *rand.Rand
 	// GapBetweenOps is the virtual idle time between consecutive
 	// measurements (setup, logging); it advances the clock so temporal
 	// perturbations span contiguous ranges of the sequence.
@@ -68,14 +73,18 @@ func New(profile *Profile, seed uint64, perturber *Perturber) (*Network, error) 
 	if err := profile.Validate(); err != nil {
 		return nil, err
 	}
-	return &Network{
+	n := &Network{
 		profile:       profile,
 		perturber:     perturber,
 		seed:          seed,
 		r:             xrand.NewDerived(seed, "netsim/"+profile.Name),
 		GapBetweenOps: 50e-6,
 		SlotSec:       250e-6,
-	}, nil
+		idxLabel:      "netsim/indexed/" + profile.Name + "@",
+		idxPCG:        rand.NewPCG(0, 0),
+	}
+	n.idxRand = rand.New(n.idxPCG)
+	return n, nil
 }
 
 // Profile returns the underlying profile.
@@ -142,8 +151,10 @@ func (n *Network) Measure(op Op, size int) (Sample, error) {
 // untouched, which is what lets a design be sharded across workers while
 // reproducing a serial campaign sample for sample.
 func (n *Network) MeasureIndexed(op Op, size, seq int) (Sample, error) {
-	r := xrand.NewDerived(n.seed, "netsim/indexed/"+n.profile.Name+"@"+strconv.Itoa(seq))
-	return n.sample(op, size, seq, float64(seq)*n.SlotSec, r)
+	// Reseed the reusable generator to the exact state a fresh
+	// NewDerived(seed, "netsim/indexed/<profile>@<seq>") would start in.
+	xrand.Reseed(n.idxPCG, xrand.DeriveIndexed(n.seed, n.idxLabel, seq))
+	return n.sample(op, size, seq, float64(seq)*n.SlotSec, n.idxRand)
 }
 
 // MeasureAll executes the three operations back-to-back for one size,

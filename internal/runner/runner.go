@@ -40,12 +40,6 @@ type Config struct {
 	Progress func(done, total int)
 }
 
-// item carries one finished trial from a worker to the collector.
-type item struct {
-	seq int
-	rec core.RawRecord
-}
-
 // Run executes every trial of the design across cfg.Workers workers, each
 // with its own engine from the factory, and returns the full raw results in
 // design order. The first trial error cancels the remaining work and is
@@ -84,12 +78,18 @@ func Run(ctx context.Context, design *doe.Design, factory core.EngineFactory, cf
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 
-	items := make(chan item, workers)
+	// The reorder storage is preallocated once and written in place:
+	// workers own disjoint stride classes of the design, so each worker
+	// stores its finished records directly at their design position and
+	// only the trial's seq crosses the channel. The channel send/receive
+	// pair orders the record write before the collector's read.
+	records := make([]core.RawRecord, n)
+	doneSeqs := make(chan int, workers)
 	var wg sync.WaitGroup
 	// Workers shard the design by striding: worker w runs trials w, w+W,
 	// w+2W, ... Trial-indexed engines make the assignment immaterial for
 	// the records; striding keeps workers in rough lockstep so the
-	// collector's reorder buffer stays small.
+	// collector's reorder window stays small.
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int, eng core.Engine) {
@@ -109,8 +109,9 @@ func Run(ctx context.Context, design *doe.Design, factory core.EngineFactory, cf
 				if rec.Point == nil {
 					rec.Point = t.Point
 				}
+				records[i] = rec
 				select {
-				case items <- item{seq: i, rec: rec}:
+				case doneSeqs <- i:
 				case <-ctx.Done():
 					return
 				}
@@ -119,18 +120,16 @@ func Run(ctx context.Context, design *doe.Design, factory core.EngineFactory, cf
 	}
 	go func() {
 		wg.Wait()
-		close(items)
+		close(doneSeqs)
 	}()
 
-	// Collect: records land at their design position; sinks and the
+	// Collect: records already sit at their design position; sinks and the
 	// progress callback observe the ordered prefix as it extends.
-	records := make([]core.RawRecord, n)
 	filled := make([]bool, n)
 	next, done := 0, 0
 	var sinkErr error
-	for it := range items {
-		records[it.seq] = it.rec
-		filled[it.seq] = true
+	for seq := range doneSeqs {
+		filled[seq] = true
 		done++
 		if cfg.Progress != nil {
 			cfg.Progress(done, n)

@@ -1,13 +1,16 @@
 package runner
 
 import (
+	"bufio"
 	"context"
-	"encoding/csv"
-	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"unicode/utf8"
 
 	"opaquebench/internal/core"
 	"opaquebench/internal/doe"
@@ -33,23 +36,34 @@ type RecordSink interface {
 	Flush() error
 }
 
+// sinkBufBytes is the write-buffer size of the file-backed sinks — the same
+// 4 KB encoding/csv uses internally, so CSV output batches into identical
+// syscall granularity as before the hand-rolled encoders.
+const sinkBufBytes = 4096
+
 // CSVSink streams records as CSV, row by row, producing byte-identical
 // output to core.Results.WriteCSV for campaigns whose records share one
 // factor and extra key set (as engine-generated records do). The header is
 // derived from the first record; an empty campaign flushes the fixed
 // columns only.
+//
+// Rows are encoded with core.AppendCSVRow into a buffer owned by the sink,
+// so the per-record path allocates nothing once the buffer has grown to the
+// campaign's row size.
 type CSVSink struct {
-	w       *csv.Writer
+	bw      *bufio.Writer
+	row     []byte
 	factors []string
 	extras  []string
-	known   map[string]bool
+	knownF  map[string]bool
+	knownX  map[string]bool
 	started bool
 	err     error
 }
 
 // NewCSVSink returns a sink writing to w.
 func NewCSVSink(w io.Writer) *CSVSink {
-	return &CSVSink{w: csv.NewWriter(w)}
+	return &CSVSink{bw: bufio.NewWriterSize(w, sinkBufBytes)}
 }
 
 // Write implements RecordSink. A record carrying a factor or extra key
@@ -64,12 +78,13 @@ func (s *CSVSink) Write(rec core.RawRecord) error {
 	if !s.started {
 		s.factors = sortedKeys(rec.Point)
 		s.extras = sortedKeys(rec.Extra)
-		s.known = make(map[string]bool, len(s.factors)+len(s.extras))
+		s.knownF = make(map[string]bool, len(s.factors))
+		s.knownX = make(map[string]bool, len(s.extras))
 		for _, f := range s.factors {
-			s.known["f:"+f] = true
+			s.knownF[f] = true
 		}
 		for _, e := range s.extras {
-			s.known["x:"+e] = true
+			s.knownX[e] = true
 		}
 		if err := s.writeHeader(); err != nil {
 			return err
@@ -79,19 +94,20 @@ func (s *CSVSink) Write(rec core.RawRecord) error {
 	// sink stays healthy and a later Flush still delivers the valid
 	// buffered prefix — the error-path guarantee of DESIGN.md section 8.
 	for k := range rec.Point {
-		if !s.known["f:"+k] {
+		if !s.knownF[k] {
 			return fmt.Errorf("runner: record %d carries factor %q absent from the CSV header; use a JSONL sink for heterogeneous records", rec.Seq, k)
 		}
 	}
 	for k := range rec.Extra {
-		if !s.known["x:"+k] {
+		if !s.knownX[k] {
 			return fmt.Errorf("runner: record %d carries extra %q absent from the CSV header; use a JSONL sink for heterogeneous records", rec.Seq, k)
 		}
 	}
-	if err := s.w.Write(core.CSVRow(rec, s.factors, s.extras)); err != nil {
+	s.row = core.AppendCSVRow(s.row[:0], rec, s.factors, s.extras)
+	if _, err := s.bw.Write(s.row); err != nil {
 		return s.latch(fmt.Errorf("runner: write csv row: %w", err))
 	}
-	return s.latch(s.w.Error())
+	return nil
 }
 
 // latch records the sink's first I/O error; every later Write/Flush
@@ -104,16 +120,24 @@ func (s *CSVSink) latch(err error) error {
 }
 
 func (s *CSVSink) writeHeader() error {
+	header, err := core.CSVHeader(s.factors, s.extras)
+	if err != nil {
+		// A reserved factor name is a validation rejection, not an I/O
+		// failure: nothing was written, so the sink is not latched, but
+		// the header cannot freeze either.
+		return err
+	}
 	s.started = true
-	if err := s.w.Write(core.CSVHeader(s.factors, s.extras)); err != nil {
+	s.row = core.AppendCSVStrings(s.row[:0], header)
+	if _, err := s.bw.Write(s.row); err != nil {
 		return s.latch(fmt.Errorf("runner: write csv header: %w", err))
 	}
 	return nil
 }
 
 // Flush implements RecordSink. After a failed I/O write it returns the
-// latched error without flushing: the csv writer may hold a partial row,
-// and pushing it down would tear a line in the output.
+// latched error without flushing: the buffer may hold a partial row, and
+// pushing it down would tear a line in the output.
 func (s *CSVSink) Flush() error {
 	if s.err != nil {
 		return s.err
@@ -123,66 +147,211 @@ func (s *CSVSink) Flush() error {
 			return err
 		}
 	}
-	s.w.Flush()
-	return s.latch(s.w.Error())
+	if err := s.bw.Flush(); err != nil {
+		return s.latch(fmt.Errorf("runner: flush csv: %w", err))
+	}
+	return nil
 }
 
 // JSONLSink streams records as JSON Lines: one self-describing object per
 // record, so heterogeneous factor sets and late schema growth need no
 // header coordination.
+//
+// The fixed schema — seq, rep, value, seconds, at, then optional point and
+// extra objects with sorted keys — is encoded by hand into a buffer owned
+// by the sink, byte-identical to encoding/json's output for the same
+// record, and written through a bufio.Writer so a million-trial campaign
+// batches its records into page-sized writes instead of one syscall per
+// record.
 type JSONLSink struct {
-	enc *json.Encoder
-	err error
+	bw   *bufio.Writer
+	buf  []byte
+	keys []string
+	err  error
 }
 
 // NewJSONLSink returns a sink writing to w.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	return &JSONLSink{bw: bufio.NewWriterSize(w, sinkBufBytes)}
 }
 
-// jsonlRecord fixes the field names of the JSONL schema independently of
-// the core.RawRecord Go struct.
-type jsonlRecord struct {
-	Seq     int               `json:"seq"`
-	Rep     int               `json:"rep"`
-	Value   float64           `json:"value"`
-	Seconds float64           `json:"seconds"`
-	At      float64           `json:"at"`
-	Point   map[string]string `json:"point,omitempty"`
-	Extra   map[string]string `json:"extra,omitempty"`
-}
-
-// Write implements RecordSink. The encoder writes straight through with no
-// buffer, so a failed (possibly short) write can leave a torn final line;
-// the error is latched so no later record is ever appended after the tear.
+// Write implements RecordSink. Output is buffered; a failed (possibly
+// short) write can leave a torn final line, and the error is latched so no
+// later record is ever appended after the tear.
 func (s *JSONLSink) Write(rec core.RawRecord) error {
 	if s.err != nil {
 		return s.err
 	}
-	out := jsonlRecord{
-		Seq:     rec.Seq,
-		Rep:     rec.Rep,
-		Value:   rec.Value,
-		Seconds: rec.Seconds,
-		At:      rec.At,
-		Extra:   rec.Extra,
+	buf, err := s.appendRecord(s.buf[:0], rec)
+	if err != nil {
+		// An unencodable value (NaN/Inf) latches like encoding/json's
+		// encoder error did: zero bytes reached the writer, but the record
+		// stream now has a hole, so continuing would misrepresent the
+		// campaign.
+		s.err = fmt.Errorf("runner: write jsonl: %w", err)
+		return s.err
 	}
-	if len(rec.Point) > 0 {
-		out.Point = make(map[string]string, len(rec.Point))
-		for k, v := range rec.Point {
-			out.Point[k] = string(v)
-		}
-	}
-	if err := s.enc.Encode(out); err != nil {
+	s.buf = buf
+	if _, err := s.bw.Write(s.buf); err != nil {
 		s.err = fmt.Errorf("runner: write jsonl: %w", err)
 		return s.err
 	}
 	return nil
 }
 
-// Flush implements RecordSink. The encoder writes through, so there is
-// nothing buffered; only a latched write error is reported.
-func (s *JSONLSink) Flush() error { return s.err }
+// appendRecord encodes one record in the fixed JSONL schema.
+func (s *JSONLSink) appendRecord(dst []byte, rec core.RawRecord) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendInt(dst, int64(rec.Seq), 10)
+	dst = append(dst, `,"rep":`...)
+	dst = strconv.AppendInt(dst, int64(rec.Rep), 10)
+	dst = append(dst, `,"value":`...)
+	if dst, err = appendJSONFloat(dst, rec.Value); err != nil {
+		return nil, err
+	}
+	dst = append(dst, `,"seconds":`...)
+	if dst, err = appendJSONFloat(dst, rec.Seconds); err != nil {
+		return nil, err
+	}
+	dst = append(dst, `,"at":`...)
+	if dst, err = appendJSONFloat(dst, rec.At); err != nil {
+		return nil, err
+	}
+	if len(rec.Point) > 0 {
+		dst = append(dst, `,"point":`...)
+		s.keys = s.keys[:0]
+		for k := range rec.Point {
+			s.keys = append(s.keys, k)
+		}
+		sort.Strings(s.keys)
+		for i, k := range s.keys {
+			if i == 0 {
+				dst = append(dst, '{')
+			} else {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, k)
+			dst = append(dst, ':')
+			dst = appendJSONString(dst, string(rec.Point[k]))
+		}
+		dst = append(dst, '}')
+	}
+	if len(rec.Extra) > 0 {
+		dst = append(dst, `,"extra":`...)
+		s.keys = s.keys[:0]
+		for k := range rec.Extra {
+			s.keys = append(s.keys, k)
+		}
+		sort.Strings(s.keys)
+		for i, k := range s.keys {
+			if i == 0 {
+				dst = append(dst, '{')
+			} else {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, k)
+			dst = append(dst, ':')
+			dst = appendJSONString(dst, rec.Extra[k])
+		}
+		dst = append(dst, '}')
+	}
+	return append(dst, '}', '\n'), nil
+}
+
+// Flush implements RecordSink, pushing the buffered tail down; only a
+// latched error suppresses it.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.err = fmt.Errorf("runner: flush jsonl: %w", err)
+		return s.err
+	}
+	return nil
+}
+
+// appendJSONFloat appends a float exactly as encoding/json encodes it:
+// shortest 'f' form, switching to 'e' with a trimmed exponent for very
+// small or very large magnitudes. Non-finite values are an error, as they
+// are for encoding/json.
+func appendJSONFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("json: unsupported value: %s", strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, nil
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString appends a quoted string exactly as encoding/json escapes
+// it with HTML escaping on (the Encoder default): quotes and backslashes
+// escaped, control characters as \b \f \n \r \t or \u00xx, <, > and & as
+// \u00xx, invalid UTF-8 bytes as �, and U+2028/U+2029 escaped.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', jsonHex[b>>4], jsonHex[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `�`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', jsonHex[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
 
 // MemorySink buffers the record stream in memory — the replay-to-memory
 // counterpart of the file sinks. The differential comparator
@@ -208,12 +377,19 @@ func (s *MemorySink) Flush() error { return nil }
 // sink on jsonlPath. The returned closers own the files opened; the caller
 // closes them after the campaign.
 //
+// The two paths must name different files: opening the same file twice
+// would interleave CSV and JSONL bytes into one corrupt stream, so the
+// collision is rejected before anything is opened or truncated.
+//
 // Truncation happens only after every output opened successfully, so an
 // invocation that fails on one path cannot destroy another file's previous
 // results — the same preservation guarantee the CLIs' lazy sink opening
 // gives against campaign-validation failures. On error any file already
 // opened is closed and nothing is returned.
 func FileSinks(w io.Writer, outPath, jsonlPath string) ([]RecordSink, []io.Closer, error) {
+	if outPath != "" && jsonlPath != "" && filepath.Clean(outPath) == filepath.Clean(jsonlPath) {
+		return nil, nil, fmt.Errorf("runner: CSV and JSONL outputs both point at %q; one file cannot carry both streams", outPath)
+	}
 	var files []*os.File
 	fail := func(err error) ([]RecordSink, []io.Closer, error) {
 		for _, f := range files {

@@ -213,9 +213,11 @@ func (w *brokenWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// TestJSONLSinkLatchesWriteError: after a torn write, no further record may
+// TestJSONLSinkLatchesWriteError: after a torn write, no further byte may
 // ever reach the file — appending after the tear would corrupt the middle
-// of the stream instead of truncating its end.
+// of the stream instead of truncating its end. The sink buffers, so the
+// underlying writer is only touched at flush (or when the buffer spills);
+// the test drives a flush per record to force each record down separately.
 func TestJSONLSinkLatchesWriteError(t *testing.T) {
 	w := &brokenWriter{allow: 1}
 	s := NewJSONLSink(w)
@@ -223,9 +225,15 @@ func TestJSONLSinkLatchesWriteError(t *testing.T) {
 	if err := s.Write(recs[0]); err != nil {
 		t.Fatalf("first write: %v", err)
 	}
-	first := s.Write(recs[1])
+	if err := s.Flush(); err != nil {
+		t.Fatalf("first flush: %v", err)
+	}
+	if err := s.Write(recs[1]); err != nil {
+		t.Fatalf("buffered write: %v", err)
+	}
+	first := s.Flush()
 	if first == nil {
-		t.Fatal("torn write reported success")
+		t.Fatal("torn flush reported success")
 	}
 	tornLen := w.buf.Len()
 	if err := s.Write(recs[2]); err != first {
@@ -237,6 +245,31 @@ func TestJSONLSinkLatchesWriteError(t *testing.T) {
 	if w.buf.Len() != tornLen || w.attempts != 2 {
 		t.Fatalf("bytes written after the tear: %d -> %d bytes, %d attempts",
 			tornLen, w.buf.Len(), w.attempts)
+	}
+}
+
+// TestJSONLSinkLatchesMidStreamSpill: when the buffer spills mid-campaign
+// (the steady state of a large run) and the spill tears, later records must
+// not reach the writer either — the latch catches errors surfaced by Write
+// itself, not only by Flush.
+func TestJSONLSinkLatchesMidStreamSpill(t *testing.T) {
+	w := &brokenWriter{allow: 0}
+	s := NewJSONLSink(w)
+	rec := sampleRecords()[0]
+	rec.Annotate("pad", strings.Repeat("x", 2*sinkBufBytes))
+	first := s.Write(rec) // bigger than the buffer: spills, tears, latches
+	if first == nil {
+		t.Fatal("torn spill reported success")
+	}
+	tornLen := w.buf.Len()
+	if err := s.Write(sampleRecords()[0]); err != first {
+		t.Fatalf("write after tear: %v, want the latched %v", err, first)
+	}
+	if err := s.Flush(); err != first {
+		t.Fatalf("flush after tear: %v, want the latched %v", err, first)
+	}
+	if w.buf.Len() != tornLen {
+		t.Fatalf("bytes written after the tear: %d -> %d bytes", tornLen, w.buf.Len())
 	}
 }
 

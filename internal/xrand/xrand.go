@@ -9,28 +9,67 @@
 package xrand
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand/v2"
+	"strconv"
 )
+
+// pcgStreamXor turns one 64-bit seed into the PCG's second state word; the
+// golden-ratio constant keeps the two words decorrelated.
+const pcgStreamXor = 0x9e3779b97f4a7c15
 
 // New returns a deterministic generator for the given seed.
 func New(seed uint64) *rand.Rand {
-	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return rand.New(rand.NewPCG(seed, seed^pcgStreamXor))
+}
+
+// Reseed rewinds an existing PCG source to the exact state New(seed) would
+// construct it with, so a hot path can reuse one generator (and its
+// enclosing rand.Rand, which holds no stream state of its own) across
+// trials instead of allocating a fresh pair per trial.
+func Reseed(p *rand.PCG, seed uint64) {
+	p.Seed(seed, seed^pcgStreamXor)
+}
+
+// FNV-64a, unrolled by hand so derivations stay allocation-free on the
+// trial hot path (hash/fnv's Hash64 escapes to the heap).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvSeed(seed uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(seed>>(8*i)))) * fnvPrime64
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
 }
 
 // Derive deterministically derives a child seed from a parent seed and a
 // textual label. Distinct labels yield independent streams, so subsystems can
 // be added or removed without shifting each other's random sequences.
 func Derive(seed uint64, label string) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(seed >> (8 * i))
+	return fnvString(fnvSeed(seed), label)
+}
+
+// DeriveIndexed is Derive(seed, label+strconv.Itoa(idx)) without building
+// the concatenated string — the per-trial seed derivation of the indexed
+// engines, which would otherwise allocate one label per trial.
+func DeriveIndexed(seed uint64, label string, idx int) uint64 {
+	h := fnvString(fnvSeed(seed), label)
+	var buf [20]byte
+	for _, c := range strconv.AppendInt(buf[:0], int64(idx), 10) {
+		h = (h ^ uint64(c)) * fnvPrime64
 	}
-	h.Write(b[:])
-	h.Write([]byte(label))
-	return h.Sum64()
+	return h
 }
 
 // NewDerived is shorthand for New(Derive(seed, label)).

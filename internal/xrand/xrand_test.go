@@ -1,7 +1,11 @@
 package xrand
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
+	"math/rand/v2"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -192,4 +196,78 @@ func TestLogUniformBoundsProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestDeriveIndexedMatchesDerive pins the hot-path equivalence the indexed
+// engines rely on: DeriveIndexed(seed, label, idx) must equal
+// Derive(seed, label+strconv.Itoa(idx)) for every idx, including negatives.
+func TestDeriveIndexedMatchesDerive(t *testing.T) {
+	idxs := []int{0, 1, 9, 10, 42, 999, 10000, 1<<31 - 1, -1, -10000, math.MinInt64}
+	for _, seed := range []uint64{0, 1, 7, math.MaxUint64} {
+		for _, label := range []string{"", "membench/noise@", "netsim/indexed/tcp@"} {
+			for _, idx := range idxs {
+				want := Derive(seed, label+strconv.Itoa(idx))
+				if got := DeriveIndexed(seed, label, idx); got != want {
+					t.Errorf("DeriveIndexed(%d, %q, %d) = %d, want %d", seed, label, idx, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDeriveMatchesFNV64a pins the hand-unrolled hash to the standard
+// library's FNV-64a over the same bytes, so the unrolling can never silently
+// change the derivation (which would change every campaign's records).
+func TestDeriveMatchesFNV64a(t *testing.T) {
+	for _, seed := range []uint64{0, 42, math.MaxUint64} {
+		for _, label := range []string{"", "noise", "membench/pages"} {
+			h := fnv.New64a()
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], seed)
+			h.Write(b[:])
+			h.Write([]byte(label))
+			if got, want := Derive(seed, label), h.Sum64(); got != want {
+				t.Errorf("Derive(%d, %q) = %d, want FNV-64a %d", seed, label, got, want)
+			}
+		}
+	}
+}
+
+// TestReseedMatchesNew pins Reseed's contract: rewinding a reused PCG (and
+// its enclosing rand.Rand) must reproduce the exact stream of a freshly
+// constructed New(seed) — across value kinds, since NormFloat64 draws
+// differently than Uint64.
+func TestReseedMatchesNew(t *testing.T) {
+	pcg := rand.NewPCG(0, 0)
+	reused := rand.New(pcg)
+	for _, seed := range []uint64{0, 1, 42, math.MaxUint64} {
+		// Perturb the reused generator so Reseed has real state to rewind.
+		_ = reused.Uint64()
+		Reseed(pcg, seed)
+		fresh := New(seed)
+		for i := 0; i < 50; i++ {
+			if g, w := reused.Uint64(), fresh.Uint64(); g != w {
+				t.Fatalf("seed %d draw %d: Uint64 %d != %d", seed, i, g, w)
+			}
+		}
+		Reseed(pcg, seed)
+		fresh = New(seed)
+		for i := 0; i < 50; i++ {
+			if g, w := reused.NormFloat64(), fresh.NormFloat64(); g != w {
+				t.Fatalf("seed %d draw %d: NormFloat64 %v != %v", seed, i, g, w)
+			}
+		}
+	}
+}
+
+// TestDeriveIndexedAllocationFree guards the reason DeriveIndexed exists.
+func TestDeriveIndexedAllocationFree(t *testing.T) {
+	var sink uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		sink += DeriveIndexed(1, "membench/noise@", 12345)
+	})
+	if allocs != 0 {
+		t.Errorf("DeriveIndexed: %v allocs, want 0", allocs)
+	}
+	_ = sink
 }
