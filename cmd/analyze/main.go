@@ -1,6 +1,6 @@
 // Command analyze performs the third methodology stage on a raw-results CSV
-// produced by any of the benchmark engines (membench, netbench, cpubench —
-// standalone or via cmd/suite): per-level summaries, supervised or neutral
+// produced by any of the benchmark engines (standalone or via cmd/suite):
+// per-level summaries, supervised or neutral
 // piecewise-linear fits, mode diagnosis with temporal contiguity, and
 // per-group variability — everything computed offline from the complete
 // raw record set.

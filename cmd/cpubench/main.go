@@ -124,16 +124,12 @@ Flags:
 			return err
 		}
 	} else {
-		// The canonical Figure 10 ladder: workloads from well under one
-		// sampling period to hundreds of periods, crossed with the duty
-		// level when one is requested.
-		var duties []float64
-		if *duty < 1 {
-			duties = []float64{*duty}
-		}
-		design, err = doe.FullFactorial(
-			cpubench.Factors([]int{20, 200, 2000, 20000}, nil, duties),
-			doe.Options{Replicates: *reps, Seed: *seed, Randomize: true})
+		// The default design comes from the same declarative-spec path a
+		// suite file uses (the canonical Figure 10 ladder, crossed with the
+		// duty level when one is requested); only the design is taken — the
+		// engine config keeps the flag-only knobs (-unpinned, ad-hoc
+		// -table ladders) a spec deliberately cannot express.
+		_, design, err = cpubench.FromSpec(cpubench.Spec{Duty: *duty, Reps: *reps}, *seed)
 		if err != nil {
 			return err
 		}

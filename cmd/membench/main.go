@@ -15,11 +15,8 @@ import (
 	"os"
 
 	"opaquebench/internal/core"
-	"opaquebench/internal/cpusim"
 	"opaquebench/internal/doe"
 	"opaquebench/internal/membench"
-	"opaquebench/internal/memsim"
-	"opaquebench/internal/ossim"
 	"opaquebench/internal/runner"
 )
 
@@ -60,20 +57,21 @@ Flags:
 		return err
 	}
 
-	m, err := memsim.MachineByName(*machine)
+	// The flags lower into the same declarative spec a suite file carries,
+	// so the CLI and the suite orchestrator build campaigns through one
+	// code path (membench.FromSpec; see internal/engine for the registry
+	// the orchestration layers consume).
+	cfg, design, err := membench.FromSpec(membench.Spec{
+		Machine:   *machine,
+		Governor:  *governor,
+		TargetGHz: *targetGHz,
+		Alloc:     *alloc,
+		Policy:    *policy,
+		Reps:      *reps,
+	}, *seed)
 	if err != nil {
 		return err
 	}
-	gov, err := cpusim.GovernorByName(*governor, *targetGHz*1e9)
-	if err != nil {
-		return err
-	}
-	pol, err := ossim.PolicyByName(*policy)
-	if err != nil {
-		return err
-	}
-
-	var design *doe.Design
 	if *designPath != "" {
 		f, err := os.Open(*designPath)
 		if err != nil {
@@ -84,25 +82,8 @@ Flags:
 		if err != nil {
 			return err
 		}
-	} else {
-		var sizes []int
-		for s := 1 << 10; s <= m.Levels[len(m.Levels)-1].SizeBytes*4; s *= 2 {
-			sizes = append(sizes, s)
-		}
-		design, err = doe.FullFactorial(membench.Factors(sizes, nil, nil, []int{100}, nil),
-			doe.Options{Replicates: *reps, Seed: *seed, Randomize: true})
-		if err != nil {
-			return err
-		}
 	}
 
-	cfg := membench.Config{
-		Machine:    m,
-		Seed:       *seed,
-		Governor:   gov,
-		Allocation: *alloc,
-		Sched:      ossim.Config{Policy: pol},
-	}
 	var eng core.Engine
 	if *workers <= 1 {
 		if eng, err = membench.NewEngine(cfg); err != nil {

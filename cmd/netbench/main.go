@@ -88,16 +88,31 @@ Flags:
 			return err
 		}
 	} else {
-		var perturber *netsim.Perturber
-		if *perturbFactor > 1 {
-			perturber = netsim.NewPerturber(*perturbFactor,
-				netsim.Window{Start: *perturbStart, End: *perturbEnd})
-		}
-		design, err = netbench.Design(*seed, *nSizes, *minSize, *maxSize, *reps, nil, *randomize)
+		// The flags lower into the same declarative spec a suite file
+		// carries, so the CLI and the suite orchestrator build campaigns
+		// through one code path (netbench.FromSpec; see internal/engine for
+		// the registry the orchestration layers consume). Only the
+		// -randomize=false escape hatch — inexpressible in a spec, since
+		// suites never give up randomization — regenerates the design.
+		cfg, design, err = netbench.FromSpec(netbench.Spec{
+			Profile:       *profile,
+			N:             *nSizes,
+			Min:           *minSize,
+			Max:           *maxSize,
+			Reps:          *reps,
+			PerturbFactor: *perturbFactor,
+			PerturbStart:  *perturbStart,
+			PerturbEnd:    *perturbEnd,
+		}, *seed)
 		if err != nil {
 			return err
 		}
-		cfg = netbench.Config{Profile: p, Seed: *seed, Perturber: perturber}
+		if !*randomize {
+			design, err = netbench.Design(*seed, *nSizes, *minSize, *maxSize, *reps, nil, false)
+			if err != nil {
+				return err
+			}
+		}
 		if *workers <= 1 {
 			engine, err = netbench.NewEngine(cfg)
 			if err != nil {

@@ -1,6 +1,6 @@
 // Command suite runs a declarative campaign suite: a JSON spec naming many
-// campaigns across the membench, netbench and cpubench engines, executed
-// through the parallel runner under a global worker budget, with a
+// campaigns across the registered benchmark engines (internal/engine),
+// executed through the parallel runner under a global worker budget, with a
 // content-addressed result cache — a campaign whose (engine, config,
 // design, seed, module version) key is already cached is skipped and its
 // records are replayed into the sinks byte-identically to a cold run.

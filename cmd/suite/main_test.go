@@ -1,8 +1,10 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -357,5 +359,52 @@ func TestCheckedInAdaptiveFixtureStaysValid(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "mem-zoom") {
 		t.Errorf("fixture plan missing mem-zoom:\n%s", out.String())
+	}
+}
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// keyRE matches the 12-hex short cache keys the plan prints. The full keys
+// embed the module version — the executable hash on devel builds — so they
+// move on every rebuild even though the schedule itself does not; the
+// golden file pins everything but the key bytes.
+var keyRE = regexp.MustCompile(`key [0-9a-f]{12}`)
+
+// TestPlanGoldenAgainstAdaptiveFixture locks the exact plan rendering for
+// the checked-in adaptive fixture: round sizes, trial counts, zoom
+// containment intervals and the stop line are all byte-pinned.
+// Regenerate with: go test ./cmd/suite -run PlanGolden -update
+func TestPlanGoldenAgainstAdaptiveFixture(t *testing.T) {
+	spec := filepath.Join("..", "..", "examples", "suite", "adaptive.json")
+	if _, err := os.Stat(spec); err != nil {
+		t.Skipf("adaptive fixture not found: %v", err)
+	}
+	var out strings.Builder
+	if err := run([]string{"plan", "-cache-dir", filepath.Join(t.TempDir(), "cache"), spec}, &out); err != nil {
+		t.Fatalf("plan on adaptive fixture: %v\n%s", err, out.String())
+	}
+	got := keyRE.ReplaceAll([]byte(out.String()), []byte("key KEY"))
+
+	golden := filepath.Join("testdata", "plan.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, rerr := os.ReadFile(golden)
+	if rerr != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", rerr)
+	}
+	if !strings.Contains(string(want), "key KEY") || keyRE.Match(want) {
+		t.Fatalf("golden file has un-normalized keys; regenerate with -update")
+	}
+	if string(got) != string(want) {
+		t.Errorf("plan schedule differs from %s (regenerate with -update):\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
 	}
 }

@@ -23,6 +23,12 @@
 //     campaigns: memory (internal/membench), network point-to-point and
 //     collective (internal/netbench), and CPU/DVFS/interference
 //     (internal/cpubench);
+//   - an engine registry (internal/engine) giving the orchestration layers
+//     one uniform handle per engine — strict spec decoding, factory and
+//     design construction, metric direction, adaptive-refinement hooks —
+//     plus a conformance battery (internal/engine/enginetest) that every
+//     registered engine must pass, with negative tests proving each check
+//     can fail;
 //   - the criticized opaque benchmarks — PMB, MultiMAPS, NetGauge's online
 //     detector, PLogP's adaptive probe (internal/opaque);
 //   - a generator per paper figure/table (internal/figures) with ASCII
@@ -32,7 +38,7 @@
 //     across trial-indexed engine instances and streams records to CSV/JSONL
 //     sinks in design order, record-for-record identical to a serial run;
 //   - a declarative suite orchestrator (internal/suite) that runs whole
-//     studies of campaigns across the three engines from one JSON spec,
+//     studies of campaigns across the registered engines from one JSON spec,
 //     concurrently under a global worker budget, with a content-addressed
 //     result cache whose replay is byte-identical to a cold run;
 //   - an adaptive campaign planner (internal/adapt) that closes the loop

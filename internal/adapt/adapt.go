@@ -38,7 +38,7 @@ import (
 
 // Refiner supplies the engine-specific half of planning: which numeric
 // factor to zoom and how to materialize a zoom design for refined levels.
-// The three engine Spec types (membench, netbench, cpubench) implement it.
+// Every registered engine's Spec type implements it (see internal/engine).
 type Refiner interface {
 	// ZoomFactor names the numeric factor refinement zooms.
 	ZoomFactor() string

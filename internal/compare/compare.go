@@ -13,9 +13,10 @@
 // suite's determinism guarantee — identical records, which short-circuits
 // to a pass with zero effect. Differing keys trigger the statistical gate:
 // a percentile-bootstrap confidence interval on the shift of medians
-// (stats.ShiftCI over the raw values), oriented by the engine's metric
-// direction (bandwidth and effective MHz are higher-better, operation
-// latency is lower-better). A campaign regresses only when the interval
+// (stats.ShiftCI over the raw values), oriented by the metric direction the
+// engine's registry definition declares (internal/engine): bandwidth and
+// effective MHz are higher-better, operation latency is lower-better. A
+// campaign regresses only when the interval
 // excludes zero on the worse side AND the relative shift clears a
 // practical-significance floor, so resampling noise and irrelevantly tiny
 // drifts both stay quiet. Structural probes — mode-count changes
@@ -36,6 +37,7 @@ import (
 	"sort"
 
 	"opaquebench/internal/core"
+	"opaquebench/internal/engine"
 	"opaquebench/internal/runner"
 	"opaquebench/internal/stats"
 	"opaquebench/internal/suite"
@@ -202,15 +204,6 @@ func roundChain(group []loadedEntry) ([]loadedEntry, bool) {
 	return sorted, true
 }
 
-// higherIsBetter maps each engine to its primary metric's direction:
-// membench reports bandwidth (MB/s) and cpubench effective MHz — more is
-// better; netbench reports operation duration in seconds — less is better.
-var higherIsBetter = map[string]bool{
-	"membench": true,
-	"netbench": false,
-	"cpubench": true,
-}
-
 // Gate tunes the statistical regression gate.
 type Gate struct {
 	// Level is the bootstrap confidence level (default 0.99: a perf gate
@@ -340,11 +333,12 @@ func comparePair(name string, base, cand []Sample, g Gate) CampaignVerdict {
 		v.Reason = fmt.Sprintf("engine changed: %s vs %s", b.Engine, a.Engine)
 		return v
 	}
-	higher, known := higherIsBetter[b.Engine]
+	def, known := engine.Lookup(b.Engine)
 	if !known {
 		v.Reason = fmt.Sprintf("unknown engine %q: metric direction undefined", b.Engine)
 		return v
 	}
+	higher := def.HigherIsBetter()
 	v.HigherIsBetter = higher
 	if len(b.Records) == 0 || len(a.Records) == 0 {
 		v.Reason = "a side has no records"

@@ -10,6 +10,7 @@ import (
 
 	"opaquebench/internal/core"
 	"opaquebench/internal/doe"
+	"opaquebench/internal/engine"
 	"opaquebench/internal/meta"
 	"opaquebench/internal/suite"
 )
@@ -154,6 +155,43 @@ func TestIncomparableCases(t *testing.T) {
 				t.Fatalf("totals wrong: %s", c.Summary())
 			}
 		})
+	}
+}
+
+// TestDirectionComesFromRegistry pins the registry routing of metric
+// direction: an unregistered engine is incomparable with the
+// direction-undefined reason even when both sides carry byte-identical
+// records (the identical-records fast path must not outrank the lookup),
+// while every registered engine resolves exactly the direction its
+// definition declares — no per-engine knowledge lives in this package.
+func TestDirectionComesFromRegistry(t *testing.T) {
+	vals := constant(10, 5)
+	c := Compare(mk("c", "gpubench", "k", vals), mk("c", "gpubench", "k", vals), Gate{})
+	v := one(t, c)
+	if v.Verdict != VerdictIncomparable {
+		t.Fatalf("verdict %s, want incomparable", v.Verdict)
+	}
+	if want := `unknown engine "gpubench": metric direction undefined`; v.Reason != want {
+		t.Fatalf("reason %q, want %q", v.Reason, want)
+	}
+	if v.Identical {
+		t.Fatalf("identical-records fast path outranked the direction lookup: %+v", v)
+	}
+
+	for _, name := range engine.Names() {
+		def, ok := engine.Lookup(name)
+		if !ok {
+			t.Fatalf("Names() lists %q but Lookup rejects it", name)
+		}
+		c := Compare(mk("c", name, "k1", vals), mk("c", name, "k2", vals), Gate{})
+		v := one(t, c)
+		if v.Verdict != VerdictPass {
+			t.Fatalf("%s: verdict %s, want pass", name, v.Verdict)
+		}
+		if v.HigherIsBetter != def.HigherIsBetter() {
+			t.Errorf("%s: verdict direction %v, definition declares %v",
+				name, v.HigherIsBetter, def.HigherIsBetter())
+		}
 	}
 }
 

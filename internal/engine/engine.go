@@ -1,0 +1,117 @@
+// Package engine is the campaign-engine registry: the one place where the
+// benchmark engines are enumerated and the one contract every engine must
+// satisfy to be orchestrated. A Definition captures everything the
+// orchestration layers need per engine — the name, strict declarative-spec
+// decoding, resolution of a spec into an engine factory plus a materialized
+// design, the primary metric's direction, and (through Spec) the adaptive
+// planner's refinement hooks — so the suite orchestrator, the differential
+// comparator and the CLIs consume engines generically instead of switching
+// on engine names. Adding an engine is one package plus one Register call
+// (see DESIGN.md, "Adding an engine"); internal/engine/enginetest proves the
+// contract for every registered engine automatically.
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"opaquebench/internal/adapt"
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+)
+
+// Spec is a decoded engine configuration: a plain-data value whose canonical
+// JSON form (Canonical) is the engine half of the campaign's identity, and
+// which doubles as the engine's adaptive refinement hook (adapt.Refiner).
+type Spec interface {
+	adapt.Refiner
+}
+
+// Definition adapts one benchmark engine to the orchestration layers.
+// Implementations must be stateless: every method is a pure function of its
+// arguments, so decoded specs, built designs and the declared direction can
+// never drift between calls — the properties enginetest asserts.
+type Definition interface {
+	// Name is the engine's registry key, as written in suite specs.
+	Name() string
+	// Decode strictly decodes a raw engine config (unknown fields and
+	// trailing data rejected; empty raw means the engine's defaults) into
+	// the engine's Spec. Decoding must be idempotent: re-decoding the
+	// canonical form of a decoded spec yields an equal spec.
+	Decode(raw json.RawMessage) (Spec, error)
+	// Build resolves a decoded spec into the engine factory and the
+	// materialized design, both fully determined by (spec, seed).
+	Build(spec Spec, seed uint64) (core.EngineFactory, *doe.Design, error)
+	// HigherIsBetter declares the primary metric's direction: true when
+	// more is better (bandwidth, effective MHz), false when less is
+	// (operation latency).
+	HigherIsBetter() bool
+}
+
+// Canonical re-marshals a decoded spec into its canonical JSON form — the
+// engine-config component of spec hashes and cache keys. Formatting, key
+// order and implicit defaults of the original raw config do not survive it;
+// semantic content does.
+func Canonical(spec Spec) ([]byte, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("engine: canonical config marshal: %w", err)
+	}
+	return b, nil
+}
+
+// StrictDecode unmarshals raw into v rejecting unknown fields and trailing
+// data. An empty raw decodes as the zero value. This is the decoding
+// discipline every Definition.Decode must apply, shared here so engine
+// definitions and the suite spec parser cannot diverge on strictness.
+func StrictDecode(raw json.RawMessage, v any) error {
+	if len(raw) == 0 {
+		raw = []byte("{}")
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data")
+	}
+	return nil
+}
+
+// registry holds the registered definitions by name. Registration happens in
+// this package's init only, so reads never race and need no lock.
+var registry = map[string]Definition{}
+
+// Register adds a definition under its name. It panics on an empty name or a
+// duplicate registration: both are programming errors in an engine package,
+// and letting a second registration silently win would give two engines the
+// same identity in every cache key and spec hash.
+func Register(def Definition) {
+	name := def.Name()
+	if name == "" {
+		panic("engine: Register: definition has an empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: Register: engine %q already registered", name))
+	}
+	registry[name] = def
+}
+
+// Lookup returns the definition registered under name.
+func Lookup(name string) (Definition, bool) {
+	def, ok := registry[name]
+	return def, ok
+}
+
+// Names lists the registered engine names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

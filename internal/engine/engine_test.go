@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestRegisteredNames asserts the three shipped engines are registered and
+// that Names is sorted and duplicate-free. Containment, not equality: other
+// tests in this binary may register throwaway definitions.
+func TestRegisteredNames(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("Names() repeats %q: %v", n, names)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"membench", "netbench", "cpubench"} {
+		if !seen[want] {
+			t.Fatalf("engine %q not registered; have %v", want, names)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range Names() {
+		def, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed an engine Names() listed", name)
+		}
+		if def.Name() != name {
+			t.Fatalf("Lookup(%q) returned definition named %q", name, def.Name())
+		}
+	}
+	if _, ok := Lookup("no-such-engine"); ok {
+		t.Fatal("Lookup invented an engine")
+	}
+}
+
+// namedDef is a minimal definition for registration-guard tests.
+type namedDef struct {
+	Definition
+	name string
+}
+
+func (d namedDef) Name() string { return d.name }
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(namedDef{name: "engine-test-dup"})
+	mustPanic(t, "duplicate Register", func() {
+		Register(namedDef{name: "engine-test-dup"})
+	})
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	mustPanic(t, "empty-name Register", func() {
+		Register(namedDef{name: ""})
+	})
+}
+
+func TestStrictDecode(t *testing.T) {
+	type cfg struct {
+		Reps int `json:"reps,omitempty"`
+	}
+	var c cfg
+	if err := StrictDecode(nil, &c); err != nil || c.Reps != 0 {
+		t.Fatalf("empty raw: got %+v, %v; want zero value, nil", c, err)
+	}
+	if err := StrictDecode([]byte(`{"reps": 3}`), &c); err != nil || c.Reps != 3 {
+		t.Fatalf("plain decode: got %+v, %v", c, err)
+	}
+	if err := StrictDecode([]byte(`{"repz": 3}`), &c); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := StrictDecode([]byte(`{"reps": 3} {}`), &c); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}

@@ -60,7 +60,7 @@ var ModuleVersion = sync.OnceValue(func() string {
 })
 
 // cacheKey computes a campaign's content address. config must already be
-// canonical (see engineDef.decode).
+// canonical (see engine.Canonical).
 func cacheKey(engine string, config []byte, design *doe.Design, seed uint64, version string) (string, error) {
 	var csv bytes.Buffer
 	if err := design.WriteCSV(&csv); err != nil {

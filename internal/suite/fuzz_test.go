@@ -24,6 +24,13 @@ func FuzzParseCanonicalFixedPoint(f *testing.F) {
 	f.Add([]byte(`[1, 2, 3]`))
 	f.Add([]byte(`{"campaigns": [{"name": "x", "engine": "netbench", "out": "a.csv",
 	  "config": null}]}`))
+	// Registry lookups: an unregistered engine and a case-mangled spelling
+	// of a registered one must both be rejected (lookups are exact and
+	// case-sensitive), never panic or fall through to a default engine.
+	f.Add([]byte(`{"suite": "s", "campaigns": [
+	  {"name": "x", "engine": "quantumbench", "out": "a.csv"}]}`))
+	f.Add([]byte(`{"suite": "s", "campaigns": [
+	  {"name": "x", "engine": "MemBench", "out": "a.csv"}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := Parse(data, "fuzz.json")

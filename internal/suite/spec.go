@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strings"
 
 	"opaquebench/internal/adapt"
+	"opaquebench/internal/engine"
 )
 
 // Spec is a declarative suite: a named study of many campaigns across the
@@ -29,7 +31,8 @@ type Spec struct {
 type Campaign struct {
 	// Name identifies the campaign within the suite (unique, required).
 	Name string `json:"name"`
-	// Engine selects the benchmark engine: membench, netbench or cpubench.
+	// Engine selects the benchmark engine by its registry name (see
+	// internal/engine; engine.Names() lists what is available).
 	Engine string `json:"engine"`
 	// Seed is the campaign seed; it drives the design randomization and
 	// every stochastic component of the engine.
@@ -91,8 +94,8 @@ type AdaptiveSpec struct {
 	Level float64 `json:"level,omitempty"`
 	// BootReps is the bootstrap replication count (default 400).
 	BootReps int `json:"boot_reps,omitempty"`
-	// Factor overrides the zoomed numeric factor (default: the engine's
-	// ZoomFactor — size for membench/netbench, nloops for cpubench).
+	// Factor overrides the zoomed numeric factor (default: the engine
+	// spec's ZoomFactor).
 	Factor string `json:"factor,omitempty"`
 }
 
@@ -146,8 +149,9 @@ func (c *Campaign) validate() error {
 	if c.Name == "" {
 		return fmt.Errorf(`campaign needs a "name"`)
 	}
-	if _, ok := engines[c.Engine]; !ok {
-		return fmt.Errorf("campaign %q: unknown engine %q (want membench, netbench or cpubench)", c.Name, c.Engine)
+	if _, ok := engine.Lookup(c.Engine); !ok {
+		return fmt.Errorf("campaign %q: unknown engine %q (registered engines: %s)",
+			c.Name, c.Engine, strings.Join(engine.Names(), ", "))
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("campaign %q: negative workers %d", c.Name, c.Workers)
@@ -327,13 +331,14 @@ func parseCampaign(raw json.RawMessage) (Campaign, error) {
 	if err := checkDupKeys(raw); err != nil {
 		return c, err
 	}
-	if err := strictDecode(raw, &c); err != nil {
+	if err := engine.StrictDecode(raw, &c); err != nil {
 		return c, err
 	}
 	if err := c.validate(); err != nil {
 		return c, err
 	}
-	if _, _, err := engines[c.Engine].decode(c.Config); err != nil {
+	def, _ := engine.Lookup(c.Engine) // validate() vouched for the name
+	if _, err := def.Decode(c.Config); err != nil {
 		return c, fmt.Errorf("campaign %q: %s config: %w", c.Name, c.Engine, err)
 	}
 	return c, nil
@@ -392,23 +397,6 @@ func checkDupKeys(raw json.RawMessage) error {
 	return walk()
 }
 
-// strictDecode unmarshals raw into v rejecting unknown fields and trailing
-// data. An empty raw decodes as the zero value.
-func strictDecode(raw json.RawMessage, v any) error {
-	if len(raw) == 0 {
-		raw = []byte("{}")
-	}
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return err
-	}
-	if dec.More() {
-		return fmt.Errorf("trailing data")
-	}
-	return nil
-}
-
 // Hash returns the canonical spec hash (hex SHA-256): the identity of the
 // study as a whole, recorded in every suite run's environment metadata.
 // Hashing happens over a canonical re-marshal — engine configs are decoded
@@ -434,13 +422,17 @@ func (s *Spec) Hash() (string, error) {
 		Campaigns []canonCampaign `json:"campaigns"`
 	}{Name: s.Name, Workers: s.Workers}
 	for _, c := range s.Campaigns {
-		def, ok := engines[c.Engine]
+		def, ok := engine.Lookup(c.Engine)
 		if !ok {
 			return "", fmt.Errorf("suite: campaign %q: unknown engine %q", c.Name, c.Engine)
 		}
-		_, cfg, err := def.decode(c.Config)
+		decoded, err := def.Decode(c.Config)
 		if err != nil {
 			return "", c.at(fmt.Errorf("suite: campaign %q: %s config: %w", c.Name, c.Engine, err))
+		}
+		cfg, err := engine.Canonical(decoded)
+		if err != nil {
+			return "", c.at(fmt.Errorf("suite: campaign %q: %w", c.Name, err))
 		}
 		canon.Campaigns = append(canon.Campaigns, canonCampaign{
 			Name: c.Name, Engine: c.Engine, Seed: c.Seed, Workers: c.Workers,

@@ -3,6 +3,8 @@ package suite
 import (
 	"strings"
 	"testing"
+
+	"opaquebench/internal/engine"
 )
 
 const specJSON = `{
@@ -81,7 +83,12 @@ func TestParseErrorsArePositioned(t *testing.T) {
 		{"not an object", "[1]", []string{"spec.json:1", "JSON object"}},
 		{"no campaigns", `{"suite": "t"}`, []string{"no campaigns"}},
 		{"unknown engine", "{\"campaigns\": [\n  {\"name\": \"x\", \"engine\": \"gpubench\", \"out\": \"x.csv\"}\n]}",
-			[]string{"spec.json:2", `unknown engine "gpubench"`}},
+			[]string{"spec.json:2", `unknown engine "gpubench"`,
+				"registered engines: " + strings.Join(engine.Names(), ", ")}},
+		// The enumeration is sorted, so the message is stable across
+		// registration order and greppable in bug reports.
+		{"unknown engine enumeration sorted", "{\"campaigns\": [\n  {\"name\": \"x\", \"engine\": \"gpubench\", \"out\": \"x.csv\"}\n]}",
+			[]string{"registered engines: cpubench, membench, netbench"}},
 		{"missing name", "{\"campaigns\": [\n  {\"engine\": \"membench\", \"out\": \"x.csv\"}\n]}",
 			[]string{"spec.json:2", `needs a "name"`}},
 		{"no sink", "{\"campaigns\": [\n  {\"name\": \"x\", \"engine\": \"membench\"}\n]}",

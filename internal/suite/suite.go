@@ -30,7 +30,6 @@ package suite
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -41,78 +40,11 @@ import (
 
 	"opaquebench/internal/adapt"
 	"opaquebench/internal/core"
-	"opaquebench/internal/cpubench"
 	"opaquebench/internal/doe"
-	"opaquebench/internal/membench"
+	"opaquebench/internal/engine"
 	"opaquebench/internal/meta"
-	"opaquebench/internal/netbench"
 	"opaquebench/internal/runner"
 )
-
-// engineDef adapts one benchmark engine to the orchestrator: decode checks
-// a raw config and returns its canonical form (for hashing), plan resolves
-// it into a factory and a materialized design, and refine exposes the
-// engine's grid-refinement hook to the adaptive planner.
-type engineDef struct {
-	decode func(raw json.RawMessage) (any, []byte, error)
-	plan   func(decoded any, seed uint64) (core.EngineFactory, *doe.Design, error)
-	refine func(decoded any) adapt.Refiner
-}
-
-// engines is the registry of suite-runnable engines. Each engine package
-// contributes a Spec type and a FromSpec constructor, so the suite builds
-// engines without importing the CLIs.
-var engines = map[string]engineDef{
-	"membench": {
-		decode: func(raw json.RawMessage) (any, []byte, error) {
-			var s membench.Spec
-			err := strictDecode(raw, &s)
-			return s, mustCanon(s, err), err
-		},
-		plan: func(decoded any, seed uint64) (core.EngineFactory, *doe.Design, error) {
-			cfg, design, err := membench.FromSpec(decoded.(membench.Spec), seed)
-			return membench.Factory(cfg), design, err
-		},
-		refine: func(decoded any) adapt.Refiner { return decoded.(membench.Spec) },
-	},
-	"netbench": {
-		decode: func(raw json.RawMessage) (any, []byte, error) {
-			var s netbench.Spec
-			err := strictDecode(raw, &s)
-			return s, mustCanon(s, err), err
-		},
-		plan: func(decoded any, seed uint64) (core.EngineFactory, *doe.Design, error) {
-			cfg, design, err := netbench.FromSpec(decoded.(netbench.Spec), seed)
-			return netbench.Factory(cfg), design, err
-		},
-		refine: func(decoded any) adapt.Refiner { return decoded.(netbench.Spec) },
-	},
-	"cpubench": {
-		decode: func(raw json.RawMessage) (any, []byte, error) {
-			var s cpubench.Spec
-			err := strictDecode(raw, &s)
-			return s, mustCanon(s, err), err
-		},
-		plan: func(decoded any, seed uint64) (core.EngineFactory, *doe.Design, error) {
-			cfg, design, err := cpubench.FromSpec(decoded.(cpubench.Spec), seed)
-			return cpubench.Factory(cfg), design, err
-		},
-		refine: func(decoded any) adapt.Refiner { return decoded.(cpubench.Spec) },
-	},
-}
-
-// mustCanon re-marshals a decoded engine spec into its canonical JSON. The
-// engine Spec types are plain data structs; their marshal cannot fail.
-func mustCanon(s any, decodeErr error) []byte {
-	if decodeErr != nil {
-		return nil
-	}
-	b, err := json.Marshal(s)
-	if err != nil {
-		panic(fmt.Sprintf("suite: canonical config marshal: %v", err))
-	}
-	return b
-}
 
 // Plan is one campaign resolved against its engine: the materialized
 // design, the engine factory, and the content-addressed cache key. For
@@ -158,12 +90,16 @@ func BuildPlans(spec *Spec) ([]Plan, error) {
 		if err := claimPaths(paths, &c); err != nil {
 			return nil, c.at(fmt.Errorf("suite: %w", err))
 		}
-		def := engines[c.Engine]
-		decoded, canon, err := def.decode(c.Config)
+		def, _ := engine.Lookup(c.Engine) // validate() vouched for the name
+		decoded, err := def.Decode(c.Config)
 		if err != nil {
 			return nil, c.at(fmt.Errorf("suite: campaign %q: %s config: %w", c.Name, c.Engine, err))
 		}
-		factory, design, err := def.plan(decoded, c.Seed)
+		canon, err := engine.Canonical(decoded)
+		if err != nil {
+			return nil, c.at(fmt.Errorf("suite: campaign %q: %w", c.Name, err))
+		}
+		factory, design, err := def.Build(decoded, c.Seed)
 		if err != nil {
 			return nil, c.at(fmt.Errorf("suite: campaign %q: %w", c.Name, err))
 		}
@@ -176,7 +112,8 @@ func BuildPlans(spec *Spec) ([]Plan, error) {
 		}
 		p := Plan{Campaign: c, Design: design, Factory: factory, Key: key, canon: canon}
 		if c.Adaptive != nil {
-			ref := def.refine(decoded)
+			// A decoded engine spec is the engine's refinement hook.
+			ref := adapt.Refiner(decoded)
 			acfg, err := c.Adaptive.config(c.Seed).Normalize(ref, design)
 			if err != nil {
 				return nil, c.at(fmt.Errorf("suite: campaign %q: %w", c.Name, err))
