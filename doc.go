@@ -41,6 +41,10 @@
 //     studies of campaigns across the registered engines from one JSON spec,
 //     concurrently under a global worker budget, with a content-addressed
 //     result cache whose replay is byte-identical to a cold run;
+//   - a campaign service (internal/serve, cmd/served) that keeps the
+//     orchestrator resident behind an HTTP/JSON API: spec-hash deduped
+//     job submission, prioritized FIFO scheduling over one shared worker
+//     budget and cache, NDJSON event streaming, graceful drain;
 //   - an adaptive campaign planner (internal/adapt) that closes the loop
 //     round by round: extra replicates where bootstrap CIs are widest,
 //     grid refinement inside detected breakpoint brackets, under hard

@@ -1,0 +1,71 @@
+package runner
+
+import "sync"
+
+// ProgressUpdate is one progress observation: Done trials completed out of
+// Total.
+type ProgressUpdate struct {
+	Done  int
+	Total int
+}
+
+// ProgressChan is a bounded, non-blocking bridge between the runner's
+// Progress callback and a consumer that may be slow, bursty, or absent — a
+// streaming HTTP client, a UI, a log follower.
+//
+// The Progress callback runs on the runner's collector goroutine while it
+// holds the campaign's ordering state (see Config.Progress): a callback
+// that blocks stalls sink delivery and, once the workers' completion
+// channel fills, the whole campaign. ProgressChan.Send never blocks — when
+// the buffer is full the oldest buffered update is dropped, so the newest
+// observation always wins and a wedged consumer can only make progress
+// reporting coarser, never slower.
+//
+// One goroutine produces (the runner's collector, via Send) and any one
+// goroutine consumes (via Updates). Close after the run returns; the runner
+// guarantees Progress is never called after Run returns, and Send must not
+// be called after Close.
+type ProgressChan struct {
+	ch   chan ProgressUpdate
+	once sync.Once
+}
+
+// NewProgressChan returns a fan-out with the given buffer capacity (values
+// < 1 are clamped to 1; capacity 1 keeps exactly the latest update).
+func NewProgressChan(buf int) *ProgressChan {
+	if buf < 1 {
+		buf = 1
+	}
+	return &ProgressChan{ch: make(chan ProgressUpdate, buf)}
+}
+
+// Send records an update without ever blocking; it has the Config.Progress
+// shape, so a ProgressChan plugs in as cfg.Progress = pc.Send.
+func (p *ProgressChan) Send(done, total int) {
+	u := ProgressUpdate{Done: done, Total: total}
+	for {
+		select {
+		case p.ch <- u:
+			return
+		default:
+		}
+		// Buffer full: drop the oldest buffered update to make room. Only
+		// Send ever writes the channel, so this loop terminates as soon as
+		// a slot frees — immediately here, or because the consumer drained
+		// one concurrently.
+		select {
+		case <-p.ch:
+		default:
+		}
+	}
+}
+
+// Updates is the consumer side. The channel carries updates in send order
+// (minus any dropped under pressure) and closes after Close, so a consumer
+// can simply range over it.
+func (p *ProgressChan) Updates() <-chan ProgressUpdate { return p.ch }
+
+// Close closes the update channel, letting a ranging consumer terminate
+// after draining what is buffered. Close is idempotent; Send must not be
+// called afterwards.
+func (p *ProgressChan) Close() { p.once.Do(func() { close(p.ch) }) }

@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestProgressChanNeverStallsCampaign is the non-blocking guarantee the
+// Config.Progress contract demands: a campaign whose progress updates are
+// fanned out through a ProgressChan that nobody reads must still complete,
+// and the buffer must hold the newest observation — the final (n, n) —
+// because Send drops oldest under pressure.
+func TestProgressChanNeverStallsCampaign(t *testing.T) {
+	d := stubDesign(t, 53)
+	pc := NewProgressChan(1)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), d, stubFactory(&stubEngine{failAt: -1}),
+			Config{Workers: 4, Progress: pc.Send})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign stalled behind an unread ProgressChan")
+	}
+	pc.Close()
+
+	var last ProgressUpdate
+	var got bool
+	for u := range pc.Updates() {
+		last, got = u, true
+	}
+	if !got {
+		t.Fatal("no update buffered")
+	}
+	if last.Done != d.Size() || last.Total != d.Size() {
+		t.Fatalf("last buffered update %+v, want {%d %d} (newest must win)", last, d.Size(), d.Size())
+	}
+}
+
+// TestProgressChanCoalesces: under producer pressure the channel keeps at
+// most its buffer's worth of updates, in order, ending at the newest.
+func TestProgressChanCoalesces(t *testing.T) {
+	pc := NewProgressChan(4)
+	const total = 1000
+	for done := 1; done <= total; done++ {
+		pc.Send(done, total)
+	}
+	pc.Close()
+
+	var seen []ProgressUpdate
+	for u := range pc.Updates() {
+		seen = append(seen, u)
+	}
+	if len(seen) == 0 || len(seen) > 4 {
+		t.Fatalf("drained %d updates, want 1..4", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i].Done <= seen[i-1].Done {
+			t.Fatalf("updates out of order: %+v", seen)
+		}
+	}
+	if last := seen[len(seen)-1]; last.Done != total {
+		t.Fatalf("newest update lost: last drained %+v", last)
+	}
+}
+
+// TestProgressChanLiveConsumer: with a consumer keeping up, every campaign
+// milestone flows through and the final update is the completed count.
+func TestProgressChanLiveConsumer(t *testing.T) {
+	d := stubDesign(t, 17)
+	pc := NewProgressChan(64)
+
+	consumed := make(chan []ProgressUpdate, 1)
+	go func() {
+		var got []ProgressUpdate
+		for u := range pc.Updates() {
+			got = append(got, u)
+		}
+		consumed <- got
+	}()
+
+	if _, err := Run(context.Background(), d, stubFactory(&stubEngine{failAt: -1}),
+		Config{Workers: 3, Progress: pc.Send}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pc.Close()
+	got := <-consumed
+	if len(got) == 0 {
+		t.Fatal("consumer saw no updates")
+	}
+	last := got[len(got)-1]
+	if last.Done != d.Size() || last.Total != d.Size() {
+		t.Fatalf("final update %+v, want {%d %d}", last, d.Size(), d.Size())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Done <= got[i-1].Done {
+			t.Fatalf("non-monotonic progress at %d: %+v", i, got)
+		}
+	}
+}

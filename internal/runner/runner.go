@@ -37,6 +37,13 @@ type Config struct {
 	// Progress, when non-nil, is called after each trial completes (in
 	// completion order, from a single goroutine) with the number of
 	// completed trials and the design size.
+	//
+	// The callback runs on the collector goroutine while it holds the
+	// campaign's ordering state: until it returns, no further record
+	// reaches the sinks, and once the workers' completion channel fills the
+	// workers stall too. Callbacks must therefore never block — bridge to a
+	// slow or absent consumer through ProgressChan, whose Send drops the
+	// oldest buffered update instead of waiting.
 	Progress func(done, total int)
 }
 

@@ -1,0 +1,84 @@
+package serve
+
+import "sync"
+
+// Event is one entry of a job's progress log, streamed to clients as one
+// NDJSON line. The log is append-only and replayable: a subscriber always
+// sees the full history from seq 1 before tailing live events, so a late
+// client reconstructs the same story an early one watched unfold.
+type Event struct {
+	// Seq is the 1-based position in the job's event log.
+	Seq int `json:"seq"`
+	// Time is the server clock's RFC3339 timestamp.
+	Time string `json:"t"`
+	// Type is the event kind: submitted, started, progress, campaign,
+	// done, failed, canceled.
+	Type string `json:"type"`
+	// Job is the job id.
+	Job string `json:"job"`
+	// Campaign names the campaign for progress/campaign events.
+	Campaign string `json:"campaign,omitempty"`
+	// Done/Total carry trial progress for progress events.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Verdict and Trials summarize a completed campaign ("hit"/"miss").
+	Verdict string `json:"verdict,omitempty"`
+	Trials  int    `json:"trials,omitempty"`
+	// Error carries the failure message on campaign/failed events.
+	Error string `json:"error,omitempty"`
+}
+
+// eventHub is a job's append-only event log plus a broadcast primitive:
+// appending closes the current wait channel, waking every tailing
+// subscriber, and replaces it. Appends never block on subscribers, so a
+// wedged event-stream client can never stall the job writing events —
+// the same never-block discipline runner.ProgressChan enforces one layer
+// down.
+type eventHub struct {
+	mu     sync.Mutex
+	events []Event
+	wait   chan struct{}
+	done   bool
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{wait: make(chan struct{})}
+}
+
+// append stamps the next seq on e and wakes subscribers. Appending to a
+// closed hub is a no-op (a late progress straggler after finalization).
+func (h *eventHub) append(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	e.Seq = len(h.events) + 1
+	h.events = append(h.events, e)
+	close(h.wait)
+	h.wait = make(chan struct{})
+}
+
+// close marks the log complete (terminal job state reached) and wakes
+// subscribers one last time.
+func (h *eventHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	h.done = true
+	close(h.wait)
+}
+
+// snapshot returns the events from index from on, a channel that closes on
+// the next append, and whether the log is complete.
+func (h *eventHub) snapshot(from int) ([]Event, <-chan struct{}, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var tail []Event
+	if from < len(h.events) {
+		tail = h.events[from:]
+	}
+	return tail, h.wait, h.done
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzSubmitBody throws arbitrary bytes at POST /v1/suites: the handler
+// must never panic and must always answer with structured JSON — a 200
+// with a 64-hex spec hash for a valid spec, an {"error": ...} body for
+// everything else. Submission runs in validate-only mode so a lucky valid
+// spec costs a hash, not a benchmark campaign.
+func FuzzSubmitBody(f *testing.F) {
+	// The battery's valid spec and targeted corruptions of it: truncation
+	// mid-token, duplicate keys, invalid UTF-8, raw binary, an absolute
+	// output path, and structural JSON that is not a spec at all.
+	f.Add([]byte(serveSpecJSON))
+	f.Add([]byte(serveSpecJSON)[:37])
+	f.Add([]byte(`{"suite": "s", "campaigns": [
+	  {"name": "x", "engine": "membench", "out": "a.csv"}]}`))
+	f.Add([]byte(`{"suite": "s", "suite": "t", "campaigns": []}`))
+	f.Add([]byte(`{"suite": "s",,}`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte("{\"suite\": \"\xff\xfe\x80\"}"))
+	f.Add([]byte{0x00, 0xff, 0x1f, 0x8b, 0x08})
+	f.Add([]byte(`{"suite": "s", "campaigns": [
+	  {"name": "x", "engine": "membench", "out": "/abs/a.csv"}]}`))
+	f.Add([]byte(`{"suite": "s", "campaigns": [
+	  {"name": "x", "engine": "quantumbench", "out": "a.csv"}]}`))
+	f.Add(bytes.Repeat([]byte("x"), maxSpecBytes+1))
+
+	s := New(Config{Workers: 1, DataDir: "unused"})
+	handler := s.Handler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/suites?validate=1", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("status %d with content type %q, want JSON always", rec.Code, ct)
+		}
+		switch rec.Code {
+		case http.StatusOK:
+			var sr SubmitResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+				t.Fatalf("200 body is not a SubmitResponse: %v\n%s", err, rec.Body.Bytes())
+			}
+			if len(sr.SpecHash) != 64 || sr.State != "validated" {
+				t.Fatalf("200 body lacks a spec hash: %+v", sr)
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+			var apiErr apiError
+			if err := json.Unmarshal(rec.Body.Bytes(), &apiErr); err != nil {
+				t.Fatalf("%d body is not structured JSON: %v\n%s", rec.Code, err, rec.Body.Bytes())
+			}
+			if apiErr.Error == "" {
+				t.Fatalf("%d with an empty error message", rec.Code)
+			}
+		default:
+			t.Fatalf("unexpected status %d:\n%s", rec.Code, rec.Body.Bytes())
+		}
+	})
+}

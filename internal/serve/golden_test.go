@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// fixedClock is the injected server clock: with time frozen at startup,
+// uptime is zero, the throughput gauge is zero by its divide-by-zero guard,
+// and both endpoints render byte-stable output.
+func fixedClock() time.Time {
+	return time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+}
+
+// goldenEndpoint locks one endpoint's exact rendering for a freshly started
+// server under a fixed clock. Regenerate with:
+// go test ./internal/serve -run Golden -update
+func goldenEndpoint(t *testing.T, path, goldenName string) {
+	t.Helper()
+	s := New(Config{Workers: 3, Slots: 2, DataDir: "served-data", Now: fixedClock})
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%s: status %d", path, rec.Code)
+	}
+	got := rec.Body.Bytes()
+
+	golden := filepath.Join("testdata", goldenName)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, golden, got, want)
+	}
+}
+
+func TestHealthzGolden(t *testing.T) { goldenEndpoint(t, "/healthz", "healthz.golden") }
+func TestMetricsGolden(t *testing.T) { goldenEndpoint(t, "/metrics", "metrics.golden") }
+
+// TestTrialsPerSecondGuard: zero or negative uptime (a fixed clock, a
+// stepped-back clock) reports zero throughput instead of dividing by it.
+func TestTrialsPerSecondGuard(t *testing.T) {
+	cases := []struct {
+		trials int64
+		uptime float64
+		want   float64
+	}{
+		{10, 0, 0},
+		{10, -1, 0},
+		{10, 2, 5},
+		{0, 4, 0},
+	}
+	for _, tc := range cases {
+		if got := trialsPerSecond(tc.trials, tc.uptime); got != tc.want {
+			t.Errorf("trialsPerSecond(%d, %v) = %v, want %v", tc.trials, tc.uptime, got, tc.want)
+		}
+	}
+}

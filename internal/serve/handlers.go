@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"container/heap"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"opaquebench/internal/engine"
+	"opaquebench/internal/suite"
+)
+
+// maxSpecBytes bounds a submitted suite spec. A spec is human-written JSON;
+// a megabyte is orders of magnitude beyond any real study and keeps a
+// hostile body from ballooning memory.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/suites", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/results/{campaign}", s.handleResults)
+	mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v as the response body. Every API response — errors
+// included — is JSON, so clients never have to sniff.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// SubmitResponse is the POST /v1/suites reply.
+type SubmitResponse struct {
+	// Job is the job id — the existing job's on a dedupe hit.
+	Job string `json:"job"`
+	// SpecHash is the canonical suite spec hash, the dedupe identity.
+	SpecHash string `json:"spec_hash"`
+	// State is the job's state at reply time.
+	State string `json:"state"`
+	// Duplicate reports whether an existing job was reused.
+	Duplicate bool `json:"duplicate"`
+}
+
+// handleSubmit accepts a suite spec (the exact JSON cmd/suite takes as a
+// file; priority via ?priority=N), validates it with the same line-precise
+// parser, and either reuses the job already covering its spec hash or
+// queues a new one.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting new suites")
+		return
+	}
+	priority := 0
+	if p := r.URL.Query().Get("priority"); p != "" {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "priority %q is not an integer", p)
+			return
+		}
+		priority = v
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "suite spec exceeds %d bytes", maxSpecBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	spec, err := suite.Parse(body, "suite.json")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := checkSinkPaths(spec); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Full plan resolution (engine config decode, design materialization,
+	// factory probe) up front: a spec the orchestrator would reject must
+	// bounce at submission, not fail a queued job later.
+	if _, err := suite.BuildPlans(spec); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("validate") != "" {
+		// Validation-only: the spec ran the full gauntlet (parse, path
+		// safety, plan resolution, hash) but no job is created — a lint
+		// endpoint for clients composing specs.
+		writeJSON(w, http.StatusOK, SubmitResponse{SpecHash: hash, State: "validated"})
+		return
+	}
+
+	s.mu.Lock()
+	// byHash holds only reusable jobs (queued, running, done); failed and
+	// canceled jobs are evicted at finalization, so any entry is a dedupe hit.
+	if prev, ok := s.byHash[hash]; ok {
+		resp := SubmitResponse{Job: prev.id, SpecHash: hash, State: string(prev.state), Duplicate: true}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.seq++
+	j := &Job{
+		id:        s.newJobID(),
+		specHash:  hash,
+		suite:     spec.Name,
+		priority:  priority,
+		seq:       s.seq,
+		spec:      spec,
+		state:     JobQueued,
+		submitted: s.now(),
+		events:    newEventHub(),
+	}
+	j.dir = s.jobDir(j.id)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.byHash[hash] = j
+	// The "submitted" event goes in before dispatch can start the job, so
+	// every event log opens with submitted → started in that order.
+	s.jobEvent(j, Event{Type: "submitted"})
+	heap.Push(&s.queue, j)
+	s.dispatch()
+	state := j.state
+	s.mu.Unlock()
+
+	s.logf("job %s: suite %q (spec %.12s, priority %d)", j.id, spec.Name, hash, priority)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{Job: j.id, SpecHash: hash, State: string(state)})
+}
+
+// checkSinkPaths confines a submitted spec's output paths to the job's
+// directory: every path must be relative and local (no "..", no absolute
+// paths, no volume escapes) — a service must not let a spec write anywhere
+// an operator didn't hand it.
+func checkSinkPaths(spec *suite.Spec) error {
+	for _, c := range spec.Campaigns {
+		for _, p := range []string{c.Out, c.JSONL, c.Env} {
+			if p == "" {
+				continue
+			}
+			if filepath.IsAbs(p) || !filepath.IsLocal(p) {
+				return fmt.Errorf("campaign %q: output path %q escapes the job directory (paths must be relative and local)", c.Name, p)
+			}
+		}
+	}
+	return nil
+}
+
+// CampaignStatus is one campaign's slice of a job status.
+type CampaignStatus struct {
+	Name    string `json:"name"`
+	Engine  string `json:"engine"`
+	Key     string `json:"key"`
+	Verdict string `json:"verdict"`
+	Trials  int    `json:"trials"`
+	Records int    `json:"records"`
+	Rounds  int    `json:"rounds,omitempty"`
+	Stop    string `json:"stop,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} reply.
+type JobStatus struct {
+	Job       string           `json:"job"`
+	Suite     string           `json:"suite"`
+	SpecHash  string           `json:"spec_hash"`
+	State     string           `json:"state"`
+	Priority  int              `json:"priority"`
+	Budget    int              `json:"budget,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	Campaigns []CampaignStatus `json:"campaigns,omitempty"`
+}
+
+// status snapshots a job. Caller holds s.mu.
+func (s *Server) status(j *Job) JobStatus {
+	st := JobStatus{
+		Job: j.id, Suite: j.suite, SpecHash: j.specHash,
+		State: string(j.state), Priority: j.priority, Budget: j.budget,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	for _, cr := range j.campaigns {
+		cs := CampaignStatus{
+			Name: cr.Name, Engine: cr.Engine, Key: cr.Key,
+			Verdict: cr.Verdict(), Trials: cr.Trials, Records: cr.Records,
+			Rounds: len(cr.Rounds), Stop: cr.Stop,
+		}
+		if cr.Err != nil {
+			cs.Error = cr.Err.Error()
+		}
+		st.Campaigns = append(st.Campaigns, cs)
+	}
+	return st
+}
+
+// lookup resolves the {id} path value.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, j := range s.order {
+		out = append(out, s.status(j))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	st := s.status(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCancel cancels a queued or running job. Terminal jobs 409.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	switch {
+	case j.state == JobQueued:
+		j.state = JobCanceled
+		j.finished = s.now()
+		if s.byHash[j.specHash] == j {
+			delete(s.byHash, j.specHash)
+		}
+		st := s.status(j)
+		s.mu.Unlock()
+		s.jobEvent(j, Event{Type: string(JobCanceled)})
+		j.events.close()
+		writeJSON(w, http.StatusOK, st)
+	case j.state == JobRunning && j.cancel != nil:
+		j.cancel(errCanceledByClient)
+		st := s.status(j)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, st)
+	default:
+		state := j.state
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "job %s is already %s", j.id, state)
+	}
+}
+
+// handleEvents streams the job's event log as NDJSON: full history first,
+// then live tail until the job reaches a terminal state or the client goes
+// away. Every line is one Event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	idx := 0
+	for {
+		events, wait, done := j.events.snapshot(idx)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		idx += len(events)
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleResults serves a finished campaign's raw bytes — exactly the file a
+// cmd/suite run of the same spec writes, because it is that file, written
+// by the same sinks under the job's directory. ?format=csv (default) or
+// ?format=jsonl selects the sink.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	state := j.state
+	var camp *suite.Campaign
+	for i := range j.spec.Campaigns {
+		if j.spec.Campaigns[i].Name == r.PathValue("campaign") {
+			camp = &j.spec.Campaigns[i]
+			break
+		}
+	}
+	s.mu.Unlock()
+	if camp == nil {
+		writeError(w, http.StatusNotFound, "job %s has no campaign %q", j.id, r.PathValue("campaign"))
+		return
+	}
+	if state != JobDone {
+		writeError(w, http.StatusConflict, "job %s is %s; results are served once it is done", j.id, state)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "csv"
+	}
+	var rel, contentType string
+	switch format {
+	case "csv":
+		rel, contentType = camp.Out, "text/csv; charset=utf-8"
+	case "jsonl":
+		rel, contentType = camp.JSONL, "application/x-ndjson"
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want csv or jsonl)", format)
+		return
+	}
+	if rel == "" {
+		writeError(w, http.StatusNotFound, "campaign %q declares no %s sink", camp.Name, format)
+		return
+	}
+	f, err := os.Open(filepath.Join(j.dir, rel))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "open result: %v", err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, f)
+}
+
+// EngineInfo is one GET /v1/engines entry.
+type EngineInfo struct {
+	Name           string `json:"name"`
+	HigherIsBetter bool   `json:"higher_is_better"`
+}
+
+// handleEngines enumerates the engine registry — the set of "engine" values
+// a submitted spec may name.
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	names := engine.Names()
+	out := make([]EngineInfo, 0, len(names))
+	for _, name := range names {
+		def, ok := engine.Lookup(name)
+		if !ok {
+			continue
+		}
+		out = append(out, EngineInfo{Name: name, HigherIsBetter: def.HigherIsBetter()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

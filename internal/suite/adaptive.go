@@ -41,7 +41,7 @@ import (
 // allotment lazily, so a fully warm campaign never consumes the budget.
 // The returned verdicts and environment describe what happened per round;
 // env is the first round's captured environment.
-func roundExec(ctx context.Context, suiteName string, p Plan, workers int, cache *Cache, rs *runner.RoundSink, beforeCold func() error) (*adapt.Outcome, []RoundVerdict, *meta.Environment, error) {
+func roundExec(ctx context.Context, suiteName string, p Plan, workers int, cache *Cache, rs *runner.RoundSink, beforeCold func() error, progress func(done, total int)) (*adapt.Outcome, []RoundVerdict, *meta.Environment, error) {
 	version := ModuleVersion()
 	var verdicts []RoundVerdict
 	var env *meta.Environment
@@ -92,7 +92,7 @@ func roundExec(ctx context.Context, suiteName string, p Plan, workers int, cache
 		if rs != nil {
 			sinks = []runner.RecordSink{rs}
 		}
-		run, err := runner.Run(ctx, d, p.Factory, runner.Config{Workers: workers, Sinks: sinks})
+		run, err := runner.Run(ctx, d, p.Factory, runner.Config{Workers: workers, Sinks: sinks, Progress: progress})
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +121,7 @@ func roundExec(ctx context.Context, suiteName string, p Plan, workers int, cache
 // every round into the campaign's sinks and filling cr with the per-round
 // verdicts. beforeCold is forwarded to roundExec (lazy worker
 // acquisition).
-func runAdaptive(ctx context.Context, suiteName string, p Plan, workers int, cache *Cache, cr *CampaignResult, specHash, baseDir string, beforeCold func() error, logf func(string, ...any)) error {
+func runAdaptive(ctx context.Context, suiteName string, p Plan, workers int, cache *Cache, cr *CampaignResult, specHash, baseDir string, beforeCold func() error, progress func(done, total int), logf func(string, ...any)) error {
 	sinks, closers, err := openSinks(p.Campaign, baseDir)
 	if err != nil {
 		return err
@@ -130,7 +130,7 @@ func runAdaptive(ctx context.Context, suiteName string, p Plan, workers int, cac
 	rs := runner.NewRoundSink(sinks...)
 	logf("suite: %s: adaptive, %d seed trials on %d workers (budget %d trials, %d rounds max)",
 		p.Campaign.Name, p.Design.Size(), workers, p.Adaptive.Budget, p.Adaptive.Rounds)
-	outcome, verdicts, env, err := roundExec(ctx, suiteName, p, workers, cache, rs, beforeCold)
+	outcome, verdicts, env, err := roundExec(ctx, suiteName, p, workers, cache, rs, beforeCold, progress)
 	cr.Rounds = verdicts
 	for _, rv := range verdicts {
 		cr.Trials += rv.Trials
@@ -224,7 +224,7 @@ func PlanSchedule(ctx context.Context, spec *Spec, opts Options) ([]CampaignSche
 		if workers > budget {
 			workers = budget
 		}
-		outcome, verdicts, _, err := roundExec(ctx, spec.Name, p, workers, cache, nil, nil)
+		outcome, verdicts, _, err := roundExec(ctx, spec.Name, p, workers, cache, nil, nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("suite: campaign %q: %w", p.Campaign.Name, err)
 		}

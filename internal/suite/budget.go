@@ -1,0 +1,94 @@
+package suite
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Budget is a global worker budget: a counted set of worker slots that
+// campaigns acquire whole allotments from before executing and release
+// afterwards. A single Budget can be shared across many concurrent Run
+// calls (Options.Budget), which is how a long-running service multiplexes
+// any number of in-flight suites without ever exceeding one machine-wide
+// worker limit.
+//
+// Acquisition is all-or-nothing under an internal mutex: a campaign either
+// holds its full allotment or none of it, and two campaigns' partial
+// acquisitions can never interleave — the property that makes the budget
+// deadlock-free no matter how many suites contend.
+//
+// The budget is instrumented: InUse reports the currently held slots and
+// Peak the high-water mark, so a scheduler (or a test under -race) can
+// prove the cap was never exceeded.
+type Budget struct {
+	slots chan struct{}
+	acqMu sync.Mutex // serializes whole-allotment acquisition
+
+	mu    sync.Mutex
+	inUse int
+	peak  int
+}
+
+// NewBudget returns a budget of n worker slots; n < 1 means
+// runtime.GOMAXPROCS(0).
+func NewBudget(n int) *Budget {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Budget{slots: make(chan struct{}, n)}
+}
+
+// Cap is the budget's total slot count.
+func (b *Budget) Cap() int { return cap(b.slots) }
+
+// Acquire blocks until n slots are held or ctx is done, in which case it
+// holds nothing and returns the cancellation cause. Acquisitions are
+// serialized: a blocked Acquire holds no slots but does hold the
+// acquisition lock, so waiters queue instead of deadlocking on fragments.
+func (b *Budget) Acquire(ctx context.Context, n int) error {
+	b.acqMu.Lock()
+	defer b.acqMu.Unlock()
+	for i := 0; i < n; i++ {
+		select {
+		case b.slots <- struct{}{}:
+		case <-ctx.Done():
+			for j := 0; j < i; j++ {
+				<-b.slots
+			}
+			return context.Cause(ctx)
+		}
+	}
+	b.mu.Lock()
+	b.inUse += n
+	if b.inUse > b.peak {
+		b.peak = b.inUse
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// Release returns n previously acquired slots.
+func (b *Budget) Release(n int) {
+	b.mu.Lock()
+	b.inUse -= n
+	b.mu.Unlock()
+	for i := 0; i < n; i++ {
+		<-b.slots
+	}
+}
+
+// InUse reports the currently held slot count.
+func (b *Budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// Peak reports the highest slot count ever held simultaneously — the
+// number a worker-budget invariant test compares against Cap.
+func (b *Budget) Peak() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peak
+}

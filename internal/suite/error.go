@@ -1,0 +1,31 @@
+package suite
+
+import "fmt"
+
+// CampaignError is one campaign's failure with the campaign's identity
+// attached as structured fields, so API consumers can report which campaign
+// failed — and under which cache key and spec hash — without parsing error
+// strings. Run joins one CampaignError per failed campaign; unwrap with
+// errors.As (and reach the cause through Unwrap/errors.Is).
+type CampaignError struct {
+	// Campaign and Engine identify the failed campaign.
+	Campaign string
+	Engine   string
+	// Key is the campaign's content-addressed cache key (the seed round's
+	// key for adaptive campaigns).
+	Key string
+	// SpecHash is the canonical hash of the suite spec the campaign
+	// belongs to.
+	SpecHash string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error keeps the historical message shape ("suite: campaign %q: ...");
+// the structured fields exist so nothing needs to parse it.
+func (e *CampaignError) Error() string {
+	return fmt.Sprintf("suite: campaign %q: %v", e.Campaign, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/errors.As.
+func (e *CampaignError) Unwrap() error { return e.Err }

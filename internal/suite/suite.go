@@ -35,7 +35,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sync"
 
 	"opaquebench/internal/adapt"
@@ -142,6 +141,23 @@ type Options struct {
 	DryRun bool
 	// Log, when non-nil, receives one progress line per campaign.
 	Log io.Writer
+	// Budget, when non-nil, replaces the run's own worker semaphore with a
+	// shared one, so many concurrent Run calls never exceed one global
+	// worker budget between them. It takes precedence over Workers and the
+	// spec's budget; the resolved budget is Budget.Cap().
+	Budget *Budget
+	// Progress, when non-nil, receives per-trial progress for every
+	// executing campaign (replayed campaigns report no trial progress).
+	// It is called from each campaign's collector goroutine, concurrently
+	// across campaigns, so it must be safe for concurrent use and — like
+	// runner.Config.Progress, whose contract it inherits — must never
+	// block; bridge slow consumers through runner.ProgressChan.
+	Progress func(campaign string, done, total int)
+	// OnCampaign, when non-nil, is called once per campaign as its outcome
+	// is final — cache verdict, trial counts and error included. Calls
+	// arrive from the campaigns' own goroutines, concurrently; the hook
+	// must be safe for concurrent use and should not block.
+	OnCampaign func(CampaignResult)
 }
 
 // CampaignResult reports one campaign's outcome.
@@ -229,15 +245,16 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	budget := opts.Workers
-	if budget < 1 {
-		budget = spec.Workers
-	}
-	if budget < 1 {
-		budget = runtime.GOMAXPROCS(0)
+	budget := opts.Budget
+	if budget == nil {
+		n := opts.Workers
+		if n < 1 {
+			n = spec.Workers
+		}
+		budget = NewBudget(n)
 	}
 
-	res := &Result{SpecHash: specHash, Budget: budget, Campaigns: make([]CampaignResult, len(plans))}
+	res := &Result{SpecHash: specHash, Budget: budget.Cap(), Campaigns: make([]CampaignResult, len(plans))}
 	var logMu sync.Mutex
 	logf := func(format string, args ...any) {
 		if opts.Log == nil {
@@ -253,6 +270,9 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 			cr := CampaignResult{Name: p.Campaign.Name, Engine: p.Campaign.Engine, Key: p.Key,
 				Hit: cache != nil && cache.Lookup(p.Key)}
 			res.Campaigns[i] = cr
+			if opts.OnCampaign != nil {
+				opts.OnCampaign(cr)
+			}
 			if p.Adaptive != nil {
 				// Later rounds depend on the seed round's records, so a dry
 				// run can only report the seed design; "suite plan" prints
@@ -266,30 +286,25 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	// sem is the global worker budget. Campaigns acquire their whole
-	// worker allotment under acqMu, so partial acquisitions never
-	// interleave and the budget cannot deadlock.
-	sem := make(chan struct{}, budget)
-	var acqMu sync.Mutex
-	acquire := func(n int) error {
-		acqMu.Lock()
-		defer acqMu.Unlock()
-		for i := 0; i < n; i++ {
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				for j := 0; j < i; j++ {
-					<-sem
-				}
-				return context.Cause(ctx)
-			}
-		}
-		return nil
+	// The budget (shared or run-local) is the global worker cap. Campaigns
+	// acquire their whole worker allotment at once — see Budget for the
+	// no-deadlock argument.
+	acquire := func(n int) error { return budget.Acquire(ctx, n) }
+	release := budget.Release
+
+	// campErr attaches the campaign's identity to a failure; the API layer
+	// unwraps the fields instead of parsing the message.
+	campErr := func(p Plan, err error) error {
+		return &CampaignError{Campaign: p.Campaign.Name, Engine: p.Campaign.Engine,
+			Key: p.Key, SpecHash: specHash, Err: err}
 	}
-	release := func(n int) {
-		for i := 0; i < n; i++ {
-			<-sem
+	// progressFor narrows the suite-level progress hook to one campaign's
+	// runner callback.
+	progressFor := func(name string) func(done, total int) {
+		if opts.Progress == nil {
+			return nil
 		}
+		return func(done, total int) { opts.Progress(name, done, total) }
 	}
 
 	var wg sync.WaitGroup
@@ -299,14 +314,19 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 		if workers < 1 {
 			workers = 1
 		}
-		if workers > budget {
-			workers = budget
+		if workers > budget.Cap() {
+			workers = budget.Cap()
 		}
 		wg.Add(1)
 		go func(i int, p Plan, workers int) {
 			defer wg.Done()
 			cr := CampaignResult{Name: p.Campaign.Name, Engine: p.Campaign.Engine, Key: p.Key}
-			defer func() { res.Campaigns[i] = cr }()
+			defer func() {
+				res.Campaigns[i] = cr
+				if opts.OnCampaign != nil {
+					opts.OnCampaign(cr)
+				}
+			}()
 
 			if p.Adaptive != nil {
 				// Workers are acquired lazily, on the first round that
@@ -326,8 +346,8 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 					acquired = true
 					return nil
 				}
-				if err := runAdaptive(ctx, spec.Name, p, workers, cache, &cr, specHash, opts.BaseDir, beforeCold, logf); err != nil {
-					cr.Err = fmt.Errorf("suite: campaign %q: %w", cr.Name, err)
+				if err := runAdaptive(ctx, spec.Name, p, workers, cache, &cr, specHash, opts.BaseDir, beforeCold, progressFor(p.Campaign.Name), logf); err != nil {
+					cr.Err = campErr(p, err)
 				}
 				return
 			}
@@ -348,14 +368,14 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 			}
 
 			if err := acquire(workers); err != nil {
-				cr.Err = fmt.Errorf("suite: campaign %q: %w", cr.Name, err)
+				cr.Err = campErr(p, err)
 				return
 			}
 			defer release(workers)
 			logf("suite: %s: miss — running %d trials on %d workers", cr.Name, p.Design.Size(), workers)
-			run, err := execute(ctx, p, workers, specHash, opts.BaseDir)
+			run, err := execute(ctx, p, workers, specHash, opts.BaseDir, progressFor(p.Campaign.Name))
 			if err != nil {
-				cr.Err = fmt.Errorf("suite: campaign %q: %w", cr.Name, err)
+				cr.Err = campErr(p, err)
 				return
 			}
 			cr.Trials = len(run.Records)
@@ -365,7 +385,7 @@ func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
 					Suite: spec.Name, Campaign: p.Campaign.Name, Engine: p.Campaign.Engine,
 					Seed: p.Campaign.Seed, Env: run.Env, Records: toCached(run.Records),
 				}); err != nil {
-					cr.Err = fmt.Errorf("suite: campaign %q: %w", cr.Name, err)
+					cr.Err = campErr(p, err)
 				}
 			}
 		}(i, p, workers)
@@ -414,13 +434,13 @@ func suiteEnv(spec *Spec, res *Result) *meta.Environment {
 
 // execute runs one campaign cold through the parallel runner, streaming
 // into its sinks.
-func execute(ctx context.Context, p Plan, workers int, specHash, baseDir string) (*core.Results, error) {
+func execute(ctx context.Context, p Plan, workers int, specHash, baseDir string, progress func(done, total int)) (*core.Results, error) {
 	sinks, closers, err := openSinks(p.Campaign, baseDir)
 	if err != nil {
 		return nil, err
 	}
 	defer closeAll(closers)
-	run, err := runner.Run(ctx, p.Design, p.Factory, runner.Config{Workers: workers, Sinks: sinks})
+	run, err := runner.Run(ctx, p.Design, p.Factory, runner.Config{Workers: workers, Sinks: sinks, Progress: progress})
 	if err != nil {
 		return nil, err
 	}
