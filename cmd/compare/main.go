@@ -10,6 +10,13 @@
 // The exit status is the gate: 0 when nothing regressed and every campaign
 // was comparable, 1 otherwise — so a CI job can run a suite twice and fail
 // the build on a statistically backed slowdown.
+//
+// With -trend the comparator switches from two runs to N: the argument is
+// an embedded result store (internal/store) whose pinned runs form the
+// history, and every campaign's per-run median trajectory is judged for
+// sustained monotone drift — the slow decay a pairwise gate between
+// adjacent runs never sees. Exit status 0 means nothing drifts in the
+// worse direction and every campaign was judgeable.
 package main
 
 import (
@@ -21,15 +28,24 @@ import (
 	"opaquebench/internal/compare"
 )
 
-const usage = `Usage: compare [flags] <baseline-cache-dir> <candidate-cache-dir>
+const usage = `Usage: compare [flags] <baseline-cache> <candidate-cache>
+       compare -trend [flags] <result-store>
 
 Compare two suite runs campaign by campaign (paired by name) and gate on
-statistically backed regressions. Both arguments are suite result-cache
-directories (cmd/suite run -cache-dir); the comparison replays the cached
-raw records in memory and touches neither directory.
+statistically backed regressions. Both arguments are suite result caches —
+directories (cmd/suite run -cache-dir) or embedded store files (cmd/suite
+run -cache-store), auto-detected; the comparison replays the cached raw
+records in memory and touches neither cache.
 
 Exit status 0 means every campaign passed or improved; any regressed or
 incomparable campaign exits 1.
+
+In -trend mode the single argument is an embedded result store whose
+pinned runs (cmd/suite store import -run) form the history, oldest first.
+Every campaign's per-run median trajectory is judged for sustained
+monotone drift, with the same bootstrap CI and practical-significance
+floor applied to the first-vs-last shift. Exit status 0 means nothing
+drifts in the worse direction and every campaign was judgeable.
 `
 
 func main() {
@@ -54,8 +70,25 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 0, "bootstrap seed (default 1)")
 	minShift := fs.Float64("min-shift", 0, "practical-significance floor on the relative median shift (default 0.01)")
 	quiet := fs.Bool("q", false, "suppress the per-campaign verdict lines")
+	trend := fs.Bool("trend", false, "judge the pinned runs of a result store for sustained drift instead of comparing two caches")
+	last := fs.Int("last", 0, "with -trend, restrict the window to the most recent N runs (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	gate := compare.Gate{
+		Level:       *level,
+		Reps:        *reps,
+		Seed:        *seed,
+		MinRelShift: *minShift,
+	}
+	if *trend {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-trend wants exactly one result-store argument, got %d\n\n%s", fs.NArg(), usage)
+		}
+		if *md != "" {
+			return fmt.Errorf("-md is not supported with -trend")
+		}
+		return runTrend(fs.Arg(0), *last, gate, *out, *quiet, stdout)
 	}
 	if fs.NArg() != 2 {
 		return fmt.Errorf("want exactly two cache directory arguments, got %d\n\n%s", fs.NArg(), usage)
@@ -68,12 +101,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cmp := compare.Compare(baseline, candidate, compare.Gate{
-		Level:       *level,
-		Reps:        *reps,
-		Seed:        *seed,
-		MinRelShift: *minShift,
-	})
+	cmp := compare.Compare(baseline, candidate, gate)
 
 	if !*quiet {
 		cmp.WriteText(stdout)
@@ -91,6 +119,42 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if !cmp.Clean() {
 		return fmt.Errorf("%d regressed, %d incomparable", cmp.Regressed, cmp.Incomparable)
+	}
+	return nil
+}
+
+// runTrend is the -trend mode: load the store's pinned runs, judge every
+// campaign's trajectory, and gate on worsening drift and unjudged
+// campaigns.
+func runTrend(storePath string, last int, gate compare.Gate, out string, quiet bool, stdout io.Writer) error {
+	runs, err := compare.LoadStoreRuns(storePath)
+	if err != nil {
+		return err
+	}
+	if last > 0 && len(runs) > last {
+		runs = runs[len(runs)-last:]
+	}
+	tr, err := compare.TrendAcrossRuns(runs, gate)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		tr.WriteText(stdout)
+	}
+	fmt.Fprintln(stdout, tr.Summary())
+	if out != "" {
+		if err := tr.WriteJSONFile(out); err != nil {
+			return err
+		}
+	}
+	if !tr.Clean() {
+		worsening := 0
+		for _, ct := range tr.Campaigns {
+			if ct.State == compare.TrendDrifting && ct.Direction == "worsening" {
+				worsening++
+			}
+		}
+		return fmt.Errorf("%d worsening, %d unjudged", worsening, tr.Unjudged)
 	}
 	return nil
 }

@@ -42,6 +42,7 @@ func run(args []string, stdout io.Writer) error {
 	addr := fs.String("addr", "localhost:8080", "listen address")
 	dataDir := fs.String("data-dir", "served-data", "directory for per-job outputs and the shared cache")
 	cacheDir := fs.String("cache-dir", "", "override the shared result cache directory (default data-dir/cache)")
+	cacheStore := fs.String("cache-store", "", "back the shared result cache with an embedded single-file store at this path (overrides -cache-dir)")
 	workers := fs.Int("workers", 0, "global worker budget across all running suites (0 = GOMAXPROCS)")
 	slots := fs.Int("slots", 2, "suite jobs allowed to run concurrently")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Minute, "how long shutdown waits for running jobs")
@@ -58,19 +59,24 @@ func run(args []string, stdout io.Writer) error {
 		logw = nil
 	}
 	srv := serve.New(serve.Config{
-		Workers:  *workers,
-		Slots:    *slots,
-		DataDir:  *dataDir,
-		CacheDir: *cacheDir,
-		Log:      logw,
+		Workers:    *workers,
+		Slots:      *slots,
+		DataDir:    *dataDir,
+		CacheDir:   *cacheDir,
+		CacheStore: *cacheStore,
+		Log:        logw,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+	cacheDesc := srv.CacheDir()
+	if *cacheStore != "" {
+		cacheDesc = "store " + *cacheStore
+	}
 	fmt.Fprintf(stdout, "served: listening on http://%s (workers %d, slots %d, cache %s)\n",
-		ln.Addr(), srv.Budget().Cap(), *slots, srv.CacheDir())
+		ln.Addr(), srv.Budget().Cap(), *slots, cacheDesc)
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -92,6 +98,11 @@ func run(args []string, stdout io.Writer) error {
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "served: drain: %v\n", err)
+	}
+	// The drain finished every running job, so the shared store-backed
+	// cache (if any) can flush its index and close.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "served: close cache: %v\n", err)
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()

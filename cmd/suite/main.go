@@ -9,7 +9,9 @@
 // gates the run against a prior cache directory through the differential
 // comparator, failing on statistically backed regressions), list (print the
 // resolved plan), hash (print the canonical spec hash and per-campaign
-// cache keys).
+// cache keys), store (manage an embedded single-file result store: import
+// legacy cache directories, query entries by metadata, pin named runs,
+// garbage-collect, compact and verify).
 package main
 
 import (
@@ -34,6 +36,8 @@ Commands:
          into the cache; a warm cache replays everything)
   list   print the resolved campaign plan without executing anything
   hash   print the canonical spec hash and per-campaign cache keys
+  store  manage an embedded result store (import, ls, pin, unpin, runs,
+         chain, gc, compact, verify)
 
 Run "suite <command> -h" for the command's flags.
 `
@@ -60,6 +64,8 @@ func run(args []string, stdout io.Writer) error {
 		return runList(args[1:], stdout)
 	case "hash":
 		return runHash(args[1:], stdout)
+	case "store":
+		return runStore(args[1:], stdout)
 	case "help", "-h", "-help", "--help":
 		fmt.Fprint(stdout, topUsage)
 		return nil
@@ -98,20 +104,22 @@ func loadSpec(fs *flag.FlagSet) (*suite.Spec, string, error) {
 func runRun(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("suite run", flag.ContinueOnError)
 	cacheDir := fs.String("cache-dir", ".suite-cache", "content-addressed result cache directory (empty disables the cache)")
+	cacheStore := fs.String("cache-store", "", "back the result cache with an embedded single-file store at this path instead of -cache-dir")
+	pinRun := fs.String("run", "", "pin this run's cache entries in the store under the given run name (needs -cache-store); pinned runs survive gc and feed compare -trend")
 	subUsage(fs, "run", "Execute every campaign of the suite, replaying cached ones byte-identically.")
 	workers := fs.Int("workers", 0, "global worker budget across concurrent campaigns (0 = the spec's, else GOMAXPROCS)")
 	dryRun := fs.Bool("dry-run", false, "print the plan with a hit/miss verdict per campaign; execute nothing, touch no output file")
 	baseDir := fs.String("C", "", "directory campaign output paths resolve against (default: the spec file's directory)")
 	envPath := fs.String("env", "", "suite-level environment JSON output: spec hash and per-campaign cache verdicts (optional)")
-	baseline := fs.String("baseline", "", "prior result-cache directory to compare this run against; any statistically backed regression fails the run")
+	baseline := fs.String("baseline", "", "prior result cache (directory or store file) to compare this run against; any statistically backed regression fails the run")
 	verdicts := fs.String("verdicts", "", "write the comparator's machine-readable verdict JSON to this file (needs -baseline)")
 	quiet := fs.Bool("q", false, "suppress per-campaign progress lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *baseline != "" {
-		if *cacheDir == "" {
-			return fmt.Errorf("-baseline needs -cache-dir: the comparison reads this run's records from its cache")
+		if *cacheDir == "" && *cacheStore == "" {
+			return fmt.Errorf("-baseline needs -cache-dir or -cache-store: the comparison reads this run's records from its cache")
 		}
 		if *dryRun {
 			return fmt.Errorf("-baseline and -dry-run are incompatible: a dry run produces no records to compare")
@@ -119,6 +127,9 @@ func runRun(args []string, stdout io.Writer) error {
 	}
 	if *verdicts != "" && *baseline == "" {
 		return fmt.Errorf("-verdicts needs -baseline")
+	}
+	if *pinRun != "" && (*cacheStore == "" || *dryRun) {
+		return fmt.Errorf("-run needs -cache-store and a real (non-dry) run: pins live in the store")
 	}
 	spec, specPath, err := loadSpec(fs)
 	if err != nil {
@@ -134,6 +145,28 @@ func runRun(args []string, stdout io.Writer) error {
 		BaseDir:  base,
 		DryRun:   *dryRun,
 	}
+	if *cacheStore != "" {
+		// A dry run must create nothing: a store that does not exist yet is
+		// simply all-miss, an existing one is opened read-only.
+		if *dryRun {
+			if _, statErr := os.Stat(*cacheStore); statErr == nil {
+				cache, err := suite.ReadCacheStore(*cacheStore)
+				if err != nil {
+					return err
+				}
+				defer cache.Close()
+				opts.Cache = cache
+			}
+		} else {
+			cache, err := suite.OpenCacheStore(*cacheStore)
+			if err != nil {
+				return err
+			}
+			defer cache.Close()
+			opts.Cache = cache
+		}
+		opts.CacheDir = ""
+	}
 	if !*quiet && !*dryRun {
 		opts.Log = os.Stderr
 	}
@@ -142,9 +175,22 @@ func runRun(args []string, stdout io.Writer) error {
 		return runErr
 	}
 	printResult(stdout, spec, res, *dryRun)
+	if *pinRun != "" && runErr == nil {
+		if err := pinResult(opts.Cache, *pinRun, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "pinned run %q (%d campaigns)\n", *pinRun, len(res.Campaigns))
+	}
 	var gateErr error
 	if *baseline != "" && runErr == nil {
-		gateErr = compareRun(stdout, res, *baseline, *cacheDir, *verdicts)
+		cache := opts.Cache
+		if cache == nil {
+			if cache, err = suite.ReadCache(*cacheDir); err != nil {
+				return err
+			}
+			defer cache.Close()
+		}
+		gateErr = compareRun(stdout, res, *baseline, cache, *verdicts)
 	}
 	if *envPath != "" {
 		f, err := os.Create(*envPath)
@@ -165,17 +211,32 @@ func runRun(args []string, stdout io.Writer) error {
 	return gateErr
 }
 
-// compareRun gates the finished run against a baseline cache: this run's
-// records are loaded back from its own cache by key, the baseline's by
-// directory scan, and the comparator's verdicts are printed, stamped into
-// the run's environment metadata, and optionally written as a verdict
-// file. A regressed or incomparable campaign is the returned error.
-func compareRun(stdout io.Writer, res *suite.Result, baselineDir, cacheDir, verdictsPath string) error {
-	baseline, err := compare.LoadCacheDir(baselineDir)
-	if err != nil {
-		return err
+// pinResult pins every cache key the finished run produced (adaptive
+// rounds included) under the run name, making the run a named, GC-proof
+// point in the store's history.
+func pinResult(cache *suite.Cache, run string, res *suite.Result) error {
+	st := cache.Backing()
+	var keys []string
+	for _, cr := range res.Campaigns {
+		if len(cr.Rounds) > 0 {
+			for _, rv := range cr.Rounds {
+				keys = append(keys, rv.Key)
+			}
+			continue
+		}
+		keys = append(keys, cr.Key)
 	}
-	cache, err := suite.ReadCache(cacheDir)
+	return st.Pin(run, keys...)
+}
+
+// compareRun gates the finished run against a baseline cache: this run's
+// records are loaded back from its own (already open) cache by key, the
+// baseline's by cache scan — a directory or a store file, auto-detected —
+// and the comparator's verdicts are printed, stamped into the run's
+// environment metadata, and optionally written as a verdict file. A
+// regressed or incomparable campaign is the returned error.
+func compareRun(stdout io.Writer, res *suite.Result, baselineDir string, cache *suite.Cache, verdictsPath string) error {
+	baseline, err := compare.LoadCacheDir(baselineDir)
 	if err != nil {
 		return err
 	}

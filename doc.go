@@ -41,6 +41,13 @@
 //     studies of campaigns across the registered engines from one JSON spec,
 //     concurrently under a global worker budget, with a content-addressed
 //     result cache whose replay is byte-identical to a cold run;
+//   - an embedded result store (internal/store) behind that cache: one
+//     append-only checksummed frame log plus an advisory sidecar index,
+//     recovering to the longest valid frame prefix after any crash, with
+//     pinned named runs, refcount garbage collection, atomic compaction,
+//     metadata queries and adaptive provenance chains — the suite cache
+//     runs directory- or store-backed with byte-identical replay either
+//     way;
 //   - a campaign service (internal/serve, cmd/served) that keeps the
 //     orchestrator resident behind an HTTP/JSON API: spec-hash deduped
 //     job submission, prioritized FIFO scheduling over one shared worker
@@ -65,10 +72,12 @@
 // (stage 1), cmd/membench, cmd/netbench and cmd/cpubench (stage 2, with
 // -workers for sharded execution and -jsonl for a second streamed sink),
 // cmd/suite (whole cached studies of stage-2 campaigns, with adaptive
-// multi-round campaigns, a plan subcommand for their schedules, and
-// -baseline as a regression gate against a prior run), cmd/compare (the standalone
-// differential gate over two suite caches), cmd/analyze (stage 3), and
-// cmd/figures (end-to-end reproductions).
+// multi-round campaigns, a plan subcommand for their schedules, -baseline
+// as a regression gate against a prior run, and -cache-store/-run plus the
+// store subcommands for pinned run history in an embedded store),
+// cmd/compare (the standalone differential gate over two suite caches, with
+// -trend gating a store's run history on monotone median drift),
+// cmd/analyze (stage 3), and cmd/figures (end-to-end reproductions).
 //
 // See README.md for a quickstart and package map, DESIGN.md for the system
 // inventory and the per-experiment index, and EXPERIMENTS.md for the

@@ -112,7 +112,8 @@ func SampleFromRounds(keys []string, entries []*suite.Entry) (Sample, error) {
 	return out, nil
 }
 
-// LoadCacheDir reads every entry of a suite cache directory and groups the
+// LoadCacheDir reads every entry of a suite cache — a cache directory or,
+// when dir names a store file, an embedded result store — and groups the
 // samples by campaign name. More than one entry per name (a cache that
 // accumulated entries across edited runs) is preserved so the comparator
 // can refuse the ambiguity instead of silently picking one.
@@ -121,21 +122,38 @@ func LoadCacheDir(dir string) (map[string][]Sample, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cache.Close()
+	return loadSamples(cache)
+}
+
+// loadSamples reads every entry of an open cache, whichever backend it is,
+// and groups the samples by campaign name.
+func loadSamples(cache *suite.Cache) (map[string][]Sample, error) {
 	keys, err := cache.Keys()
 	if err != nil {
 		return nil, err
 	}
-	byCampaign := make(map[string][]loadedEntry, len(keys))
-	var order []string
+	loaded := make([]loadedEntry, 0, len(keys))
 	for _, key := range keys {
 		entry, err := cache.Load(key)
 		if err != nil {
 			return nil, err
 		}
-		if _, seen := byCampaign[entry.Campaign]; !seen {
-			order = append(order, entry.Campaign)
+		loaded = append(loaded, loadedEntry{key, entry})
+	}
+	return samplesFromEntries(loaded)
+}
+
+// samplesFromEntries groups loaded cache entries into per-campaign samples
+// — the shared grouping behind the directory, store and per-run loaders.
+func samplesFromEntries(loaded []loadedEntry) (map[string][]Sample, error) {
+	byCampaign := make(map[string][]loadedEntry, len(loaded))
+	var order []string
+	for _, l := range loaded {
+		if _, seen := byCampaign[l.entry.Campaign]; !seen {
+			order = append(order, l.entry.Campaign)
 		}
-		byCampaign[entry.Campaign] = append(byCampaign[entry.Campaign], loadedEntry{key, entry})
+		byCampaign[l.entry.Campaign] = append(byCampaign[l.entry.Campaign], l)
 	}
 	out := make(map[string][]Sample, len(byCampaign))
 	for _, campaign := range order {

@@ -1,0 +1,320 @@
+package compare
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"opaquebench/internal/engine"
+	"opaquebench/internal/stats"
+)
+
+// Trend state taxonomy. Every campaign of a trend analysis lands in
+// exactly one class.
+const (
+	// TrendDrifting: the per-run medians move monotonically across the
+	// whole window AND the first-vs-last bootstrap CI excludes zero AND
+	// the relative shift clears the practical-significance floor — a
+	// sustained, statistically backed drift, not run-to-run noise.
+	TrendDrifting = "drifting"
+	// TrendStable: judged, but at least one drift condition fails.
+	TrendStable = "stable"
+	// TrendUnjudged: the campaign cannot be judged — present in fewer
+	// than two runs, ambiguously cached in a run, engine changed or
+	// unknown, a run has no records, or the first median is zero.
+	// Loud, like the comparator's incomparable verdict.
+	TrendUnjudged = "unjudged"
+)
+
+// TrendPoint is one run's position on a campaign's trajectory.
+type TrendPoint struct {
+	// Run is the pin name of the run.
+	Run string `json:"run"`
+	// Key is the sample's content-addressed identity ("+"-joined for
+	// reassembled round chains).
+	Key string `json:"key,omitempty"`
+	// Median is the run's median primary-metric value; N its record count.
+	Median float64 `json:"median"`
+	N      int     `json:"n"`
+}
+
+// CampaignTrend is one campaign's judgement across the run window.
+type CampaignTrend struct {
+	Campaign string `json:"campaign"`
+	Engine   string `json:"engine,omitempty"`
+	State    string `json:"state"`
+	// Reason explains an unjudged state.
+	Reason         string `json:"reason,omitempty"`
+	HigherIsBetter bool   `json:"higher_is_better,omitempty"`
+	// Points is the median trajectory over the runs carrying the
+	// campaign, oldest first.
+	Points []TrendPoint `json:"points,omitempty"`
+	// Monotone is "increasing" or "decreasing" when the medians move in
+	// one direction across every consecutive run pair (ties allowed, net
+	// change required), else empty.
+	Monotone string `json:"monotone,omitempty"`
+	// Direction orients a drifting trend by the engine's metric
+	// direction: "improving" or "worsening".
+	Direction string `json:"direction,omitempty"`
+	// Identical marks the determinism fast path: first and last runs
+	// carry byte-identical record values, so the net effect is exactly
+	// zero.
+	Identical bool `json:"identical,omitempty"`
+	// Shift is last-run median minus first-run median in metric units;
+	// RelShift the shift relative to |first median|.
+	Shift    float64 `json:"shift"`
+	RelShift float64 `json:"rel_shift"`
+	// CILo and CIHi bound the bootstrap CI on the first-vs-last median
+	// shift at CILevel.
+	CILo    float64 `json:"ci_lo"`
+	CIHi    float64 `json:"ci_hi"`
+	CILevel float64 `json:"ci_level,omitempty"`
+}
+
+// Trend is a whole N-run trend analysis: the gate parameters, the run
+// window, the per-campaign trends in name order, and the class totals.
+type Trend struct {
+	Level       float64 `json:"level"`
+	Reps        int     `json:"reps"`
+	Seed        uint64  `json:"seed"`
+	MinRelShift float64 `json:"min_rel_shift"`
+
+	// Runs is the run window in pin order, oldest first.
+	Runs []string `json:"runs"`
+
+	Campaigns []CampaignTrend `json:"campaigns"`
+
+	Drifting int `json:"drifting"`
+	Stable   int `json:"stable"`
+	Unjudged int `json:"unjudged"`
+}
+
+// Clean reports whether the trend gates green: nothing drifting in the
+// worse direction and nothing unjudged. An improving drift does not fail
+// the gate — it is the point of performance work — but it stays visible
+// in the report.
+func (t *Trend) Clean() bool {
+	if t.Unjudged > 0 {
+		return false
+	}
+	for _, ct := range t.Campaigns {
+		if ct.State == TrendDrifting && ct.Direction == "worsening" {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders the one-line totals.
+func (t *Trend) Summary() string {
+	return fmt.Sprintf("%d campaigns over %d runs: %d drifting, %d stable, %d unjudged",
+		len(t.Campaigns), len(t.Runs), t.Drifting, t.Stable, t.Unjudged)
+}
+
+// TrendAcrossRuns judges every campaign's trajectory across the run
+// window: the per-run median trajectory, a monotone-direction probe, and
+// — reusing the comparator's bootstrap machinery — a first-vs-last
+// median-shift CI gated by the same practical-significance floor. The
+// result is deterministic: runs keep pin order, campaigns sort by name,
+// and all resampling is seeded per campaign.
+func TrendAcrossRuns(runs []Run, g Gate) (*Trend, error) {
+	if len(runs) < 2 {
+		return nil, fmt.Errorf("compare: trend needs at least 2 runs, got %d", len(runs))
+	}
+	g = g.withDefaults()
+	t := &Trend{
+		Level:       g.Level,
+		Reps:        g.Reps,
+		Seed:        g.Seed,
+		MinRelShift: g.MinRelShift,
+	}
+	names := map[string]bool{}
+	for _, r := range runs {
+		t.Runs = append(t.Runs, r.Name)
+		for n := range r.Samples {
+			names[n] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	for _, name := range sorted {
+		ct := trendCampaign(name, runs, g)
+		t.Campaigns = append(t.Campaigns, ct)
+		switch ct.State {
+		case TrendDrifting:
+			t.Drifting++
+		case TrendStable:
+			t.Stable++
+		default:
+			t.Unjudged++
+		}
+	}
+	return t, nil
+}
+
+// trendCampaign judges one campaign across the window.
+func trendCampaign(name string, runs []Run, g Gate) CampaignTrend {
+	ct := CampaignTrend{Campaign: name, State: TrendUnjudged}
+	var samples []Sample
+	for _, r := range runs {
+		group := r.Samples[name]
+		if len(group) == 0 {
+			continue // a run without the campaign narrows the window, loudly visible in Points
+		}
+		if len(group) > 1 {
+			ct.Reason = fmt.Sprintf("run %q holds %d entries named %q — ambiguous; re-pin from a clean run", r.Name, len(group), name)
+			return ct
+		}
+		s := group[0]
+		if len(s.Records) == 0 {
+			ct.Reason = fmt.Sprintf("run %q has no records for %q", r.Name, name)
+			return ct
+		}
+		samples = append(samples, s)
+		ct.Points = append(ct.Points, TrendPoint{
+			Run: r.Name, Key: s.Key, Median: stats.Median(s.Values()), N: len(s.Records),
+		})
+	}
+	if len(samples) < 2 {
+		ct.Reason = fmt.Sprintf("present in %d run(s); a trend needs at least 2", len(samples))
+		return ct
+	}
+	eng := samples[0].Engine
+	for _, s := range samples[1:] {
+		if s.Engine != eng {
+			ct.Reason = fmt.Sprintf("engine changed across runs: %s vs %s", eng, s.Engine)
+			return ct
+		}
+	}
+	ct.Engine = eng
+	def, known := engine.Lookup(eng)
+	if !known {
+		ct.Reason = fmt.Sprintf("unknown engine %q: metric direction undefined", eng)
+		return ct
+	}
+	ct.HigherIsBetter = def.HigherIsBetter()
+	ct.Monotone = monotoneDirection(ct.Points)
+
+	first, last := samples[0], samples[len(samples)-1]
+	firstVals, lastVals := first.Values(), last.Values()
+	firstMedian := ct.Points[0].Median
+	lastMedian := ct.Points[len(ct.Points)-1].Median
+	if equalValues(firstVals, lastVals) {
+		// The determinism fast path: identical record values (always the
+		// case when the keys match) mean exactly zero net effect — no
+		// resampling needed, and no monotone drift is possible since the
+		// trajectory returns to its start.
+		ct.State = TrendStable
+		ct.Identical = true
+		ct.CILevel = g.Level
+		return ct
+	}
+	if firstMedian == 0 {
+		ct.Reason = "first run's median is zero: relative shift undefined"
+		return ct
+	}
+	ci, err := stats.MedianShiftCI(firstVals, lastVals, g.Level, g.Reps, pairSeed(g.Seed, name))
+	if err != nil {
+		ct.Reason = fmt.Sprintf("bootstrap failed: %v", err)
+		return ct
+	}
+	ct.Shift = lastMedian - firstMedian
+	ct.RelShift = ct.Shift / math.Abs(firstMedian)
+	ct.CILo, ct.CIHi, ct.CILevel = ci.Lo, ci.Hi, ci.Level
+
+	backed := ci.Hi < 0 || ci.Lo > 0 // the whole interval is on one side of zero
+	practical := math.Abs(ct.RelShift) >= g.MinRelShift
+	if ct.Monotone != "" && backed && practical {
+		ct.State = TrendDrifting
+		if (ct.Shift > 0) == ct.HigherIsBetter {
+			ct.Direction = "improving"
+		} else {
+			ct.Direction = "worsening"
+		}
+	} else {
+		ct.State = TrendStable
+	}
+	return ct
+}
+
+// monotoneDirection reports the trajectory's direction when every
+// consecutive step moves the same way (ties allowed) and the net change is
+// nonzero: "increasing", "decreasing", or "" for anything mixed or flat.
+func monotoneDirection(points []TrendPoint) string {
+	up, down := true, true
+	for i := 1; i < len(points); i++ {
+		if points[i].Median < points[i-1].Median {
+			up = false
+		}
+		if points[i].Median > points[i-1].Median {
+			down = false
+		}
+	}
+	first, last := points[0].Median, points[len(points)-1].Median
+	switch {
+	case up && last > first:
+		return "increasing"
+	case down && last < first:
+		return "decreasing"
+	}
+	return ""
+}
+
+// WriteJSON serializes the trend as a canonical report: indented JSON with
+// struct-ordered keys, name-sorted campaigns and no timestamps, so two
+// analyses of the same store are byte-identical.
+func (t *Trend) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// WriteJSONFile writes the canonical trend report to path.
+func (t *Trend) WriteJSONFile(path string) error {
+	return writeFile(path, t.WriteJSON)
+}
+
+// WriteText renders the human per-campaign trend lines.
+func (t *Trend) WriteText(w io.Writer) {
+	for _, ct := range t.Campaigns {
+		switch {
+		case ct.State == TrendUnjudged:
+			fmt.Fprintf(w, "  %-20s %-9s %-9s %s\n", ct.Campaign, ct.Engine, ct.State, ct.Reason)
+		case ct.Identical:
+			fmt.Fprintf(w, "  %-20s %-9s %-9s identical records across %d runs\n",
+				ct.Campaign, ct.Engine, ct.State, len(ct.Points))
+		default:
+			state := ct.State
+			if ct.Direction != "" {
+				state += " (" + ct.Direction + ")"
+			}
+			fmt.Fprintf(w, "  %-20s %-9s %-21s medians %s, shift %+.6g (%+.2f%%), CI [%.6g, %.6g]\n",
+				ct.Campaign, ct.Engine, state, trajectory(ct.Points), ct.Shift, ct.RelShift*100, ct.CILo, ct.CIHi)
+		}
+	}
+}
+
+// trajectory renders the median trajectory as "a -> b -> c".
+func trajectory(points []TrendPoint) string {
+	parts := make([]string, len(points))
+	for i, p := range points {
+		parts[i] = fmt.Sprintf("%.6g", p.Median)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// ReadTrendJSON parses a trend report written by WriteJSON.
+func ReadTrendJSON(r io.Reader) (*Trend, error) {
+	var t Trend
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("compare: decode trend: %w", err)
+	}
+	return &t, nil
+}

@@ -114,14 +114,18 @@ func (s *Server) runJob(j *Job, ctx context.Context) {
 	pump := &progressPump{s: s, j: j, chans: map[string]*runner.ProgressChan{}}
 	var err error
 	var res *suite.Result
-	if err = os.MkdirAll(j.dir, 0o777); err == nil {
-		res, err = suite.Run(ctx, j.spec, suite.Options{
-			CacheDir:   s.cacheDir,
-			BaseDir:    j.dir,
-			Budget:     s.budget,
-			Progress:   pump.progress,
-			OnCampaign: func(cr suite.CampaignResult) { s.noteCampaign(j, cr) },
-		})
+	cache, err := s.jobCache()
+	if err == nil {
+		if err = os.MkdirAll(j.dir, 0o777); err == nil {
+			res, err = suite.Run(ctx, j.spec, suite.Options{
+				Cache:      cache,
+				CacheDir:   s.cacheDir,
+				BaseDir:    j.dir,
+				Budget:     s.budget,
+				Progress:   pump.progress,
+				OnCampaign: func(cr suite.CampaignResult) { s.noteCampaign(j, cr) },
+			})
+		}
 	}
 	pump.close()
 

@@ -37,6 +37,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -57,6 +58,13 @@ type Config struct {
 	DataDir string
 	// CacheDir overrides the shared content-addressed cache directory.
 	CacheDir string
+	// CacheStore, when non-empty, backs the shared cache with a
+	// single-file embedded store (internal/store) at this path instead of
+	// a directory. Every job shares one open store, so the daemon gains
+	// the store's queryable history — pinned runs, provenance chains,
+	// GC — without changing a byte of any result. Takes precedence over
+	// CacheDir.
+	CacheStore string
 	// Now is the server clock; nil means time.Now. Tests inject a fixed
 	// clock to make /healthz and /metrics output reproducible.
 	Now func() time.Time
@@ -76,6 +84,13 @@ type Server struct {
 	now      func() time.Time
 	start    time.Time
 	log      io.Writer
+
+	// Store-backed cache, opened lazily on the first job (New must not
+	// create anything on disk) and shared by every job thereafter.
+	cacheStore string
+	cacheOnce  sync.Once
+	cache      *suite.Cache
+	cacheErr   error
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -110,17 +125,52 @@ func New(cfg Config) *Server {
 		cacheDir = filepath.Join(cfg.DataDir, "cache")
 	}
 	s := &Server{
-		dataDir:  cfg.DataDir,
-		cacheDir: cacheDir,
-		slots:    slots,
-		budget:   suite.NewBudget(cfg.Workers),
-		now:      now,
-		log:      cfg.Log,
-		jobs:     map[string]*Job{},
-		byHash:   map[string]*Job{},
+		dataDir:    cfg.DataDir,
+		cacheDir:   cacheDir,
+		cacheStore: cfg.CacheStore,
+		slots:      slots,
+		budget:     suite.NewBudget(cfg.Workers),
+		now:        now,
+		log:        cfg.Log,
+		jobs:       map[string]*Job{},
+		byHash:     map[string]*Job{},
 	}
 	s.start = s.now()
 	return s
+}
+
+// jobCache resolves the cache jobs run against: the shared store-backed
+// cache when CacheStore is configured (opened on first use), nil otherwise
+// (jobs fall back to the cache directory). The first open failure latches:
+// a daemon whose store cannot open fails every job loudly rather than
+// silently re-running cold against nothing.
+func (s *Server) jobCache() (*suite.Cache, error) {
+	if s.cacheStore == "" {
+		return nil, nil
+	}
+	s.cacheOnce.Do(func() {
+		if dir := filepath.Dir(s.cacheStore); dir != "" {
+			if err := os.MkdirAll(dir, 0o777); err != nil {
+				s.cacheErr = err
+				return
+			}
+		}
+		s.cache, s.cacheErr = suite.OpenCacheStore(s.cacheStore)
+		if s.cacheErr == nil {
+			s.logf("cache store open: %s", s.cacheStore)
+		}
+	})
+	return s.cache, s.cacheErr
+}
+
+// Close releases the shared store-backed cache, flushing its sidecar
+// index. Call it after Drain; a Server with no store-backed cache (or one
+// that never ran a job) closes trivially.
+func (s *Server) Close() error {
+	if s.cache != nil {
+		return s.cache.Close()
+	}
+	return nil
 }
 
 // Budget exposes the shared instrumented worker budget — the object whose

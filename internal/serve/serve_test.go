@@ -646,3 +646,87 @@ func TestEnginesEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreBackedCacheServesIdenticalBytes: a daemon on the embedded-store
+// cache serves byte-identical results to one on the directory cache, a
+// renamed resubmission replays entirely from the shared store (zero
+// trials), and the store passes its own integrity check after Close.
+func TestStoreBackedCacheServesIdenticalBytes(t *testing.T) {
+	// Reference: a directory-cache server.
+	_, dirTS := newTestServer(t, Config{Workers: 2})
+	ref, code := submit(t, dirTS, serveSpecJSON, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("dir submit: status %d", code)
+	}
+	if st := waitTerminal(t, dirTS, ref.Job); st.State != string(JobDone) {
+		t.Fatalf("dir job finished %s: %s", st.State, st.Error)
+	}
+
+	storePath := filepath.Join(t.TempDir(), "cache.store")
+	srv, ts := newTestServer(t, Config{Workers: 2, CacheStore: storePath})
+	first, code := submit(t, ts, serveSpecJSON, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("store submit: status %d", code)
+	}
+	st := waitTerminal(t, ts, first.Job)
+	if st.State != string(JobDone) {
+		t.Fatalf("store job finished %s: %s", st.State, st.Error)
+	}
+	for _, cs := range st.Campaigns {
+		if cs.Verdict != "miss" || cs.Trials == 0 {
+			t.Errorf("store cold campaign %s: verdict %s trials %d", cs.Name, cs.Verdict, cs.Trials)
+		}
+	}
+	for _, name := range []string{"mem", "net", "cpu"} {
+		for _, format := range []string{"csv", "jsonl"} {
+			want := fetchResult(t, dirTS, ref.Job, name, format)
+			got := fetchResult(t, ts, first.Job, name, format)
+			if !bytes.Equal(want, got) {
+				t.Errorf("campaign %s %s differs between cache backends (%d vs %d bytes)",
+					name, format, len(want), len(got))
+			}
+		}
+	}
+
+	// A renamed suite is a new job but identical campaigns: every one must
+	// replay from the shared store, executing nothing.
+	renamed := strings.Replace(serveSpecJSON, `"suite": "serve-t"`, `"suite": "serve-t-store"`, 1)
+	second, code := submit(t, ts, renamed, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("renamed submit: status %d", code)
+	}
+	st = waitTerminal(t, ts, second.Job)
+	if st.State != string(JobDone) {
+		t.Fatalf("renamed job finished %s: %s", st.State, st.Error)
+	}
+	for _, cs := range st.Campaigns {
+		if cs.Verdict != "hit" || cs.Trials != 0 {
+			t.Errorf("renamed campaign %s: verdict %s trials %d, want hit/0", cs.Name, cs.Verdict, cs.Trials)
+		}
+	}
+	for _, name := range []string{"mem", "net", "cpu"} {
+		a := fetchResult(t, ts, first.Job, name, "csv")
+		b := fetchResult(t, ts, second.Job, name, "csv")
+		if !bytes.Equal(a, b) {
+			t.Errorf("campaign %s: store replay differs from the original", name)
+		}
+	}
+
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	verify, err := suite.ReadCacheStore(storePath)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	defer verify.Close()
+	if _, err := verify.Backing().Verify(); err != nil {
+		t.Errorf("store Verify after daemon shutdown: %v", err)
+	}
+	if got := verify.Backing().Len(); got != 3 {
+		t.Errorf("store holds %d entries, want 3", got)
+	}
+}

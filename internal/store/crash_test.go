@@ -1,0 +1,195 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildCrashFixture writes a multi-entry store and returns its log bytes
+// plus the cumulative frame-end offsets (the legal recovery points): after
+// the header, each element of ends[i] is the end of the i-th frame. The
+// fixture mixes every frame type so recovery is proven for all of them:
+// three entries, a pin, an overwrite of entry 1, a tombstone for entry 2,
+// and an unpin.
+func buildCrashFixture(t *testing.T) (log []byte, ends []int64, keys []string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixture.store")
+	s := openTest(t, path)
+
+	sizeAfter := func() int64 { return s.LogSize() }
+	mark := func() { ends = append(ends, sizeAfter()) }
+
+	for i := 0; i < 3; i++ {
+		key, payload, m := testEntry(i)
+		if err := s.Put(key, payload, m); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+		mark()
+	}
+	if err := s.Pin("run-a", keys[0], keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	mark()
+	if err := s.Put(keys[1], []byte(`{"records":[],"rewritten":true}`), Meta{Campaign: "rewrite"}); err != nil {
+		t.Fatal(err)
+	}
+	mark()
+	// Tombstone keys[2] the way GC would: unpinned and unreferenced, it is
+	// the only reclaimable entry.
+	dead, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 || dead[0] != keys[2] {
+		t.Fatalf("GC reclaimed %v, want [%s]", dead, keys[2])
+	}
+	mark()
+	if err := s.Unpin("run-a"); err != nil {
+		t.Fatal(err)
+	}
+	mark()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ends[len(ends)-1] != int64(len(log)) {
+		t.Fatalf("fixture bookkeeping: last frame ends at %d, log is %d bytes", ends[len(ends)-1], len(log))
+	}
+	return log, ends, keys
+}
+
+// expectedState computes the state a reader must see when only the first n
+// frames of the fixture survive.
+func expectedState(keys []string, frames int) (live []string, pins int) {
+	switch {
+	case frames == 0:
+		return nil, 0
+	case frames <= 3: // entries 0..frames-1
+		return keys[:frames], 0
+	case frames == 4: // + pin run-a
+		return keys, 1
+	case frames == 5: // + overwrite of keys[1]
+		return keys, 1
+	case frames == 6: // + tombstone keys[2]
+		return keys[:2], 1
+	default: // + unpin
+		return keys[:2], 0
+	}
+}
+
+// TestCrashTruncationEveryOffset is the crash-injection battery: the log is
+// truncated at every byte offset, reopened read-write, and the recovered
+// state must be exactly the longest valid frame prefix — never a torn
+// entry, never a frame beyond the cut, and the file must be usable for
+// appends afterwards.
+func TestCrashTruncationEveryOffset(t *testing.T) {
+	log, ends, keys := buildCrashFixture(t)
+	dir := t.TempDir()
+
+	// frame ends as recovery points: framesAt(cut) = number of whole
+	// frames within the first cut bytes.
+	framesAt := func(cut int64) int {
+		n := 0
+		for _, e := range ends {
+			if e <= cut {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := int64(0); cut <= int64(len(log)); cut++ {
+		path := filepath.Join(dir, "cut.store") // reused; each iteration rewrites it
+		if err := os.WriteFile(path, log[:cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		os.Remove(path + ".idx") // no index: force the scan path every time
+		s, err := Open(path, Options{Now: fixedClock()})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		frames := framesAt(cut)
+		wantLive, wantPins := expectedState(keys, frames)
+
+		gotKeys := s.Keys()
+		if len(gotKeys) != len(wantLive) {
+			t.Fatalf("cut %d (%d frames): %d live entries %v, want %d", cut, frames, len(gotKeys), gotKeys, len(wantLive))
+		}
+		for _, k := range wantLive {
+			if !s.Has(k) {
+				t.Fatalf("cut %d (%d frames): entry %s missing", cut, frames, k)
+			}
+			// The payload must be intact — a torn entry surfacing would
+			// fail here.
+			if _, err := s.Get(k); err != nil {
+				t.Fatalf("cut %d: Get(%s): %v", cut, k, err)
+			}
+		}
+		if got := len(s.Pins()); got != wantPins {
+			t.Fatalf("cut %d (%d frames): %d pinned runs, want %d", cut, frames, got, wantPins)
+		}
+		if _, err := s.Verify(); err != nil {
+			t.Fatalf("cut %d: Verify after recovery: %v", cut, err)
+		}
+
+		// Recovery must leave the log appendable: a fresh entry lands after
+		// the valid prefix and survives another reopen.
+		key, payload, m := testEntry(9)
+		if err := s.Put(key, payload, m); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("cut %d: Close: %v", cut, err)
+		}
+		s2, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		got, err := s2.Get(key)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("cut %d: appended entry after recovery: %q, %v", cut, got, err)
+		}
+		s2.Close()
+	}
+}
+
+// TestTornTailTruncatedOnOpen pins down the repair semantics: a read-write
+// open physically truncates a torn tail, a read-only open leaves the file
+// bytes untouched.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	log, ends, _ := buildCrashFixture(t)
+	cut := ends[2] + 7 // mid-frame: inside the pin frame
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.store")
+	if err := os.WriteFile(path, log[:cut], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := Open(path, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ro.LogSize(); got != ends[2] {
+		t.Errorf("read-only valid prefix = %d, want %d", got, ends[2])
+	}
+	ro.Close()
+	if fi, _ := os.Stat(path); fi.Size() != cut {
+		t.Errorf("read-only open modified the file: %d bytes, want %d", fi.Size(), cut)
+	}
+
+	rw, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw.Close()
+	if fi, _ := os.Stat(path); fi.Size() != ends[2] {
+		t.Errorf("read-write open left %d bytes, want the torn tail truncated to %d", fi.Size(), ends[2])
+	}
+}

@@ -1,0 +1,266 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestRefcountPinUnpin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.store")
+	s := openTest(t, path)
+	var keys []string
+	for i := 0; i < 3; i++ {
+		key, payload, m := testEntry(i)
+		if err := s.Put(key, payload, m); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	if err := s.Pin("run-a", keys[0], keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin("run-b", keys[1], keys[2]); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 2, 1} {
+		if got := s.Refcount(keys[i]); got != want {
+			t.Errorf("Refcount(keys[%d]) = %d, want %d", i, got, want)
+		}
+	}
+
+	// Everything is pinned: GC must reclaim nothing.
+	dead, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 0 {
+		t.Fatalf("GC reclaimed pinned entries: %v", dead)
+	}
+
+	// Dropping run-a leaves keys[1] held by run-b; only keys[0] dies.
+	if err := s.Unpin("run-a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Refcount(keys[1]); got != 1 {
+		t.Errorf("after Unpin: Refcount(keys[1]) = %d, want 1", got)
+	}
+	dead, err = s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 || dead[0] != keys[0] {
+		t.Fatalf("GC reclaimed %v, want [%s]", dead, keys[0])
+	}
+	if s.Has(keys[0]) || !s.Has(keys[1]) || !s.Has(keys[2]) {
+		t.Fatalf("live set wrong after GC: %v", s.Keys())
+	}
+
+	// Re-pinning a run replaces its key set, it does not accumulate.
+	if err := s.Pin("run-b", keys[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Refcount(keys[1]); got != 0 {
+		t.Errorf("re-pin did not replace: Refcount(keys[1]) = %d, want 0", got)
+	}
+}
+
+// TestGCKeepsRoundChainAncestors: an entry referenced only through a pinned
+// descendant's provenance chain must survive GC.
+func TestGCKeepsRoundChainAncestors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.store")
+	s := openTest(t, path)
+
+	// seed ← round2 ← round3 via Parent links, plus one unrelated entry.
+	chain := make([]string, 3)
+	for i := range chain {
+		chain[i] = fmt.Sprintf("%064x", 0xa0+i)
+	}
+	for i, key := range chain {
+		m := Meta{Campaign: "adaptive", Round: i + 1}
+		if i > 0 {
+			m.Parent = chain[i-1]
+		}
+		if err := s.Put(key, []byte(fmt.Sprintf(`{"round":%d}`, i+1)), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loner, payload, lm := testEntry(9)
+	if err := s.Put(loner, payload, lm); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin only the final round: the whole chain must survive, the loner not.
+	if err := s.Pin("final", chain[2]); err != nil {
+		t.Fatal(err)
+	}
+	dead, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 || dead[0] != loner {
+		t.Fatalf("GC reclaimed %v, want only the unchained entry %s", dead, loner)
+	}
+	for i, key := range chain {
+		if !s.Has(key) {
+			t.Errorf("round %d entry reclaimed despite pinned descendant", i+1)
+		}
+	}
+	got, err := s.Chain(chain[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Key != chain[0] || got[2].Key != chain[2] {
+		t.Fatalf("chain broken after GC: %+v", got)
+	}
+}
+
+// snapshot captures everything a reader can observe: all live metadata in
+// query order, every payload, and the pin table.
+func snapshot(t *testing.T, s *Store) ([]Meta, map[string][]byte, []Pin) {
+	t.Helper()
+	metas := s.Query(Query{})
+	payloads := map[string][]byte{}
+	for _, k := range s.Keys() {
+		b, err := s.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", k, err)
+		}
+		payloads[k] = b
+	}
+	return metas, payloads, s.Pins()
+}
+
+func TestCompactPreservesStateByteForByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.store")
+	s := openTest(t, path)
+	var keys []string
+	for i := 0; i < 6; i++ {
+		key, payload, m := testEntry(i)
+		if i >= 3 {
+			m.Parent = keys[i-3] // some provenance links survive compaction too
+		}
+		if err := s.Put(key, payload, m); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	// Overwrite one entry (superseded frame → dead bytes), pin some, kill
+	// the rest, so the compaction actually has garbage to drop.
+	if err := s.Put(keys[1], []byte(`{"records":[],"v":2}`), Meta{Campaign: "rewritten"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin("keep", keys[0], keys[1], keys[3], keys[4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantMetas, wantPayloads, wantPins := snapshot(t, s)
+	sizeBefore := s.LogSize()
+
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if s.LogSize() >= sizeBefore {
+		t.Errorf("compaction did not shrink the log: %d -> %d", sizeBefore, s.LogSize())
+	}
+	if _, err := s.Verify(); err != nil {
+		t.Fatalf("Verify after compact: %v", err)
+	}
+	gotMetas, gotPayloads, gotPins := snapshot(t, s)
+	if !reflect.DeepEqual(gotMetas, wantMetas) {
+		t.Errorf("query results changed across compaction:\n pre %+v\npost %+v", wantMetas, gotMetas)
+	}
+	if !reflect.DeepEqual(gotPayloads, wantPayloads) {
+		t.Error("payload bytes changed across compaction")
+	}
+	if !reflect.DeepEqual(gotPins, wantPins) {
+		t.Errorf("pins changed across compaction: pre %+v post %+v", wantPins, gotPins)
+	}
+
+	// And the same state must come back from a cold reopen of the new log.
+	s.Close()
+	s2 := openTest(t, filepath.Join(filepath.Dir(path), "r.store"))
+	if _, err := s2.Verify(); err != nil {
+		t.Fatalf("Verify after reopen: %v", err)
+	}
+	gotMetas, gotPayloads, gotPins = snapshot(t, s2)
+	if !reflect.DeepEqual(gotMetas, wantMetas) || !reflect.DeepEqual(gotPayloads, wantPayloads) || !reflect.DeepEqual(gotPins, wantPins) {
+		t.Error("state changed across compaction + reopen")
+	}
+}
+
+// TestInterruptedCompactionLeavesOldLogReadable: if the atomic rename never
+// happens, the old log must be untouched and fully usable — no torn state,
+// no leftover temp file blocking anything.
+func TestInterruptedCompactionLeavesOldLogReadable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.store")
+	s := openTest(t, path)
+	var keys []string
+	for i := 0; i < 4; i++ {
+		key, payload, m := testEntry(i)
+		if err := s.Put(key, payload, m); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	if err := s.Pin("keep", keys[0], keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GC(); err != nil {
+		t.Fatal(err)
+	}
+	wantMetas, wantPayloads, wantPins := snapshot(t, s)
+	logBefore, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("simulated crash at rename")
+	compactRename = func(old, new string) error { return boom }
+	defer func() { compactRename = os.Rename }()
+
+	if err := s.Compact(); !errors.Is(err, boom) {
+		t.Fatalf("Compact = %v, want the injected rename failure", err)
+	}
+
+	// The old log's bytes are exactly what they were.
+	logAfter, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(logBefore, logAfter) {
+		t.Error("interrupted compaction modified the old log")
+	}
+	// No temp litter.
+	tmps, _ := filepath.Glob(filepath.Join(filepath.Dir(path), ".compact.tmp*"))
+	if len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+	// The open store keeps working against the old log...
+	gotMetas, gotPayloads, gotPins := snapshot(t, s)
+	if !reflect.DeepEqual(gotMetas, wantMetas) || !reflect.DeepEqual(gotPayloads, wantPayloads) || !reflect.DeepEqual(gotPins, wantPins) {
+		t.Error("state diverged after interrupted compaction")
+	}
+	key, payload, m := testEntry(8)
+	if err := s.Put(key, payload, m); err != nil {
+		t.Fatalf("append after interrupted compaction: %v", err)
+	}
+	if _, err := s.Verify(); err != nil {
+		t.Fatalf("Verify after interrupted compaction: %v", err)
+	}
+	// ...and so does a second, uninterrupted compaction.
+	compactRename = os.Rename
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact after recovery: %v", err)
+	}
+	if !s.Has(key) {
+		t.Error("entry appended after interrupted compaction lost by the successful one")
+	}
+}

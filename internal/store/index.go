@@ -1,0 +1,156 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+)
+
+// The sidecar index memoizes the open-time log scan. It is purely
+// advisory: the log is always the ground truth, and any index that is
+// missing, unparsable, version-skewed, or stale — its recorded log size or
+// tail checksum no longer matching the log — is discarded and rebuilt by
+// scanning. Staleness is checked against both the log length and the
+// sha256 of the log's final bytes, so an index can never be trusted against
+// a log that was rewritten (compacted) to the same length.
+
+const indexVersion = 1
+
+// indexTailSpan is how many trailing log bytes the staleness checksum
+// covers. Any append moves the tail; any compaction rewrites it.
+const indexTailSpan = 4096
+
+type indexFile struct {
+	Version int    `json:"version"`
+	LogSize int64  `json:"log_size"`
+	TailSum string `json:"tail_sum"`
+
+	Entries []indexEntry `json:"entries"`
+	Pins    []pinRecord  `json:"pins"`
+	PinSeq  []string     `json:"pin_seq"`
+}
+
+// indexEntry is one live entry's frame location plus its metadata.
+type indexEntry struct {
+	Meta
+	Off     int64  `json:"off"`
+	MetaLen uint32 `json:"meta_len"`
+	BodyLen uint32 `json:"body_len"`
+}
+
+func (s *Store) indexPath() string { return s.path + ".idx" }
+
+// tailSum hashes the last indexTailSpan bytes of the valid log prefix.
+func (s *Store) tailSum(size int64) (string, bool) {
+	span := min(size, int64(indexTailSpan))
+	buf := make([]byte, span)
+	if _, err := s.f.ReadAt(buf, size-span); err != nil {
+		return "", false
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), true
+}
+
+// loadIndex tries to adopt the sidecar index. It reports success only when
+// the index is intact and provably fresh against the log on disk; any
+// doubt means "scan instead".
+func (s *Store) loadIndex(logSize int64) bool {
+	data, err := os.ReadFile(s.indexPath())
+	if err != nil {
+		return false
+	}
+	var idx indexFile
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return false
+	}
+	if idx.Version != indexVersion || idx.LogSize != logSize || idx.LogSize < int64(logHeader) {
+		return false
+	}
+	sum, ok := s.tailSum(logSize)
+	if !ok || sum != idx.TailSum {
+		return false
+	}
+	entries := make(map[string]entryRef, len(idx.Entries))
+	order := make([]string, 0, len(idx.Entries))
+	for _, e := range idx.Entries {
+		info := frameInfo{off: e.Off, typ: frameEntry, metaLen: e.MetaLen, bodyLen: e.BodyLen}
+		if e.Key == "" || info.off < int64(logHeader) || info.end() > logSize {
+			return false
+		}
+		if _, dup := entries[e.Key]; dup {
+			return false
+		}
+		entries[e.Key] = entryRef{info: info, meta: e.Meta}
+		order = append(order, e.Key)
+	}
+	pins := make(map[string][]string, len(idx.Pins))
+	for _, p := range idx.Pins {
+		if p.Run == "" {
+			return false
+		}
+		pins[p.Run] = p.Keys
+	}
+	if len(idx.PinSeq) != len(pins) {
+		return false
+	}
+	for _, run := range idx.PinSeq {
+		if _, ok := pins[run]; !ok {
+			return false
+		}
+	}
+	s.entries = entries
+	s.order = order
+	s.pins = pins
+	s.pinSeq = idx.PinSeq
+	s.size = logSize
+	return true
+}
+
+// writeIndex rewrites the sidecar index atomically (temp + rename). It is
+// best-effort: a store whose index cannot be written still works — the
+// next open simply pays for a scan.
+func (s *Store) writeIndex() {
+	sum, ok := s.tailSum(s.size)
+	if !ok {
+		return
+	}
+	idx := indexFile{
+		Version: indexVersion,
+		LogSize: s.size,
+		TailSum: sum,
+		Entries: make([]indexEntry, 0, len(s.order)),
+		Pins:    make([]pinRecord, 0, len(s.pinSeq)),
+		PinSeq:  s.pinSeq,
+	}
+	for _, key := range s.order {
+		ref := s.entries[key]
+		idx.Entries = append(idx.Entries, indexEntry{
+			Meta: ref.meta, Off: ref.info.off,
+			MetaLen: ref.info.metaLen, BodyLen: ref.info.bodyLen,
+		})
+	}
+	for _, run := range s.pinSeq {
+		idx.Pins = append(idx.Pins, pinRecord{Run: run, Keys: s.pins[run]})
+	}
+	data, err := json.Marshal(&idx)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dirOf(s.path), ".idx.tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), s.indexPath()); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,131 @@
+package store
+
+import (
+	"fmt"
+	"time"
+)
+
+// Query selects live entries by metadata. Zero-valued fields do not
+// filter; set fields must all match (conjunction).
+type Query struct {
+	// Suite, Campaign and Engine match exactly when non-empty.
+	Suite    string
+	Campaign string
+	Engine   string
+	// KeyPrefix matches keys by prefix — the CLI's short-hash ergonomics.
+	KeyPrefix string
+	// Round, when non-nil, matches the adaptive round index exactly
+	// (0 selects static entries).
+	Round *int
+	// Run restricts to keys pinned by the named run.
+	Run string
+	// Since and Until bound the time of run: Since ≤ RanAt < Until. Either
+	// side may be zero. Entries with no recorded RanAt fall back to their
+	// StoredAt, so imported legacy entries stay addressable by time.
+	Since, Until time.Time
+	// Env requires every given descriptor to be present with the given
+	// value ("machine" = "i7", …).
+	Env map[string]string
+}
+
+// When is the instant time filters run against: the time of run when the
+// producer recorded one, else the time the entry entered the store.
+func (m *Meta) When() time.Time {
+	if !m.RanAt.IsZero() {
+		return m.RanAt
+	}
+	return m.StoredAt
+}
+
+func (q *Query) matches(m *Meta, pinned map[string]bool) bool {
+	if q.Suite != "" && m.Suite != q.Suite {
+		return false
+	}
+	if q.Campaign != "" && m.Campaign != q.Campaign {
+		return false
+	}
+	if q.Engine != "" && m.Engine != q.Engine {
+		return false
+	}
+	if q.KeyPrefix != "" && (len(m.Key) < len(q.KeyPrefix) || m.Key[:len(q.KeyPrefix)] != q.KeyPrefix) {
+		return false
+	}
+	if q.Round != nil && m.Round != *q.Round {
+		return false
+	}
+	if pinned != nil && !pinned[m.Key] {
+		return false
+	}
+	when := m.When()
+	if !q.Since.IsZero() && when.Before(q.Since) {
+		return false
+	}
+	if !q.Until.IsZero() && !when.Before(q.Until) {
+		return false
+	}
+	for k, v := range q.Env {
+		if m.Env[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Query returns the metadata of every live entry the query selects, in log
+// append order — the store's deterministic notion of history (compaction
+// preserves it). Returned metas are independent copies.
+func (s *Store) Query(q Query) []Meta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var pinned map[string]bool
+	if q.Run != "" {
+		pinned = map[string]bool{}
+		for _, k := range s.pins[q.Run] {
+			pinned[k] = true
+		}
+	}
+	var out []Meta
+	for _, key := range s.order {
+		ref := s.entries[key]
+		if q.matches(&ref.meta, pinned) {
+			out = append(out, ref.meta.clone())
+		}
+	}
+	return out
+}
+
+// Chain returns the provenance chain ending at key — the entry's metadata
+// preceded by its transitive parents, oldest (the seed round) first. A
+// parent link pointing at a reclaimed or never-stored key ends the chain
+// there; a cycle (only constructible by hand-crafted metadata) is an
+// error.
+func (s *Store) Chain(key string) ([]Meta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ref, ok := s.entries[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	var rev []Meta
+	seen := map[string]bool{}
+	for {
+		if seen[ref.meta.Key] {
+			return nil, fmt.Errorf("store: provenance cycle through %s", ref.meta.Key)
+		}
+		seen[ref.meta.Key] = true
+		rev = append(rev, ref.meta.clone())
+		parent := ref.meta.Parent
+		if parent == "" {
+			break
+		}
+		ref, ok = s.entries[parent]
+		if !ok {
+			break
+		}
+	}
+	out := make([]Meta, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out, nil
+}

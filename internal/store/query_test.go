@@ -1,0 +1,173 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildQueryFixture populates a store with a varied population:
+//
+//	k0  suite=alpha campaign=stream engine=membench round=0 env{machine:i7}  ran 10:00
+//	k1  suite=alpha campaign=stream engine=sleep    round=0 env{machine:i7}  ran 11:00
+//	k2  suite=alpha campaign=adapt  engine=membench round=1 env{machine:arm} ran 12:00
+//	k3  suite=alpha campaign=adapt  engine=membench round=2 env{machine:arm} ran 13:00  parent=k2
+//	k4  suite=beta  campaign=other  engine=membench round=0 env{}            (no RanAt)
+//
+// plus pins: run "first" over {k0,k1}, run "second" over {k2,k3}.
+func buildQueryFixture(t *testing.T) (*Store, []string) {
+	t.Helper()
+	s := openTest(t, filepath.Join(t.TempDir(), "q.store"))
+	day := time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)
+	metas := []Meta{
+		{Suite: "alpha", Campaign: "stream", Engine: "membench", Env: map[string]string{"machine": "i7"}, RanAt: day.Add(10 * time.Hour)},
+		{Suite: "alpha", Campaign: "stream", Engine: "sleep", Env: map[string]string{"machine": "i7"}, RanAt: day.Add(11 * time.Hour)},
+		{Suite: "alpha", Campaign: "adapt", Engine: "membench", Round: 1, Env: map[string]string{"machine": "arm"}, RanAt: day.Add(12 * time.Hour)},
+		{Suite: "alpha", Campaign: "adapt", Engine: "membench", Round: 2, Env: map[string]string{"machine": "arm"}, RanAt: day.Add(13 * time.Hour)},
+		{Suite: "beta", Campaign: "other", Engine: "membench"},
+	}
+	keys := make([]string, len(metas))
+	for i, m := range metas {
+		keys[i] = fmt.Sprintf("%02x%s", i, strings.Repeat("ab", 31))
+		if i == 3 {
+			m.Parent = keys[2]
+		}
+		if err := s.Put(keys[i], []byte(fmt.Sprintf(`{"i":%d}`, i)), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Pin("first", keys[0], keys[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin("second", keys[2], keys[3]); err != nil {
+		t.Fatal(err)
+	}
+	return s, keys
+}
+
+func queryKeys(s *Store, q Query) []string {
+	var out []string
+	for _, m := range s.Query(q) {
+		out = append(out, m.Key)
+	}
+	return out
+}
+
+func TestQueryFilters(t *testing.T) {
+	s, k := buildQueryFixture(t)
+	day := time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)
+	round2 := 2
+	static := 0
+
+	cases := []struct {
+		name string
+		q    Query
+		want []string
+	}{
+		{"all, in append order", Query{}, []string{k[0], k[1], k[2], k[3], k[4]}},
+		{"by suite", Query{Suite: "beta"}, []string{k[4]}},
+		{"by campaign", Query{Campaign: "adapt"}, []string{k[2], k[3]}},
+		{"by engine", Query{Engine: "sleep"}, []string{k[1]}},
+		{"by key prefix", Query{KeyPrefix: "03"}, []string{k[3]}},
+		{"by round", Query{Round: &round2}, []string{k[3]}},
+		{"round zero means static", Query{Round: &static}, []string{k[0], k[1], k[4]}},
+		{"by pinning run", Query{Run: "second"}, []string{k[2], k[3]}},
+		{"unknown run matches nothing", Query{Run: "nope"}, nil},
+		{"env subset", Query{Env: map[string]string{"machine": "arm"}}, []string{k[2], k[3]}},
+		{"env value mismatch", Query{Env: map[string]string{"machine": "m1"}}, nil},
+		{"since is inclusive", Query{Since: day.Add(12 * time.Hour)}, []string{k[2], k[3], k[4]}}, // k4 falls back to StoredAt (2026-08-07 clock)
+		{"until is exclusive", Query{Until: day.Add(12 * time.Hour)}, []string{k[0], k[1]}},
+		{"window", Query{Since: day.Add(11 * time.Hour), Until: day.Add(13 * time.Hour)}, []string{k[1], k[2]}},
+		{"conjunction", Query{Suite: "alpha", Engine: "membench", Env: map[string]string{"machine": "i7"}}, []string{k[0]}},
+		{"conjunction excludes", Query{Campaign: "stream", Run: "second"}, nil},
+	}
+	for _, tc := range cases {
+		got := queryKeys(s, tc.q)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestQueryWhenFallsBackToStoredAt: entries with no recorded run time stay
+// addressable by time filters through their StoredAt.
+func TestQueryWhenFallsBackToStoredAt(t *testing.T) {
+	s, k := buildQueryFixture(t)
+	m, ok := s.Stat(k[4])
+	if !ok {
+		t.Fatal("fixture entry missing")
+	}
+	if m.When() != m.StoredAt {
+		t.Fatalf("When() = %v, want StoredAt %v", m.When(), m.StoredAt)
+	}
+	got := queryKeys(s, Query{Since: m.StoredAt, Until: m.StoredAt.Add(time.Second)})
+	if len(got) != 1 || got[0] != k[4] {
+		t.Errorf("time window around StoredAt selected %v, want [%s]", got, k[4])
+	}
+}
+
+// TestQueryResultsAreCopies: mutating returned metadata must not leak into
+// the store.
+func TestQueryResultsAreCopies(t *testing.T) {
+	s, k := buildQueryFixture(t)
+	res := s.Query(Query{KeyPrefix: "00"})
+	if len(res) != 1 {
+		t.Fatalf("got %d results", len(res))
+	}
+	res[0].Env["machine"] = "tampered"
+	m, _ := s.Stat(k[0])
+	if m.Env["machine"] != "i7" {
+		t.Error("query result aliases store metadata")
+	}
+}
+
+func TestChain(t *testing.T) {
+	s, k := buildQueryFixture(t)
+
+	// k3's parent is k2; k2 has none.
+	chain, err := s.Chain(k[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0].Key != k[2] || chain[1].Key != k[3] {
+		t.Fatalf("Chain(k3) = %+v, want [k2 k3] oldest first", chain)
+	}
+	chain, err = s.Chain(k[0])
+	if err != nil || len(chain) != 1 || chain[0].Key != k[0] {
+		t.Fatalf("Chain(k0) = %+v, %v; want just k0", chain, err)
+	}
+	if _, err := s.Chain("unknown"); err == nil {
+		t.Error("Chain of a missing key succeeded")
+	}
+
+	// A parent pointing at a reclaimed/never-stored key ends the chain there.
+	orphan := strings.Repeat("cd", 32)
+	if err := s.Put(orphan, []byte(`{}`), Meta{Parent: strings.Repeat("00", 32)}); err != nil {
+		t.Fatal(err)
+	}
+	chain, err = s.Chain(orphan)
+	if err != nil || len(chain) != 1 {
+		t.Fatalf("Chain with dangling parent = %+v, %v; want the entry alone", chain, err)
+	}
+
+	// A hand-crafted cycle is an error, not a hang.
+	a, b := strings.Repeat("0a", 32), strings.Repeat("0b", 32)
+	if err := s.Put(a, []byte(`{}`), Meta{Parent: b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b, []byte(`{}`), Meta{Parent: a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Chain(a); err == nil {
+		t.Error("provenance cycle not detected")
+	}
+}

@@ -1,0 +1,300 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a deterministic strictly increasing clock starting at
+// a fixed instant, so StoredAt metadata is reproducible across runs.
+func fixedClock() func() time.Time {
+	t := time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func openTest(t *testing.T, path string) *Store {
+	t.Helper()
+	s, err := Open(path, Options{Now: fixedClock()})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// testEntry is a small deterministic payload/metadata pair.
+func testEntry(i int) (string, []byte, Meta) {
+	key := fmt.Sprintf("%064x", i+1)
+	payload := []byte(fmt.Sprintf(`{"records":[{"seq":%d,"value":%d.5}]}`, i, i))
+	m := Meta{
+		Suite:    "s",
+		Campaign: fmt.Sprintf("c%02d", i),
+		Engine:   "membench",
+		Seed:     uint64(100 + i),
+		Env:      map[string]string{"machine": "i7"},
+		RanAt:    time.Date(2026, 8, 1, 0, 0, i, 0, time.UTC),
+	}
+	return key, payload, m
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.store")
+	s := openTest(t, path)
+	var keys []string
+	for i := 0; i < 5; i++ {
+		key, payload, m := testEntry(i)
+		if err := s.Put(key, payload, m); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		keys = append(keys, key)
+	}
+	for i, key := range keys {
+		_, want, _ := testEntry(i)
+		got, err := s.Get(key)
+		if err != nil {
+			t.Fatalf("Get %s: %v", key, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("entry %d: payload %q, want %q", i, got, want)
+		}
+		m, ok := s.Stat(key)
+		if !ok || m.Campaign != fmt.Sprintf("c%02d", i) || m.Size != int64(len(want)) {
+			t.Errorf("entry %d: meta %+v", i, m)
+		}
+		if m.StoredAt.IsZero() {
+			t.Errorf("entry %d: StoredAt not stamped", i)
+		}
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+	if _, err := s.Get("doesnotexist"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing key: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDuplicateKeyLastWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.store")
+	s := openTest(t, path)
+	key, p1, m := testEntry(0)
+	if err := s.Put(key, p1, m); err != nil {
+		t.Fatal(err)
+	}
+	p2 := []byte(`{"records":[],"v":2}`)
+	m.Campaign = "rewritten"
+	if err := s.Put(key, p2, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil || !bytes.Equal(got, p2) {
+		t.Fatalf("after overwrite: %q, %v; want %q", got, err, p2)
+	}
+	if s.Len() != 1 || len(s.Keys()) != 1 {
+		t.Errorf("Len=%d Keys=%v, want one live entry", s.Len(), s.Keys())
+	}
+	if sm, _ := s.Stat(key); sm.Campaign != "rewritten" {
+		t.Errorf("meta not replaced: %+v", sm)
+	}
+	// Reopen replays the same last-wins state from the log.
+	s.Close()
+	s2 := openTest(t, path)
+	got, err = s2.Get(key)
+	if err != nil || !bytes.Equal(got, p2) {
+		t.Fatalf("after reopen: %q, %v; want %q", got, err, p2)
+	}
+}
+
+func TestReopenUsesIndexAndRebuildsWhenStale(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.store")
+	s := openTest(t, path)
+	for i := 0; i < 3; i++ {
+		key, payload, m := testEntry(i)
+		if err := s.Put(key, payload, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Pin("run-a", s.Keys()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".idx"); err != nil {
+		t.Fatalf("no sidecar index after Close: %v", err)
+	}
+
+	// A fresh open adopts the index (same state either way; prove it by a
+	// full Verify, which cross-checks index against log).
+	s2 := openTest(t, path)
+	if got := s2.Len(); got != 3 {
+		t.Fatalf("reopen: %d entries, want 3", got)
+	}
+	if _, err := s2.Verify(); err != nil {
+		t.Fatalf("Verify after index load: %v", err)
+	}
+	// Appending moves the tail; the on-disk index is now stale.
+	key, payload, m := testEntry(7)
+	if err := s2.Put(key, payload, m); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	// Corrupt the index outright: open must fall back to the scan.
+	if err := os.WriteFile(path+".idx", []byte("garbage"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s3 := openTest(t, path)
+	if got := s3.Len(); got != 4 {
+		t.Fatalf("after corrupt index: %d entries, want 4", got)
+	}
+	if _, err := s3.Verify(); err != nil {
+		t.Fatalf("Verify after index rebuild: %v", err)
+	}
+	pins := s3.Pins()
+	if len(pins) != 1 || pins[0].Run != "run-a" || len(pins[0].Keys) != 3 {
+		t.Fatalf("pins lost across rebuild: %+v", pins)
+	}
+}
+
+// TestStaleIndexSameSizeDetected: an index whose recorded size matches but
+// whose log bytes changed (the compaction scenario) is rejected by the
+// tail checksum.
+func TestStaleIndexSameSizeDetected(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.store"), filepath.Join(dir, "b.store")
+	for i, path := range []string{a, b} {
+		s := openTest(t, path)
+		key, payload, m := testEntry(i) // different entry per store, same frame sizes? not guaranteed
+		_ = key
+		if err := s.Put(fmt.Sprintf("%064x", 99), payload, m); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+	// Same key, same payload lengths → same log size, different bytes
+	// (campaign differs). Swap b's log under a's index.
+	la, _ := os.ReadFile(a)
+	lb, _ := os.ReadFile(b)
+	if len(la) != len(lb) {
+		t.Skipf("fixture logs differ in size (%d vs %d); tail-sum path not exercisable here", len(la), len(lb))
+	}
+	if err := os.WriteFile(a, lb, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s := openTest(t, a)
+	m, ok := s.Stat(fmt.Sprintf("%064x", 99))
+	if !ok {
+		t.Fatal("entry lost")
+	}
+	if m.Campaign != "c01" {
+		t.Errorf("stale same-size index was trusted: campaign %q, want c01 (from the swapped log)", m.Campaign)
+	}
+	if _, err := s.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestReadOnlyOpenRefusesMutation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.store")
+	s := openTest(t, path)
+	key, payload, m := testEntry(0)
+	if err := s.Put(key, payload, m); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	ro, err := Open(path, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only open: %v", err)
+	}
+	defer ro.Close()
+	if got, err := ro.Get(key); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read-only Get: %q, %v", got, err)
+	}
+	if err := ro.Put("ff", []byte("x"), Meta{}); err == nil {
+		t.Error("read-only Put succeeded")
+	}
+	if err := ro.Pin("r", key); err == nil {
+		t.Error("read-only Pin succeeded")
+	}
+	if _, err := ro.GC(); err == nil {
+		t.Error("read-only GC succeeded")
+	}
+	if err := ro.Compact(); err == nil {
+		t.Error("read-only Compact succeeded")
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-store")
+	if err := os.WriteFile(path, []byte("this is just some text file\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("read-write open of a foreign file succeeded; it must refuse rather than clobber")
+	}
+	if _, err := Open(path, Options{ReadOnly: true}); err == nil {
+		t.Fatal("read-only open of a foreign file succeeded")
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "this is just some text file\n" {
+		t.Fatalf("foreign file was modified: %q", data)
+	}
+}
+
+func TestVerifyDetectsBitRot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.store")
+	s := openTest(t, path)
+	for i := 0; i < 3; i++ {
+		key, payload, m := testEntry(i)
+		if err := s.Put(key, payload, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Verify(); err != nil {
+		t.Fatalf("clean Verify: %v", err)
+	}
+	// Flip one payload byte in the middle of the log, out-of-band.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := s.LogSize() / 2
+	buf := []byte{0}
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xff
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := s.Verify(); err == nil {
+		t.Fatal("Verify missed a flipped byte")
+	}
+	// And Get must refuse to serve the rotted entry rather than hand back
+	// corrupt bytes — whichever entry the flipped byte landed in.
+	rotted := 0
+	for i := 0; i < 3; i++ {
+		key, want, _ := testEntry(i)
+		got, err := s.Get(key)
+		if err != nil {
+			rotted++
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("entry %d: served corrupt bytes", i)
+		}
+	}
+	if rotted == 0 {
+		t.Error("no Get reported the rot (flip may have hit a checksum byte of a frame that still fails — expected at least one error)")
+	}
+}

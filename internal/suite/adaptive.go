@@ -45,6 +45,10 @@ func roundExec(ctx context.Context, suiteName string, p Plan, workers int, cache
 	version := ModuleVersion()
 	var verdicts []RoundVerdict
 	var env *meta.Environment
+	// prevKey chains each round to the one it was planned from: round N's
+	// entry records round N-1's key as its Parent, the provenance link the
+	// store's Chain query walks.
+	prevKey := ""
 	exec := func(round int, d *doe.Design) ([]core.RawRecord, error) {
 		if rs != nil && round > rs.Round() {
 			rs.NextRound()
@@ -53,6 +57,7 @@ func roundExec(ctx context.Context, suiteName string, p Plan, workers int, cache
 		if err != nil {
 			return nil, err
 		}
+		parent := prevKey
 		if cache != nil && cache.Lookup(key) {
 			entry, err := cache.Load(key)
 			if err == nil && len(entry.Records) == d.Size() {
@@ -61,14 +66,15 @@ func roundExec(ctx context.Context, suiteName string, p Plan, workers int, cache
 						return nil, err
 					}
 				}
-				if entry.Round != round {
+				if entry.Round != round || entry.Parent != parent {
 					// The same content can enter the cache under another
 					// round position (typically a static run of the seed
 					// design, stored with round 0). Records are identical
-					// by content-addressing, but the round index is what
-					// lets the comparator reassemble the chain — refresh
-					// it in place.
+					// by content-addressing, but the round index and the
+					// parent link are what let the comparator reassemble
+					// the chain — refresh them in place.
 					entry.Round = round
+					entry.Parent = parent
 					if err := cache.Store(key, entry); err != nil {
 						return nil, err
 					}
@@ -77,6 +83,7 @@ func roundExec(ctx context.Context, suiteName string, p Plan, workers int, cache
 					env = entry.Env
 				}
 				verdicts = append(verdicts, RoundVerdict{Round: round, Key: key, Hit: true, Records: len(entry.Records)})
+				prevKey = key
 				return entry.records(), nil
 			}
 			// A torn or stale entry must not kill the study: fall through
@@ -102,12 +109,13 @@ func roundExec(ctx context.Context, suiteName string, p Plan, workers int, cache
 		if cache != nil {
 			if err := cache.Store(key, &Entry{
 				Suite: suiteName, Campaign: p.Campaign.Name, Engine: p.Campaign.Engine,
-				Round: round, Seed: p.Campaign.Seed, Env: run.Env, Records: toCached(run.Records),
+				Round: round, Parent: parent, Seed: p.Campaign.Seed, Env: run.Env, Records: toCached(run.Records),
 			}); err != nil {
 				return nil, err
 			}
 		}
 		verdicts = append(verdicts, RoundVerdict{Round: round, Key: key, Trials: len(run.Records), Records: len(run.Records)})
+		prevKey = key
 		return run.Records, nil
 	}
 	outcome, err := adapt.Run(*p.Adaptive, p.Refiner, p.Design, exec)
@@ -192,8 +200,8 @@ func PlanSchedule(ctx context.Context, spec *Spec, opts Options) ([]CampaignSche
 	if err != nil {
 		return nil, err
 	}
-	var cache *Cache
-	if opts.CacheDir != "" {
+	cache := opts.Cache
+	if cache == nil && opts.CacheDir != "" {
 		if cache, err = OpenCache(opts.CacheDir); err != nil {
 			return nil, err
 		}

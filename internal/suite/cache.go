@@ -19,6 +19,7 @@ import (
 	"opaquebench/internal/doe"
 	"opaquebench/internal/meta"
 	"opaquebench/internal/runner"
+	"opaquebench/internal/store"
 )
 
 // The cache is content-addressed: a campaign's key is a canonical hash of
@@ -104,6 +105,11 @@ type Entry struct {
 	// (the differential comparator) reassemble a campaign's rounds
 	// instead of mistaking them for an ambiguous cache.
 	Round int `json:"round,omitempty"`
+	// Parent is the cache key of the previous adaptive round's entry —
+	// the provenance link that chains round N to the records it was
+	// planned from. Empty for round 1 and static campaigns. Like Round it
+	// is provenance only, never part of the key.
+	Parent string `json:"parent,omitempty"`
 	// Seed is the campaign seed.
 	Seed uint64 `json:"seed"`
 	// Env is the cold run's captured environment, without suite
@@ -177,9 +183,20 @@ func (e *Entry) records() []core.RawRecord {
 	return out
 }
 
-// Cache is a directory of entries addressed by campaign key.
+// Cache is a content-addressed cache of entries keyed by campaign key. It
+// has two interchangeable backends with identical semantics — atomic
+// last-write-wins stores, JSON entry payloads, sorted Keys — so everything
+// above it (suite runs, the serve daemon, the comparator) is
+// backend-agnostic:
+//
+//   - a directory of <key>.json files (one file per entry, temp+rename
+//     atomicity), the original layout;
+//   - a single-file embedded store (internal/store: append-only
+//     checksummed log + sidecar index), which adds queryable metadata,
+//     pinned runs and GC on top of the same entry bytes.
 type Cache struct {
-	dir string
+	dir string       // directory backend; "" when store-backed
+	st  *store.Store // store backend; nil when directory-backed
 }
 
 // OpenCache opens (creating if needed) a cache directory.
@@ -190,24 +207,38 @@ func OpenCache(dir string) (*Cache, error) {
 	return &Cache{dir: dir}, nil
 }
 
-// ReadCache opens an existing cache directory without creating anything —
-// the form consumers like the differential comparator use on baseline
-// directories they must not modify. A missing directory is an error, not an
-// empty cache: a comparison against a mistyped path should fail loudly.
-func ReadCache(dir string) (*Cache, error) {
-	fi, err := os.Stat(dir)
+// ReadCache opens an existing cache for reading without creating or
+// modifying anything — the form consumers like the differential comparator
+// use on baselines they must not touch. The backend is auto-detected: a
+// directory is the classic per-entry layout, a file is an embedded store
+// log (opened read-only). A missing path is an error, not an empty cache: a
+// comparison against a mistyped path should fail loudly.
+func ReadCache(path string) (*Cache, error) {
+	fi, err := os.Stat(path)
 	if err != nil {
 		return nil, fmt.Errorf("suite: read cache: %w", err)
 	}
 	if !fi.IsDir() {
-		return nil, fmt.Errorf("suite: read cache: %s is not a directory", dir)
+		return ReadCacheStore(path)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: path}, nil
+}
+
+// Close releases the backend. Directory caches hold no resources; closing
+// a store-backed cache closes the underlying store (flushing its index).
+func (c *Cache) Close() error {
+	if c.st != nil {
+		return c.st.Close()
+	}
+	return nil
 }
 
 // Keys lists the key of every entry in the cache, sorted. In-flight
 // temporary files from concurrent Stores are skipped.
 func (c *Cache) Keys() ([]string, error) {
+	if c.st != nil {
+		return c.st.Keys(), nil
+	}
 	entries, err := os.ReadDir(c.dir)
 	if err != nil {
 		return nil, fmt.Errorf("suite: list cache: %w", err)
@@ -230,13 +261,22 @@ func (c *Cache) path(key string) string {
 
 // Lookup reports whether an entry exists for key.
 func (c *Cache) Lookup(key string) bool {
+	if c.st != nil {
+		return c.st.Has(key)
+	}
 	_, err := os.Stat(c.path(key))
 	return err == nil
 }
 
 // Load reads the entry for key.
 func (c *Cache) Load(key string) (*Entry, error) {
-	data, err := os.ReadFile(c.path(key))
+	var data []byte
+	var err error
+	if c.st != nil {
+		data, err = c.st.Get(key)
+	} else {
+		data, err = os.ReadFile(c.path(key))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("suite: cache load: %w", err)
 	}
@@ -247,12 +287,21 @@ func (c *Cache) Load(key string) (*Entry, error) {
 	return &e, nil
 }
 
-// Store writes the entry for key atomically (temp file + rename), so a
-// crashed or concurrent writer can never leave a torn entry behind.
+// Store writes the entry for key atomically, replacing any previous entry
+// (last write wins on both backends). The directory backend writes a temp
+// file and renames it, so a crashed or concurrent writer can never leave a
+// torn entry behind; the store backend appends one checksummed frame, whose
+// recovery rule gives the same guarantee.
 func (c *Cache) Store(key string, e *Entry) error {
 	data, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("suite: cache encode: %w", err)
+	}
+	if c.st != nil {
+		if err := c.st.Put(key, data, entryMeta(e)); err != nil {
+			return fmt.Errorf("suite: cache store: %w", err)
+		}
+		return nil
 	}
 	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {

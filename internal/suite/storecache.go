@@ -1,0 +1,108 @@
+package suite
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"opaquebench/internal/store"
+)
+
+// The store backend keeps the cache contract — identical keys, identical
+// entry JSON bytes, last write wins — and adds what a directory of files
+// cannot: queryable per-entry metadata (suite, campaign, engine, round,
+// environment, time of run), named pinned runs with refcount GC, provenance
+// chains across adaptive rounds, and a crash-recovery proof per entry (each
+// is one checksummed frame in the append-only log). Suite runs are
+// byte-identical on either backend because both serve the same JSON payload
+// through the same Entry.Replay path.
+
+// OpenCacheStore opens (creating if needed) a store-backed cache at path —
+// a single log file, not a directory.
+func OpenCacheStore(path string) (*Cache, error) {
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("suite: open cache store: %w", err)
+	}
+	return &Cache{st: st}, nil
+}
+
+// ReadCacheStore opens an existing store-backed cache read-only: no file
+// creation, no torn-tail repair, and every Store refuses.
+func ReadCacheStore(path string) (*Cache, error) {
+	st, err := store.Open(path, store.Options{ReadOnly: true})
+	if err != nil {
+		return nil, fmt.Errorf("suite: read cache store: %w", err)
+	}
+	return &Cache{st: st}, nil
+}
+
+// NewStoreCache wraps an already-open store as a cache. The caller keeps
+// ownership of the store's lifetime (Close on the cache closes it).
+func NewStoreCache(st *store.Store) *Cache {
+	return &Cache{st: st}
+}
+
+// Backing exposes the underlying store of a store-backed cache, nil for a
+// directory cache — the hook the CLI's query/pin/gc surface and the
+// comparator's run loader use.
+func (c *Cache) Backing() *store.Store { return c.st }
+
+// entryMeta derives the store's queryable metadata from a cache entry. The
+// environment's capture time is the entry's time of run; its descriptor
+// fields become the store's flat Env map.
+func entryMeta(e *Entry) store.Meta {
+	m := store.Meta{
+		Suite:    e.Suite,
+		Campaign: e.Campaign,
+		Engine:   e.Engine,
+		Round:    e.Round,
+		Seed:     e.Seed,
+		Parent:   e.Parent,
+	}
+	if e.Env != nil {
+		m.RanAt = e.Env.CapturedAt
+		if len(e.Env.Fields) > 0 {
+			m.Env = make(map[string]string, len(e.Env.Fields))
+			for k, v := range e.Env.Fields {
+				m.Env[k] = v
+			}
+		}
+	}
+	return m
+}
+
+// ImportDirToStore copies every entry of a legacy cache directory into the
+// store, preserving the exact payload bytes (the on-disk file is stored
+// verbatim, so a replay through the store is byte-identical to one through
+// the directory) and deriving the queryable metadata from the decoded
+// entry. Existing keys are overwritten — last write wins, matching both
+// backends' semantics. It returns the imported keys in directory (sorted
+// key) order.
+func ImportDirToStore(dir string, st *store.Store) ([]string, error) {
+	src, err := ReadCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	if src.st != nil {
+		return nil, fmt.Errorf("suite: import: %s is a store log, not a cache directory", dir)
+	}
+	keys, err := src.Keys()
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range keys {
+		data, err := os.ReadFile(src.path(key))
+		if err != nil {
+			return nil, fmt.Errorf("suite: import %s: %w", key, err)
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return nil, fmt.Errorf("suite: import %s: %w", key, err)
+		}
+		if err := st.Put(key, data, entryMeta(&e)); err != nil {
+			return nil, fmt.Errorf("suite: import %s: %w", key, err)
+		}
+	}
+	return keys, nil
+}
