@@ -2,7 +2,7 @@
 // network profile: randomized log-uniform message sizes (Equation 1), the
 // three Section V.A operations, raw per-measurement logging, and an optional
 // temporal perturbation for pitfall studies. -collective switches to the
-// mpisim collective engine (bcast, allreduce, barrier; serial only), -fit
+// mpisim collective engine (bcast, allreduce, barrier), -fit
 // prints the supervised LogGP model after a point-to-point campaign, and
 // -workers > 1 shards the design across trial-indexed engine instances with
 // streamed, byte-identical output (see internal/runner); cmd/suite
@@ -54,13 +54,14 @@ Flags:
 	perturbFactor := fs.Float64("perturb-factor", 0, "temporal perturbation stretch factor (0 = none)")
 	perturbStart := fs.Float64("perturb-start", 0, "perturbation window start (virtual seconds)")
 	perturbEnd := fs.Float64("perturb-end", 0, "perturbation window end (virtual seconds)")
-	workers := fs.Int("workers", 1, "parallel campaign workers; >1 shards the design across trial-indexed engines (point-to-point campaigns only) and streams records as they complete")
+	workers := fs.Int("workers", 1, "parallel campaign workers; >1 shards the design across trial-indexed engines and streams records as they complete")
 	outPath := fs.String("o", "", "raw results CSV (default stdout)")
 	jsonlPath := fs.String("jsonl", "", "raw results JSONL output (optional, streamed)")
 	envPath := fs.String("env", "", "environment JSON output (optional)")
 	fitBreaks := fs.Bool("fit", false, "after the campaign, print the supervised LogGP fit using the profile's true breakpoints")
 	collective := fs.Bool("collective", false, "measure collectives (bcast, allreduce, barrier) instead of point-to-point operations")
 	ranks := fs.Int("ranks", 8, "communicator size for collective campaigns")
+	allreduceSwitch := fs.Int("allreduce-switch", 0, "allreduce algorithm switchover in bytes: binomial tree below, ring at and above (0 = ring everywhere)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,23 +70,26 @@ Flags:
 	if err != nil {
 		return err
 	}
-	if *collective && *workers > 1 {
-		return fmt.Errorf("collective campaigns run serially; drop -workers")
-	}
 	var design *doe.Design
 	var engine core.Engine
-	var cfg netbench.Config
+	var factory core.EngineFactory
 	if *collective {
 		design, err = netbench.CollectiveDesign(*seed, *nSizes, *minSize, *maxSize, *reps,
 			[]string{netbench.OpBcast, netbench.OpAllreduce, netbench.OpBarrier}, *randomize)
 		if err != nil {
 			return err
 		}
-		engine, err = netbench.NewCollectiveEngine(netbench.CollectiveConfig{
+		ccfg := netbench.CollectiveConfig{
 			Profile: p, Ranks: *ranks, Seed: *seed,
-		})
-		if err != nil {
-			return err
+			AllreduceSwitchBytes: *allreduceSwitch,
+		}
+		// Collective engines are trial-indexed, so sharded runs stay
+		// byte-identical to serial ones; workers > 1 just works.
+		factory = netbench.CollectiveFactory(ccfg)
+		if *workers <= 1 {
+			if engine, err = netbench.NewCollectiveEngine(ccfg); err != nil {
+				return err
+			}
 		}
 	} else {
 		// The flags lower into the same declarative spec a suite file
@@ -94,6 +98,7 @@ Flags:
 		// the registry the orchestration layers consume). Only the
 		// -randomize=false escape hatch — inexpressible in a spec, since
 		// suites never give up randomization — regenerates the design.
+		var cfg netbench.Config
 		cfg, design, err = netbench.FromSpec(netbench.Spec{
 			Profile:       *profile,
 			N:             *nSizes,
@@ -113,6 +118,7 @@ Flags:
 				return err
 			}
 		}
+		factory = netbench.Factory(cfg)
 		if *workers <= 1 {
 			engine, err = netbench.NewEngine(cfg)
 			if err != nil {
@@ -135,7 +141,7 @@ Flags:
 		return sinks, err
 	}
 
-	res, err := runner.RunOrSerial(context.Background(), design, netbench.Factory(cfg),
+	res, err := runner.RunOrSerial(context.Background(), design, factory,
 		engine, *workers, openSinks)
 	if err != nil {
 		return err

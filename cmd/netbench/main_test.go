@@ -122,11 +122,21 @@ func TestParallelWorkersReproducible(t *testing.T) {
 	}
 }
 
-func TestCollectiveRejectsWorkers(t *testing.T) {
-	var buf bytes.Buffer
-	args := []string{"-profile", "myrinet-gm", "-collective", "-workers", "4", "-n", "10", "-reps", "1"}
-	if err := run(args, &buf); err == nil {
-		t.Fatal("collective campaign accepted -workers")
+func TestCollectiveWorkersReproducible(t *testing.T) {
+	// The collective engine is trial-indexed, so sharded campaigns must be
+	// byte-identical to serial ones — the property that used to be a
+	// "collective campaigns run serially" refusal.
+	base := []string{"-profile", "taurus", "-collective", "-ranks", "4",
+		"-allreduce-switch", "16384", "-n", "20", "-reps", "2", "-seed", "5"}
+	var serial, sharded bytes.Buffer
+	if err := run(append(append([]string{}, base...), "-workers", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...), "-workers", "4"), &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != sharded.String() {
+		t.Fatal("sharded collective campaign output differs from serial")
 	}
 }
 

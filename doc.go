@@ -16,13 +16,17 @@
 //     physically-indexed caches and page allocation (internal/memsim), DVFS
 //     governors over virtual time (internal/cpusim), OS scheduling and
 //     interference (internal/ossim), LogGP-family piecewise network models
-//     with protocol regimes and planted quirks (internal/netsim), and a
-//     protocol-level message-passing simulator with collectives on top of
-//     them (internal/mpisim);
+//     with protocol regimes and planted quirks (internal/netsim), a
+//     protocol-level message-passing simulator with ring and binomial-tree
+//     collectives on top of them (internal/mpisim), and NUMA topologies
+//     with first-touch/interleave page placement, capacity spill and page
+//     migration (internal/numasim);
 //   - the benchmark engines that drive the substrate through designed
 //     campaigns: memory (internal/membench), network point-to-point and
-//     collective (internal/netbench), and CPU/DVFS/interference
-//     (internal/cpubench);
+//     collective (internal/netbench), CPU/DVFS/interference
+//     (internal/cpubench), NUMA page placement across the first-touch
+//     spill crossover (internal/numabench), and MPI collectives across
+//     the allreduce tree/ring switchover (internal/collbench);
 //   - an engine registry (internal/engine) giving the orchestration layers
 //     one uniform handle per engine — strict spec decoding, factory and
 //     design construction, metric direction, adaptive-refinement hooks —

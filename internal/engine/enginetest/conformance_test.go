@@ -13,9 +13,11 @@ import (
 // design still has room for the refine check to zoom into. An engine
 // missing from this map runs with its defaults — correct, just slower.
 var smallConfigs = map[string]json.RawMessage{
-	"membench": json.RawMessage(`{"sizes": [1024, 16384, 262144], "reps": 3}`),
-	"netbench": json.RawMessage(`{"n": 12, "reps": 2}`),
-	"cpubench": json.RawMessage(`{"nloops": [20, 200, 2000], "reps": 3}`),
+	"membench":  json.RawMessage(`{"sizes": [1024, 16384, 262144], "reps": 3}`),
+	"netbench":  json.RawMessage(`{"n": 12, "reps": 2}`),
+	"cpubench":  json.RawMessage(`{"nloops": [20, 200, 2000], "reps": 3}`),
+	"numabench": json.RawMessage(`{"n": 12, "reps": 2, "policies": ["firsttouch", "interleave"]}`),
+	"collbench": json.RawMessage(`{"n": 12, "reps": 2}`),
 }
 
 // TestRegisteredEnginesConformance runs the full six-check battery against

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"opaquebench/internal/collbench"
 	"opaquebench/internal/core"
 	"opaquebench/internal/cpubench"
 	"opaquebench/internal/doe"
 	"opaquebench/internal/membench"
 	"opaquebench/internal/netbench"
+	"opaquebench/internal/numabench"
 )
 
 // def adapts an engine package's conventional Spec/FromSpec/Factory trio to
@@ -67,5 +69,23 @@ func init() {
 				return nil, nil, err
 			}
 			return cpubench.Factory(cfg), design, nil
+		}})
+	// numabench reports streaming bandwidth (MB/s) — more is better;
+	// collbench reports collective duration in seconds — less is better.
+	Register(def[numabench.Spec]{name: "numabench", higher: true,
+		build: func(s numabench.Spec, seed uint64) (core.EngineFactory, *doe.Design, error) {
+			cfg, design, err := numabench.FromSpec(s, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return numabench.Factory(cfg), design, nil
+		}})
+	Register(def[collbench.Spec]{name: "collbench", higher: false,
+		build: func(s collbench.Spec, seed uint64) (core.EngineFactory, *doe.Design, error) {
+			cfg, design, err := collbench.FromSpec(s, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return netbench.CollectiveFactory(cfg), design, nil
 		}})
 }

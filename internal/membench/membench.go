@@ -368,6 +368,11 @@ func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
 	}
 
 	slowdown := e.sched.SlowdownAt(at)
+	if !e.cfg.Indexed {
+		// The virtual clock only advances, so scheduler windows behind it
+		// are dead: release them to keep long campaigns' memory bounded.
+		e.sched.Release(at)
+	}
 	seconds *= slowdown
 	noise := e.noise
 	if e.cfg.Indexed {

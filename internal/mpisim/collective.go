@@ -17,6 +17,10 @@ type Group struct {
 	queues  map[[2]int][]message
 	noisy   bool
 	seed    uint64
+	// bytesSent accumulates the payload bytes of every send — the modeled
+	// communication volume, which the collective algorithms' accounting
+	// tests assert against their analytic totals.
+	bytesSent int
 }
 
 // NewGroup builds an n-rank communicator.
@@ -67,8 +71,13 @@ func (g *Group) send(from, to, size int) error {
 	k := [2]int{from, to}
 	g.queues[k] = append(g.queues[k], message{from: Rank(from), size: size, arriveAt: arrive})
 	g.clocks[from] = sendEnd
+	g.bytesSent += size
 	return nil
 }
+
+// TotalBytesSent returns the payload bytes moved through the group so far,
+// summed over every point-to-point send a collective decomposed into.
+func (g *Group) TotalBytesSent() int { return g.bytesSent }
 
 // recv blocks rank `to` on the oldest message from `from`.
 func (g *Group) recv(to, from int) error {
@@ -142,18 +151,31 @@ func (g *Group) Barrier() (float64, error) {
 }
 
 // RingAllreduce reduces size bytes across all ranks with the bandwidth-
-// optimal ring algorithm (2*(n-1) steps of size/n-byte chunks) and returns
-// its duration.
+// optimal ring algorithm: the payload is split into n chunks and rotated
+// for 2*(n-1) steps (n-1 reduce-scatter, n-1 allgather). The first n-1
+// chunks carry size/n bytes and the final chunk the remainder, so every
+// step moves exactly size bytes across the ring and the total modeled
+// volume is 2*(n-1)*size — no byte is dropped for sizes not divisible by
+// the rank count. Sizes below the rank count would leave chunks empty and
+// are an explicit error; callers that must accept them (the collective
+// engine) round up and record the effective size instead.
 func (g *Group) RingAllreduce(size int) (float64, error) {
 	n := len(g.clocks)
 	if size < n {
-		size = n
+		return 0, fmt.Errorf("mpisim: ring allreduce of %d bytes across %d ranks leaves empty chunks; round the size up (and record it) or use fewer ranks", size, n)
 	}
 	chunk := size / n
+	last := size - (n-1)*chunk
+	chunkAt := func(r, step int) int {
+		if idx := ((r-step)%n + n) % n; idx == n-1 {
+			return last
+		}
+		return chunk
+	}
 	start := g.MaxClock()
 	for step := 0; step < 2*(n-1); step++ {
 		for r := 0; r < n; r++ {
-			if err := g.send(r, (r+1)%n, chunk); err != nil {
+			if err := g.send(r, (r+1)%n, chunkAt(r, step)); err != nil {
 				return 0, err
 			}
 		}
@@ -164,6 +186,47 @@ func (g *Group) RingAllreduce(size int) (float64, error) {
 		}
 	}
 	return g.MaxClock() - start, nil
+}
+
+// TreeAllreduce reduces size bytes across all ranks with the latency-
+// optimal algorithm small messages use: a binomial-tree reduction to rank
+// 0 followed by a binomial-tree broadcast — 2*ceil(log2(n)) rounds, each
+// moving whole payloads. Per-byte it is far costlier than the ring (every
+// round carries all size bytes), which is exactly why real MPI libraries
+// switch algorithms at a size threshold; Allreduce models that switch.
+func (g *Group) TreeAllreduce(size int) (float64, error) {
+	n := len(g.clocks)
+	start := g.MaxClock()
+	// Reduction: the mirror image of Bcast's rounds, leaves first.
+	stride := 1
+	for stride < n {
+		stride *= 2
+	}
+	for stride /= 2; stride >= 1; stride /= 2 {
+		for r := 0; r < stride && r+stride < n; r++ {
+			if err := g.send(r+stride, r, size); err != nil {
+				return 0, err
+			}
+			if err := g.recv(r, r+stride); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if _, err := g.Bcast(0, size); err != nil {
+		return 0, err
+	}
+	return g.MaxClock() - start, nil
+}
+
+// Allreduce reduces size bytes across all ranks, switching algorithms the
+// way production MPI implementations do: the binomial tree below
+// switchBytes, the ring at and above it. switchBytes <= 0 disables the
+// tree and always runs the ring — the pre-switchover behavior.
+func (g *Group) Allreduce(size, switchBytes int) (float64, error) {
+	if switchBytes > 0 && size < switchBytes {
+		return g.TreeAllreduce(size)
+	}
+	return g.RingAllreduce(size)
 }
 
 // Jitter perturbs every rank clock with small independent offsets, modelling

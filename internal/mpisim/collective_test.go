@@ -115,10 +115,16 @@ func TestRingAllreduceBandwidthOptimal(t *testing.T) {
 	}
 }
 
-func TestRingAllreduceTinyMessage(t *testing.T) {
+func TestRingAllreduceTinyMessageIsExplicitError(t *testing.T) {
+	// The old behavior silently clamped size up to the rank count; the
+	// model now refuses to invent bytes and leaves the rounding (plus its
+	// annotation) to the engine layer.
 	g := newGroup(t, 4)
-	if _, err := g.RingAllreduce(1); err != nil {
-		t.Fatal(err)
+	if _, err := g.RingAllreduce(1); err == nil {
+		t.Fatal("undersized allreduce accepted")
+	}
+	if _, err := g.RingAllreduce(4); err != nil {
+		t.Fatalf("size == ranks rejected: %v", err)
 	}
 }
 

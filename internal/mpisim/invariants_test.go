@@ -1,0 +1,187 @@
+package mpisim
+
+import (
+	"math"
+	"testing"
+
+	"opaquebench/internal/netsim"
+)
+
+// TestRingAllreduceModelsFullVolume is the regression test for the chunk
+// truncation bug: chunk := size/n dropped the remainder, so size=1000 over
+// n=3 modeled only 999 bytes per ring rotation (and regime selection saw
+// undersized chunks). The fixed algorithm gives the final chunk
+// size-(n-1)*chunk bytes, so every rotation moves exactly size bytes and
+// the total modeled volume is 2*(n-1)*size.
+func TestRingAllreduceModelsFullVolume(t *testing.T) {
+	cases := []struct{ n, size int }{
+		{3, 1000},  // the issue's example: 1000 % 3 == 1
+		{8, 1001},  // remainder 1 across many ranks
+		{4, 997},   // prime size
+		{5, 16384}, // power of two over odd ranks
+		{4, 4096},  // divisible: the fix must not change exact splits
+	}
+	for _, c := range cases {
+		g, err := NewGroup(netsim.MyrinetGM(), c.n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.RingAllreduce(c.size); err != nil {
+			t.Fatalf("n=%d size=%d: %v", c.n, c.size, err)
+		}
+		want := 2 * (c.n - 1) * c.size
+		if got := g.TotalBytesSent(); got != want {
+			t.Fatalf("n=%d size=%d: modeled %d bytes, want %d (remainder dropped)", c.n, c.size, got, want)
+		}
+	}
+}
+
+// TestBcastRootRelabelingInvariant asserts a broadcast's duration does not
+// depend on which rank is the root: the binomial tree is built in relabeled
+// rank space, so on a skew-free group every root spans exactly the same
+// duration, and under random start skew the duration distribution over
+// seeds matches between roots.
+func TestBcastRootRelabelingInvariant(t *testing.T) {
+	const n, size = 6, 8192
+	dur := func(root int, seed uint64, skew float64) float64 {
+		g, err := NewGroup(netsim.MyrinetGM(), n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skew > 0 {
+			g.Jitter(skew)
+		}
+		d, err := g.Bcast(root, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	ref := dur(0, 1, 0)
+	for root := 1; root < n; root++ {
+		if d := dur(root, 1, 0); math.Abs(d-ref) > 1e-15 {
+			t.Fatalf("skew-free bcast from root %d spans %v, root 0 spans %v", root, d, ref)
+		}
+	}
+	// With start skew the durations are root-dependent per seed, but the
+	// distribution over seeds must agree under relabeling.
+	const seeds, skew = 400, 5e-6
+	var sum0, sum3 float64
+	for s := uint64(1); s <= seeds; s++ {
+		sum0 += dur(0, s, skew)
+		sum3 += dur(3, s, skew)
+	}
+	m0, m3 := sum0/seeds, sum3/seeds
+	if math.Abs(m0-m3)/m0 > 0.02 {
+		t.Fatalf("skewed bcast mean duration: root 0 %v, root 3 %v (should agree under relabeling)", m0, m3)
+	}
+}
+
+// TestBarrierZeroByteRegime asserts the barrier's zero-byte control
+// messages are costed by RegimeFor(0) — the first (eager) regime — and
+// never by the regimes larger payloads select: two profiles that differ
+// only in their large-size regime must produce identical barriers.
+func TestBarrierZeroByteRegime(t *testing.T) {
+	small := netsim.Regime{
+		Protocol: netsim.Eager, MaxSize: 1024,
+		SendBase: 2e-6, SendPerByte: 0.4e-9,
+		RecvBase: 2e-6, RecvPerByte: 0.4e-9,
+		Latency: 6e-6, GapPerByte: 3.3e-9,
+	}
+	big := netsim.Regime{
+		Protocol: netsim.Rendezvous,
+		SendBase: 50e-6, SendPerByte: 9e-9,
+		RecvBase: 50e-6, RecvPerByte: 9e-9,
+		Latency: 60e-6, GapPerByte: 33e-9,
+	}
+	bigger := big
+	bigger.SendBase *= 100
+	bigger.Latency *= 100
+	pA := &netsim.Profile{Name: "barrier-a", Regimes: []netsim.Regime{small, big}}
+	pB := &netsim.Profile{Name: "barrier-b", Regimes: []netsim.Regime{small, bigger}}
+	barrier := func(p *netsim.Profile) float64 {
+		g, err := NewGroup(p, 7, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Jitter(2e-6)
+		d, err := g.Barrier()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	dA, dB := barrier(pA), barrier(pB)
+	if dA <= 0 {
+		t.Fatalf("barrier duration %v", dA)
+	}
+	if dA != dB {
+		t.Fatalf("barrier durations differ (%v vs %v): zero-byte sends leaked into the large-size regime", dA, dB)
+	}
+}
+
+// TestRingAllreduceMonotoneAcrossRegimeBoundary asserts duration is
+// monotone in size as the per-chunk size crosses a protocol switchover —
+// the shape the breakpoint detectors localize. Sizes are multiples of the
+// rank count so chunks split exactly, and the ladder straddles both
+// MyrinetOpenMPI boundaries (16 KB and 32 KB) in chunk space.
+func TestRingAllreduceMonotoneAcrossRegimeBoundary(t *testing.T) {
+	const n = 4
+	profile := netsim.MyrinetOpenMPI()
+	chunks := []int{4096, 8192, 12288, 16384, 20480, 28672, 32768, 40960, 65536, 131072}
+	var prev float64
+	for i, c := range chunks {
+		g, err := NewGroup(profile, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := g.RingAllreduce(n * c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && d <= prev {
+			t.Fatalf("duration not monotone: chunk %d -> %v, chunk %d -> %v", chunks[i-1], prev, c, d)
+		}
+		prev = d
+	}
+}
+
+// TestAllreduceAlgorithmSwitch asserts the Allreduce selector dispatches by
+// size exactly at the switch threshold, that each branch matches the
+// underlying algorithm, and that the tree's whole-payload rounds make it
+// the costlier choice for large payloads — the crossover real MPI
+// libraries tune switchBytes around.
+func TestAllreduceAlgorithmSwitch(t *testing.T) {
+	const n, sw = 8, 16384
+	profile := netsim.MyrinetGM()
+	run := func(f func(g *Group) (float64, error)) float64 {
+		g, err := NewGroup(profile, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := f(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	below, at := sw/2, sw
+	if got, want := run(func(g *Group) (float64, error) { return g.Allreduce(below, sw) }),
+		run(func(g *Group) (float64, error) { return g.TreeAllreduce(below) }); got != want {
+		t.Fatalf("below switch: Allreduce %v != TreeAllreduce %v", got, want)
+	}
+	if got, want := run(func(g *Group) (float64, error) { return g.Allreduce(at, sw) }),
+		run(func(g *Group) (float64, error) { return g.RingAllreduce(at) }); got != want {
+		t.Fatalf("at switch: Allreduce %v != RingAllreduce %v", got, want)
+	}
+	if got, want := run(func(g *Group) (float64, error) { return g.Allreduce(at, 0) }),
+		run(func(g *Group) (float64, error) { return g.RingAllreduce(at) }); got != want {
+		t.Fatalf("switch disabled: Allreduce %v != RingAllreduce %v", got, want)
+	}
+	const large = 1 << 20
+	tree := run(func(g *Group) (float64, error) { return g.TreeAllreduce(large) })
+	ring := run(func(g *Group) (float64, error) { return g.RingAllreduce(large) })
+	if tree <= ring {
+		t.Fatalf("1 MB: tree %v should cost more than ring %v", tree, ring)
+	}
+}

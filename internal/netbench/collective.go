@@ -3,6 +3,7 @@ package netbench
 import (
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 
 	"opaquebench/internal/core"
 	"opaquebench/internal/doe"
@@ -33,15 +34,30 @@ type CollectiveConfig struct {
 	// SkewSec is the per-measurement random start skew across ranks
 	// (real collectives never start synchronized). Default 2 us.
 	SkewSec float64
+	// AllreduceSwitchBytes is the algorithm switchover for allreduce:
+	// binomial tree below it, ring at and above (mpisim.Allreduce). 0
+	// disables the tree — every allreduce runs the ring.
+	AllreduceSwitchBytes int
 }
 
 // CollectiveEngine implements core.Engine for collective campaigns. Each
 // measurement runs on a fresh communicator (warm groups would entangle
-// consecutive measurements through their rank clocks).
+// consecutive measurements through their rank clocks), and every stochastic
+// input — the group's skew stream and the regime noise draw — derives from
+// (cfg.Seed, Trial.Seq) alone, so a trial's record is independent of
+// execution history: designs shard across runner workers and replay in any
+// order byte-identically to a serial run.
 type CollectiveEngine struct {
-	cfg   CollectiveConfig
-	noise *rand.Rand
-	seq   uint64
+	cfg CollectiveConfig
+	// noisePCG/noise are the engine-held generator reseeded per trial to
+	// the exact state a fresh per-trial stream would start in, so the hot
+	// path derives indexed noise without allocating.
+	noisePCG *rand.PCG
+	noise    *rand.Rand
+	// ranksStr/extraRanks are the invariant annotation values, shared
+	// between records; consumers treat Extra as read-only.
+	ranksStr   string
+	extraRanks map[string]string
 }
 
 // NewCollectiveEngine builds the engine.
@@ -61,32 +77,50 @@ func NewCollectiveEngine(cfg CollectiveConfig) (*CollectiveEngine, error) {
 	if cfg.SkewSec <= 0 {
 		cfg.SkewSec = 2e-6
 	}
+	if cfg.AllreduceSwitchBytes < 0 {
+		return nil, fmt.Errorf("netbench: negative allreduce switch %d", cfg.AllreduceSwitchBytes)
+	}
+	pcg := rand.NewPCG(0, 0)
+	ranksStr := strconv.Itoa(cfg.Ranks)
 	return &CollectiveEngine{
-		cfg:   cfg,
-		noise: xrand.NewDerived(cfg.Seed, "netbench/collective"),
+		cfg:        cfg,
+		noisePCG:   pcg,
+		noise:      rand.New(pcg),
+		ranksStr:   ranksStr,
+		extraRanks: map[string]string{"ranks": ranksStr},
 	}, nil
 }
 
-// Execute implements core.Engine: one timed collective.
+// Execute implements core.Engine: one timed collective, trial-indexed —
+// the communicator seed and the regime-noise stream are pure functions of
+// (cfg.Seed, t.Seq), never of a mutating engine counter.
 func (e *CollectiveEngine) Execute(t doe.Trial) (core.RawRecord, error) {
 	size, err := t.Point.Int(FactorSize)
 	if err != nil {
 		return core.RawRecord{}, err
 	}
 	op := t.Point.Get(FactorOp)
-	g, err := mpisim.NewGroup(e.cfg.Profile, e.cfg.Ranks, xrand.Derive(e.cfg.Seed, fmt.Sprintf("grp/%d", e.seq)))
+	g, err := mpisim.NewGroup(e.cfg.Profile, e.cfg.Ranks,
+		xrand.DeriveIndexed(e.cfg.Seed, "netbench/collective/grp@", t.Seq))
 	if err != nil {
 		return core.RawRecord{}, err
 	}
-	e.seq++
 	g.Jitter(e.cfg.SkewSec)
+
+	// An allreduce below the rank count cannot split into non-empty ring
+	// chunks; mpisim refuses to invent bytes, so the engine rounds the
+	// payload up and records the effective size it actually measured.
+	effSize := size
+	if op == OpAllreduce && effSize < e.cfg.Ranks {
+		effSize = e.cfg.Ranks
+	}
 
 	var dur float64
 	switch op {
 	case OpBcast:
 		dur, err = g.Bcast(0, size)
 	case OpAllreduce:
-		dur, err = g.RingAllreduce(size)
+		dur, err = g.Allreduce(effSize, e.cfg.AllreduceSwitchBytes)
 	case OpBarrier:
 		dur, err = g.Barrier()
 	default:
@@ -97,10 +131,16 @@ func (e *CollectiveEngine) Execute(t doe.Trial) (core.RawRecord, error) {
 	}
 	// The regime noise applies once to the whole collective: OS jitter and
 	// stack variability scale with the end-to-end duration.
+	xrand.Reseed(e.noisePCG, xrand.DeriveIndexed(e.cfg.Seed, "netbench/collective/noise@", t.Seq))
 	dur = e.cfg.Profile.RegimeFor(size).RTTNoise.Apply(e.noise, dur)
 
 	rec := core.RawRecord{Point: t.Point, Value: dur, Seconds: dur}
-	rec.Annotate("ranks", fmt.Sprintf("%d", e.cfg.Ranks))
+	if effSize != size {
+		rec.Annotate("ranks", e.ranksStr)
+		rec.Annotate("allreduce_effective_size", strconv.Itoa(effSize))
+	} else {
+		rec.Extra = e.extraRanks
+	}
 	return rec, nil
 }
 
@@ -111,7 +151,19 @@ func (e *CollectiveEngine) Environment() *meta.Environment {
 	env.Setf("ranks", "%d", e.cfg.Ranks)
 	env.Setf("seed", "%d", e.cfg.Seed)
 	env.Set("engine", "collective")
+	if e.cfg.AllreduceSwitchBytes > 0 {
+		env.Setf("allreduce_switch_bytes", "%d", e.cfg.AllreduceSwitchBytes)
+	}
 	return env
+}
+
+// CollectiveFactory returns a core.EngineFactory producing independent
+// collective engines for the configuration, one per runner worker — safe
+// because the engine is trial-indexed by construction.
+func CollectiveFactory(cfg CollectiveConfig) core.EngineFactory {
+	return core.EngineFactoryFunc(func() (core.Engine, error) {
+		return NewCollectiveEngine(cfg)
+	})
 }
 
 // CollectiveDesign builds a randomized collective campaign: log-uniform

@@ -1,6 +1,7 @@
 package netbench
 
 import (
+	"reflect"
 	"testing"
 
 	"opaquebench/internal/core"
@@ -117,6 +118,65 @@ func TestCollectiveExecuteErrors(t *testing.T) {
 	}
 	if _, err := e.Execute(doe.Trial{Point: doe.Point{"size": "1024", "op": "gatherv"}}); err == nil {
 		t.Fatal("bad op accepted")
+	}
+}
+
+func TestCollectiveEngineTrialIndexed(t *testing.T) {
+	// The group seed and the noise stream derive from (Seed, Trial.Seq),
+	// so a fresh engine replaying the design in reverse order must
+	// reproduce every record exactly — the property that lets collbench
+	// shard collective campaigns across runner workers.
+	cfg := CollectiveConfig{Profile: netsim.Taurus(), Seed: 7, AllreduceSwitchBytes: 16384}
+	d, err := CollectiveDesign(7, 24, 4, 1<<20, 2, []string{OpBcast, OpAllreduce, OpBarrier}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward, err := NewCollectiveEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]core.RawRecord, d.Size())
+	for i, tr := range d.Trials {
+		if recs[i], err = forward.Execute(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reversed, err := NewCollectiveEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := d.Size() - 1; i >= 0; i-- {
+		rec, err := reversed.Execute(d.Trials[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rec, recs[i]) {
+			t.Fatalf("trial %d depends on execution order:\nin-order %+v\nreverse  %+v", d.Trials[i].Seq, recs[i], rec)
+		}
+	}
+}
+
+func TestCollectiveAllreduceClampAnnotated(t *testing.T) {
+	// An allreduce smaller than the communicator cannot split into ring
+	// chunks: the engine rounds it up to one byte per rank and records the
+	// effective size instead of silently measuring different bytes.
+	e, err := NewCollectiveEngine(CollectiveConfig{Profile: netsim.Taurus(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.Execute(doe.Trial{Seq: 0, Point: doe.Point{"size": "3", "op": OpAllreduce}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Extra["allreduce_effective_size"] != "8" {
+		t.Fatalf("clamped allreduce not annotated: %v", rec.Extra)
+	}
+	rec, err = e.Execute(doe.Trial{Seq: 1, Point: doe.Point{"size": "64", "op": OpAllreduce}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec.Extra["allreduce_effective_size"]; ok {
+		t.Fatalf("full-size allreduce wrongly annotated: %v", rec.Extra)
 	}
 }
 

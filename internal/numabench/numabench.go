@@ -1,0 +1,178 @@
+// Package numabench is the white-box NUMA benchmark engine: it executes
+// trials from a doe.Design against the numasim substrate, measuring the
+// streaming bandwidth of a buffer whose page placement — first-touch with
+// capacity spill, or interleave — was decided by the OS, not the kernel
+// that streams it. The engine's central phenomenon is the local/remote
+// crossover at the touching node's free capacity: below it a first-touch
+// buffer is fully local and bandwidth is flat; above it pages spill to
+// remote nodes and bandwidth degrades with the distance matrix. Adaptive
+// refinement zooms the size factor to localize that planted breakpoint.
+package numabench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/meta"
+	"opaquebench/internal/numasim"
+	"opaquebench/internal/xrand"
+)
+
+// Factor names understood by the engine.
+const (
+	FactorSize   = "size"   // buffer size in bytes
+	FactorPolicy = "policy" // firsttouch | interleave
+)
+
+// Config describes a NUMA campaign's fixed environment (everything not
+// varied by the design).
+type Config struct {
+	// Topology is the simulated machine. Required.
+	Topology *numasim.Topology
+	// Seed drives the per-trial noise stream.
+	Seed uint64
+	// InitNode is the node whose thread first touches the buffer.
+	InitNode int
+	// ExecNode is the node whose thread streams the buffer.
+	ExecNode int
+	// Migrate enables automatic page migration toward the executing node.
+	Migrate bool
+	// NLoops is the number of streaming traversals per measurement
+	// (default 4).
+	NLoops int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Topology == nil {
+		return c, fmt.Errorf("numabench: config needs a topology")
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return c, err
+	}
+	if c.NLoops <= 0 {
+		c.NLoops = 4
+	}
+	if c.InitNode < 0 || c.InitNode >= c.Topology.Nodes {
+		return c, fmt.Errorf("numabench: init node %d outside the %d-node topology", c.InitNode, c.Topology.Nodes)
+	}
+	if c.ExecNode < 0 || c.ExecNode >= c.Topology.Nodes {
+		return c, fmt.Errorf("numabench: exec node %d outside the %d-node topology", c.ExecNode, c.Topology.Nodes)
+	}
+	return c, nil
+}
+
+// Engine implements core.Engine for NUMA campaigns. It is trial-indexed by
+// construction: placement and streaming are analytic functions of the
+// trial's factors, and the noise draw derives from (cfg.Seed, Trial.Seq),
+// so a trial's record is independent of execution history — designs shard
+// across runner workers and replay in any order byte-identically to a
+// serial run.
+type Engine struct {
+	cfg Config
+	// noisePCG/noise are the engine-held generator reseeded per trial, so
+	// the hot path derives indexed noise without allocating.
+	noisePCG *rand.PCG
+	noise    *rand.Rand
+	// extraCache shares the annotation map between the (many) trials whose
+	// placement outcome coincides; consumers treat Extra as read-only.
+	extraCache map[extraKey]map[string]string
+}
+
+// extraKey identifies one distinct annotation set.
+type extraKey struct {
+	remoteFrac float64
+	migrated   int
+}
+
+// NewEngine builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pcg := rand.NewPCG(0, 0)
+	return &Engine{
+		cfg:        cfg,
+		noisePCG:   pcg,
+		noise:      rand.New(pcg),
+		extraCache: map[extraKey]map[string]string{},
+	}, nil
+}
+
+// Factory returns a core.EngineFactory producing independent engines for
+// the configuration, one per runner worker — safe because the engine is
+// trial-indexed by construction.
+func Factory(cfg Config) core.EngineFactory {
+	return core.EngineFactoryFunc(func() (core.Engine, error) {
+		return NewEngine(cfg)
+	})
+}
+
+// sharedExtra returns the annotation map for one trial, cached per distinct
+// placement outcome.
+func (e *Engine) sharedExtra(remoteFrac float64, migrated int) map[string]string {
+	k := extraKey{remoteFrac, migrated}
+	if m, ok := e.extraCache[k]; ok {
+		return m
+	}
+	m := map[string]string{
+		"remote_frac":    strconv.FormatFloat(remoteFrac, 'g', 4, 64),
+		"migrated_pages": strconv.Itoa(migrated),
+	}
+	e.extraCache[k] = m
+	return m
+}
+
+// Execute implements core.Engine: one placement + streaming measurement.
+func (e *Engine) Execute(t doe.Trial) (core.RawRecord, error) {
+	size, err := t.Point.Int(FactorSize)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	policy := numasim.PolicyFirstTouch
+	if v := t.Point.Get(FactorPolicy); v != "" {
+		if policy, err = numasim.PolicyByName(v); err != nil {
+			return core.RawRecord{}, err
+		}
+	}
+	topo := e.cfg.Topology
+	pl, err := topo.Place(policy, e.cfg.InitNode, size)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	res, err := topo.Stream(e.cfg.ExecNode, pl, size, e.cfg.NLoops, e.cfg.Migrate)
+	if err != nil {
+		return core.RawRecord{}, err
+	}
+	// Reseed the engine-held generator to the exact state a fresh
+	// per-trial stream would start in (the membench indexed idiom).
+	xrand.Reseed(e.noisePCG, xrand.DeriveIndexed(e.cfg.Seed, "numabench/noise@", t.Seq))
+	seconds := xrand.Jitter(e.noise, res.Seconds, topo.NoiseSigma)
+	bytes := float64(size) * float64(e.cfg.NLoops)
+	return core.RawRecord{
+		Point:   t.Point,
+		Value:   bytes / seconds / 1e6, // bandwidth, MB/s
+		Seconds: seconds,
+		Extra:   e.sharedExtra(res.RemoteFrac, res.MigratedPages),
+	}, nil
+}
+
+// Environment implements core.Engine.
+func (e *Engine) Environment() *meta.Environment {
+	env := meta.New()
+	t := e.cfg.Topology
+	env.Set("topology", t.Name)
+	env.Setf("topology/nodes", "%d", t.Nodes)
+	env.Setf("topology/node_free_bytes", "%d", t.NodeFreeBytes)
+	env.Setf("topology/page_bytes", "%d", t.PageBytes)
+	env.Setf("init_node", "%d", e.cfg.InitNode)
+	env.Setf("exec_node", "%d", e.cfg.ExecNode)
+	env.Setf("migrate", "%v", e.cfg.Migrate)
+	env.Setf("nloops", "%d", e.cfg.NLoops)
+	env.Setf("seed", "%d", e.cfg.Seed)
+	env.Set("engine", "numa")
+	return env
+}

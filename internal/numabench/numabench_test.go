@@ -1,0 +1,190 @@
+package numabench
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"opaquebench/internal/core"
+	"opaquebench/internal/doe"
+	"opaquebench/internal/numasim"
+)
+
+func defaultCampaign(t *testing.T, spec Spec, seed uint64) (Config, *doe.Design) {
+	t.Helper()
+	cfg, design, err := FromSpec(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, design
+}
+
+func TestFromSpecDefaults(t *testing.T) {
+	cfg, design, err := FromSpec(Spec{}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology.Name != "dual" {
+		t.Fatalf("default topology = %q", cfg.Topology.Name)
+	}
+	// 60 sizes x 1 policy x 4 reps.
+	if got := design.Size(); got != 60*4 {
+		t.Fatalf("default design size = %d", got)
+	}
+	// The default ladder must straddle the spill crossover.
+	lo, hi := math.MaxInt, 0
+	for _, tr := range design.Trials {
+		sz, err := tr.Point.Int(FactorSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sz < lo {
+			lo = sz
+		}
+		if sz > hi {
+			hi = sz
+		}
+	}
+	if lo >= cfg.Topology.NodeFreeBytes || hi <= cfg.Topology.NodeFreeBytes {
+		t.Fatalf("default sizes [%d, %d] do not straddle the %d-byte crossover", lo, hi, cfg.Topology.NodeFreeBytes)
+	}
+}
+
+func TestFromSpecRejectsBadInputs(t *testing.T) {
+	if _, _, err := FromSpec(Spec{Topology: "octo"}, 1); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, _, err := FromSpec(Spec{Policies: []string{"membind"}}, 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, _, err := FromSpec(Spec{Max: 1 << 40}, 1); err == nil {
+		t.Fatal("max beyond machine capacity accepted")
+	}
+	if _, err := NewEngine(Config{}); err == nil {
+		t.Fatal("config without topology accepted")
+	}
+	topo, _ := numasim.TopologyByName("dual")
+	if _, err := NewEngine(Config{Topology: &topo, ExecNode: 7}); err == nil {
+		t.Fatal("out-of-range exec node accepted")
+	}
+}
+
+// TestEngineTrialIndexed is the registry's core property stated directly:
+// a fresh engine replaying the design in reverse order produces records
+// identical to a forward pass.
+func TestEngineTrialIndexed(t *testing.T) {
+	cfg, design := defaultCampaign(t, Spec{N: 24, Reps: 2, Policies: []string{"firsttouch", "interleave"}}, 7)
+	fwd, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := make([]core.RawRecord, design.Size())
+	for i, tr := range design.Trials {
+		if forward[i], err = fwd.Execute(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rev, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := design.Size() - 1; i >= 0; i-- {
+		rec, err := rev.Execute(design.Trials[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rec, forward[i]) {
+			t.Fatalf("trial %d replayed differently:\n fwd %+v\n rev %+v", i, forward[i], rec)
+		}
+	}
+}
+
+// TestSpillCrossoverVisibleInBandwidth checks the planted breakpoint
+// surfaces in the engine's primary metric: mean first-touch bandwidth well
+// below the node capacity clearly exceeds mean bandwidth well above it.
+func TestSpillCrossoverVisibleInBandwidth(t *testing.T) {
+	topo, _ := numasim.TopologyByName("dual")
+	spec := Spec{Sizes: []int{topo.NodeFreeBytes / 4, topo.NodeFreeBytes * 7 / 4}, Reps: 8}
+	cfg, design := defaultCampaign(t, spec, 11)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := map[int]float64{}
+	cnt := map[int]int{}
+	for _, tr := range design.Trials {
+		rec, err := eng.Execute(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sz, _ := tr.Point.Int(FactorSize)
+		sum[sz] += rec.Value
+		cnt[sz]++
+	}
+	small, large := spec.Sizes[0], spec.Sizes[1]
+	lo, hi := sum[large]/float64(cnt[large]), sum[small]/float64(cnt[small])
+	if hi <= lo*1.1 {
+		t.Fatalf("no crossover: %v MB/s below capacity vs %v above", hi, lo)
+	}
+}
+
+func TestMigrateAnnotationsSurface(t *testing.T) {
+	topo, _ := numasim.TopologyByName("dual")
+	cfg := Config{Topology: &topo, Seed: 3, InitNode: 1, ExecNode: 0, Migrate: true, NLoops: 8}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := doe.FullFactorial(factors([]int{topo.NodeFreeBytes / 2}, []string{"firsttouch"}),
+		doe.Options{Replicates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := eng.Execute(design.Trials[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Extra["remote_frac"] != "0" {
+		t.Fatalf("migrated run still remote: %+v", rec.Extra)
+	}
+	if rec.Extra["migrated_pages"] == "0" || rec.Extra["migrated_pages"] == "" {
+		t.Fatalf("no pages migrated: %+v", rec.Extra)
+	}
+}
+
+func TestRefineContract(t *testing.T) {
+	spec := Spec{Policies: []string{"firsttouch", "interleave"}, Reps: 3}
+	if spec.ZoomFactor() != FactorSize {
+		t.Fatalf("zoom factor = %q", spec.ZoomFactor())
+	}
+	design, err := spec.Refine(99, []int{1 << 20, 1 << 22, 1 << 24}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := design.Size(); got != 3*2*2 {
+		t.Fatalf("refined design size = %d", got)
+	}
+	for _, tr := range design.Trials {
+		if tr.Origin != doe.OriginZoom {
+			t.Fatalf("trial not stamped OriginZoom: %+v", tr)
+		}
+	}
+	if _, err := spec.Refine(99, nil, 2); err == nil {
+		t.Fatal("empty refine levels accepted")
+	}
+	if _, err := spec.Refine(99, []int{0}, 2); err == nil {
+		t.Fatal("non-positive refine level accepted")
+	}
+}
+
+func TestEnvironmentDescribes(t *testing.T) {
+	cfg, _ := defaultCampaign(t, Spec{}, 1)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := eng.Environment()
+	if env.Get("topology") != "dual" || env.Get("engine") != "numa" {
+		t.Fatalf("environment incomplete: topology=%q engine=%q", env.Get("topology"), env.Get("engine"))
+	}
+}

@@ -1,0 +1,138 @@
+package numabench
+
+import (
+	"fmt"
+
+	"opaquebench/internal/doe"
+	"opaquebench/internal/numasim"
+)
+
+// defaultReps is the replicate count of a zero Spec, shared by FromSpec
+// and Refine so seed and zoom rounds can never drift.
+const defaultReps = 4
+
+// Spec is the declarative form of a NUMA campaign — the engine half of a
+// suite file's campaign entry (see internal/suite). A zero Spec is the
+// default first-touch campaign on the two-socket "dual" topology, whose
+// size ladder straddles the node-capacity spill crossover.
+type Spec struct {
+	// Topology names the simulated machine (default "dual").
+	Topology string `json:"topology,omitempty"`
+	// Policies lists the placement-policy factor levels (default
+	// {"firsttouch"}).
+	Policies []string `json:"policies,omitempty"`
+	// InitNode is the first-touching node (default 0).
+	InitNode int `json:"init_node,omitempty"`
+	// ExecNode is the streaming node (default 0).
+	ExecNode int `json:"exec_node,omitempty"`
+	// Migrate enables automatic page migration toward the executing node.
+	Migrate bool `json:"migrate,omitempty"`
+	// NLoops is the traversal count per measurement (default 4).
+	NLoops int `json:"nloops,omitempty"`
+	// N is the number of log-uniform buffer sizes (default 60).
+	N int `json:"n,omitempty"`
+	// Min is the minimum buffer size in bytes; zero means 1/16 of the
+	// topology's per-node free memory.
+	Min int `json:"min,omitempty"`
+	// Max is the maximum buffer size in bytes; zero means the machine's
+	// total free memory, so the default ladder crosses the per-node spill
+	// threshold near its log midpoint.
+	Max int `json:"max,omitempty"`
+	// Sizes overrides the generated ladder with explicit levels.
+	Sizes []int `json:"sizes,omitempty"`
+	// Reps is the replicate count per point (default 4).
+	Reps int `json:"reps,omitempty"`
+}
+
+// FromSpec resolves a declarative campaign into the engine configuration
+// and the materialized design, both fully determined by (spec, seed).
+func FromSpec(s Spec, seed uint64) (Config, *doe.Design, error) {
+	if s.Topology == "" {
+		s.Topology = "dual"
+	}
+	topo, err := numasim.TopologyByName(s.Topology)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = []string{string(numasim.PolicyFirstTouch)}
+	}
+	for _, p := range s.Policies {
+		if _, err := numasim.PolicyByName(p); err != nil {
+			return Config{}, nil, err
+		}
+	}
+	if s.N <= 0 {
+		s.N = 60
+	}
+	if s.Min <= 0 {
+		s.Min = topo.NodeFreeBytes / 16
+	}
+	if s.Max <= 0 {
+		s.Max = topo.NodeFreeBytes * topo.Nodes
+	}
+	if s.Max > topo.NodeFreeBytes*topo.Nodes {
+		return Config{}, nil, fmt.Errorf("numabench: max size %d exceeds the machine's %d free bytes", s.Max, topo.NodeFreeBytes*topo.Nodes)
+	}
+	if s.Reps <= 0 {
+		s.Reps = defaultReps
+	}
+	sizes := s.Sizes
+	if len(sizes) == 0 {
+		sizes = doe.RandomSizes(seed, s.N, s.Min, s.Max)
+	}
+	design, err := doe.FullFactorial(factors(sizes, s.Policies),
+		doe.Options{Replicates: s.Reps, Seed: seed, Randomize: true})
+	if err != nil {
+		return Config{}, nil, err
+	}
+	cfg := Config{
+		Topology: &topo,
+		Seed:     seed,
+		InitNode: s.InitNode,
+		ExecNode: s.ExecNode,
+		Migrate:  s.Migrate,
+		NLoops:   s.NLoops,
+	}
+	return cfg, design, nil
+}
+
+// factors builds the campaign factor list.
+func factors(sizes []int, policies []string) []doe.Factor {
+	return []doe.Factor{
+		doe.SizeFactor(FactorSize, sizes),
+		doe.NewFactor(FactorPolicy, policies...),
+	}
+}
+
+// ZoomFactor names the numeric factor adaptive refinement zooms: the
+// buffer size, whose node-capacity spill crossover is the engine's central
+// phenomenon. Part of the adapt.Refiner hook set.
+func (s Spec) ZoomFactor() string { return FactorSize }
+
+// Refine materializes one adaptive refinement round's zoom design: the
+// given refined buffer sizes crossed with the campaign's placement-policy
+// levels, replicated (reps, or the spec's replicate count when reps <= 0),
+// randomized under the round seed, every trial stamped doe.OriginZoom.
+func (s Spec) Refine(seed uint64, levels []int, reps int) (*doe.Design, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("numabench: refine needs at least one size level")
+	}
+	for _, l := range levels {
+		if l < 1 {
+			return nil, fmt.Errorf("numabench: refine size %d is not positive", l)
+		}
+	}
+	if reps <= 0 {
+		reps = s.Reps
+	}
+	if reps <= 0 {
+		reps = defaultReps
+	}
+	policies := s.Policies
+	if len(policies) == 0 {
+		policies = []string{string(numasim.PolicyFirstTouch)}
+	}
+	return doe.FullFactorial(factors(levels, policies),
+		doe.Options{Replicates: reps, Seed: seed, Randomize: true, Origin: doe.OriginZoom})
+}

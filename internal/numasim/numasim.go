@@ -1,0 +1,316 @@
+// Package numasim models the paper's NUMA/page-placement pitfall: on a
+// multi-socket machine the physical node a page lands on is decided by the
+// OS placement policy at first touch, not by the thread that later streams
+// it. A benchmark whose buffers are initialized by the master thread (or
+// that overflows its node's free memory) silently measures a mix of local
+// and remote accesses — bandwidth numbers that look stable but
+// characterize the placement, not the machine. The simulator makes the
+// effect explicit and deterministic: a topology of nodes with numactl-style
+// distances, first-touch and interleave placement with capacity spill, and
+// optional page migration toward the executing node, so campaigns can
+// sweep working-set size across the local/remote crossover and adaptive
+// refinement can localize it.
+package numasim
+
+import "fmt"
+
+// localDistance is the numactl convention: a node's distance to itself is
+// 10, and remote distances scale access cost proportionally.
+const localDistance = 10
+
+// Policy is the OS page-placement policy in effect when a buffer is first
+// touched.
+type Policy string
+
+const (
+	// PolicyFirstTouch places each page on the toucher's node while free
+	// memory lasts, then spills to the remaining nodes nearest-first —
+	// Linux's default.
+	PolicyFirstTouch Policy = "firsttouch"
+	// PolicyInterleave round-robins pages across all nodes, trading peak
+	// local bandwidth for predictability.
+	PolicyInterleave Policy = "interleave"
+)
+
+// PolicyByName resolves the policy names shared by specs and CLIs.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case string(PolicyFirstTouch):
+		return PolicyFirstTouch, nil
+	case string(PolicyInterleave):
+		return PolicyInterleave, nil
+	}
+	return "", fmt.Errorf("numasim: unknown placement policy %q (firsttouch, interleave)", name)
+}
+
+// Topology is one simulated multi-socket machine.
+type Topology struct {
+	// Name labels the topology in specs and metadata.
+	Name string
+	// Nodes is the NUMA node count.
+	Nodes int
+	// NodeFreeBytes is the memory available to the benchmark on each node
+	// (capacity minus resident kernel/daemon pages) — the spill threshold
+	// of first-touch placement and the planted local/remote crossover.
+	NodeFreeBytes int
+	// PageBytes is the placement granularity.
+	PageBytes int
+	// Distance is the numactl-style node distance matrix: Distance[i][j]
+	// scales the cost of node i accessing memory on node j, with 10 on
+	// the diagonal.
+	Distance [][]int
+	// LocalBandwidthBps is the streaming bandwidth to node-local memory;
+	// the bandwidth between nodes i and j is LocalBandwidthBps scaled by
+	// 10/Distance[i][j].
+	LocalBandwidthBps float64
+	// MigrateCostSec is the one-time cost of migrating one page.
+	MigrateCostSec float64
+	// NoiseSigma is the log-normal sigma of multiplicative measurement
+	// noise engines apply per trial.
+	NoiseSigma float64
+}
+
+// Validate checks the topology description.
+func (t *Topology) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("numasim: unnamed topology")
+	}
+	if t.Nodes < 2 {
+		return fmt.Errorf("numasim: %s: a NUMA topology needs >= 2 nodes, got %d", t.Name, t.Nodes)
+	}
+	if t.NodeFreeBytes <= 0 {
+		return fmt.Errorf("numasim: %s: non-positive node free memory", t.Name)
+	}
+	if t.PageBytes <= 0 {
+		return fmt.Errorf("numasim: %s: non-positive page size", t.Name)
+	}
+	if t.LocalBandwidthBps <= 0 {
+		return fmt.Errorf("numasim: %s: non-positive local bandwidth", t.Name)
+	}
+	if len(t.Distance) != t.Nodes {
+		return fmt.Errorf("numasim: %s: distance matrix has %d rows for %d nodes", t.Name, len(t.Distance), t.Nodes)
+	}
+	for i, row := range t.Distance {
+		if len(row) != t.Nodes {
+			return fmt.Errorf("numasim: %s: distance row %d has %d entries for %d nodes", t.Name, i, len(row), t.Nodes)
+		}
+		for j, d := range row {
+			if i == j && d != localDistance {
+				return fmt.Errorf("numasim: %s: local distance [%d][%d] = %d, want %d", t.Name, i, j, d, localDistance)
+			}
+			if i != j && d <= localDistance {
+				return fmt.Errorf("numasim: %s: remote distance [%d][%d] = %d must exceed the local %d", t.Name, i, j, d, localDistance)
+			}
+		}
+	}
+	if t.MigrateCostSec < 0 || t.NoiseSigma < 0 {
+		return fmt.Errorf("numasim: %s: negative migrate cost or noise sigma", t.Name)
+	}
+	return nil
+}
+
+// Bandwidth returns the streaming bandwidth (bytes/sec) of node `from`
+// accessing memory resident on node `to`.
+func (t *Topology) Bandwidth(from, to int) float64 {
+	return t.LocalBandwidthBps * localDistance / float64(t.Distance[from][to])
+}
+
+// NodePages returns a node's free capacity in pages.
+func (t *Topology) NodePages() int { return t.NodeFreeBytes / t.PageBytes }
+
+// Placement is the per-node page count of one allocated buffer.
+type Placement struct {
+	// Pages[j] is the number of the buffer's pages resident on node j.
+	Pages []int
+}
+
+// Total returns the placement's page count.
+func (p Placement) Total() int {
+	n := 0
+	for _, c := range p.Pages {
+		n += c
+	}
+	return n
+}
+
+// OnNode returns the fraction of pages resident on the given node.
+func (p Placement) OnNode(node int) float64 {
+	total := p.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Pages[node]) / float64(total)
+}
+
+// spillOrder returns the nodes ordered nearest-first from `from`, excluding
+// `from` itself, ties broken by node index (deterministic).
+func (t *Topology) spillOrder(from int) []int {
+	order := make([]int, 0, t.Nodes-1)
+	for j := 0; j < t.Nodes; j++ {
+		if j != from {
+			order = append(order, j)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0; k-- {
+			a, b := order[k-1], order[k]
+			if t.Distance[from][b] < t.Distance[from][a] {
+				order[k-1], order[k] = b, a
+			}
+		}
+	}
+	return order
+}
+
+// Place materializes the page placement of a size-byte buffer first
+// touched from initNode under the given policy. First-touch fills the
+// toucher's node to capacity and spills nearest-first; interleave
+// round-robins starting at the toucher's node, redistributing overflow
+// from full nodes to those with room. An allocation exceeding the
+// machine's total free memory is an error.
+func (t *Topology) Place(policy Policy, initNode, size int) (Placement, error) {
+	if initNode < 0 || initNode >= t.Nodes {
+		return Placement{}, fmt.Errorf("numasim: %s: bad node %d", t.Name, initNode)
+	}
+	if size <= 0 {
+		return Placement{}, fmt.Errorf("numasim: non-positive buffer size %d", size)
+	}
+	pages := (size + t.PageBytes - 1) / t.PageBytes
+	cap := t.NodePages()
+	if pages > cap*t.Nodes {
+		return Placement{}, fmt.Errorf("numasim: %s: %d pages exceed the machine's %d free pages", t.Name, pages, cap*t.Nodes)
+	}
+	pl := Placement{Pages: make([]int, t.Nodes)}
+	switch policy {
+	case PolicyFirstTouch:
+		take := pages
+		if take > cap {
+			take = cap
+		}
+		pl.Pages[initNode] = take
+		rest := pages - take
+		for _, j := range t.spillOrder(initNode) {
+			if rest == 0 {
+				break
+			}
+			take := rest
+			if take > cap {
+				take = cap
+			}
+			pl.Pages[j] = take
+			rest -= take
+		}
+	case PolicyInterleave:
+		each := pages / t.Nodes
+		rem := pages % t.Nodes
+		for j := 0; j < t.Nodes; j++ {
+			pl.Pages[j] = each
+			// The first `rem` nodes in round-robin order from the toucher
+			// carry one extra page.
+			if ((j-initNode)%t.Nodes+t.Nodes)%t.Nodes < rem {
+				pl.Pages[j]++
+			}
+		}
+		// Redistribute overflow from full nodes nearest-first.
+		over := 0
+		for j := 0; j < t.Nodes; j++ {
+			if pl.Pages[j] > cap {
+				over += pl.Pages[j] - cap
+				pl.Pages[j] = cap
+			}
+		}
+		for _, j := range t.spillOrder(initNode) {
+			if over == 0 {
+				break
+			}
+			room := cap - pl.Pages[j]
+			if room > over {
+				room = over
+			}
+			pl.Pages[j] += room
+			over -= room
+		}
+	default:
+		return Placement{}, fmt.Errorf("numasim: unknown placement policy %q", policy)
+	}
+	return pl, nil
+}
+
+// StreamResult is one simulated streaming measurement.
+type StreamResult struct {
+	// Seconds is the noiseless wall time of the whole measurement,
+	// migration cost included.
+	Seconds float64
+	// RemoteFrac is the fraction of traffic served from remote nodes
+	// after any migration settled.
+	RemoteFrac float64
+	// MigratedPages is the number of pages migration moved to the
+	// executing node.
+	MigratedPages int
+}
+
+// Stream models a kernel on execNode streaming a size-byte buffer with the
+// given placement nloops times. With migrate set and more than one loop,
+// the OS moves remote pages onto the executing node — farthest-first, as
+// automatic balancing prioritizes the costliest pages — up to that node's
+// free capacity, charging MigrateCostSec per page once; the remaining
+// loops then run at the improved placement.
+func (t *Topology) Stream(execNode int, pl Placement, size, nloops int, migrate bool) (StreamResult, error) {
+	if execNode < 0 || execNode >= t.Nodes {
+		return StreamResult{}, fmt.Errorf("numasim: %s: bad node %d", t.Name, execNode)
+	}
+	if nloops < 1 {
+		return StreamResult{}, fmt.Errorf("numasim: non-positive nloops %d", nloops)
+	}
+	total := pl.Total()
+	if total == 0 {
+		return StreamResult{}, fmt.Errorf("numasim: empty placement")
+	}
+	loopSec := func(p Placement) float64 {
+		var sec float64
+		for j, pages := range p.Pages {
+			if pages == 0 {
+				continue
+			}
+			bytes := float64(size) * float64(pages) / float64(total)
+			sec += bytes / t.Bandwidth(execNode, j)
+		}
+		return sec
+	}
+	res := StreamResult{}
+	if migrate && nloops > 1 {
+		res.Seconds += loopSec(pl) // first traversal at the original placement
+		improved := Placement{Pages: append([]int(nil), pl.Pages...)}
+		room := t.NodePages() - improved.Pages[execNode]
+		for _, j := range revInts(t.spillOrder(execNode)) {
+			if room <= 0 {
+				break
+			}
+			moved := improved.Pages[j]
+			if moved > room {
+				moved = room
+			}
+			improved.Pages[j] -= moved
+			improved.Pages[execNode] += moved
+			room -= moved
+			res.MigratedPages += moved
+		}
+		res.Seconds += float64(res.MigratedPages) * t.MigrateCostSec
+		res.Seconds += float64(nloops-1) * loopSec(improved)
+		res.RemoteFrac = 1 - improved.OnNode(execNode)
+	} else {
+		res.Seconds = float64(nloops) * loopSec(pl)
+		res.RemoteFrac = 1 - pl.OnNode(execNode)
+	}
+	return res, nil
+}
+
+// revInts returns a reversed copy of an int slice (farthest-first spill
+// order for migration).
+func revInts(in []int) []int {
+	out := make([]int, len(in))
+	for i, v := range in {
+		out[len(in)-1-i] = v
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package numasim
+
+import (
+	"math"
+	"testing"
+)
+
+func mustTopo(t *testing.T, name string) Topology {
+	t.Helper()
+	topo, err := TopologyByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestNamedTopologiesValidate(t *testing.T) {
+	for _, name := range TopologyNames() {
+		mustTopo(t, name)
+	}
+	if _, err := TopologyByName("octo"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	if p, err := PolicyByName("firsttouch"); err != nil || p != PolicyFirstTouch {
+		t.Fatalf("firsttouch -> %v, %v", p, err)
+	}
+	if p, err := PolicyByName("interleave"); err != nil || p != PolicyInterleave {
+		t.Fatalf("interleave -> %v, %v", p, err)
+	}
+	if _, err := PolicyByName("membind"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestValidateRejectsBadDistances(t *testing.T) {
+	topo := mustTopo(t, "dual")
+	topo.Distance = [][]int{{10, 21}, {21, 11}}
+	if err := topo.Validate(); err == nil {
+		t.Fatal("off-spec diagonal accepted")
+	}
+	topo = mustTopo(t, "dual")
+	topo.Distance = [][]int{{10, 9}, {9, 10}}
+	if err := topo.Validate(); err == nil {
+		t.Fatal("remote distance below local accepted")
+	}
+}
+
+func TestFirstTouchStaysLocalUntilSpill(t *testing.T) {
+	topo := mustTopo(t, "dual")
+	pl, err := topo.Place(PolicyFirstTouch, 0, topo.NodeFreeBytes/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.OnNode(0) != 1 {
+		t.Fatalf("half-capacity buffer not fully local: %+v", pl)
+	}
+}
+
+func TestFirstTouchSpillsNearestFirst(t *testing.T) {
+	topo := mustTopo(t, "quad")
+	// 1.5x one node's capacity from node 0: the overflow must land on a
+	// distance-16 neighbor (node 1, the lowest-indexed nearest), not the
+	// distance-22 opposite corner.
+	size := topo.NodeFreeBytes + topo.NodeFreeBytes/2
+	pl, err := topo.Place(PolicyFirstTouch, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Pages[0] != topo.NodePages() {
+		t.Fatalf("home node not filled: %+v", pl)
+	}
+	if pl.Pages[1] == 0 || pl.Pages[2] != 0 || pl.Pages[3] != 0 {
+		t.Fatalf("spill skipped the nearest neighbor: %+v", pl)
+	}
+}
+
+func TestInterleaveSpreadsEvenly(t *testing.T) {
+	topo := mustTopo(t, "quad")
+	pl, err := topo.Place(PolicyInterleave, 2, 4096*4*1000+4096) // 4001 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Total() != 4001 {
+		t.Fatalf("total pages = %d", pl.Total())
+	}
+	// 4001 = 4*1000 + 1; the extra page belongs to the toucher's node.
+	for j, c := range pl.Pages {
+		want := 1000
+		if j == 2 {
+			want = 1001
+		}
+		if c != want {
+			t.Fatalf("node %d holds %d pages, want %d (%+v)", j, c, want, pl)
+		}
+	}
+}
+
+func TestPlaceRejectsOversizedBuffer(t *testing.T) {
+	topo := mustTopo(t, "dual")
+	if _, err := topo.Place(PolicyFirstTouch, 0, 2*topo.NodeFreeBytes+topo.PageBytes); err == nil {
+		t.Fatal("buffer exceeding machine capacity accepted")
+	}
+}
+
+func TestStreamLocalMatchesBandwidth(t *testing.T) {
+	topo := mustTopo(t, "dual")
+	size := topo.NodeFreeBytes / 2
+	pl, err := topo.Place(PolicyFirstTouch, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := topo.Stream(0, pl, size, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * float64(size) / topo.LocalBandwidthBps
+	if math.Abs(res.Seconds-want) > 1e-12*want {
+		t.Fatalf("local stream = %v s, want %v", res.Seconds, want)
+	}
+	if res.RemoteFrac != 0 || res.MigratedPages != 0 {
+		t.Fatalf("local stream reported remote traffic: %+v", res)
+	}
+}
+
+func TestStreamRemotePenaltyTracksDistance(t *testing.T) {
+	topo := mustTopo(t, "dual")
+	size := topo.NodeFreeBytes / 2
+	pl, err := topo.Place(PolicyFirstTouch, 1, size) // touched remotely
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := topo.Stream(0, pl, size, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := float64(size) / topo.LocalBandwidthBps
+	want := local * float64(topo.Distance[0][1]) / 10
+	if math.Abs(res.Seconds-want) > 1e-12*want {
+		t.Fatalf("remote stream = %v s, want %v (%.1fx local)", res.Seconds, want, want/local)
+	}
+	if res.RemoteFrac != 1 {
+		t.Fatalf("remote frac = %v, want 1", res.RemoteFrac)
+	}
+}
+
+// TestSpillCrossoverDegradesBandwidth is the planted breakpoint itself:
+// effective bandwidth (size/sec) is flat below the node's free capacity and
+// strictly worse above it.
+func TestSpillCrossoverDegradesBandwidth(t *testing.T) {
+	topo := mustTopo(t, "dual")
+	bw := func(size int) float64 {
+		pl, err := topo.Place(PolicyFirstTouch, 0, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := topo.Stream(0, pl, size, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(size) / res.Seconds
+	}
+	below, above := bw(topo.NodeFreeBytes/4), bw(topo.NodeFreeBytes/2)
+	if math.Abs(below-above) > 1e-6*below {
+		t.Fatalf("bandwidth not flat below capacity: %v vs %v", below, above)
+	}
+	spilled := bw(topo.NodeFreeBytes * 3 / 2)
+	if spilled >= below*0.95 {
+		t.Fatalf("spilled bandwidth %v not clearly below local %v", spilled, below)
+	}
+}
+
+func TestMigrationRecoversLocalBandwidth(t *testing.T) {
+	topo := mustTopo(t, "dual")
+	size := topo.NodeFreeBytes / 2
+	pl, err := topo.Place(PolicyFirstTouch, 1, size) // all pages remote
+	if err != nil {
+		t.Fatal(err)
+	}
+	const loops = 50
+	still, err := topo.Stream(0, pl, size, loops, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := topo.Stream(0, pl, size, loops, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.MigratedPages != pl.Total() {
+		t.Fatalf("migrated %d of %d pages", moved.MigratedPages, pl.Total())
+	}
+	if moved.RemoteFrac != 0 {
+		t.Fatalf("post-migration remote frac = %v", moved.RemoteFrac)
+	}
+	if moved.Seconds >= still.Seconds {
+		t.Fatalf("migration did not pay off over %d loops: %v >= %v", loops, moved.Seconds, still.Seconds)
+	}
+	// Accounting: first loop remote + per-page cost + (loops-1) local loops.
+	want := float64(size)*float64(topo.Distance[0][1])/10/topo.LocalBandwidthBps +
+		float64(pl.Total())*topo.MigrateCostSec +
+		float64(loops-1)*float64(size)/topo.LocalBandwidthBps
+	if math.Abs(moved.Seconds-want) > 1e-9*want {
+		t.Fatalf("migration accounting: %v, want %v", moved.Seconds, want)
+	}
+}
+
+func TestMigrationRespectsCapacity(t *testing.T) {
+	topo := mustTopo(t, "dual")
+	// Buffer larger than one node: even after migration the executing node
+	// cannot hold everything, so some traffic stays remote.
+	size := topo.NodeFreeBytes * 3 / 2
+	pl, err := topo.Place(PolicyFirstTouch, 1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := topo.Stream(0, pl, size, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteFrac <= 0 {
+		t.Fatalf("oversized buffer became fully local: %+v", res)
+	}
+	// The executing node already holds the spill overflow; migration can
+	// only fill its remaining room.
+	if want := topo.NodePages() - pl.Pages[0]; res.MigratedPages != want {
+		t.Fatalf("migrated %d pages, want the remaining room %d", res.MigratedPages, want)
+	}
+}
+
+func TestStreamRejectsBadInputs(t *testing.T) {
+	topo := mustTopo(t, "dual")
+	pl, err := topo.Place(PolicyFirstTouch, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Stream(5, pl, 4096, 1, false); err == nil {
+		t.Fatal("bad exec node accepted")
+	}
+	if _, err := topo.Stream(0, pl, 4096, 0, false); err == nil {
+		t.Fatal("zero loops accepted")
+	}
+	if _, err := topo.Stream(0, Placement{Pages: []int{0, 0}}, 4096, 1, false); err == nil {
+		t.Fatal("empty placement accepted")
+	}
+}

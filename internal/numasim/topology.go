@@ -1,0 +1,67 @@
+package numasim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// topologies holds the named machines specs refer to. Free memory is kept
+// deliberately small relative to real sockets so campaigns cross the
+// first-touch spill threshold at simulated working-set sizes that cost
+// nothing to model.
+var topologies = map[string]Topology{
+	// dual is a two-socket machine in the mold of the paper's Xeon testbeds:
+	// symmetric QPI link, numactl distance 21, 64 MiB of free memory per
+	// node. First-touch placement from node 0 spills past 64 MiB — the
+	// planted local/remote crossover adaptive runs must localize.
+	"dual": {
+		Name:          "dual",
+		Nodes:         2,
+		NodeFreeBytes: 64 << 20,
+		PageBytes:     4096,
+		Distance: [][]int{
+			{10, 21},
+			{21, 10},
+		},
+		LocalBandwidthBps: 12e9,
+		MigrateCostSec:    3e-6,
+		NoiseSigma:        0.01,
+	},
+	// quad is a four-socket ring: neighbors at distance 16, the opposite
+	// corner at 22 (two hops), 32 MiB free per node.
+	"quad": {
+		Name:          "quad",
+		Nodes:         4,
+		NodeFreeBytes: 32 << 20,
+		PageBytes:     4096,
+		Distance: [][]int{
+			{10, 16, 22, 16},
+			{16, 10, 16, 22},
+			{22, 16, 10, 16},
+			{16, 22, 16, 10},
+		},
+		LocalBandwidthBps: 10e9,
+		MigrateCostSec:    3e-6,
+		NoiseSigma:        0.01,
+	},
+}
+
+// TopologyByName returns a copy of a named topology.
+func TopologyByName(name string) (Topology, error) {
+	t, ok := topologies[name]
+	if !ok {
+		return Topology{}, fmt.Errorf("numasim: unknown topology %q (%s)", name, strings.Join(TopologyNames(), ", "))
+	}
+	return t, nil
+}
+
+// TopologyNames lists the named topologies, sorted.
+func TopologyNames() []string {
+	names := make([]string, 0, len(topologies))
+	for n := range topologies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -11,6 +11,7 @@ package ossim
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
 
 	"opaquebench/internal/xrand"
 )
@@ -93,13 +94,20 @@ type Window struct {
 
 // Scheduler answers "how much slower does a measurement starting now run?"
 // for a virtual timeline. Daemon activity windows are generated lazily by an
-// alternating-renewal process (exponential sleep and busy phases).
+// alternating-renewal process (exponential sleep and busy phases). Point
+// queries binary-search the retained windows, and Release lets monotone
+// callers drop windows behind their low-water mark, so a million-trial
+// campaign holds a bounded working set instead of the whole timeline.
 type Scheduler struct {
 	cfg     Config
 	r       *rand.Rand
 	migr    *rand.Rand
 	windows []Window
 	horizon float64 // time up to which windows are materialized
+	// floor is the retention low-water mark set by Release: windows ending
+	// at or before it have been dropped and times below it are no longer
+	// queryable.
+	floor float64
 }
 
 // New builds a scheduler from the config.
@@ -128,20 +136,44 @@ func (s *Scheduler) extend(t float64) {
 	}
 }
 
-// daemonActive reports whether the daemon is runnable at time t.
+// daemonActive reports whether the daemon is runnable at time t. The
+// retained windows are disjoint and sorted by start, so the containing
+// candidate is found by binary search — O(log n) regardless of where t
+// falls, where the old backward scan walked every window materialized
+// after t (the whole tail, on any out-of-order query).
 func (s *Scheduler) daemonActive(t float64) bool {
 	s.extend(t)
-	for i := len(s.windows) - 1; i >= 0; i-- {
-		w := s.windows[i]
-		if t >= w.Start && t < w.End {
-			return true
-		}
-		if w.End <= t {
-			return false
-		}
-	}
-	return false
+	// First window starting strictly after t; the only window that can
+	// contain t is the one before it.
+	i := sort.Search(len(s.windows), func(i int) bool { return s.windows[i].Start > t })
+	return i > 0 && t < s.windows[i-1].End
 }
+
+// Release declares that no future query will be earlier than `before` and
+// drops every window wholly before it. Callers whose query times are
+// monotone — the stateful engines, whose virtual clock only advances —
+// release as they go, bounding the scheduler's memory by the daemon
+// period instead of the campaign length. Times below the release floor
+// are no longer queryable; Release never unmaterializes the horizon, so
+// the generator state and all retained windows are unaffected.
+func (s *Scheduler) Release(before float64) {
+	if before <= s.floor {
+		return
+	}
+	s.floor = before
+	i := sort.Search(len(s.windows), func(i int) bool { return s.windows[i].End > before })
+	if i == 0 {
+		return
+	}
+	// Shift in place: the slice is reused, so steady-state releases stop
+	// allocating once the retained suffix reaches its working-set size.
+	n := copy(s.windows, s.windows[i:])
+	s.windows = s.windows[:n]
+}
+
+// Retained returns the number of windows currently held — the quantity the
+// long-horizon memory test bounds.
+func (s *Scheduler) Retained() int { return len(s.windows) }
 
 // SlowdownAt returns the multiplicative slowdown (>= 1) for a measurement
 // starting at virtual time t.
@@ -161,7 +193,8 @@ func (s *Scheduler) SlowdownAt(t float64) float64 {
 	return slow
 }
 
-// Windows returns the daemon activity windows materialized up to time t.
+// Windows returns the daemon activity windows materialized up to time t
+// and still retained (windows dropped by Release are gone).
 func (s *Scheduler) Windows(t float64) []Window {
 	s.extend(t)
 	var out []Window

@@ -6,6 +6,98 @@ import (
 	"opaquebench/internal/stats"
 )
 
+// TestReleaseBoundsRetainedWindows is the long-horizon memory/behavior
+// test: a stateful campaign's monotone query stream with Release-as-you-go
+// must answer identically to an unpruned scheduler while retaining a
+// working set bounded by the daemon period, not the campaign length.
+func TestReleaseBoundsRetainedWindows(t *testing.T) {
+	cfg := Config{Policy: PolicyRT, Seed: 11, DaemonPeriodSec: 1}
+	pruned, reference := New(cfg), New(cfg)
+	const steps = 20000
+	maxRetained := 0
+	for i := 0; i < steps; i++ {
+		at := float64(i) * 0.5
+		got, want := pruned.SlowdownAt(at), reference.SlowdownAt(at)
+		if got != want {
+			t.Fatalf("pruned scheduler diverged at t=%v: %v != %v", at, got, want)
+		}
+		pruned.Release(at)
+		if r := pruned.Retained(); r > maxRetained {
+			maxRetained = r
+		}
+	}
+	if ref := reference.Retained(); ref < steps/4 {
+		t.Fatalf("reference retained only %d windows; the horizon did not grow", ref)
+	}
+	if maxRetained > 64 {
+		t.Fatalf("pruned scheduler retained up to %d windows; Release did not bound memory", maxRetained)
+	}
+}
+
+// TestDaemonQueriesOutOfOrder asserts point queries answer correctly in any
+// order — including revisiting old times after far-future ones, the access
+// pattern of reverse-order replay — by checking every answer against the
+// materialized window list itself.
+func TestDaemonQueriesOutOfOrder(t *testing.T) {
+	s := New(Config{Policy: PolicyRT, Seed: 13, DaemonPeriodSec: 2})
+	const horizon = 4000.0
+	ws := s.Windows(horizon) // materializes far ahead
+	contains := func(at float64) bool {
+		for _, w := range ws {
+			if at >= w.Start && at < w.End {
+				return true
+			}
+		}
+		return false
+	}
+	// A deliberately non-monotone sweep: far future, then back to the
+	// start, then interleaved.
+	var times []float64
+	for i := 0; i < 1500; i++ {
+		times = append(times, horizon-float64(i)*2.5)
+		times = append(times, float64(i)*1.3)
+	}
+	for _, at := range times {
+		if at < 0 || at >= horizon {
+			continue
+		}
+		want := 1.0
+		if contains(at) {
+			want = 5
+		}
+		if got := s.SlowdownAt(at); got != want {
+			t.Fatalf("out-of-order query at t=%v: slowdown %v, want %v", at, got, want)
+		}
+	}
+}
+
+// TestReleaseIdempotentAndMonotone pins Release's edge behavior: repeated
+// and rewinding releases are no-ops, and a release in the middle of a
+// window keeps that window (it is not wholly before the floor).
+func TestReleaseIdempotentAndMonotone(t *testing.T) {
+	s := New(Config{Policy: PolicyRT, Seed: 17, DaemonPeriodSec: 1})
+	s.SlowdownAt(500)
+	ws := s.Windows(500)
+	if len(ws) == 0 {
+		t.Fatal("no windows materialized")
+	}
+	mid := (ws[len(ws)/2].Start + ws[len(ws)/2].End) / 2
+	s.Release(mid)
+	kept := s.Windows(500)
+	if len(kept) == 0 || kept[0].End <= mid {
+		t.Fatalf("window containing the floor was dropped: first retained %+v, floor %v", kept, mid)
+	}
+	n := s.Retained()
+	s.Release(mid)     // idempotent
+	s.Release(mid - 1) // rewind is a no-op
+	if s.Retained() != n {
+		t.Fatalf("no-op releases changed retention: %d -> %d", n, s.Retained())
+	}
+	if got := s.SlowdownAt(mid); got != 5 {
+		t.Fatalf("query at the retained floor window = %v, want 5", got)
+	}
+}
+
 func TestPolicyByName(t *testing.T) {
 	if p, err := PolicyByName("other"); err != nil || p != PolicyOther {
 		t.Fatalf("other -> %v, %v", p, err)

@@ -635,7 +635,7 @@ func TestEnginesEndpoint(t *testing.T) {
 	for _, e := range engines {
 		byName[e.Name] = e
 	}
-	for name, higher := range map[string]bool{"membench": true, "netbench": false, "cpubench": true, "gatebench": true} {
+	for name, higher := range map[string]bool{"membench": true, "netbench": false, "cpubench": true, "numabench": true, "collbench": false, "gatebench": true} {
 		e, ok := byName[name]
 		if !ok {
 			t.Errorf("engine %s missing from listing", name)

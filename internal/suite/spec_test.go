@@ -88,7 +88,7 @@ func TestParseErrorsArePositioned(t *testing.T) {
 		// The enumeration is sorted, so the message is stable across
 		// registration order and greppable in bug reports.
 		{"unknown engine enumeration sorted", "{\"campaigns\": [\n  {\"name\": \"x\", \"engine\": \"gpubench\", \"out\": \"x.csv\"}\n]}",
-			[]string{"registered engines: cpubench, membench, netbench"}},
+			[]string{"registered engines: collbench, cpubench, membench, netbench, numabench"}},
 		{"missing name", "{\"campaigns\": [\n  {\"engine\": \"membench\", \"out\": \"x.csv\"}\n]}",
 			[]string{"spec.json:2", `needs a "name"`}},
 		{"no sink", "{\"campaigns\": [\n  {\"name\": \"x\", \"engine\": \"membench\"}\n]}",
